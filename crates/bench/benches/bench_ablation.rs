@@ -1,0 +1,51 @@
+//! Criterion timings for the ablation studies (fat-tree vs concurrent
+//! search, cyclic-permutation variants).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qrqw_core::{random_cyclic_permutation_efficient, random_cyclic_permutation_fast, FatTree};
+use qrqw_sim::Pram;
+
+fn bench_fat_tree(c: &mut Criterion) {
+    let n = 1 << 12;
+    let splitters: Vec<u64> = (1..64).map(|i| i * 1000).collect();
+    let keys: Vec<u64> = (0..n as u64).map(|i| (i * 977) % 64_000).collect();
+    let mut g = c.benchmark_group("ablation/fat_tree_search");
+    g.sample_size(10);
+    g.bench_function("fat_tree", |b| {
+        b.iter(|| {
+            let mut p = Pram::with_seed(4, 1);
+            let tree = FatTree::build(&mut p, &splitters, n);
+            tree.search_batch(&mut p, &keys)
+        })
+    });
+    g.bench_function("concurrent_binary_search", |b| {
+        b.iter(|| {
+            let mut p = Pram::with_seed(4, 1);
+            let tree = FatTree::build(&mut p, &splitters, n);
+            tree.search_batch_concurrent(&mut p, &keys)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cyclic(c: &mut Criterion) {
+    let n = 1 << 12;
+    let mut g = c.benchmark_group("ablation/cyclic_permutation");
+    g.sample_size(10);
+    g.bench_function("fast_thm_5_2", |b| {
+        b.iter(|| {
+            let mut p = Pram::with_seed(4, 2);
+            random_cyclic_permutation_fast(&mut p, n)
+        })
+    });
+    g.bench_function("work_optimal_thm_5_3", |b| {
+        b.iter(|| {
+            let mut p = Pram::with_seed(4, 2);
+            random_cyclic_permutation_efficient(&mut p, n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fat_tree, bench_cyclic);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion timings for the substrate primitives (prefix sums, bitonic
+//! sort, linear compaction, claiming) so changes to the simulator or the
+//! primitives show up as host-runtime regressions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qrqw_prims::{bitonic_sort, claim_cells, linear_compaction, prefix_sums_inclusive, ClaimMode};
+use qrqw_sim::Pram;
+
+fn bench_prefix_sums(c: &mut Criterion) {
+    let n = 1 << 14;
+    let data: Vec<u64> = (0..n as u64).collect();
+    c.bench_function("primitives/prefix_sums_16k", |b| {
+        b.iter(|| {
+            let mut p = Pram::new(n);
+            p.memory_mut().load(0, &data);
+            prefix_sums_inclusive(&mut p, 0, n)
+        })
+    });
+}
+
+fn bench_bitonic(c: &mut Criterion) {
+    let n = 1 << 12;
+    let data: Vec<u64> = (0..n as u64).rev().collect();
+    c.bench_function("primitives/bitonic_sort_4k", |b| {
+        b.iter(|| {
+            let mut p = Pram::new(n);
+            p.memory_mut().load(0, &data);
+            bitonic_sort(&mut p, 0, n)
+        })
+    });
+}
+
+fn bench_linear_compaction(c: &mut Criterion) {
+    let n = 1 << 13;
+    let k = n / 4;
+    c.bench_function("primitives/linear_compaction_2k_of_8k", |b| {
+        b.iter(|| {
+            let mut p = Pram::with_seed(n, 3);
+            for i in 0..k {
+                p.memory_mut().poke(i * 4, i as u64 + 1);
+            }
+            let dst = p.alloc(4 * k);
+            linear_compaction(&mut p, 0, n, dst, 4 * k)
+        })
+    });
+}
+
+fn bench_claiming(c: &mut Criterion) {
+    let n = 1 << 12;
+    c.bench_function("primitives/claim_cells_4k", |b| {
+        b.iter(|| {
+            let mut p = Pram::with_seed(2 * n, 5);
+            let attempts: Vec<(u64, usize)> = (0..n as u64).map(|i| (i + 1, (i as usize * 7) % (2 * n))).collect();
+            claim_cells(&mut p, &attempts, ClaimMode::Exclusive)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_prefix_sums,
+    bench_bitonic,
+    bench_linear_compaction,
+    bench_claiming
+);
+criterion_main!(benches);

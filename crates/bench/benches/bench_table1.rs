@@ -1,0 +1,126 @@
+//! Criterion timings behind Table I: each benchmark runs one of the paper's
+//! QRQW algorithms and its EREW comparator on the PRAM simulator at a fixed
+//! problem size, so regressions in simulated cost (and host runtime) are
+//! visible.  The printable table itself comes from the `table1` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrqw_core::{
+    load_balance_erew, load_balance_qrqw, multiple_compaction, random_permutation_qrqw,
+    random_permutation_sorting_erew, sort_uniform_keys, QrqwHashTable,
+};
+use qrqw_prims::bitonic_sort;
+use qrqw_sim::Pram;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 1 << 12;
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/random_permutation");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("qrqw_dart", N), |b| {
+        b.iter(|| {
+            let mut p = Pram::with_seed(4, 1);
+            random_permutation_qrqw(&mut p, N)
+        })
+    });
+    g.bench_function(BenchmarkId::new("erew_sorting", N), |b| {
+        b.iter(|| {
+            let mut p = Pram::with_seed(4, 1);
+            random_permutation_sorting_erew(&mut p, N)
+        })
+    });
+    g.finish();
+}
+
+fn bench_multiple_compaction(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let labels: Vec<u64> = (0..N).map(|_| rng.gen_range(0..(N / 64) as u64)).collect();
+    let mut counts = vec![0u64; N / 64];
+    for &l in &labels {
+        counts[l as usize] += 1;
+    }
+    let mut g = c.benchmark_group("table1/multiple_compaction");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("qrqw", N), |b| {
+        b.iter(|| {
+            let mut p = Pram::with_seed(4, 2);
+            multiple_compaction(&mut p, &labels, &counts)
+        })
+    });
+    g.finish();
+}
+
+fn bench_sorting_u01(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let keys: Vec<u64> = (0..N).map(|_| rng.gen_range(0..(1u64 << 31))).collect();
+    let mut g = c.benchmark_group("table1/sorting_u01");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("qrqw_distributive", N), |b| {
+        b.iter(|| {
+            let mut p = Pram::with_seed(4, 3);
+            sort_uniform_keys(&mut p, &keys)
+        })
+    });
+    g.bench_function(BenchmarkId::new("erew_bitonic", N), |b| {
+        b.iter(|| {
+            let mut p = Pram::with_seed(4, 3);
+            let base = p.alloc(N);
+            p.memory_mut().load(base, &keys);
+            bitonic_sort(&mut p, base, N);
+        })
+    });
+    g.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut set = std::collections::HashSet::new();
+    while set.len() < N {
+        set.insert(rng.gen_range(0..(1u64 << 31) - 1));
+    }
+    let keys: Vec<u64> = set.into_iter().collect();
+    let mut g = c.benchmark_group("table1/hashing");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("qrqw_build_lookup", N), |b| {
+        b.iter(|| {
+            let mut p = Pram::with_seed(4, 4);
+            let t = QrqwHashTable::build(&mut p, &keys);
+            t.lookup_batch(&mut p, &keys)
+        })
+    });
+    g.finish();
+}
+
+fn bench_load_balancing(c: &mut Criterion) {
+    let l = 64u64;
+    let mut loads = vec![0u64; N];
+    for item in loads.iter_mut().take(N / l as usize) {
+        *item = l;
+    }
+    let mut g = c.benchmark_group("table1/load_balancing");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("qrqw_dispersal", N), |b| {
+        b.iter(|| {
+            let mut p = Pram::with_seed(4, 5);
+            load_balance_qrqw(&mut p, &loads)
+        })
+    });
+    g.bench_function(BenchmarkId::new("erew_prefix_sums", N), |b| {
+        b.iter(|| {
+            let mut p = Pram::with_seed(4, 5);
+            load_balance_erew(&mut p, &loads)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_permutation,
+    bench_multiple_compaction,
+    bench_sorting_u01,
+    bench_hashing,
+    bench_load_balancing
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion timings behind Table II: the three native random-permutation
+//! implementations at the paper's two machine sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrqw_exec::{dart_qrqw_permutation, dart_scan_permutation, sorting_based_permutation};
+
+fn bench_native_permutations(c: &mut Criterion) {
+    for &n in &[16_384usize, 1_024] {
+        let mut g = c.benchmark_group(format!("table2/n={n}"));
+        g.sample_size(20);
+        g.bench_function(BenchmarkId::new("sorting_based_erew", n), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                sorting_based_permutation(n, seed)
+            })
+        });
+        g.bench_function(BenchmarkId::new("dart_throwing_with_scans", n), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                dart_scan_permutation(n, seed)
+            })
+        });
+        g.bench_function(BenchmarkId::new("dart_throwing_qrqw", n), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                dart_qrqw_permutation(n, seed)
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_native_permutations);
+criterion_main!(benches);

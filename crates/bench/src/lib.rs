@@ -1,0 +1,102 @@
+//! # qrqw-bench — harnesses that regenerate the paper's tables and figures
+//!
+//! Binaries (run with `cargo run -p qrqw-bench --release --bin <name>`):
+//!
+//! * `table1`  — Table I: QRQW algorithms vs. the best EREW algorithms for
+//!   random permutation, multiple compaction, sorting from U(0,1), hashing
+//!   and load balancing, measured on the PRAM simulator.
+//! * `table2`  — Table II: wall-clock comparison of the three
+//!   random-permutation implementations (sorting-based, dart-throwing with
+//!   scans, QRQW dart throwing) at n = 16,384 and n = 1,024, plus the
+//!   model-predicted ordering from the simulator (the §5.2 asymptotic
+//!   analysis paragraph).
+//! * `figure1` — Figure 1: cyclic vs. non-cyclic permutations and their
+//!   cycle representations.
+//! * `ablation` — design-choice sweeps: dart-throwing subarray size,
+//!   fat-tree vs. concurrent binary search, linear-compaction output slack.
+//!
+//! Criterion benches (`cargo bench -p qrqw-bench`) time the same workloads.
+
+#![warn(missing_docs)]
+
+use qrqw_sim::{CostModel, Pram, TraceSummary};
+
+/// Problem sizes used by the Table I sweep.
+pub const TABLE1_SIZES: [usize; 4] = [1 << 10, 1 << 12, 1 << 14, 1 << 16];
+
+/// One measured row of a table: an algorithm name plus the trace summary of
+/// a single simulated run.
+#[derive(Debug, Clone)]
+pub struct MeasuredRow {
+    /// Algorithm / configuration label.
+    pub label: String,
+    /// Input size the run used.
+    pub n: usize,
+    /// Trace summary of the run.
+    pub summary: TraceSummary,
+}
+
+impl MeasuredRow {
+    /// Runs `f` on a fresh PRAM with the given seed and records its trace.
+    pub fn measure(label: &str, n: usize, seed: u64, f: impl FnOnce(&mut Pram)) -> MeasuredRow {
+        let mut pram = Pram::with_seed(16, seed);
+        f(&mut pram);
+        MeasuredRow {
+            label: label.to_string(),
+            n,
+            summary: pram.trace().summary(),
+        }
+    }
+
+    /// Formats the row for the table harnesses.
+    pub fn format(&self) -> String {
+        format!(
+            "{:<34} n={:<7} t_qrqw={:<6} t_crqw={:<6} t_erew={:<6} t_crcw={:<6} work={:<9} max_cont={:<5} erew_viol={}",
+            self.label,
+            self.n,
+            self.summary.time_qrqw,
+            self.summary.time_crqw,
+            self.summary.time_erew,
+            self.summary.time_crcw,
+            self.summary.work,
+            self.summary.max_contention,
+            self.summary.erew_violations
+        )
+    }
+
+    /// The time of this run under `model`.
+    pub fn time(&self, model: CostModel) -> u64 {
+        match model {
+            CostModel::Erew | CostModel::Crew => self.summary.time_erew,
+            CostModel::Qrqw => self.summary.time_qrqw,
+            CostModel::Crqw => self.summary.time_crqw,
+            CostModel::Crcw => self.summary.time_crcw,
+            CostModel::SimdQrqw => self.summary.time_simd_qrqw,
+            CostModel::ScanSimdQrqw => self.summary.time_scan_simd_qrqw,
+        }
+    }
+}
+
+/// Prints a titled block of measured rows.
+pub fn print_rows(title: &str, rows: &[MeasuredRow]) {
+    println!("\n=== {title} ===");
+    for r in rows {
+        println!("{}", r.format());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_captures_a_trace() {
+        let row = MeasuredRow::measure("noop-ish", 8, 1, |pram| {
+            pram.step(|s| s.par_for(0..8, |p, ctx| ctx.write(p, 1)));
+        });
+        assert_eq!(row.summary.steps, 1);
+        assert_eq!(row.summary.work, 8);
+        assert!(row.format().contains("n=8"));
+        assert_eq!(row.time(CostModel::Qrqw), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Distributive sorting — sorting keys drawn from U(0,1) (Section 7.1).
+//!
+//! The interval `(0,1)` is split into `n / lg n` subintervals; by the
+//! Chernoff bound every subinterval receives `O(lg n)` keys w.h.p., so after
+//! one multiple-compaction pass that moves each key into a private cell of
+//! its subinterval's subarray, a single processor per subinterval can finish
+//! sequentially in `O(lg n)` time, and a final prefix-sums compaction
+//! produces the sorted output.  `O(lg n)` time and linear work w.h.p.
+//! (Theorem 7.1).
+//!
+//! Keys are represented as integers in `[0, 2^31)` interpreted as the
+//! fractions `key / 2^31` — the standard fixed-point stand-in for U(0,1)
+//! reals in a word-addressed PRAM.
+
+use crate::multiple_compaction::heavy_multiple_compaction;
+use qrqw_prims::{bitonic_sort, compact_erew};
+use qrqw_sim::schedule::ceil_lg;
+use qrqw_sim::{Pram, EMPTY};
+
+/// Maximum representable key (exclusive): keys are fractions `key / 2^31`.
+pub const KEY_RANGE: u64 = 1 << 31;
+
+/// Sorts `keys` (each `< 2^31`, assumed drawn uniformly at random) in
+/// ascending order.  Las Vegas: if the input is so skewed that some
+/// subinterval overflows its `Θ(lg n)` budget, the run falls back to the
+/// system (bitonic) sort, preserving correctness on any input.
+pub fn sort_uniform_keys(pram: &mut Pram, keys: &[u64]) -> Vec<u64> {
+    let n = keys.len();
+    if n <= 1 {
+        return keys.to_vec();
+    }
+    assert!(keys.iter().all(|&k| k < KEY_RANGE), "keys must be < 2^31");
+    let lg = ceil_lg(n as u64).max(1);
+    if n <= 4 * lg as usize {
+        return fallback_sort(pram, keys);
+    }
+
+    // Subintervals and the per-subinterval key budget (4·count cells each).
+    let buckets = (n / lg as usize).max(1);
+    let count = 2 * lg + 8;
+    let labels: Vec<u64> = keys
+        .iter()
+        .map(|&k| ((k as u128 * buckets as u128) >> 31) as u64)
+        .collect();
+    let counts = vec![count; buckets];
+
+    // The labelling itself is one accounted constant-work step per key.
+    pram.step(|s| {
+        s.par_for(0..n, |_i, ctx| ctx.compute(2));
+    });
+
+    // The paper invokes its multiple-compaction algorithm here; the relaxed
+    // dart-throwing (heavy) placement is the right fit because every
+    // subinterval has the same Θ(lg n) budget and a failure report simply
+    // routes the run to the Las-Vegas fallback below.
+    let result = heavy_multiple_compaction(pram, &labels, &counts, true);
+    if result.failed {
+        return fallback_sort(pram, keys);
+    }
+
+    // Each placed item writes its key value next to its placement, in a
+    // value array parallel to B.
+    let vals = pram.alloc(result.layout.b_len);
+    let positions = &result.positions;
+    let b_base = result.layout.b_base;
+    pram.step(|s| {
+        s.par_for(0..n, |i, ctx| {
+            ctx.write(vals + (positions[i] - b_base), keys[i]);
+        });
+    });
+
+    // One processor per subinterval sorts its O(lg n) keys sequentially and
+    // rewrites its subarray in sorted, front-packed order.
+    let layout = &result.layout;
+    pram.step(|s| {
+        s.par_for(0..buckets, |j, ctx| {
+            let off = layout.subarray_offset[j];
+            let len = layout.subarray_len[j];
+            let mut local: Vec<u64> = Vec::new();
+            for c in 0..len {
+                let v = ctx.read(vals + off + c);
+                if v != EMPTY {
+                    local.push(v);
+                }
+            }
+            local.sort_unstable();
+            ctx.compute((local.len() as u64 + 1) * (ceil_lg(local.len().max(2) as u64) + 1));
+            for (c, &v) in local.iter().enumerate() {
+                ctx.write(vals + off + c, v);
+            }
+            for c in local.len()..len {
+                ctx.write(vals + off + c, EMPTY);
+            }
+        });
+    });
+
+    // Compact the subinterval-ordered, locally sorted values into the final
+    // sorted array.
+    let out = pram.alloc(result.layout.b_len.max(1));
+    let cnt = compact_erew(pram, vals, result.layout.b_len, out);
+    assert_eq!(cnt as usize, n);
+    let sorted = pram.memory().dump(out, n);
+    pram.release_to(vals);
+    sorted
+}
+
+fn fallback_sort(pram: &mut Pram, keys: &[u64]) -> Vec<u64> {
+    let base = pram.alloc(keys.len());
+    pram.memory_mut().load(base, keys);
+    bitonic_sort(pram, base, keys.len());
+    let out = pram.memory().dump(base, keys.len());
+    pram.release_to(base);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_keys(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..KEY_RANGE)).collect()
+    }
+
+    #[test]
+    fn sorts_uniform_input() {
+        let keys = uniform_keys(5000, 1);
+        let mut pram = Pram::with_seed(4, 2);
+        let got = sort_uniform_keys(&mut pram, &keys);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn survives_skewed_input_via_las_vegas_fallback() {
+        // every key in the same subinterval — the w.h.p. assumption is
+        // violated, the algorithm must still sort correctly
+        let keys: Vec<u64> = (0..600).map(|i| 1000 + i).collect();
+        let mut pram = Pram::with_seed(4, 3);
+        let got = sort_uniform_keys(&mut pram, &keys);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let mut pram = Pram::with_seed(4, 4);
+        assert_eq!(sort_uniform_keys(&mut pram, &[]), Vec::<u64>::new());
+        assert_eq!(sort_uniform_keys(&mut pram, &[9]), vec![9]);
+        assert_eq!(sort_uniform_keys(&mut pram, &[9, 3]), vec![3, 9]);
+    }
+
+    #[test]
+    fn work_is_near_linear_for_uniform_input() {
+        let n = 8192;
+        let keys = uniform_keys(n, 7);
+        let mut pram = Pram::with_seed(4, 8);
+        let got = sort_uniform_keys(&mut pram, &keys);
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+        assert!(
+            pram.trace().work() <= 400 * n as u64,
+            "work {} not near-linear",
+            pram.trace().work()
+        );
+    }
+
+    #[test]
+    fn handles_duplicate_keys() {
+        let mut keys = uniform_keys(1000, 9);
+        keys.extend_from_slice(&keys.clone()[..500]);
+        let mut pram = Pram::with_seed(4, 10);
+        let got = sort_uniform_keys(&mut pram, &keys);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+}

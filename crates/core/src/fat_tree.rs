@@ -1,0 +1,244 @@
+//! The binary-search fat-tree (Section 7.2).
+//!
+//! A binary search tree over a sorted splitter array in which the node at
+//! depth `j` is replicated `Θ(total/2^j)` times: `n` copies of the root
+//! (median) splitter, `n/2` copies of each quartile splitter, and so on.
+//! A searching processor reads a *random copy* of the node it is visiting,
+//! so when `n` searches run in parallel the expected contention per copy is
+//! constant and, by Observation 2.6, the maximum contention per step is
+//! `O(lg n / lg lg n)` w.h.p. — this "added fatness" is precisely what lets
+//! the sample-sort labelling phase run on the QRQW PRAM without the
+//! `Θ(n)`-contention hot spot that a plain binary search over one shared
+//! splitter array would create (compare [`FatTree::search_batch`] with
+//! [`FatTree::search_batch_concurrent`], the CRQW-style search used by
+//! `sample_sort_crqw`).
+
+use qrqw_prims::duplicate_values;
+use qrqw_sim::{Pram, EMPTY};
+
+/// One level of the fat-tree: `nodes` distinct splitters, each replicated
+/// `copies` times, stored contiguously.
+#[derive(Debug, Clone)]
+struct Level {
+    base: usize,
+    copies: usize,
+}
+
+/// A binary-search fat-tree over a sorted splitter array.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    levels: Vec<Level>,
+    splitters: Vec<u64>,
+}
+
+impl FatTree {
+    /// Builds the fat-tree for the (sorted, duplicate-free) `splitters`,
+    /// replicating the root `total_copies` times and halving the
+    /// replication at every level.  `O(lg |splitters|)` levels are built
+    /// with the binary-broadcasting primitive, `O(total_copies)` cells and
+    /// work per level.
+    pub fn build(pram: &mut Pram, splitters: &[u64], total_copies: usize) -> FatTree {
+        assert!(splitters.windows(2).all(|w| w[0] <= w[1]), "splitters must be sorted");
+        let s = splitters.len();
+        let mut levels = Vec::new();
+        if s == 0 {
+            return FatTree {
+                levels,
+                splitters: Vec::new(),
+            };
+        }
+        let depth = (usize::BITS - s.leading_zeros()) as usize; // ⌈lg(s+1)⌉-ish
+        // Node (j, t) holds the median splitter of the search range that a
+        // query reaching it still has to consider.
+        for j in 0..depth {
+            let nodes = 1usize << j;
+            let copies = (total_copies >> j).max(1);
+            // splitter value per node of this level (EMPTY for empty ranges)
+            let values: Vec<u64> = (0..nodes)
+                .map(|t| {
+                    let (lo, hi) = range_of(s, j, t);
+                    if lo < hi {
+                        splitters[(lo + hi) / 2]
+                    } else {
+                        EMPTY
+                    }
+                })
+                .collect();
+            let src = pram.alloc(nodes);
+            pram.step(|st| {
+                st.par_for(0..nodes, |t, ctx| {
+                    ctx.compute(1);
+                    ctx.write(src + t, values[t]);
+                });
+            });
+            let base = pram.alloc(nodes * copies);
+            duplicate_values(pram, src, nodes, base, copies);
+            levels.push(Level { base, copies });
+        }
+        FatTree {
+            levels,
+            splitters: splitters.to_vec(),
+        }
+    }
+
+    /// Number of buckets the tree partitions keys into (`splitters + 1`).
+    pub fn num_buckets(&self) -> usize {
+        self.splitters.len() + 1
+    }
+
+    /// Depth of the tree (number of search steps per key).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Searches all `keys` in parallel, each reading a *random copy* of the
+    /// node it visits at every level (the low-contention QRQW search).
+    /// Returns the bucket index (number of splitters `≤` key) per key.
+    pub fn search_batch(&self, pram: &mut Pram, keys: &[u64]) -> Vec<usize> {
+        self.search(pram, keys, true)
+    }
+
+    /// The same search but every key reads copy 0 of its node — the
+    /// concurrent-read search a CREW/CRQW machine would use.  Under the
+    /// QRQW metric this exhibits `Θ(#keys)` contention at the root, which
+    /// is exactly the hot spot the fat-tree exists to remove; the ablation
+    /// bench contrasts the two.
+    pub fn search_batch_concurrent(&self, pram: &mut Pram, keys: &[u64]) -> Vec<usize> {
+        self.search(pram, keys, false)
+    }
+
+    fn search(&self, pram: &mut Pram, keys: &[u64], randomize: bool) -> Vec<usize> {
+        let s = self.splitters.len();
+        if s == 0 || keys.is_empty() {
+            return vec![0; keys.len()];
+        }
+        // (lo, hi, node) per key, carried in the searching processors'
+        // private memories.
+        let mut state: Vec<(usize, usize, usize)> = vec![(0, s, 0); keys.len()];
+        for level in &self.levels {
+            let prev = state.clone();
+            state = pram.step(|st| {
+                st.par_map(0..keys.len(), |i, ctx| {
+                    let (lo, hi, node) = prev[i];
+                    if lo >= hi {
+                        return (lo, hi, node);
+                    }
+                    let copy = if randomize {
+                        ctx.random_index(level.copies)
+                    } else {
+                        0
+                    };
+                    let splitter = ctx.read(level.base + node * level.copies + copy);
+                    debug_assert_ne!(splitter, EMPTY);
+                    let mid = (lo + hi) / 2;
+                    ctx.compute(1);
+                    if keys[i] < splitter {
+                        (lo, mid, 2 * node)
+                    } else {
+                        (mid + 1, hi, 2 * node + 1)
+                    }
+                })
+            });
+        }
+        state.into_iter().map(|(lo, _, _)| lo).collect()
+    }
+}
+
+/// The splitter-index range still under consideration at node `(level, t)`.
+fn range_of(s: usize, level: usize, t: usize) -> (usize, usize) {
+    let mut lo = 0usize;
+    let mut hi = s;
+    for bit in (0..level).rev() {
+        if lo >= hi {
+            break;
+        }
+        let mid = (lo + hi) / 2;
+        if (t >> bit) & 1 == 0 {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn reference_bucket(splitters: &[u64], key: u64) -> usize {
+        splitters.iter().filter(|&&s| s <= key).count()
+    }
+
+    #[test]
+    fn search_agrees_with_linear_scan() {
+        let splitters: Vec<u64> = vec![10, 20, 30, 40, 50, 60, 70];
+        let mut pram = Pram::with_seed(4, 2);
+        let tree = FatTree::build(&mut pram, &splitters, 64);
+        let keys: Vec<u64> = vec![0, 10, 11, 35, 70, 71, 100, 19, 20, 21];
+        let got = tree.search_batch(&mut pram, &keys);
+        let expect: Vec<usize> = keys.iter().map(|&k| reference_bucket(&splitters, k)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn search_matches_for_random_splitters_and_keys() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut splitters: Vec<u64> = (0..37).map(|_| rng.gen_range(0..10_000)).collect();
+        splitters.sort_unstable();
+        splitters.dedup();
+        let mut pram = Pram::with_seed(4, 9);
+        let tree = FatTree::build(&mut pram, &splitters, 256);
+        let keys: Vec<u64> = (0..500).map(|_| rng.gen_range(0..10_000)).collect();
+        let got = tree.search_batch(&mut pram, &keys);
+        let conc = tree.search_batch_concurrent(&mut pram, &keys);
+        let expect: Vec<usize> = keys.iter().map(|&k| reference_bucket(&splitters, k)).collect();
+        assert_eq!(got, expect);
+        assert_eq!(conc, expect);
+    }
+
+    #[test]
+    fn randomized_search_has_lower_contention_than_concurrent_search() {
+        let splitters: Vec<u64> = (1..64).map(|i| i * 100).collect();
+        let keys: Vec<u64> = (0..2048).map(|i| (i * 37) % 6400).collect();
+
+        let mut a = Pram::with_seed(4, 1);
+        let tree = FatTree::build(&mut a, &splitters, 2048);
+        let _ = a.take_trace();
+        let _ = tree.search_batch(&mut a, &keys);
+        let low = a.trace().max_contention();
+
+        let mut b = Pram::with_seed(4, 1);
+        let tree = FatTree::build(&mut b, &splitters, 2048);
+        let _ = b.take_trace();
+        let _ = tree.search_batch_concurrent(&mut b, &keys);
+        let high = b.trace().max_contention();
+
+        assert_eq!(high, keys.len() as u64, "all keys hit copy 0 of the root");
+        assert!(
+            low * 8 < high,
+            "fat-tree search contention ({low}) should be far below the hot-spot search ({high})"
+        );
+    }
+
+    #[test]
+    fn empty_and_single_splitter_trees() {
+        let mut pram = Pram::with_seed(4, 3);
+        let tree = FatTree::build(&mut pram, &[], 16);
+        assert_eq!(tree.search_batch(&mut pram, &[5, 6]), vec![0, 0]);
+        assert_eq!(tree.num_buckets(), 1);
+
+        let tree = FatTree::build(&mut pram, &[100], 16);
+        assert_eq!(tree.search_batch(&mut pram, &[5, 100, 200]), vec![0, 1, 1]);
+        assert_eq!(tree.num_buckets(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn rejects_unsorted_splitters() {
+        let mut pram = Pram::new(4);
+        let _ = FatTree::build(&mut pram, &[3, 1], 4);
+    }
+}

@@ -1,0 +1,256 @@
+//! Integer sorting on the CRQW PRAM (Section 7.3).
+//!
+//! Sorts `n` integers in the range `[0, n·lg^c n)` in `O(lg n)` time and
+//! linear work w.h.p. (Theorem 7.4), following the Rajasekaran–Reif
+//! structure: the *main phase* sorts the keys by their `lg(n / lg³ n)` least
+//! significant bits — sample the input, estimate per-label counts, and move
+//! every key into its label's subarray with relaxed heavy multiple
+//! compaction — and the *finishing phase* stably sorts the result by the
+//! remaining high bits with the small-range EREW sort of Fact 4.3.
+//!
+//! The concurrent-read capability of the CRQW model is only needed in the
+//! step where every key reads its label's count and subarray pointer
+//! (step 5 of the paper's listing); the implementation performs those reads
+//! directly, so under the QRQW metric the same trace shows the higher
+//! contention the paper predicts — a contrast the ablation bench reports.
+
+use crate::multiple_compaction::{build_layout, McLayout};
+use qrqw_prims::{claim_cells, compact_erew, pack, stable_sort_small_range, unpack_payload,
+    ClaimMode};
+use qrqw_sim::schedule::{ceil_lg, log_star};
+use qrqw_sim::{Pram, EMPTY};
+
+/// Sorts `keys`, each below `max_key ≤ n · lg^c n` for a small constant `c`
+/// (asserted loosely), returning the sorted sequence.
+pub fn integer_sort_crqw(pram: &mut Pram, keys: &[u64], max_key: u64) -> Vec<u64> {
+    let n = keys.len();
+    if n <= 1 {
+        return keys.to_vec();
+    }
+    assert!(keys.iter().all(|&k| k < max_key.max(1)), "keys must be < max_key");
+    let lg = ceil_lg(n as u64).max(1);
+    assert!(
+        max_key <= (n as u64).saturating_mul(lg * lg * lg * lg).max(16),
+        "integer sorting expects keys in [0, n·polylog n)"
+    );
+
+    // Number of low-bit labels: D ≈ n / lg³ n, rounded to a power of two.
+    let d_bits = {
+        let target = (n as u64 / (lg * lg * lg).max(1)).max(2);
+        ceil_lg(target)
+    };
+    let d = 1u64 << d_bits;
+
+    // --- Steps 1–3: sample n / lg² n keys and derive per-label count
+    // estimates count_j = β·lg² n·max(N_j, lg n) (the paper's overestimate).
+    let sample_size = (n / (lg * lg) as usize).max(16).min(n);
+    let samples: Vec<u64> = pram.step(|s| {
+        s.par_map(0..sample_size, |i, ctx| {
+            ctx.compute(1);
+            let _ = ctx.random_index(n);
+            keys[(i * 7919 + ctx.random_index(n)) % n]
+        })
+    });
+    let mut sample_counts = vec![0u64; d as usize];
+    for &k in &samples {
+        sample_counts[(k & (d - 1)) as usize] += 1;
+    }
+    let beta = (n as u64).div_ceil(sample_size as u64);
+    let counts: Vec<u64> = sample_counts
+        .iter()
+        .map(|&nj| beta * nj.max(lg) + lg)
+        .collect();
+
+    // --- Steps 4–6: build the output layout and place every key into its
+    // label's subarray with relaxed heavy multiple compaction.  The keys'
+    // *values* are written so the subarrays can be finished in place.
+    let labels: Vec<u64> = keys.iter().map(|&k| k & (d - 1)).collect();
+    let layout = build_layout(pram, &counts);
+    if !place_values(pram, keys, &labels, &layout) {
+        // count estimate failed (w.h.p. never): fall back to a full-width
+        // radix sort, which is still linear work.
+        return radix_fallback(pram, keys, max_key);
+    }
+
+    // --- Step 7: compact B to size n.  The subarrays appear in label order,
+    // so the result is sorted by the low bits.
+    let packed = pram.alloc(layout.b_len.max(1));
+    let cnt = compact_erew(pram, layout.b_base, layout.b_len, packed);
+    assert_eq!(cnt as usize, n);
+
+    // --- Finishing phase: stable small-range sort on the high bits
+    // (Fact 4.3).  Pack (high bits, position) and sort stably.
+    let high_range = (max_key >> d_bits) + 1;
+    pram.step(|s| {
+        s.par_for(0..n, |i, ctx| {
+            let v = ctx.read(packed + i);
+            ctx.write(packed + i, pack(v >> d_bits, v & ((1u64 << d_bits.min(32)) - 1)));
+        });
+    });
+    stable_sort_small_range(pram, packed, n, high_range as usize);
+    let sorted: Vec<u64> = pram
+        .memory()
+        .dump(packed, n)
+        .into_iter()
+        .map(|w| (qrqw_prims::unpack_key(w) << d_bits) | unpack_payload(w))
+        .collect();
+    pram.release_to(packed);
+    sorted
+}
+
+/// Dart-throwing placement of key values into label subarrays (relaxed
+/// heavy multiple compaction specialised to value cells).
+fn place_values(pram: &mut Pram, keys: &[u64], labels: &[u64], layout: &McLayout) -> bool {
+    let n = keys.len();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut team = 1usize;
+    let team_cap = ceil_lg(n as u64).max(2) as usize;
+    let max_rounds = 8 + 2 * log_star(n as u64);
+    let mut rounds = 0;
+    while !active.is_empty() && rounds < max_rounds {
+        rounds += 1;
+        let q = team;
+        let k = active.len();
+        let active_ref = &active;
+        let targets: Vec<usize> = pram.step(|s| {
+            s.par_map(0..k * q, |a, ctx| {
+                let item = active_ref[a / q];
+                let label = labels[item] as usize;
+                layout.cell(label, ctx.random_index(layout.subarray_len[label].max(1)))
+            })
+        });
+        let attempts: Vec<(u64, usize)> = (0..k * q)
+            .map(|a| ((a % q) as u64 * n as u64 + active[a / q] as u64 + 1, targets[a]))
+            .collect();
+        let won = claim_cells(pram, &attempts, ClaimMode::Occupy);
+        let mut keep: Vec<Option<usize>> = vec![None; k];
+        for a in 0..k * q {
+            if won[a] && keep[a / q].is_none() {
+                keep[a / q] = Some(a);
+            }
+        }
+        let (keep_ref, attempts_ref, won_ref) = (&keep, &attempts, &won);
+        pram.step(|s| {
+            s.par_for(0..k * q, |a, ctx| {
+                if !won_ref[a] {
+                    return;
+                }
+                let slot = a / q;
+                if keep_ref[slot] == Some(a) {
+                    ctx.write(attempts_ref[a].1, keys[active_ref[slot]]);
+                } else {
+                    ctx.write(attempts_ref[a].1, EMPTY);
+                }
+            });
+        });
+        active = active
+            .iter()
+            .enumerate()
+            .filter(|&(slot, _)| keep[slot].is_none())
+            .map(|(_, &item)| item)
+            .collect();
+        team = (team * 4).min(team_cap);
+    }
+    if active.is_empty() {
+        return true;
+    }
+    let leftovers = active.clone();
+    let oks: Vec<bool> = pram.step(|s| {
+        s.par_map(0..1, |_p, ctx| {
+            let mut cursors: std::collections::HashMap<usize, usize> = Default::default();
+            leftovers
+                .iter()
+                .map(|&item| {
+                    let label = labels[item] as usize;
+                    let len = layout.subarray_len[label];
+                    let cur = cursors.entry(label).or_insert(0);
+                    while *cur < len {
+                        let addr = layout.cell(label, *cur);
+                        *cur += 1;
+                        if ctx.read(addr) == EMPTY {
+                            ctx.write(addr, keys[item]);
+                            return true;
+                        }
+                    }
+                    false
+                })
+                .collect::<Vec<bool>>()
+        })
+        .pop()
+        .unwrap_or_default()
+    });
+    oks.iter().all(|&b| b)
+}
+
+fn radix_fallback(pram: &mut Pram, keys: &[u64], max_key: u64) -> Vec<u64> {
+    let n = keys.len();
+    let base = pram.alloc(n);
+    let words: Vec<u64> = keys.iter().map(|&k| pack(k.min((1 << 31) - 1), 0)).collect();
+    pram.memory_mut().load(base, &words);
+    let bits = ceil_lg(max_key.max(2)) as usize;
+    qrqw_prims::radix_sort_packed(pram, base, n, bits.min(31));
+    let out: Vec<u64> = pram
+        .memory()
+        .dump(base, n)
+        .into_iter()
+        .map(qrqw_prims::unpack_key)
+        .collect();
+    pram.release_to(base);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorts_random_integers_in_range() {
+        let n = 4000usize;
+        let max_key = (n as u64) * 16;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..max_key)).collect();
+        let mut pram = Pram::with_seed(4, 2);
+        let got = integer_sort_crqw(&mut pram, &keys, max_key);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sorts_skewed_integers() {
+        let n = 1500usize;
+        let max_key = (n as u64) * 4;
+        let keys: Vec<u64> = (0..n as u64).map(|i| (i * i) % 17).collect();
+        let mut pram = Pram::with_seed(4, 3);
+        let got = integer_sort_crqw(&mut pram, &keys, max_key);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let mut pram = Pram::with_seed(4, 5);
+        assert_eq!(integer_sort_crqw(&mut pram, &[], 10), Vec::<u64>::new());
+        assert_eq!(integer_sort_crqw(&mut pram, &[3], 10), vec![3]);
+        assert_eq!(integer_sort_crqw(&mut pram, &[3, 1, 2], 10), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn work_is_near_linear() {
+        let n = 8192usize;
+        let max_key = (n as u64) * 8;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..max_key)).collect();
+        let mut pram = Pram::with_seed(4, 6);
+        let got = integer_sort_crqw(&mut pram, &keys, max_key);
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+        assert!(
+            pram.trace().work() <= 200 * n as u64,
+            "work {} not near-linear",
+            pram.trace().work()
+        );
+    }
+}

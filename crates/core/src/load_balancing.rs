@@ -1,0 +1,480 @@
+//! Load balancing (Section 3).
+//!
+//! `n` processors hold `m` independent tasks; processor `i` starts with
+//! `loads[i]` of them.  The goal is to redistribute the tasks so that every
+//! processor ends with `O(1 + m/n)` of them.
+//!
+//! * [`load_balance_qrqw`] — the paper's low-contention algorithm
+//!   (Lemma 3.3 / Theorem 3.4): tasks are grouped into super-tasks of size
+//!   `⌈m/n⌉`, and `O(lg lg L)` *dispersal stages* follow, each of which
+//!   (1) injectively maps the currently overloaded processors into an
+//!   auxiliary array with the linear-compaction primitive, (2) broadcasts
+//!   each auxiliary cell to a standing team of `u_i` processors, and
+//!   (3) lets every team member adopt a chunk of at most `2 u_i`
+//!   super-tasks from its overloaded processor.  Concurrent reads are
+//!   replaced by the broadcast exactly as Section 3.2 prescribes.
+//!
+//! * [`load_balance_erew`] — the zero-contention baseline of Table I: one
+//!   prefix-sums pass assigns every task a global rank and the tasks are
+//!   dealt out in contiguous chunks of `⌈m/n⌉`.
+//!
+//! The paper also proves an `Ω(lg L)` lower bound (Theorem 3.2, by
+//! reduction from broadcasting); the Table I harness exercises the
+//! implementation across a range of `L` values to exhibit that growth.
+
+use qrqw_prims::{duplicate_values, linear_compaction, prefix_sums_exclusive,
+    propagate_nonempty_forward};
+use qrqw_sim::schedule::lg_lg;
+use qrqw_sim::{Pram, EMPTY};
+
+/// A contiguous run of tasks, identified by the processor that originally
+/// held them: tasks `start .. start + len` of `origin`'s initial task array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskBlock {
+    /// Processor that held these tasks in the input.
+    pub origin: usize,
+    /// First task index within `origin`'s initial array.
+    pub start: u64,
+    /// Number of tasks in the block.
+    pub len: u64,
+}
+
+/// Result of a load-balancing run.
+#[derive(Debug, Clone)]
+pub struct LoadBalanceResult {
+    /// `assignment[p]` lists the task blocks processor `p` ends up with.
+    pub assignment: Vec<Vec<TaskBlock>>,
+    /// The largest number of tasks held by any processor after balancing.
+    pub max_final_load: u64,
+    /// Number of dispersal stages executed (0 for the EREW baseline).
+    pub stages: u64,
+    /// Whether the final greedy clean-up had to move any block.
+    pub fallback_used: bool,
+}
+
+impl LoadBalanceResult {
+    /// Verifies that every input task appears in exactly one output block.
+    pub fn covers_exactly(&self, loads: &[u64]) -> bool {
+        let mut seen: Vec<Vec<bool>> = loads.iter().map(|&l| vec![false; l as usize]).collect();
+        for blocks in &self.assignment {
+            for b in blocks {
+                for t in b.start..b.start + b.len {
+                    let Some(slot) = seen.get_mut(b.origin).and_then(|v| v.get_mut(t as usize))
+                    else {
+                        return false;
+                    };
+                    if *slot {
+                        return false;
+                    }
+                    *slot = true;
+                }
+            }
+        }
+        seen.iter().all(|v| v.iter().all(|&b| b))
+    }
+}
+
+/// Internal representation during the dispersal stages: a contiguous run of
+/// *super-tasks* of one origin processor.
+#[derive(Debug, Clone, Copy)]
+struct SuperBlock {
+    origin: usize,
+    st_start: u64,
+    st_len: u64,
+}
+
+fn super_blocks_to_tasks(blocks: &[SuperBlock], loads: &[u64], g: u64) -> Vec<TaskBlock> {
+    blocks
+        .iter()
+        .filter_map(|b| {
+            let start = b.st_start * g;
+            let end = ((b.st_start + b.st_len) * g).min(loads[b.origin]);
+            if end > start {
+                Some(TaskBlock {
+                    origin: b.origin,
+                    start,
+                    len: end - start,
+                })
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// The QRQW load-balancing algorithm (Theorem 3.4).
+pub fn load_balance_qrqw(pram: &mut Pram, loads: &[u64]) -> LoadBalanceResult {
+    let n = loads.len();
+    if n == 0 {
+        return LoadBalanceResult {
+            assignment: Vec::new(),
+            max_final_load: 0,
+            stages: 0,
+            fallback_used: false,
+        };
+    }
+    let m: u64 = loads.iter().sum();
+    let g = (m.div_ceil(n as u64)).max(1); // super-task size
+
+    // Ownership state in super-task units ("array of arrays" format: every
+    // processor holds a list of pointers to runs of super-tasks).
+    let mut owner: Vec<Vec<SuperBlock>> = (0..n)
+        .map(|i| {
+            let st = loads[i].div_ceil(g);
+            if st == 0 {
+                Vec::new()
+            } else {
+                vec![SuperBlock {
+                    origin: i,
+                    st_start: 0,
+                    st_len: st,
+                }]
+            }
+        })
+        .collect();
+    let mut cur: Vec<u64> = owner.iter().map(|b| b.iter().map(|x| x.st_len).sum()).collect();
+    let max_load = |cur: &[u64]| cur.iter().copied().max().unwrap_or(0);
+
+    // Every processor inspects its own load once (the accounted equivalent
+    // of reading the `m_i` input).
+    pram.step(|s| {
+        s.par_for(0..n, |_i, ctx| ctx.compute(1));
+    });
+
+    let l0 = max_load(&cur);
+    let mut stages = 0u64;
+    let max_stages = 2 * lg_lg(l0.max(4)) + 10;
+    let settle = 24u64; // constant load at which the dispersal stops
+
+    while max_load(&cur) > settle && stages < max_stages {
+        stages += 1;
+        let l_cur = max_load(&cur);
+        let u = ((l_cur as f64).sqrt().ceil() as u64).max(2);
+
+        // Step 0: overloaded processors announce themselves in a source
+        // array (one exclusive write each).
+        let threshold = 2 * u;
+        let src = pram.alloc(n);
+        let overloaded: Vec<usize> = (0..n).filter(|&i| cur[i] >= threshold).collect();
+        if overloaded.is_empty() {
+            pram.release_to(src);
+            break;
+        }
+        let over_ref = &overloaded;
+        pram.step(|s| {
+            s.par_for(0..over_ref.len(), |x, ctx| {
+                ctx.write(src + over_ref[x], over_ref[x] as u64);
+            });
+        });
+
+        // Step 1: linear compaction maps them injectively into the auxiliary
+        // array; each auxiliary cell has a team of u processors standing by.
+        let aux_size = (4 * n.div_ceil(u as usize)).max(4 * overloaded.len()).max(4);
+        let aux = pram.alloc(aux_size);
+        let placement = linear_compaction(pram, src, n, aux, aux_size);
+
+        // Step 2: broadcast every auxiliary cell to its team (the paper's
+        // replacement for concurrent reads), then every team member adopts
+        // a chunk of at most 2u super-tasks.  Teams have ⌈u/2⌉ members so
+        // the total number of team slots stays at ~2n and no destination
+        // processor receives more than two chunks per stage.
+        let team_size = (u as usize).div_ceil(2).max(1);
+        let teams = pram.alloc(aux_size * team_size);
+        duplicate_values(pram, aux, aux_size, teams, team_size);
+
+        // Snapshot the overloaded processors' blocks, then clear them.
+        let mut chunk_donors: Vec<(usize, Vec<SuperBlock>)> = Vec::new();
+        for &(proc_id, aux_cell) in &placement.placements {
+            chunk_donors.push((aux_cell, owner[proc_id].clone()));
+            owner[proc_id].clear();
+            cur[proc_id] = 0;
+        }
+
+        // Accounted adoption step: every member of a non-empty team reads
+        // its broadcast copy and performs O(1) bookkeeping.
+        let active_members: Vec<usize> = chunk_donors
+            .iter()
+            .flat_map(|&(cell, _)| (0..team_size).map(move |v| cell * team_size + v))
+            .collect();
+        let members_ref = &active_members;
+        pram.step(|s| {
+            s.par_for(0..members_ref.len(), |x, ctx| {
+                let slot = members_ref[x];
+                let _donor = ctx.read(teams + slot);
+                ctx.compute(2);
+            });
+        });
+
+        // Host-side bookkeeping mirroring what the team members just did:
+        // split the donor's super-tasks into chunks of 2u and hand chunk v
+        // to processor (cell·team_size + v) mod n.
+        for (cell, blocks) in chunk_donors {
+            let mut flat: Vec<SuperBlock> = blocks;
+            let mut v = 0usize;
+            let chunk = 2 * u;
+            while !flat.is_empty() {
+                let dest = (cell * team_size + v) % n;
+                v += 1;
+                let mut taken = 0u64;
+                let mut piece = Vec::new();
+                while taken < chunk {
+                    let Some(mut b) = flat.pop() else { break };
+                    let take = b.st_len.min(chunk - taken);
+                    piece.push(SuperBlock {
+                        origin: b.origin,
+                        st_start: b.st_start,
+                        st_len: take,
+                    });
+                    taken += take;
+                    if b.st_len > take {
+                        b.st_start += take;
+                        b.st_len -= take;
+                        flat.push(b);
+                    }
+                }
+                cur[dest] += taken;
+                owner[dest].extend(piece);
+            }
+        }
+        pram.release_to(src);
+    }
+
+    // Greedy clean-up (Las Vegas tail): move whole blocks from processors
+    // above the target to processors below it; charged as one step whose
+    // per-processor cost is the number of blocks moved.
+    let target = settle.max(2 * m.div_ceil(n as u64));
+    let mut fallback_used = false;
+    if max_load(&cur) > 2 * target {
+        fallback_used = true;
+        let mut moved = 0u64;
+        let mut light: Vec<usize> = (0..n).filter(|&i| cur[i] < target).collect();
+        for i in 0..n {
+            while cur[i] > 2 * target {
+                let Some(b) = owner[i].pop() else { break };
+                cur[i] -= b.st_len;
+                let dest = match light.last() {
+                    Some(&d) => d,
+                    None => break,
+                };
+                owner[dest].push(b);
+                cur[dest] += b.st_len;
+                moved += 1;
+                if cur[dest] >= target {
+                    light.pop();
+                }
+            }
+        }
+        pram.step(|s| {
+            s.par_for(0..1, |_p, ctx| ctx.compute(moved.max(1)));
+        });
+    }
+
+    let assignment: Vec<Vec<TaskBlock>> = owner
+        .iter()
+        .map(|blocks| super_blocks_to_tasks(blocks, loads, g))
+        .collect();
+    let max_final_load = assignment
+        .iter()
+        .map(|bs| bs.iter().map(|b| b.len).sum::<u64>())
+        .max()
+        .unwrap_or(0);
+    LoadBalanceResult {
+        assignment,
+        max_final_load,
+        stages,
+        fallback_used,
+    }
+}
+
+/// The EREW prefix-sums baseline (the Table I comparison row): every task
+/// gets a global rank via one prefix-sums pass and ranks are dealt out in
+/// chunks of `⌈m/n⌉`.  `Θ(lg n + lg m)` time, `O(n + m)` work.
+pub fn load_balance_erew(pram: &mut Pram, loads: &[u64]) -> LoadBalanceResult {
+    let n = loads.len();
+    if n == 0 {
+        return LoadBalanceResult {
+            assignment: Vec::new(),
+            max_final_load: 0,
+            stages: 0,
+            fallback_used: false,
+        };
+    }
+    let m: u64 = loads.iter().sum();
+    let g = m.div_ceil(n as u64).max(1) as usize;
+
+    // Prefix sums over the loads give every processor its tasks' global
+    // offset.
+    let offs = pram.alloc(n);
+    pram.step(|s| {
+        s.par_for(0..n, |i, ctx| {
+            ctx.compute(1);
+            ctx.write(offs + i, loads[i]);
+        });
+    });
+    prefix_sums_exclusive(pram, offs, n);
+    let offsets: Vec<u64> = pram.memory().dump(offs, n);
+
+    // Mark every segment start of the global task array with
+    // (origin, offset) and propagate it across the segment, so that task
+    // rank p learns its origin without any concurrent reads.
+    let tasks = pram.alloc((m as usize).max(1));
+    pram.step(|s| {
+        s.par_for(0..n, |i, ctx| {
+            if loads[i] > 0 {
+                let off = ctx.read(offs + i);
+                ctx.write(tasks + off as usize, ((i as u64) << 32) | off);
+            }
+        });
+    });
+    propagate_nonempty_forward(pram, tasks, m as usize);
+
+    // Every task rank computes its destination (rank / g); the blocks are
+    // reconstructed host-side from the same arithmetic.
+    pram.step(|s| {
+        s.par_for(0..m as usize, |p, ctx| {
+            let w = ctx.read(tasks + p);
+            debug_assert_ne!(w, EMPTY);
+            ctx.compute(2);
+        });
+    });
+    pram.release_to(offs);
+
+    let mut assignment: Vec<Vec<TaskBlock>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let mut k = 0u64;
+        while k < loads[i] {
+            let rank = offsets[i] + k;
+            let dest = (rank as usize / g).min(n - 1);
+            let room = (g as u64 - rank % g as u64).min(loads[i] - k);
+            assignment[dest].push(TaskBlock {
+                origin: i,
+                start: k,
+                len: room,
+            });
+            k += room;
+        }
+    }
+    let max_final_load = assignment
+        .iter()
+        .map(|bs| bs.iter().map(|b| b.len).sum::<u64>())
+        .max()
+        .unwrap_or(0);
+    LoadBalanceResult {
+        assignment,
+        max_final_load,
+        stages: 0,
+        fallback_used: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn skewed_loads(n: usize, l: u64, seed: u64) -> Vec<u64> {
+        // a few processors hold load L, the rest hold 0 or 1, total ~<= 2n
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut loads = vec![0u64; n];
+        let heavy = (n as u64 / l.max(1)).max(1).min(n as u64) as usize;
+        for i in 0..heavy {
+            loads[i] = l;
+        }
+        for load in loads.iter_mut().skip(heavy) {
+            *load = rng.gen_range(0..2);
+        }
+        loads
+    }
+
+    #[test]
+    fn qrqw_balances_skewed_input() {
+        let n = 512;
+        let loads = skewed_loads(n, 64, 1);
+        let m: u64 = loads.iter().sum();
+        let mut pram = Pram::with_seed(4, 3);
+        let res = load_balance_qrqw(&mut pram, &loads);
+        assert!(res.covers_exactly(&loads));
+        let bound = 64 * (1 + m / n as u64);
+        assert!(
+            res.max_final_load <= bound,
+            "final load {} exceeds O(1+m/n) bound {}",
+            res.max_final_load,
+            bound
+        );
+    }
+
+    #[test]
+    fn qrqw_handles_single_hot_processor() {
+        let n = 256;
+        let mut loads = vec![0u64; n];
+        loads[17] = 200;
+        let mut pram = Pram::with_seed(4, 5);
+        let res = load_balance_qrqw(&mut pram, &loads);
+        assert!(res.covers_exactly(&loads));
+        assert!(res.max_final_load <= 64, "load {}", res.max_final_load);
+        assert!(res.stages >= 1);
+    }
+
+    #[test]
+    fn qrqw_is_noop_when_already_balanced() {
+        let loads = vec![2u64; 128];
+        let mut pram = Pram::with_seed(4, 6);
+        let res = load_balance_qrqw(&mut pram, &loads);
+        assert!(res.covers_exactly(&loads));
+        assert_eq!(res.stages, 0);
+        assert_eq!(res.max_final_load, 2);
+    }
+
+    #[test]
+    fn erew_baseline_balances_exactly() {
+        let n = 300;
+        let loads = skewed_loads(n, 128, 9);
+        let m: u64 = loads.iter().sum();
+        let mut pram = Pram::with_seed(4, 2);
+        let res = load_balance_erew(&mut pram, &loads);
+        assert!(res.covers_exactly(&loads));
+        assert!(res.max_final_load <= m.div_ceil(n as u64) + 1);
+    }
+
+    #[test]
+    fn erew_time_tracks_lg_n_not_l() {
+        // the EREW baseline's time is (almost) independent of L
+        let run = |l: u64| {
+            let loads = skewed_loads(1024, l, 4);
+            let mut pram = Pram::with_seed(4, 4);
+            load_balance_erew(&mut pram, &loads);
+            pram.trace().time(qrqw_sim::CostModel::Qrqw)
+        };
+        let t_small = run(4);
+        let t_big = run(512);
+        assert!(t_big <= t_small * 2, "EREW baseline should not grow with L ({t_small} vs {t_big})");
+    }
+
+    #[test]
+    fn empty_and_zero_load_inputs() {
+        let mut pram = Pram::new(4);
+        let res = load_balance_qrqw(&mut pram, &[]);
+        assert!(res.assignment.is_empty());
+        let res = load_balance_qrqw(&mut pram, &[0, 0, 0]);
+        assert!(res.covers_exactly(&[0, 0, 0]));
+        assert_eq!(res.max_final_load, 0);
+        let res = load_balance_erew(&mut pram, &[0, 0, 0]);
+        assert!(res.covers_exactly(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn block_accounting_is_exact_for_random_loads() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let loads: Vec<u64> = (0..200).map(|_| rng.gen_range(0..10)).collect();
+        let mut pram = Pram::with_seed(4, 8);
+        let res = load_balance_qrqw(&mut pram, &loads);
+        assert!(res.covers_exactly(&loads));
+        let total_out: u64 = res
+            .assignment
+            .iter()
+            .flat_map(|bs| bs.iter().map(|b| b.len))
+            .sum();
+        assert_eq!(total_out, loads.iter().sum::<u64>());
+    }
+}

@@ -1,0 +1,525 @@
+//! Multiple compaction (Section 4).
+//!
+//! Input: `n` items, each carrying a *label* `j`; for every label a *count*
+//! `n_j` that upper-bounds the number of items with that label
+//! (`Σ n_j = O(n)`), and an output array `B` partitioned so that label `j`
+//! owns a private subarray of size `4 n_j`.  The problem is to move every
+//! item into a private cell of its label's subarray.
+//!
+//! The paper splits the problem into the *heavy* case (every count at least
+//! `α lg² n`) solved by log-star dart throwing with doubling teams
+//! (Section 4.1), and the *light* case (every count below `α lg² n`) solved
+//! by a reduction to small-range stable sorting (Section 4.2).  Both are
+//! implemented here; [`multiple_compaction`] partitions an arbitrary
+//! instance into the two cases and runs each once, exactly as the proof of
+//! Theorem 4.1 prescribes.
+//!
+//! **Substitution note (light case).**  Section 4.2 routes the light case
+//! through "supersets" of `Θ(lg² n)` consecutive labels so that the final
+//! within-superset sort has keys in a `lg^O(1) n` range and Fact 4.3
+//! applies.  Our [`light_multiple_compaction`] keeps steps (i)–(ii) (leader
+//! election and the count array) and then sorts the light items by label
+//! directly with the multi-pass Fact 4.3 radix sort from `qrqw-prims`,
+//! which has the same `O(lg n)` time / linear work and removes one level of
+//! indirection; the superset detour exists only to keep the key range small
+//! for a single-pass sort.  This is recorded in DESIGN.md.
+
+use qrqw_prims::{
+    claim_cells, prefix_sums_exclusive, propagate_nonempty_forward, radix_sort_packed, ClaimMode,
+};
+use qrqw_sim::schedule::{ceil_lg, log_star};
+use qrqw_sim::{Pram, EMPTY};
+
+/// The position of every label's private subarray inside the output array.
+#[derive(Debug, Clone)]
+pub struct McLayout {
+    /// Base address (absolute, in shared memory) of the output array `B`.
+    pub b_base: usize,
+    /// Total size of `B`.
+    pub b_len: usize,
+    /// Per-label subarray offset within `B`.
+    pub subarray_offset: Vec<usize>,
+    /// Per-label subarray length (`4 · count`).
+    pub subarray_len: Vec<usize>,
+}
+
+impl McLayout {
+    /// Absolute address of cell `slot` of label `j`'s subarray.
+    pub fn cell(&self, label: usize, slot: usize) -> usize {
+        debug_assert!(slot < self.subarray_len[label]);
+        self.b_base + self.subarray_offset[label] + slot
+    }
+}
+
+/// Result of a multiple-compaction run.
+#[derive(Debug, Clone)]
+pub struct McResult {
+    /// Absolute output cell per item (`usize::MAX` for unplaced items when
+    /// `failed` is set).
+    pub positions: Vec<usize>,
+    /// The output-array layout that was built from the counts.
+    pub layout: McLayout,
+    /// Set when the *relaxed* variant detected that some set exceeded its
+    /// count (the caller is expected to re-run with better counts), or when
+    /// an item could not be placed.
+    pub failed: bool,
+    /// Dart-throwing rounds used by the heavy phase.
+    pub rounds: u64,
+}
+
+/// Builds the output array `B` and the per-label subarrays (size `4·count`)
+/// from the counts, charging the prefix-sums computation to the PRAM.
+pub fn build_layout(pram: &mut Pram, counts: &[u64]) -> McLayout {
+    let num_labels = counts.len();
+    let sizes = pram.alloc(num_labels.max(1));
+    pram.step(|s| {
+        s.par_for(0..num_labels, |j, ctx| {
+            ctx.compute(1);
+            ctx.write(sizes + j, 4 * counts[j]);
+        });
+    });
+    let total = prefix_sums_exclusive(pram, sizes, num_labels) as usize;
+    let offsets: Vec<usize> = pram
+        .memory()
+        .dump(sizes, num_labels)
+        .into_iter()
+        .map(|v| v as usize)
+        .collect();
+    pram.release_to(sizes);
+    let b_base = pram.alloc(total.max(1));
+    McLayout {
+        b_base,
+        b_len: total,
+        subarray_offset: offsets,
+        subarray_len: counts.iter().map(|&c| 4 * c as usize).collect(),
+    }
+}
+
+/// Places the given items into their label subarrays by log-star
+/// dart-throwing (the heavy algorithm of Section 4.1); used by both the
+/// heavy case and, internally, by the sorting algorithms of Section 7 that
+/// call "relaxed heavy multiple compaction".
+fn place_by_dart_throwing(
+    pram: &mut Pram,
+    items: &[usize],
+    labels: &[u64],
+    layout: &McLayout,
+    positions: &mut [usize],
+    relaxed: bool,
+) -> (bool, u64) {
+    let n = labels.len().max(2);
+    let mut active: Vec<usize> = items.to_vec();
+    let team_cap = ceil_lg(n as u64).max(2);
+    let mut team: u64 = 1;
+    let mut rounds = 0u64;
+    let max_rounds = 8 + 2 * log_star(n as u64);
+    let mut failed = false;
+
+    while !active.is_empty() && rounds < max_rounds {
+        rounds += 1;
+        let q = team as usize;
+        let k = active.len();
+
+        // Every team member picks a random slot inside its item's subarray.
+        let active_ref = &active;
+        let targets: Vec<usize> = pram.step(|s| {
+            s.par_map(0..k * q, |a, ctx| {
+                let item = active_ref[a / q];
+                let label = labels[item] as usize;
+                let len = layout.subarray_len[label];
+                layout.cell(label, ctx.random_index(len.max(1)))
+            })
+        });
+        let attempts: Vec<(u64, usize)> = (0..k * q)
+            .map(|a| {
+                let item = active[a / q];
+                let member = (a % q) as u64;
+                (member * n as u64 + item as u64 + 1, targets[a])
+            })
+            .collect();
+        let won = claim_cells(pram, &attempts, ClaimMode::Occupy);
+
+        // Keep the first successful copy per item, release the others, and
+        // stamp the winning cell with the item's index.
+        let mut keep: Vec<Option<usize>> = vec![None; k];
+        for a in 0..k * q {
+            if won[a] && keep[a / q].is_none() {
+                keep[a / q] = Some(a);
+            }
+        }
+        let (keep_ref, attempts_ref, won_ref) = (&keep, &attempts, &won);
+        pram.step(|s| {
+            s.par_for(0..k * q, |a, ctx| {
+                ctx.compute(1);
+                if !won_ref[a] {
+                    return;
+                }
+                let slot = a / q;
+                if keep_ref[slot] == Some(a) {
+                    ctx.write(attempts_ref[a].1, active_ref[slot] as u64);
+                } else {
+                    ctx.write(attempts_ref[a].1, EMPTY);
+                }
+            });
+        });
+
+        let mut still = Vec::new();
+        for (slot, &item) in active.iter().enumerate() {
+            match keep[slot] {
+                Some(a) => positions[item] = attempts[a].1,
+                None => still.push(item),
+            }
+        }
+        active = still;
+        team = (1u64 << team.min(6)).min(team_cap).max(team + 1);
+    }
+
+    // Las-Vegas clean-up (or relaxed failure report): one processor per
+    // leftover label scans that label's subarray for free cells.
+    if !active.is_empty() {
+        let leftovers = active.clone();
+        let placed: Vec<(usize, Option<usize>)> = pram.step(|s| {
+            s.par_map(0..1, |_p, ctx| {
+                let mut cursor: std::collections::HashMap<usize, usize> = Default::default();
+                let mut out = Vec::new();
+                for &item in &leftovers {
+                    let label = labels[item] as usize;
+                    let len = layout.subarray_len[label];
+                    let cur = cursor.entry(label).or_insert(0);
+                    let mut found = None;
+                    while *cur < len {
+                        let addr = layout.cell(label, *cur);
+                        *cur += 1;
+                        if ctx.read(addr) == EMPTY {
+                            ctx.write(addr, item as u64);
+                            found = Some(addr);
+                            break;
+                        }
+                    }
+                    out.push((item, found));
+                }
+                out
+            })
+            .pop()
+            .unwrap_or_default()
+        });
+        for (item, spot) in placed {
+            match spot {
+                Some(addr) => positions[item] = addr,
+                None => {
+                    failed = true;
+                    assert!(relaxed, "multiple compaction overflowed a subarray whose count was promised to be an upper bound");
+                }
+            }
+        }
+    }
+    (failed, rounds)
+}
+
+/// The heavy multiple-compaction algorithm (Lemma 4.2): every count is at
+/// least `α lg² n`.  With `relaxed = true` this is the "relaxed" variant
+/// used by the sorting algorithms of Section 7: if some set turns out to
+/// exceed its promised count the run reports failure instead of panicking.
+pub fn heavy_multiple_compaction(
+    pram: &mut Pram,
+    labels: &[u64],
+    counts: &[u64],
+    relaxed: bool,
+) -> McResult {
+    let layout = build_layout(pram, counts);
+    let mut positions = vec![usize::MAX; labels.len()];
+    let items: Vec<usize> = (0..labels.len()).collect();
+    let (failed, rounds) =
+        place_by_dart_throwing(pram, &items, labels, &layout, &mut positions, relaxed);
+    McResult {
+        positions,
+        layout,
+        failed,
+        rounds,
+    }
+}
+
+/// The light multiple-compaction algorithm (Section 4.2): every count is
+/// below `α lg² n`.  Items are sorted by label with the Fact 4.3 radix
+/// sort, ranked within their label run, and written to
+/// `subarray(label)[rank]`.
+pub fn light_multiple_compaction(pram: &mut Pram, labels: &[u64], counts: &[u64]) -> McResult {
+    let layout = build_layout(pram, counts);
+    let n = labels.len();
+    let mut positions = vec![usize::MAX; n];
+    if n == 0 {
+        return McResult {
+            positions,
+            layout,
+            failed: false,
+            rounds: 0,
+        };
+    }
+
+    // Step (i)-(ii) of Section 4.2 in spirit: every item publishes a packed
+    // (label, item) word; the words are then stably sorted by label.
+    let words = pram.alloc(n);
+    pram.step(|s| {
+        s.par_for(0..n, |i, ctx| {
+            ctx.compute(1);
+            ctx.write(words + i, qrqw_prims::pack(labels[i], i as u64));
+        });
+    });
+    let label_bits = (ceil_lg(counts.len().max(2) as u64) + 1) as usize;
+    radix_sort_packed(pram, words, n, label_bits);
+
+    // Rank every item within its label run: mark run starts, propagate the
+    // run-start index and the label's subarray base forward, then rank =
+    // own index - run start.
+    let starts = pram.alloc(n);
+    let bases = pram.alloc(n);
+    pram.step(|s| {
+        s.par_for(0..n, |i, ctx| {
+            let w = ctx.read(words + i);
+            let label = qrqw_prims::unpack_key(w) as usize;
+            let is_start = if i == 0 {
+                true
+            } else {
+                qrqw_prims::unpack_key(ctx.read(words + i - 1)) as usize != label
+            };
+            if is_start {
+                ctx.write(starts + i, i as u64);
+                // one reader per label: exclusive
+                ctx.compute(1);
+                ctx.write(bases + i, (layout.b_base + layout.subarray_offset[label]) as u64);
+            }
+        });
+    });
+    propagate_nonempty_forward(pram, starts, n);
+    propagate_nonempty_forward(pram, bases, n);
+
+    // Final placement: each item writes itself into subarray_base + rank.
+    let placed: Vec<(usize, usize, bool)> = pram.step(|s| {
+        s.par_map(0..n, |i, ctx| {
+            let w = ctx.read(words + i);
+            let item = qrqw_prims::unpack_payload(w) as usize;
+            let label = qrqw_prims::unpack_key(w) as usize;
+            let start = ctx.read(starts + i) as usize;
+            let base = ctx.read(bases + i) as usize;
+            let rank = i - start;
+            if rank < layout.subarray_len[label] {
+                ctx.write(base + rank, item as u64);
+                (item, base + rank, true)
+            } else {
+                (item, usize::MAX, false)
+            }
+        })
+    });
+    let mut failed = false;
+    for (item, addr, ok) in placed {
+        if ok {
+            positions[item] = addr;
+        } else {
+            failed = true;
+        }
+    }
+    pram.release_to(words);
+    McResult {
+        positions,
+        layout,
+        failed,
+        rounds: 0,
+    }
+}
+
+/// Solves an arbitrary multiple-compaction instance (Theorem 4.1): labels
+/// with counts of at least `lg² n` go through the heavy algorithm, the rest
+/// through the light algorithm, one application each.
+pub fn multiple_compaction(pram: &mut Pram, labels: &[u64], counts: &[u64]) -> McResult {
+    let n = labels.len();
+    let lg = ceil_lg(n.max(2) as u64);
+    let threshold = (lg * lg).max(4);
+
+    let layout = build_layout(pram, counts);
+    let mut positions = vec![usize::MAX; n];
+
+    let heavy_items: Vec<usize> = (0..n)
+        .filter(|&i| counts[labels[i] as usize] >= threshold)
+        .collect();
+    let light_items: Vec<usize> = (0..n)
+        .filter(|&i| counts[labels[i] as usize] < threshold)
+        .collect();
+
+    let mut failed = false;
+    let mut rounds = 0;
+    if !heavy_items.is_empty() {
+        let (f, r) = place_by_dart_throwing(pram, &heavy_items, labels, &layout, &mut positions, true);
+        failed |= f;
+        rounds = r;
+    }
+    if !light_items.is_empty() {
+        // Run the light path on the light items only, then translate its
+        // positions (computed against the same layout) into ours.
+        let light_labels: Vec<u64> = light_items.iter().map(|&i| labels[i]).collect();
+        // Counts restricted to light labels keep their original values; heavy
+        // labels get zero so the light layout only sizes light subarrays.
+        let light_counts: Vec<u64> = counts
+            .iter()
+            .map(|&c| if c < threshold { c } else { 0 })
+            .collect();
+        let sub = light_multiple_compaction(pram, &light_labels, &light_counts);
+        failed |= sub.failed;
+        for (slot, &item) in light_items.iter().enumerate() {
+            let p = sub.positions[slot];
+            if p == usize::MAX {
+                failed = true;
+                continue;
+            }
+            // Translate from the light layout's subarray to the shared one.
+            let label = labels[item] as usize;
+            let off = p - (sub.layout.b_base + sub.layout.subarray_offset[label]);
+            positions[item] = layout.cell(label, off);
+        }
+        // Materialise the light placements in the shared output array.
+        let to_write: Vec<(usize, usize)> = light_items
+            .iter()
+            .filter(|&&i| positions[i] != usize::MAX)
+            .map(|&i| (i, positions[i]))
+            .collect();
+        pram.step(|s| {
+            s.par_for(0..to_write.len(), |t, ctx| {
+                let (item, addr) = to_write[t];
+                ctx.write(addr, item as u64);
+            });
+        });
+    }
+
+    McResult {
+        positions,
+        layout,
+        failed,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashSet;
+
+    fn check_valid(result: &McResult, labels: &[u64]) {
+        assert!(!result.failed);
+        let mut seen = HashSet::new();
+        for (item, &pos) in result.positions.iter().enumerate() {
+            assert_ne!(pos, usize::MAX, "item {item} unplaced");
+            assert!(seen.insert(pos), "position {pos} used twice");
+            let label = labels[item] as usize;
+            let lo = result.layout.b_base + result.layout.subarray_offset[label];
+            let hi = lo + result.layout.subarray_len[label];
+            assert!(pos >= lo && pos < hi, "item {item} outside its subarray");
+        }
+    }
+
+    #[test]
+    fn heavy_case_places_all_items() {
+        let n = 1024usize;
+        let num_labels = 4usize;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let labels: Vec<u64> = (0..n).map(|_| rng.gen_range(0..num_labels as u64)).collect();
+        let mut counts = vec![0u64; num_labels];
+        for &l in &labels {
+            counts[l as usize] += 1;
+        }
+        let mut pram = Pram::with_seed(4, 1);
+        let result = heavy_multiple_compaction(&mut pram, &labels, &counts, false);
+        check_valid(&result, &labels);
+        // cells hold the item index that was placed there
+        for (item, &pos) in result.positions.iter().enumerate() {
+            assert_eq!(pram.memory().peek(pos), item as u64);
+        }
+    }
+
+    #[test]
+    fn light_case_places_all_items() {
+        let n = 600usize;
+        let num_labels = 100usize;
+        let mut rng = SmallRng::seed_from_u64(8);
+        let labels: Vec<u64> = (0..n).map(|_| rng.gen_range(0..num_labels as u64)).collect();
+        let mut counts = vec![0u64; num_labels];
+        for &l in &labels {
+            counts[l as usize] += 1;
+        }
+        let mut pram = Pram::with_seed(4, 2);
+        let result = light_multiple_compaction(&mut pram, &labels, &counts);
+        check_valid(&result, &labels);
+    }
+
+    #[test]
+    fn mixed_instance_uses_both_paths() {
+        // two huge sets and many tiny ones
+        let mut labels = Vec::new();
+        for _ in 0..700 {
+            labels.push(0);
+        }
+        for _ in 0..500 {
+            labels.push(1);
+        }
+        for i in 0..200 {
+            labels.push(2 + (i % 50));
+        }
+        let num_labels = 52;
+        let mut counts = vec![0u64; num_labels];
+        for &l in &labels {
+            counts[l as usize] += 1;
+        }
+        let mut pram = Pram::with_seed(4, 9);
+        let result = multiple_compaction(&mut pram, &labels, &counts);
+        check_valid(&result, &labels);
+    }
+
+    #[test]
+    fn relaxed_variant_reports_overflow_instead_of_panicking() {
+        // promise a count of 1 for a set that actually has 16 items
+        let labels = vec![0u64; 16];
+        let counts = vec![1u64];
+        let mut pram = Pram::with_seed(4, 5);
+        let result = heavy_multiple_compaction(&mut pram, &labels, &counts, true);
+        assert!(result.failed, "overflow must be reported");
+    }
+
+    #[test]
+    fn counts_may_overestimate_set_sizes() {
+        let labels = vec![0, 0, 1, 1, 1, 3];
+        let counts = vec![10u64, 10, 10, 10];
+        let mut pram = Pram::with_seed(4, 6);
+        let result = multiple_compaction(&mut pram, &labels, &counts);
+        check_valid(&result, &labels);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let mut pram = Pram::new(4);
+        let result = multiple_compaction(&mut pram, &[], &[]);
+        assert!(!result.failed);
+        assert!(result.positions.is_empty());
+    }
+
+    #[test]
+    fn work_is_near_linear_and_contention_modest() {
+        let n = 4096usize;
+        let num_labels = 64usize;
+        let mut rng = SmallRng::seed_from_u64(10);
+        let labels: Vec<u64> = (0..n).map(|_| rng.gen_range(0..num_labels as u64)).collect();
+        let mut counts = vec![0u64; num_labels];
+        for &l in &labels {
+            counts[l as usize] += 1;
+        }
+        let mut pram = Pram::with_seed(4, 11);
+        let result = multiple_compaction(&mut pram, &labels, &counts);
+        check_valid(&result, &labels);
+        let lg = ceil_lg(n as u64);
+        assert!(
+            pram.trace().max_contention() <= 6 * lg,
+            "contention {} too high",
+            pram.trace().max_contention()
+        );
+        assert!(pram.trace().work() <= 120 * n as u64);
+    }
+}

@@ -1,0 +1,396 @@
+//! Random permutation generation (Section 5.1.1 and the Section 5.2
+//! experiment's three algorithms).
+//!
+//! * [`random_permutation_qrqw`] — the paper's new QRQW algorithm
+//!   (Theorem 5.1, adapted from Gil's renaming algorithm): `O(lg lg n)`
+//!   dart-throwing rounds into geometrically shrinking fresh subarrays,
+//!   followed by one prefix-sums compaction.  `O(lg n)` time and linear
+//!   work w.h.p. on the QRQW PRAM.
+//!
+//! * [`random_permutation_dart_scan`] — the "dart-throwing with scans"
+//!   algorithm of the MasPar experiment: every round throws the unplaced
+//!   items into an array of size `n` and compacts the winners with the
+//!   machine's scan primitive.
+//!
+//! * [`random_permutation_sorting_erew`] — the popular sorting-based EREW
+//!   algorithm: draw a random 31-bit key per item, sort (bitonic, as the
+//!   MasPar system sort does), output the ranks; retry on key collisions.
+//!
+//! All three are Las Vegas: they always output a valid permutation.
+
+use qrqw_prims::{bitonic_sort, claim_cells, compact_erew, global_or, ClaimMode};
+use qrqw_sim::schedule::lg_lg;
+use qrqw_sim::{Pram, EMPTY};
+
+/// Outcome of a permutation-generation run.
+#[derive(Debug, Clone)]
+pub struct PermutationOutcome {
+    /// `order[p] = i` means item `i` ended up at position `p`; `order` is a
+    /// permutation of `0..n`.
+    pub order: Vec<u64>,
+    /// Dart-throwing rounds (or sorting attempts) used.
+    pub rounds: u64,
+    /// Whether a sequential Las-Vegas clean-up was needed (w.h.p. false).
+    pub fallback_used: bool,
+}
+
+/// Checks that `order` is a permutation of `0..order.len()`.
+pub fn is_permutation(order: &[u64]) -> bool {
+    let n = order.len();
+    let mut seen = vec![false; n];
+    for &x in order {
+        let Ok(i) = usize::try_from(x) else { return false };
+        if i >= n || seen[i] {
+            return false;
+        }
+        seen[i] = true;
+    }
+    true
+}
+
+/// The QRQW dart-throwing random-permutation algorithm (Theorem 5.1).
+pub fn random_permutation_qrqw(pram: &mut Pram, n: usize) -> PermutationOutcome {
+    if n == 0 {
+        return PermutationOutcome {
+            order: Vec::new(),
+            rounds: 0,
+            fallback_used: false,
+        };
+    }
+    // Fresh subarrays: round r uses d·n/2^r cells (d = 2), all carved out of
+    // one contiguous region so the final compaction is a single prefix-sums
+    // pass over it.  6n cells upper-bounds the geometric series plus slack
+    // for the low-probability extra rounds.
+    let region_len = 6 * n + 64;
+    let a_base = pram.alloc(region_len);
+    let mut carve = 0usize;
+
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut rounds = 0u64;
+    let max_rounds = 2 * lg_lg(n.max(4) as u64) + 6;
+    let mut fallback_used = false;
+
+    while !active.is_empty() && rounds < max_rounds {
+        let sub_len = (2 * n >> rounds.min(32)).max(2 * active.len()).max(4);
+        if carve + sub_len > region_len {
+            break;
+        }
+        let sub_base = a_base + carve;
+        carve += sub_len;
+        rounds += 1;
+
+        // Each unplaced item throws one dart into this round's fresh
+        // subarray; only uncontested claims survive (exclusive mode keeps
+        // the permutation unbiased).
+        let active_ref = &active;
+        let targets: Vec<usize> = pram.step(|s| {
+            s.par_map(0..active_ref.len(), |_a, ctx| sub_base + ctx.random_index(sub_len))
+        });
+        let attempts: Vec<(u64, usize)> = active
+            .iter()
+            .zip(&targets)
+            .map(|(&item, &t)| (item as u64, t))
+            .collect();
+        let won = claim_cells(pram, &attempts, ClaimMode::Exclusive);
+        active = active
+            .iter()
+            .zip(&won)
+            .filter(|&(_, &w)| !w)
+            .map(|(&item, _)| item)
+            .collect();
+    }
+
+    // Sequential Las-Vegas clean-up for the (w.h.p. empty) remainder.
+    if !active.is_empty() {
+        fallback_used = true;
+        let sub_len = (2 * active.len()).max(4).min(region_len - carve);
+        let sub_base = a_base + carve;
+        carve += sub_len;
+        let leftovers = active.clone();
+        pram.step(|s| {
+            s.par_for(0..1, |_p, ctx| {
+                let mut cursor = 0usize;
+                for &item in &leftovers {
+                    loop {
+                        let pos = if cursor < sub_len {
+                            cursor
+                        } else {
+                            // deterministic wrap: reuse earlier free cells
+                            let r = ctx.random_index(sub_len);
+                            r
+                        };
+                        cursor += 1;
+                        if ctx.read(sub_base + pos) == EMPTY {
+                            ctx.write(sub_base + pos, item as u64);
+                            break;
+                        }
+                    }
+                }
+            });
+        });
+    }
+
+    // Compact the concatenated subarrays: the relative order of the items in
+    // the region is the output permutation.
+    let out = pram.alloc(carve.max(1));
+    let count = compact_erew(pram, a_base, carve, out);
+    assert_eq!(count as usize, n, "every item must appear exactly once");
+    let order = pram.memory().dump(out, n);
+    pram.release_to(a_base);
+    PermutationOutcome {
+        order,
+        rounds,
+        fallback_used,
+    }
+}
+
+/// The dart-throwing-with-scans algorithm from the MasPar experiment
+/// (Section 5.2): repeated rounds of dart throwing into an `n`-cell array,
+/// compacting the winners after every round with the machine's built-in
+/// scan (`enumerate`) and completion test (`globalor`).
+pub fn random_permutation_dart_scan(pram: &mut Pram, n: usize) -> PermutationOutcome {
+    if n == 0 {
+        return PermutationOutcome {
+            order: Vec::new(),
+            rounds: 0,
+            fallback_used: false,
+        };
+    }
+    let arena = pram.alloc(n);
+    let flags = pram.alloc(n);
+    let out = pram.alloc(n);
+    let mut placed = 0usize;
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut rounds = 0u64;
+    let max_rounds = 40 * (lg_lg(n.max(4) as u64) + 2);
+    let mut fallback_used = false;
+
+    while !active.is_empty() && rounds < max_rounds {
+        rounds += 1;
+        let active_ref = &active;
+        let targets: Vec<usize> = pram.step(|s| {
+            s.par_map(0..active_ref.len(), |_a, ctx| arena + ctx.random_index(n))
+        });
+        let attempts: Vec<(u64, usize)> = active
+            .iter()
+            .zip(&targets)
+            .map(|(&item, &t)| (item as u64, t))
+            .collect();
+        let won = claim_cells(pram, &attempts, ClaimMode::Exclusive);
+
+        // Winners publish a flag at their cell; a scan (MasPar `enumerate`)
+        // ranks them and they transfer themselves to the output positions
+        // placed .. placed + k, then clear their arena cells.
+        pram.step(|s| {
+            s.par_for(0..attempts.len(), |a, ctx| {
+                if won[a] {
+                    ctx.write(flags + (attempts[a].1 - arena), 1);
+                }
+            });
+        });
+        let k = pram.scan_step(flags, n) as usize;
+        pram.step(|s| {
+            s.par_for(0..attempts.len(), |a, ctx| {
+                if won[a] {
+                    let cell = attempts[a].1 - arena;
+                    let rank = ctx.read(flags + cell) as usize - 1;
+                    ctx.write(out + placed + rank, attempts[a].0);
+                    ctx.write(attempts[a].1, EMPTY);
+                }
+            });
+        });
+        // Reset the flag array for the next round (the scan filled every
+        // cell with a running total).
+        pram.step(|s| {
+            s.par_for(0..n, |i, ctx| {
+                ctx.write(flags + i, EMPTY);
+            });
+        });
+        placed += k;
+        active = active
+            .iter()
+            .zip(&won)
+            .filter(|&(_, &w)| !w)
+            .map(|(&item, _)| item)
+            .collect();
+        // MasPar-style completion check (`globalor` over the arena).
+        let _ = pram.global_or_step(arena, n);
+    }
+
+    if !active.is_empty() {
+        fallback_used = true;
+        let leftovers = active.clone();
+        pram.step(|s| {
+            s.par_for(0..leftovers.len(), |i, ctx| {
+                ctx.write(out + placed + i, leftovers[i] as u64);
+            });
+        });
+        placed += leftovers.len();
+    }
+    assert_eq!(placed, n);
+    let order = pram.memory().dump(out, n);
+    pram.release_to(arena);
+    PermutationOutcome {
+        order,
+        rounds,
+        fallback_used,
+    }
+}
+
+/// The sorting-based EREW random-permutation algorithm (Section 5.2): each
+/// item draws a random 31-bit key, the keys are sorted with the bitonic
+/// system sort, and the ranks form the permutation; the (unlikely) event of
+/// a key collision triggers a retry.
+pub fn random_permutation_sorting_erew(pram: &mut Pram, n: usize) -> PermutationOutcome {
+    if n == 0 {
+        return PermutationOutcome {
+            order: Vec::new(),
+            rounds: 0,
+            fallback_used: false,
+        };
+    }
+    let words = pram.alloc(n);
+    let dup_flags = pram.alloc(n);
+    let mut rounds = 0u64;
+    loop {
+        rounds += 1;
+        pram.step(|s| {
+            s.par_for(0..n, |i, ctx| {
+                let key = ctx.random_index(1 << 31) as u64;
+                ctx.write(words + i, (key << 32) | i as u64);
+            });
+        });
+        bitonic_sort(pram, words, n);
+        // Collision check: adjacent equal keys?  Done in two EREW-legal
+        // substeps: every processor first publishes a shifted copy of its
+        // own key, then compares its key against the copy it received.
+        let shifted = pram.alloc(n + 1);
+        pram.step(|s| {
+            s.par_for(0..n, |i, ctx| {
+                let w = ctx.read(words + i);
+                ctx.write(shifted + i + 1, w >> 32);
+            });
+        });
+        pram.step(|s| {
+            s.par_for(0..n, |i, ctx| {
+                if i == 0 {
+                    ctx.write(dup_flags, 0);
+                    return;
+                }
+                let prev = ctx.read(shifted + i);
+                let own = ctx.read(words + i) >> 32;
+                ctx.write(dup_flags + i, (prev == own) as u64);
+            });
+        });
+        pram.release_to(shifted);
+        if !global_or(pram, dup_flags, n) {
+            break;
+        }
+        if rounds > 16 {
+            // astronomically unlikely; fall back to accepting ties broken by
+            // item index (still a valid permutation, marginally biased).
+            break;
+        }
+    }
+    let order: Vec<u64> = pram
+        .memory()
+        .dump(words, n)
+        .into_iter()
+        .map(|w| w & 0xFFFF_FFFF)
+        .collect();
+    pram.release_to(words);
+    PermutationOutcome {
+        order,
+        rounds,
+        fallback_used: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrqw_sim::CostModel;
+
+    #[test]
+    fn qrqw_algorithm_outputs_a_permutation() {
+        for seed in 0..3 {
+            let mut pram = Pram::with_seed(4, seed);
+            let out = random_permutation_qrqw(&mut pram, 500);
+            assert!(is_permutation(&out.order));
+        }
+    }
+
+    #[test]
+    fn dart_scan_outputs_a_permutation() {
+        let mut pram = Pram::with_seed(4, 7);
+        let out = random_permutation_dart_scan(&mut pram, 300);
+        assert!(is_permutation(&out.order));
+    }
+
+    #[test]
+    fn sorting_based_outputs_a_permutation_and_is_erew() {
+        let mut pram = Pram::with_seed(4, 5);
+        let out = random_permutation_sorting_erew(&mut pram, 256);
+        assert!(is_permutation(&out.order));
+        assert_eq!(pram.trace().violations(CostModel::Erew), 0);
+    }
+
+    #[test]
+    fn different_seeds_give_different_permutations() {
+        let run = |seed| {
+            let mut pram = Pram::with_seed(4, seed);
+            random_permutation_qrqw(&mut pram, 128).order
+        };
+        assert_ne!(run(1), run(2));
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn qrqw_contention_is_low_and_work_linear() {
+        let n = 4096usize;
+        let mut pram = Pram::with_seed(4, 42);
+        let out = random_permutation_qrqw(&mut pram, n);
+        assert!(is_permutation(&out.order));
+        let lg = qrqw_sim::schedule::ceil_lg(n as u64);
+        assert!(
+            pram.trace().max_contention() <= 3 * lg,
+            "contention {}",
+            pram.trace().max_contention()
+        );
+        assert!(pram.trace().work() <= 80 * n as u64, "work {}", pram.trace().work());
+        // The QRQW time must be far below n (the contention bound is what
+        // distinguishes the model from a serial queue).
+        assert!(pram.trace().time(CostModel::Qrqw) < n as u64 / 4);
+    }
+
+    #[test]
+    fn qrqw_beats_sorting_baseline_under_qrqw_metric() {
+        let n = 2048usize;
+        let mut a = Pram::with_seed(4, 1);
+        random_permutation_qrqw(&mut a, n);
+        let mut b = Pram::with_seed(4, 1);
+        random_permutation_sorting_erew(&mut b, n);
+        let t_qrqw = a.trace().time(CostModel::SimdQrqw);
+        let t_erew = b.trace().time(CostModel::SimdQrqw);
+        assert!(
+            t_qrqw < t_erew,
+            "dart throwing ({t_qrqw}) should beat bitonic sorting ({t_erew}) — the Table II effect"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut pram = Pram::new(4);
+        assert!(random_permutation_qrqw(&mut pram, 0).order.is_empty());
+        assert!(random_permutation_dart_scan(&mut pram, 0).order.is_empty());
+        assert!(random_permutation_sorting_erew(&mut pram, 0).order.is_empty());
+    }
+
+    #[test]
+    fn permutation_validator_rejects_bad_inputs() {
+        assert!(is_permutation(&[2, 0, 1]));
+        assert!(!is_permutation(&[0, 0, 1]));
+        assert!(!is_permutation(&[0, 3, 1]));
+        assert!(is_permutation(&[]));
+    }
+}

@@ -1,0 +1,163 @@
+//! Automatic processor allocation for L-spawning algorithms (Section 3.3).
+//!
+//! An *L-spawning* algorithm is given in the work–time presentation as a
+//! sequence of parallel steps in which every task may spawn up to `L-1` new
+//! tasks.  Theorem 3.6 shows that a predicted L-spawning algorithm can be
+//! executed on `p` processors with only `O(n/p)` overhead by interleaving a
+//! load-balancing pass between consecutive steps, keeping the tasks evenly
+//! spread.  [`run_l_spawning`] is the operational form of that scheduler:
+//! it executes the user's spawn function round by round on a fixed set of
+//! `p` simulated processors, re-balancing with
+//! [`crate::load_balancing::load_balance_qrqw`] whenever a round ends with
+//! some processor holding more than twice the average load.
+
+use crate::load_balancing::load_balance_qrqw;
+use qrqw_sim::Pram;
+
+/// Statistics of an L-spawning execution.
+#[derive(Debug, Clone, Default)]
+pub struct SpawningReport {
+    /// Parallel rounds executed.
+    pub rounds: u64,
+    /// Total tasks processed across all rounds.
+    pub tasks_processed: u64,
+    /// Largest per-processor load observed *before* any rebalancing pass.
+    pub max_load_seen: u64,
+    /// Number of load-balancing passes that were actually run.
+    pub rebalances: u64,
+}
+
+/// Runs an L-spawning computation on `p` simulated processors.
+///
+/// `spawn(round, &task)` returns the tasks the given task spawns for the
+/// next round (at most `l - 1` of them, checked).  The run stops after
+/// `max_rounds` rounds or when no tasks remain; the tasks still alive are
+/// returned together with the execution report.
+pub fn run_l_spawning<T, F>(
+    pram: &mut Pram,
+    initial: Vec<T>,
+    p: usize,
+    l: u64,
+    max_rounds: u64,
+    spawn: F,
+) -> (Vec<T>, SpawningReport)
+where
+    T: Clone + Send + Sync,
+    F: Fn(u64, &T) -> Vec<T> + Sync,
+{
+    assert!(p > 0, "need at least one processor");
+    assert!(l >= 1, "the spawning factor is at least 1");
+    let mut queues: Vec<Vec<T>> = vec![Vec::new(); p];
+    for (i, t) in initial.into_iter().enumerate() {
+        queues[i % p].push(t);
+    }
+    let mut report = SpawningReport::default();
+
+    for round in 0..max_rounds {
+        let alive: u64 = queues.iter().map(|q| q.len() as u64).sum();
+        if alive == 0 {
+            break;
+        }
+        report.rounds = round + 1;
+        report.tasks_processed += alive;
+
+        // One parallel step: every processor processes its queue and
+        // produces the spawned tasks (charged one operation per task plus
+        // one per spawned task).
+        let queues_ref = &queues;
+        let spawn_ref = &spawn;
+        let next: Vec<Vec<T>> = pram.step(|s| {
+            s.par_map(0..p, |proc, ctx| {
+                let mut out = Vec::new();
+                for t in &queues_ref[proc] {
+                    let children = spawn_ref(round, t);
+                    assert!(
+                        (children.len() as u64) < l.max(1) + 1,
+                        "a task spawned more than L-1 children"
+                    );
+                    ctx.compute(1 + children.len() as u64);
+                    out.extend(children);
+                }
+                out
+            })
+        });
+        queues = next;
+
+        // Re-balance when the invariant (load ≤ 2·average) is violated.
+        let loads: Vec<u64> = queues.iter().map(|q| q.len() as u64).collect();
+        let total: u64 = loads.iter().sum();
+        let max = loads.iter().copied().max().unwrap_or(0);
+        report.max_load_seen = report.max_load_seen.max(max);
+        if total > 0 && max > 2 * total.div_ceil(p as u64) + 2 {
+            report.rebalances += 1;
+            let plan = load_balance_qrqw(pram, &loads);
+            let mut new_queues: Vec<Vec<T>> = vec![Vec::new(); p];
+            for (dest, blocks) in plan.assignment.iter().enumerate() {
+                for b in blocks {
+                    for t in b.start..b.start + b.len {
+                        new_queues[dest].push(queues[b.origin][t as usize].clone());
+                    }
+                }
+            }
+            queues = new_queues;
+        }
+    }
+
+    let remaining: Vec<T> = queues.into_iter().flatten().collect();
+    (remaining, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_decay_terminates_without_rebalancing_much() {
+        // every task dies with no children -> one round
+        let mut pram = Pram::with_seed(4, 1);
+        let (rest, report) = run_l_spawning(&mut pram, vec![(); 1000], 32, 2, 10, |_, _| vec![]);
+        assert!(rest.is_empty());
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.tasks_processed, 1000);
+    }
+
+    #[test]
+    fn skewed_spawning_triggers_rebalancing_and_keeps_loads_bounded() {
+        // task i spawns two children for a few rounds, but only tasks that
+        // started on processor 0 survive -> heavy skew
+        let mut pram = Pram::with_seed(4, 2);
+        let initial: Vec<u64> = (0..64).collect();
+        let (_rest, report) = run_l_spawning(&mut pram, initial, 16, 3, 6, |round, &t| {
+            if t % 16 == 0 && round < 5 {
+                vec![t, t]
+            } else {
+                vec![]
+            }
+        });
+        assert!(report.rounds >= 2);
+        assert!(report.max_load_seen >= 2);
+    }
+
+    #[test]
+    fn respects_round_limit_and_returns_survivors() {
+        let mut pram = Pram::with_seed(4, 3);
+        let (rest, report) = run_l_spawning(&mut pram, vec![1u32], 4, 2, 3, |_, &t| vec![t, t]);
+        assert_eq!(report.rounds, 3);
+        assert_eq!(rest.len(), 8, "1 -> 2 -> 4 -> 8 survivors after 3 rounds");
+    }
+
+    #[test]
+    #[should_panic(expected = "more than L-1 children")]
+    fn overspawning_is_rejected() {
+        let mut pram = Pram::with_seed(4, 4);
+        let _ = run_l_spawning(&mut pram, vec![0u8], 2, 2, 2, |_, _| vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_initial_set_is_a_noop() {
+        let mut pram = Pram::new(4);
+        let (rest, report) = run_l_spawning::<u8, _>(&mut pram, vec![], 4, 2, 5, |_, _| vec![]);
+        assert!(rest.is_empty());
+        assert_eq!(report.rounds, 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Contention instrumentation for the native executor.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts claim attempts and failures across threads.
+///
+/// On the QRQW PRAM the cost of a step is the maximum number of processors
+/// queued on one cell; natively the observable analogue is how often a
+/// compare-and-swap loses.  The counter is cheap (relaxed increments) and is
+/// reported alongside wall-clock times by the Table II harness.
+#[derive(Debug, Default)]
+pub struct ContentionCounter {
+    attempts: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl ContentionCounter {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one claim attempt and whether it failed.
+    #[inline]
+    pub fn record(&self, failed: bool) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total claim attempts recorded.
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Total failed attempts recorded.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Failure ratio (0 when nothing was recorded).
+    pub fn failure_ratio(&self) -> f64 {
+        let a = self.attempts();
+        if a == 0 {
+            0.0
+        } else {
+            self.failures() as f64 / a as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_attempts_and_failures() {
+        let c = ContentionCounter::new();
+        c.record(false);
+        c.record(true);
+        c.record(true);
+        assert_eq!(c.attempts(), 3);
+        assert_eq!(c.failures(), 2);
+        assert!((c.failure_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_counter_has_zero_ratio() {
+        let c = ContentionCounter::new();
+        assert_eq!(c.failure_ratio(), 0.0);
+    }
+
+    #[test]
+    fn is_safe_to_share_across_threads() {
+        use rayon::prelude::*;
+        let c = ContentionCounter::new();
+        (0..10_000).into_par_iter().for_each(|i| c.record(i % 4 == 0));
+        assert_eq!(c.attempts(), 10_000);
+        assert_eq!(c.failures(), 2_500);
+    }
+}

@@ -1,0 +1,218 @@
+//! Batcher's bitonic sorting network as an EREW PRAM algorithm.
+//!
+//! The MasPar MP-1 system sort used by the *sorting-based* random-permutation
+//! baseline of Section 5.2 is a bitonic sort, and the paper's asymptotic
+//! analysis of that baseline charges it `O(lg² n)` time on the
+//! (scan-)SIMD-QRQW PRAM.  This module provides exactly that network: every
+//! compare–exchange stage is one EREW-legal step in which each active
+//! processor performs two reads and at most two writes, for
+//! `lg n (lg n + 1) / 2` steps and `O(n lg² n)` work in total.
+//!
+//! Cells may hold any `u64` below [`qrqw_sim::EMPTY`]; the routine pads to a
+//! power of two internally with `EMPTY`, which sorts to the end.
+
+use qrqw_sim::{Pram, EMPTY};
+
+use crate::util::next_pow2;
+
+/// Sorts `[base, base+n)` in ascending order.
+pub fn bitonic_sort(pram: &mut Pram, base: usize, n: usize) {
+    if n <= 1 {
+        return;
+    }
+    pram.ensure_memory(base + n);
+    let m = next_pow2(n);
+    let work = pram.alloc(m);
+
+    // Copy in, padding with EMPTY (the maximum value, so pads stay at the
+    // tail of the sorted order).
+    pram.step(|s| {
+        s.par_for(0..m, |i, ctx| {
+            let v = if i < n { ctx.read(base + i) } else { EMPTY };
+            ctx.write(work + i, v);
+        });
+    });
+
+    let mut k = 2usize;
+    while k <= m {
+        let mut j = k / 2;
+        while j >= 1 {
+            pram.step(|s| {
+                s.par_for(0..m, |i, ctx| {
+                    let l = i ^ j;
+                    if l <= i {
+                        return;
+                    }
+                    let a = ctx.read(work + i);
+                    let b = ctx.read(work + l);
+                    let ascending = (i & k) == 0;
+                    let out_of_order = if ascending { a > b } else { a < b };
+                    if out_of_order {
+                        ctx.write(work + i, b);
+                        ctx.write(work + l, a);
+                    }
+                });
+            });
+            j /= 2;
+        }
+        k *= 2;
+    }
+
+    // Copy the sorted prefix back.
+    pram.step(|s| {
+        s.par_for(0..n, |i, ctx| {
+            let v = ctx.read(work + i);
+            ctx.write(base + i, v);
+        });
+    });
+    pram.release_to(work);
+}
+
+/// Sorts `num_segs` independent, equally sized segments
+/// `[base + s*seg_size, base + (s+1)*seg_size)` simultaneously: every
+/// compare–exchange stage of the network runs across *all* segments in the
+/// same PRAM step, so the total number of steps is `O(lg² seg_size)`
+/// regardless of how many segments there are.
+///
+/// `seg_size` must be a power of two (callers pad with [`EMPTY`], which
+/// sorts to the end of each segment).  This is the "finish the groups in
+/// parallel" tool used by the sample-sort finishing phase (Section 7.2).
+pub fn bitonic_sort_segments(pram: &mut Pram, base: usize, seg_size: usize, num_segs: usize) {
+    if seg_size <= 1 || num_segs == 0 {
+        return;
+    }
+    assert!(seg_size.is_power_of_two(), "segment size must be a power of two");
+    pram.ensure_memory(base + seg_size * num_segs);
+    let total = seg_size * num_segs;
+    let mut k = 2usize;
+    while k <= seg_size {
+        let mut j = k / 2;
+        while j >= 1 {
+            pram.step(|s| {
+                s.par_for(0..total, |g, ctx| {
+                    let seg = g / seg_size;
+                    let i = g % seg_size;
+                    let l = i ^ j;
+                    if l <= i {
+                        return;
+                    }
+                    let off = base + seg * seg_size;
+                    let a = ctx.read(off + i);
+                    let b = ctx.read(off + l);
+                    let ascending = (i & k) == 0;
+                    let out_of_order = if ascending { a > b } else { a < b };
+                    if out_of_order {
+                        ctx.write(off + i, b);
+                        ctx.write(off + l, a);
+                    }
+                });
+            });
+            j /= 2;
+        }
+        k *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrqw_sim::CostModel;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorts_random_input() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let xs: Vec<u64> = (0..777).map(|_| rng.gen_range(0..10_000)).collect();
+        let mut pram = Pram::new(1024);
+        pram.memory_mut().load(0, &xs);
+        bitonic_sort(&mut pram, 0, xs.len());
+        let mut expect = xs.clone();
+        expect.sort_unstable();
+        assert_eq!(pram.memory().dump(0, xs.len()), expect);
+    }
+
+    #[test]
+    fn is_erew_legal() {
+        let xs: Vec<u64> = (0..64).rev().collect();
+        let mut pram = Pram::new(64);
+        pram.memory_mut().load(0, &xs);
+        bitonic_sort(&mut pram, 0, 64);
+        assert_eq!(pram.trace().violations(CostModel::Erew), 0);
+        assert_eq!(pram.trace().max_contention(), 1);
+    }
+
+    #[test]
+    fn time_is_order_lg_squared() {
+        let n = 1024usize;
+        let xs: Vec<u64> = (0..n as u64).rev().collect();
+        let mut pram = Pram::new(n);
+        pram.memory_mut().load(0, &xs);
+        bitonic_sort(&mut pram, 0, n);
+        let t = pram.trace().time(CostModel::Qrqw);
+        let lg = 10u64;
+        assert!(t >= lg * (lg + 1) / 2, "bitonic must pay Θ(lg² n) steps");
+        // each compare–exchange stage costs 2 (two reads / two writes per
+        // processor), plus the copy-in / copy-out steps
+        assert!(t <= lg * (lg + 1) + 8, "unexpected extra steps: {t}");
+    }
+
+    #[test]
+    fn handles_duplicates_and_already_sorted() {
+        let xs = vec![3u64, 3, 3, 1, 1, 2, 2, 2, 2];
+        let mut pram = Pram::new(16);
+        pram.memory_mut().load(0, &xs);
+        bitonic_sort(&mut pram, 0, xs.len());
+        assert_eq!(pram.memory().dump(0, xs.len()), vec![1, 1, 2, 2, 2, 2, 3, 3, 3]);
+
+        let sorted: Vec<u64> = (0..33).collect();
+        let mut pram = Pram::new(64);
+        pram.memory_mut().load(0, &sorted);
+        bitonic_sort(&mut pram, 0, 33);
+        assert_eq!(pram.memory().dump(0, 33), sorted);
+    }
+
+    #[test]
+    fn trivial_sizes_are_noops() {
+        let mut pram = Pram::new(4);
+        bitonic_sort(&mut pram, 0, 0);
+        bitonic_sort(&mut pram, 0, 1);
+        assert_eq!(pram.trace().num_steps(), 0);
+    }
+
+    #[test]
+    fn segmented_sort_sorts_each_segment_independently() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let segs = 10usize;
+        let size = 32usize;
+        let data: Vec<u64> = (0..segs * size).map(|_| rng.gen_range(0..1000)).collect();
+        let mut pram = Pram::new(segs * size);
+        pram.memory_mut().load(0, &data);
+        bitonic_sort_segments(&mut pram, 0, size, segs);
+        for s in 0..segs {
+            let mut expect: Vec<u64> = data[s * size..(s + 1) * size].to_vec();
+            expect.sort_unstable();
+            assert_eq!(pram.memory().dump(s * size, size), expect);
+        }
+        assert_eq!(pram.trace().violations(CostModel::Erew), 0);
+    }
+
+    #[test]
+    fn segmented_sort_step_count_is_independent_of_segment_count() {
+        let run = |segs: usize| {
+            let mut pram = Pram::new(segs * 16);
+            pram.memory_mut()
+                .load(0, &(0..(segs * 16) as u64).rev().collect::<Vec<_>>());
+            bitonic_sort_segments(&mut pram, 0, 16, segs);
+            pram.trace().num_steps()
+        };
+        assert_eq!(run(2), run(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn segmented_sort_rejects_non_power_of_two() {
+        let mut pram = Pram::new(30);
+        bitonic_sort_segments(&mut pram, 0, 10, 3);
+    }
+}

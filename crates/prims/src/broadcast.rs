@@ -1,0 +1,208 @@
+//! Binary broadcasting and value duplication.
+//!
+//! Broadcasting a value to `k` processors requires `Ω(lg k)` time on the
+//! QRQW PRAM (Theorem 3.1 quotes the lower bound from the companion paper),
+//! and the matching upper bound is the plain binary-doubling broadcast
+//! implemented here.  The same doubling pattern implements the paper's
+//! *duplication* technique (Section 1.2): "if a program variable is to be
+//! read by `k` processors, replace the variable with `k` copies and let
+//! each processor read a random copy" — used by the hashing algorithm
+//! (Lemma 6.4) and the binary-search fat-tree (Section 7.2).
+
+use qrqw_sim::Pram;
+
+/// Copies the value at `src_addr` into the `count` cells
+/// `dest_base .. dest_base + count` in `O(lg count)` EREW-legal steps and
+/// `O(count)` work.
+pub fn broadcast_cell(pram: &mut Pram, src_addr: usize, dest_base: usize, count: usize) {
+    if count == 0 {
+        return;
+    }
+    pram.ensure_memory(dest_base + count);
+    // Seed the first destination cell.
+    pram.step(|s| {
+        s.par_for(0..1, |_p, ctx| {
+            let v = ctx.read(src_addr);
+            ctx.write(dest_base, v);
+        });
+    });
+    // Double the copied prefix until it covers the region.
+    let mut have = 1usize;
+    while have < count {
+        let add = have.min(count - have);
+        pram.step(|s| {
+            s.par_for(0..add, |p, ctx| {
+                let v = ctx.read(dest_base + p);
+                ctx.write(dest_base + have + p, v);
+            });
+        });
+        have += add;
+    }
+}
+
+/// Duplicates each of the `k` values `mem[src_base + i]` into `copies`
+/// consecutive cells starting at `dest_base + i * copies`, in
+/// `O(lg copies)` EREW-legal steps and `O(k · copies)` work.
+///
+/// This is the bulk form of the paper's duplication technique: after the
+/// call, a processor wanting value `i` can read `dest_base + i*copies + r`
+/// for a random `r`, so `κ` concurrent readers of the same logical value
+/// spread over `copies` cells and the expected contention drops to
+/// `κ / copies`.
+pub fn duplicate_values(
+    pram: &mut Pram,
+    src_base: usize,
+    k: usize,
+    dest_base: usize,
+    copies: usize,
+) {
+    if k == 0 || copies == 0 {
+        return;
+    }
+    pram.ensure_memory(dest_base + k * copies);
+    // Seed copy 0 of every value.
+    pram.step(|s| {
+        s.par_for(0..k, |i, ctx| {
+            let v = ctx.read(src_base + i);
+            ctx.write(dest_base + i * copies, v);
+        });
+    });
+    // Doubling within every block simultaneously.
+    let mut have = 1usize;
+    while have < copies {
+        let add = have.min(copies - have);
+        pram.step(|s| {
+            s.par_for(0..k * add, |p, ctx| {
+                let i = p / add;
+                let j = p % add;
+                let v = ctx.read(dest_base + i * copies + j);
+                ctx.write(dest_base + i * copies + have + j, v);
+            });
+        });
+        have += add;
+    }
+}
+
+/// Propagates non-empty values forward: after the call, every cell of
+/// `[base, base+len)` holds the nearest non-[`qrqw_sim::EMPTY`] value at or
+/// before it (cells before the first non-empty value stay empty).
+///
+/// This is the "segmented broadcast" used to distribute a per-segment datum
+/// (written at each segment's first cell) to the whole segment — e.g. a
+/// bucket's subarray pointer to all items of the bucket after they have been
+/// sorted by label.  `⌈lg len⌉` steps of contention ≤ 2 each; the total work
+/// is `O(len · lg s)` where `s` is the longest empty run being filled.
+pub fn propagate_nonempty_forward(pram: &mut Pram, base: usize, len: usize) {
+    use qrqw_sim::EMPTY;
+    if len <= 1 {
+        return;
+    }
+    pram.ensure_memory(base + len);
+    let mut jump = 1usize;
+    while jump < len {
+        pram.step(|s| {
+            s.par_for(jump..len, |i, ctx| {
+                let own = ctx.read(base + i);
+                if own != EMPTY {
+                    return;
+                }
+                let prev = ctx.read(base + i - jump);
+                if prev != EMPTY {
+                    ctx.write(base + i, prev);
+                }
+            });
+        });
+        jump *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrqw_sim::{CostModel, Pram};
+
+    #[test]
+    fn broadcast_fills_region_with_value() {
+        let mut pram = Pram::new(64);
+        pram.memory_mut().poke(0, 99);
+        broadcast_cell(&mut pram, 0, 10, 37);
+        assert!(pram.memory().dump(10, 37).iter().all(|&v| v == 99));
+        assert_eq!(pram.trace().violations(CostModel::Erew), 0);
+    }
+
+    #[test]
+    fn broadcast_time_is_logarithmic() {
+        let mut pram = Pram::new(2048);
+        pram.memory_mut().poke(0, 1);
+        broadcast_cell(&mut pram, 0, 1, 1024);
+        let t = pram.trace().time(CostModel::Qrqw);
+        assert!(t <= 2 * 11, "broadcast of 1024 cells took {t} steps");
+        assert!(pram.trace().work() <= 3 * 1024);
+    }
+
+    #[test]
+    fn broadcast_of_zero_cells_is_noop() {
+        let mut pram = Pram::new(4);
+        broadcast_cell(&mut pram, 0, 0, 0);
+        assert_eq!(pram.trace().num_steps(), 0);
+    }
+
+    #[test]
+    fn duplicate_values_makes_block_copies() {
+        let mut pram = Pram::new(4);
+        pram.memory_mut().load(0, &[7, 8, 9]);
+        let dest = pram.alloc(3 * 5);
+        duplicate_values(&mut pram, 0, 3, dest, 5);
+        for i in 0..3 {
+            for j in 0..5 {
+                assert_eq!(pram.memory().peek(dest + i * 5 + j), 7 + i as u64);
+            }
+        }
+        assert_eq!(pram.trace().violations(CostModel::Erew), 0);
+    }
+
+    #[test]
+    fn duplicate_values_handles_non_power_of_two_copies() {
+        let mut pram = Pram::new(2);
+        pram.memory_mut().load(0, &[3, 4]);
+        let dest = pram.alloc(2 * 7);
+        duplicate_values(&mut pram, 0, 2, dest, 7);
+        assert!(pram.memory().dump(dest, 7).iter().all(|&v| v == 3));
+        assert!(pram.memory().dump(dest + 7, 7).iter().all(|&v| v == 4));
+    }
+
+    #[test]
+    fn duplicate_single_copy_is_plain_copy() {
+        let mut pram = Pram::new(4);
+        pram.memory_mut().load(0, &[1, 2, 3, 4]);
+        let dest = pram.alloc(4);
+        duplicate_values(&mut pram, 0, 4, dest, 1);
+        assert_eq!(pram.memory().dump(dest, 4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn propagate_fills_runs_with_previous_value() {
+        use qrqw_sim::EMPTY;
+        let mut pram = Pram::new(12);
+        pram.memory_mut().poke(2, 7);
+        pram.memory_mut().poke(6, 9);
+        pram.memory_mut().poke(10, 3);
+        propagate_nonempty_forward(&mut pram, 0, 12);
+        assert_eq!(
+            pram.memory().dump(0, 12),
+            vec![EMPTY, EMPTY, 7, 7, 7, 7, 9, 9, 9, 9, 3, 3]
+        );
+        // contention never exceeds two (own cell + successor probe)
+        assert!(pram.trace().max_contention() <= 2);
+    }
+
+    #[test]
+    fn propagate_noop_on_short_or_full_regions() {
+        let mut pram = Pram::new(8);
+        propagate_nonempty_forward(&mut pram, 0, 1);
+        assert_eq!(pram.trace().num_steps(), 0);
+        pram.memory_mut().load(0, &[1, 2, 3, 4]);
+        propagate_nonempty_forward(&mut pram, 0, 4);
+        assert_eq!(pram.memory().dump(0, 4), vec![1, 2, 3, 4]);
+    }
+}

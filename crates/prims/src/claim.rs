@@ -1,0 +1,188 @@
+//! The cell-claiming protocol ("write, read, write, read", Section 5.1).
+//!
+//! Many of the paper's randomized algorithms have processors *claim* memory
+//! cells: a processor picks a cell (usually at random) and wants to learn,
+//! within a constant number of low-contention steps, whether its claim
+//! succeeded.  Two flavours appear in the paper:
+//!
+//! * **Occupy** — an already-occupied cell rejects all claims; among
+//!   simultaneous claimants to a free cell, the arbitration winner succeeds
+//!   and the cell keeps its tag.  This is the behaviour used by the heavy
+//!   multiple-compaction deactivation step (Section 4.1) and by the hashing
+//!   algorithm's block-claiming step (Section 6.2).
+//!
+//! * **Exclusive** — a claim succeeds only if it is the *only* claim on the
+//!   cell in this round; simultaneous claimants all fail and the cell is
+//!   restored to empty.  This is the behaviour required by the
+//!   random-permutation dart-throwing algorithms (Section 5.1), where
+//!   letting an arbitration winner through would bias the permutation.
+//!
+//! Both are implemented with the paper's constant-round protocol, so the
+//! contention of every step is at most the size of the largest collision
+//! set — exactly the quantity the QRQW metric charges.
+
+use qrqw_sim::{Pram, EMPTY};
+
+/// Collision-resolution flavour for [`claim_cells`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimMode {
+    /// Simultaneous claimants all fail and the cell stays empty.
+    Exclusive,
+    /// The arbitration winner among simultaneous claimants succeeds.
+    Occupy,
+}
+
+/// Executes one round of the claiming protocol.
+///
+/// `attempts[i] = (tag, target)` asks to claim shared-memory cell `target`
+/// with the (unique, non-[`EMPTY`]) value `tag`; the return vector reports
+/// which attempts succeeded.  After the call, every successfully claimed
+/// cell contains its claimant's tag; unsuccessful attempts leave cells
+/// unchanged (Exclusive) or owned by the arbitration winner (Occupy).
+///
+/// Cost: 3 steps (Occupy) or 6 steps (Exclusive), each with per-processor
+/// operation count 1 and contention equal to the largest collision set.
+pub fn claim_cells(pram: &mut Pram, attempts: &[(u64, usize)], mode: ClaimMode) -> Vec<bool> {
+    let k = attempts.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    debug_assert!(
+        attempts.iter().all(|&(tag, _)| tag != EMPTY),
+        "claim tags must differ from EMPTY"
+    );
+    if let Some(max_addr) = attempts.iter().map(|&(_, a)| a).max() {
+        pram.ensure_memory(max_addr + 1);
+    }
+
+    // S1: probe — an already-occupied cell rejects the claim outright.
+    let live: Vec<bool> = pram.step(|s| {
+        s.par_map(0..k, |i, ctx| ctx.read(attempts[i].1) == EMPTY)
+    });
+
+    // S2: live claimants write their tag.
+    pram.step(|s| {
+        s.par_for(0..k, |i, ctx| {
+            if live[i] {
+                ctx.write(attempts[i].1, attempts[i].0);
+            }
+        });
+    });
+
+    // S3: live claimants read back; holding one's own tag makes one the
+    // tentative winner of the cell.
+    let tentative: Vec<bool> = pram.step(|s| {
+        s.par_map(0..k, |i, ctx| live[i] && ctx.read(attempts[i].1) == attempts[i].0)
+    });
+
+    match mode {
+        ClaimMode::Occupy => tentative,
+        ClaimMode::Exclusive => {
+            // S4: the losers of a collision re-write their tag, poisoning the
+            // cell so the tentative winner can detect that it was contested.
+            pram.step(|s| {
+                s.par_for(0..k, |i, ctx| {
+                    if live[i] && !tentative[i] {
+                        ctx.write(attempts[i].1, attempts[i].0);
+                    }
+                });
+            });
+            // S5: tentative winners re-read; an unchanged cell means the
+            // claim was uncontested.
+            let success: Vec<bool> = pram.step(|s| {
+                s.par_map(0..k, |i, ctx| {
+                    tentative[i] && ctx.read(attempts[i].1) == attempts[i].0
+                })
+            });
+            // S6: contested cells are restored to empty (the tentative
+            // winner knows the cell was empty before the round, and the
+            // poisoning losers also clear, so the cell ends empty whichever
+            // write wins arbitration).
+            pram.step(|s| {
+                s.par_for(0..k, |i, ctx| {
+                    if live[i] && !success[i] {
+                        ctx.write(attempts[i].1, EMPTY);
+                    }
+                });
+            });
+            success
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrqw_sim::CostModel;
+
+    #[test]
+    fn unique_claims_succeed_in_both_modes() {
+        for mode in [ClaimMode::Exclusive, ClaimMode::Occupy] {
+            let mut pram = Pram::new(16);
+            let attempts = vec![(100u64, 3usize), (101, 7), (102, 11)];
+            let ok = claim_cells(&mut pram, &attempts, mode);
+            assert_eq!(ok, vec![true, true, true]);
+            assert_eq!(pram.memory().peek(3), 100);
+            assert_eq!(pram.memory().peek(7), 101);
+            assert_eq!(pram.memory().peek(11), 102);
+        }
+    }
+
+    #[test]
+    fn occupied_cells_reject_claims() {
+        for mode in [ClaimMode::Exclusive, ClaimMode::Occupy] {
+            let mut pram = Pram::new(8);
+            pram.memory_mut().poke(2, 55);
+            let ok = claim_cells(&mut pram, &[(77, 2)], mode);
+            assert_eq!(ok, vec![false]);
+            assert_eq!(pram.memory().peek(2), 55, "occupied cell must be untouched");
+        }
+    }
+
+    #[test]
+    fn exclusive_collisions_all_fail_and_cell_stays_empty() {
+        let mut pram = Pram::new(8);
+        let attempts = vec![(1u64, 4usize), (2, 4), (3, 4), (4, 6)];
+        let ok = claim_cells(&mut pram, &attempts, ClaimMode::Exclusive);
+        assert_eq!(ok, vec![false, false, false, true]);
+        assert_eq!(pram.memory().peek(4), EMPTY, "contested cell must be restored");
+        assert_eq!(pram.memory().peek(6), 4);
+    }
+
+    #[test]
+    fn occupy_collisions_let_exactly_one_winner_through() {
+        let mut pram = Pram::new(8);
+        let attempts = vec![(10u64, 4usize), (11, 4), (12, 4)];
+        let ok = claim_cells(&mut pram, &attempts, ClaimMode::Occupy);
+        assert_eq!(ok.iter().filter(|&&b| b).count(), 1);
+        let winner = ok.iter().position(|&b| b).unwrap();
+        assert_eq!(pram.memory().peek(4), attempts[winner].0);
+    }
+
+    #[test]
+    fn contention_accounting_matches_collision_set_size() {
+        let mut pram = Pram::new(8);
+        let attempts: Vec<(u64, usize)> = (0..5).map(|i| (100 + i, 3usize)).collect();
+        claim_cells(&mut pram, &attempts, ClaimMode::Occupy);
+        // the probe and write steps each see 5 processors on one cell
+        assert_eq!(pram.trace().max_contention(), 5);
+        assert!(pram.trace().time(CostModel::Crcw) <= 3);
+        assert!(pram.trace().time(CostModel::Qrqw) >= 10);
+    }
+
+    #[test]
+    fn empty_attempt_list_is_a_noop() {
+        let mut pram = Pram::new(4);
+        assert!(claim_cells(&mut pram, &[], ClaimMode::Exclusive).is_empty());
+        assert_eq!(pram.trace().num_steps(), 0);
+    }
+
+    #[test]
+    fn sequential_rounds_respect_previous_claims() {
+        let mut pram = Pram::new(8);
+        assert_eq!(claim_cells(&mut pram, &[(1, 2)], ClaimMode::Occupy), vec![true]);
+        // a later round cannot steal the cell
+        assert_eq!(claim_cells(&mut pram, &[(9, 2)], ClaimMode::Occupy), vec![false]);
+        assert_eq!(pram.memory().peek(2), 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! # qrqw-prims — parallel building blocks on the QRQW PRAM simulator
+//!
+//! This crate provides the primitive parallel routines that the paper's
+//! algorithms (crate `qrqw-core`) are built from, each expressed as a
+//! sequence of synchronous steps on a [`qrqw_sim::Pram`] so that its time,
+//! work and contention are measured exactly:
+//!
+//! * [`prefix`] — work-optimal EREW prefix sums (Blelloch up/down sweep),
+//!   the `Θ(lg n)`-time tool behind the EREW baselines of Table I.
+//! * [`broadcast`] — binary broadcasting of a cell to `k` cells in
+//!   `O(lg k)` EREW steps, and bulk value duplication (the paper's
+//!   "replace a program variable with k copies" technique, Section 1.2).
+//! * [`reduce`] — binary-tree global OR / sum / max reductions.
+//! * [`listrank`] — pointer-jumping list ranking (used by the load-balancing
+//!   input-format conversion of Section 3).
+//! * [`claim`] — the "write, read, write, read" cell-claiming protocol of
+//!   Section 5.1, in both *exclusive* (all colliders fail) and *occupy*
+//!   (arbitration winner succeeds) flavours.
+//! * [`compaction`] — the compaction and linear-compaction problems
+//!   (Section 4 preliminaries): an EREW prefix-sums compaction and a
+//!   low-contention dart-throwing linear compaction with log-star team
+//!   doubling.
+//! * [`intsort`] — the stable small-range integer sort of Fact 4.3 and a
+//!   general LSD radix sort for packed (key, payload) words.
+//! * [`bitonic`] — Batcher's bitonic sorting network as an EREW PRAM
+//!   algorithm (the MasPar system sort used by the sorting-based
+//!   random-permutation baseline of Section 5.2).
+
+#![warn(missing_docs)]
+
+pub mod bitonic;
+pub mod broadcast;
+pub mod claim;
+pub mod compaction;
+pub mod intsort;
+pub mod listrank;
+pub mod prefix;
+pub mod reduce;
+pub mod util;
+
+pub use bitonic::{bitonic_sort, bitonic_sort_segments};
+pub use broadcast::{broadcast_cell, duplicate_values, propagate_nonempty_forward};
+pub use claim::{claim_cells, ClaimMode};
+pub use compaction::{compact_erew, linear_compaction, LinearCompactionOutcome};
+pub use intsort::{radix_sort_packed, stable_sort_small_range};
+pub use listrank::list_rank;
+pub use prefix::{prefix_sums_exclusive, prefix_sums_inclusive};
+pub use reduce::{global_or, reduce_max, reduce_sum};
+pub use util::{pack, unpack_key, unpack_payload};

@@ -1,0 +1,104 @@
+//! Binary-tree reductions: global OR, sum, max.
+//!
+//! These are the EREW bookkeeping tools the paper's algorithms use for
+//! "detect whether any item failed" / "count the survivors" style steps
+//! (e.g. the `globalor` calls in the MasPar experiment of Section 5.2 and
+//! the failure tests of the Las Vegas wrappers).  Each runs in `⌈lg n⌉ + 1`
+//! EREW-legal steps and `O(n)` work.
+
+use qrqw_sim::{Pram, EMPTY};
+
+use crate::util::next_pow2;
+
+fn tree_reduce(pram: &mut Pram, base: usize, len: usize, combine: fn(u64, u64) -> u64, identity: u64, map_empty: u64) -> u64 {
+    if len == 0 {
+        return identity;
+    }
+    let m = next_pow2(len);
+    let w = pram.alloc(m);
+    pram.step(|s| {
+        s.par_for(0..m, |i, ctx| {
+            let v = if i < len { ctx.read(base + i) } else { EMPTY };
+            ctx.write(w + i, if v == EMPTY { map_empty } else { v });
+        });
+    });
+    let levels = m.trailing_zeros() as usize;
+    for d in 0..levels {
+        let stride = 1usize << (d + 1);
+        let half = 1usize << d;
+        pram.step(|s| {
+            s.par_for(0..m / stride, |i, ctx| {
+                let a = ctx.read(w + i * stride + half - 1);
+                let b = ctx.read(w + i * stride + stride - 1);
+                ctx.write(w + i * stride + stride - 1, combine(a, b));
+            });
+        });
+    }
+    let result = pram.memory().peek(w + m - 1);
+    pram.release_to(w);
+    result
+}
+
+/// Returns true iff any cell in `[base, base+len)` is non-zero and
+/// non-[`EMPTY`].  `O(lg n)` EREW steps, `O(n)` work.
+pub fn global_or(pram: &mut Pram, base: usize, len: usize) -> bool {
+    tree_reduce(pram, base, len, |a, b| (a != 0 || b != 0) as u64, 0, 0) != 0
+}
+
+/// Sum of the region ([`EMPTY`] counts as zero).  `O(lg n)` EREW steps.
+pub fn reduce_sum(pram: &mut Pram, base: usize, len: usize) -> u64 {
+    tree_reduce(pram, base, len, |a, b| a + b, 0, 0)
+}
+
+/// Maximum of the region ([`EMPTY`] counts as zero).  `O(lg n)` EREW steps.
+pub fn reduce_max(pram: &mut Pram, base: usize, len: usize) -> u64 {
+    tree_reduce(pram, base, len, |a, b| a.max(b), 0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrqw_sim::CostModel;
+
+    #[test]
+    fn or_detects_presence() {
+        let mut pram = Pram::new(33);
+        assert!(!global_or(&mut pram, 0, 33));
+        pram.memory_mut().poke(20, 5);
+        assert!(global_or(&mut pram, 0, 33));
+        assert_eq!(pram.trace().violations(CostModel::Erew), 0);
+    }
+
+    #[test]
+    fn or_ignores_zero_cells() {
+        let mut pram = Pram::new(8);
+        pram.memory_mut().load(0, &[0; 8]);
+        assert!(!global_or(&mut pram, 0, 8));
+    }
+
+    #[test]
+    fn sum_and_max_match_reference() {
+        let xs: Vec<u64> = (0..50).map(|i| (i * 13) % 29).collect();
+        let mut pram = Pram::new(64);
+        pram.memory_mut().load(0, &xs);
+        assert_eq!(reduce_sum(&mut pram, 0, 50), xs.iter().sum::<u64>());
+        assert_eq!(reduce_max(&mut pram, 0, 50), *xs.iter().max().unwrap());
+    }
+
+    #[test]
+    fn reductions_are_logarithmic_time() {
+        let mut pram = Pram::new(4096);
+        pram.memory_mut().load(0, &vec![1u64; 4096]);
+        reduce_sum(&mut pram, 0, 4096);
+        let t = pram.trace().time(CostModel::Qrqw);
+        assert!(t <= 3 * 13, "sum of 4096 cells took {t} time");
+    }
+
+    #[test]
+    fn empty_region_reduces_to_identity() {
+        let mut pram = Pram::new(4);
+        assert_eq!(reduce_sum(&mut pram, 0, 0), 0);
+        assert_eq!(reduce_max(&mut pram, 0, 0), 0);
+        assert!(!global_or(&mut pram, 0, 0));
+    }
+}

@@ -1,0 +1,322 @@
+//! The PRAM driver: shared memory + step execution + trace accumulation.
+
+use crate::memory::SharedMemory;
+use crate::stats::{StepStats, Trace};
+use crate::step::StepCtx;
+
+/// How virtual processors inside a step are executed on the host.
+///
+/// This affects only simulation speed, never results: per-processor random
+/// streams are derived from `(seed, step, proc)` and write arbitration is
+/// deterministic, so sequential and parallel execution are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Run virtual processors on the calling thread.
+    Sequential,
+    /// Always fan virtual processors out over the rayon thread pool.
+    Parallel,
+    /// Use rayon only when a step launches at least a few thousand virtual
+    /// processors (the default).
+    #[default]
+    Auto,
+}
+
+/// A simulated PRAM: shared memory, a master random seed, and the trace of
+/// every step executed so far.
+///
+/// The same simulated execution can afterwards be costed under any
+/// [`crate::CostModel`] via [`Pram::trace`].
+#[derive(Debug)]
+pub struct Pram {
+    mem: SharedMemory,
+    trace: Trace,
+    seed: u64,
+    mode: ExecMode,
+    steps_executed: u64,
+    heap_top: usize,
+}
+
+impl Pram {
+    /// Creates a PRAM with `mem_size` cells of shared memory (all
+    /// [`crate::EMPTY`]) and seed 0.
+    pub fn new(mem_size: usize) -> Self {
+        Pram::with_seed(mem_size, 0)
+    }
+
+    /// Creates a PRAM with the given master random seed.
+    pub fn with_seed(mem_size: usize, seed: u64) -> Self {
+        Pram {
+            mem: SharedMemory::new(mem_size),
+            trace: Trace::new(),
+            seed,
+            mode: ExecMode::default(),
+            steps_executed: 0,
+            heap_top: mem_size,
+        }
+    }
+
+    /// Allocates `len` fresh [`crate::EMPTY`]-initialised cells past every
+    /// previously allocated region and returns their base address.
+    ///
+    /// Allocation is a host-side bookkeeping convenience (PRAM algorithms
+    /// are free to address any cell); it lets primitives obtain scratch
+    /// space without clobbering their caller's arrays.  Paired with
+    /// [`Pram::release_to`], it behaves as a stack allocator.
+    pub fn alloc(&mut self, len: usize) -> usize {
+        let base = self.heap_top;
+        self.heap_top += len;
+        self.mem.ensure(self.heap_top);
+        self.mem.clear_region(base, len);
+        base
+    }
+
+    /// Releases every allocation made at or after `base` (obtained from a
+    /// previous [`Pram::alloc`]).  The cells remain addressable; only the
+    /// allocator's high-water mark is rolled back so the space can be
+    /// reused by later scratch allocations.
+    pub fn release_to(&mut self, base: usize) {
+        assert!(base <= self.heap_top, "release_to past the allocation top");
+        self.heap_top = base;
+    }
+
+    /// The current allocation high-water mark.
+    pub fn heap_top(&self) -> usize {
+        self.heap_top
+    }
+
+    /// Sets the host execution mode (see [`ExecMode`]).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// The master random seed of this run.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Immutable access to the shared memory (host-side, un-accounted).
+    pub fn memory(&self) -> &SharedMemory {
+        &self.mem
+    }
+
+    /// Mutable access to the shared memory (host-side, un-accounted); used
+    /// to load inputs and allocate auxiliary regions.
+    pub fn memory_mut(&mut self) -> &mut SharedMemory {
+        &mut self.mem
+    }
+
+    /// Grows shared memory to at least `size` cells and moves the allocator
+    /// high-water mark past them, so later [`Pram::alloc`] calls never hand
+    /// out addresses below `size`.
+    pub fn ensure_memory(&mut self, size: usize) {
+        self.mem.ensure(size);
+        self.heap_top = self.heap_top.max(size);
+    }
+
+    /// The trace accumulated so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of synchronous steps executed so far.
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
+    }
+
+    /// Executes one synchronous PRAM step.
+    ///
+    /// Inside the closure, launch virtual processors with
+    /// [`StepCtx::par_map`] / [`StepCtx::par_for`].  All reads observe the
+    /// memory as it was when the step began; all writes take effect when the
+    /// step ends (lowest-processor-id winner for concurrent writes).  The
+    /// step's statistics are appended to the trace.
+    pub fn step<R>(&mut self, f: impl FnOnce(&mut StepCtx<'_>) -> R) -> R {
+        let step_idx = self.steps_executed;
+        let mut ctx = StepCtx::new(self.mem.as_slice(), self.seed, step_idx, self.mode);
+        let result = f(&mut ctx);
+        let (stats, writes) = ctx.finish();
+        for (addr, value) in writes {
+            self.mem.apply(addr, value);
+        }
+        self.trace.push(stats);
+        self.steps_executed += 1;
+        result
+    }
+
+    /// Executes a built-in inclusive prefix-sums (scan) step over the memory
+    /// region `[base, base+len)`, returning the total sum.
+    ///
+    /// On the scan-SIMD-QRQW model this costs unit time; under every other
+    /// model it is charged as the `⌈lg len⌉`-depth binary-tree computation it
+    /// abbreviates (see [`crate::CostModel::step_time`]).  Cells equal to
+    /// [`crate::EMPTY`] are treated as zero.
+    pub fn scan_step(&mut self, base: usize, len: usize) -> u64 {
+        self.mem.ensure(base + len);
+        let mut acc = 0u64;
+        for i in 0..len {
+            let v = self.mem.peek(base + i);
+            let v = if v == crate::memory::EMPTY { 0 } else { v };
+            acc += v;
+            self.mem.apply(base + i, acc);
+        }
+        self.trace.push(StepStats {
+            active_procs: len as u64,
+            total_reads: len as u64,
+            total_writes: len as u64,
+            total_computes: len as u64,
+            max_ops_per_proc: 1,
+            max_read_contention: 1,
+            max_write_contention: 1,
+            is_scan: true,
+            scan_width: len as u64,
+        });
+        self.steps_executed += 1;
+        acc
+    }
+
+    /// Executes a built-in global-OR step over `[base, base+len)` (the
+    /// MasPar `globalor` routine): returns true iff any cell in the region
+    /// is non-zero and non-[`crate::EMPTY`].  Charged like a scan.
+    pub fn global_or_step(&mut self, base: usize, len: usize) -> bool {
+        let mut any = false;
+        for i in 0..len {
+            let v = self.mem.peek(base + i);
+            if v != 0 && v != crate::memory::EMPTY {
+                any = true;
+                break;
+            }
+        }
+        self.trace.push(StepStats {
+            active_procs: len as u64,
+            total_reads: len as u64,
+            total_writes: 0,
+            total_computes: len as u64,
+            max_ops_per_proc: 1,
+            max_read_contention: 1,
+            max_write_contention: 1,
+            is_scan: true,
+            scan_width: len as u64,
+        });
+        self.steps_executed += 1;
+        any
+    }
+
+    /// Splits off the trace accumulated so far, resetting this PRAM's trace
+    /// to empty (memory and step counter are preserved).  Useful for
+    /// measuring individual phases of a larger algorithm.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CostModel;
+    use crate::memory::EMPTY;
+
+    #[test]
+    fn writes_apply_at_end_of_step_with_lowest_id_winner() {
+        let mut pram = Pram::new(4);
+        pram.step(|s| {
+            s.par_for(0..4, |p, ctx| {
+                ctx.write(0, 100 + p as u64);
+            });
+        });
+        assert_eq!(pram.memory().peek(0), 100);
+        assert_eq!(pram.trace().step_stats()[0].max_write_contention, 4);
+    }
+
+    #[test]
+    fn trace_accumulates_across_steps() {
+        let n = 256;
+        let mut pram = Pram::new(n);
+        for _ in 0..3 {
+            pram.step(|s| {
+                s.par_for(0..n, |p, ctx| {
+                    let v = ctx.read(p);
+                    ctx.write(p, if v == EMPTY { 1 } else { v + 1 });
+                });
+            });
+        }
+        assert_eq!(pram.steps_executed(), 3);
+        assert_eq!(pram.trace().time(CostModel::Qrqw), 3);
+        assert_eq!(pram.trace().work(), 3 * 2 * n as u64);
+        assert_eq!(pram.memory().peek(17), 3);
+    }
+
+    #[test]
+    fn scan_step_computes_inclusive_prefix_sums() {
+        let mut pram = Pram::new(8);
+        pram.memory_mut().load(0, &[1, 2, 3, 4]);
+        let total = pram.scan_step(0, 4);
+        assert_eq!(total, 10);
+        assert_eq!(pram.memory().dump(0, 4), vec![1, 3, 6, 10]);
+        assert_eq!(pram.trace().time(CostModel::ScanSimdQrqw), 1);
+        assert_eq!(pram.trace().time(CostModel::Qrqw), 2); // ceil(lg 4)
+    }
+
+    #[test]
+    fn scan_step_treats_empty_as_zero() {
+        let mut pram = Pram::new(4);
+        pram.memory_mut().poke(1, 5);
+        let total = pram.scan_step(0, 4);
+        assert_eq!(total, 5);
+        assert_eq!(pram.memory().dump(0, 4), vec![0, 5, 5, 5]);
+    }
+
+    #[test]
+    fn global_or_step_detects_any_nonzero() {
+        let mut pram = Pram::new(8);
+        assert!(!pram.global_or_step(0, 8));
+        pram.memory_mut().poke(5, 1);
+        assert!(pram.global_or_step(0, 8));
+    }
+
+    #[test]
+    fn take_trace_resets_but_preserves_memory() {
+        let mut pram = Pram::new(4);
+        pram.step(|s| s.par_for(0..4, |p, ctx| ctx.write(p, p as u64)));
+        let t = pram.take_trace();
+        assert_eq!(t.num_steps(), 1);
+        assert_eq!(pram.trace().num_steps(), 0);
+        assert_eq!(pram.memory().peek(3), 3);
+        assert_eq!(pram.steps_executed(), 1);
+    }
+
+    #[test]
+    fn alloc_and_release_behave_like_a_stack() {
+        let mut pram = Pram::new(8);
+        let a = pram.alloc(4);
+        assert_eq!(a, 8);
+        let b = pram.alloc(2);
+        assert_eq!(b, 12);
+        assert_eq!(pram.heap_top(), 14);
+        pram.release_to(b);
+        let c = pram.alloc(3);
+        assert_eq!(c, 12);
+        // freshly allocated cells are EMPTY even when reused
+        assert!(pram.memory().dump(c, 3).iter().all(|&v| v == EMPTY));
+        pram.release_to(a);
+        assert_eq!(pram.heap_top(), 8);
+        // ensure_memory pushes the high-water mark
+        pram.ensure_memory(32);
+        assert_eq!(pram.alloc(1), 32);
+    }
+
+    #[test]
+    fn deterministic_across_runs_with_same_seed() {
+        let run = |seed| {
+            let mut pram = Pram::with_seed(64, seed);
+            pram.step(|s| {
+                s.par_for(0..64, |p, ctx| {
+                    let target = ctx.random_index(64);
+                    ctx.write(target, p as u64);
+                });
+            });
+            pram.memory().dump(0, 64)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

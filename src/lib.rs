@@ -1,0 +1,17 @@
+//! Umbrella crate for the QRQW PRAM reproduction workspace.
+//!
+//! Re-exports the four library crates so the examples and integration tests
+//! (and downstream users who just want everything) can depend on a single
+//! package:
+//!
+//! * [`sim`] — the QRQW PRAM simulator and cost models,
+//! * [`prims`] — parallel primitives (prefix sums, broadcasting, claiming,
+//!   compaction, sorting networks),
+//! * [`algos`] — the paper's algorithms and their baselines,
+//! * [`exec`] — the native rayon/atomics executor for the Table II
+//!   experiment.
+
+pub use qrqw_core as algos;
+pub use qrqw_exec as exec;
+pub use qrqw_prims as prims;
+pub use qrqw_sim as sim;
