@@ -50,7 +50,9 @@ fn bench_claiming(c: &mut Criterion) {
     c.bench_function("primitives/claim_cells_4k", |b| {
         b.iter(|| {
             let mut p = Pram::with_seed(2 * n, 5);
-            let attempts: Vec<(u64, usize)> = (0..n as u64).map(|i| (i + 1, (i as usize * 7) % (2 * n))).collect();
+            let attempts: Vec<(u64, usize)> = (0..n as u64)
+                .map(|i| (i + 1, (i as usize * 7) % (2 * n)))
+                .collect();
             claim_cells(&mut p, &attempts, ClaimMode::Exclusive)
         })
     });

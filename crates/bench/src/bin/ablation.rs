@@ -13,7 +13,10 @@ use qrqw_sim::{CostModel, Pram};
 
 fn main() {
     println!("Ablation 1 — fat-tree search vs concurrent binary search (n keys, 63 splitters)");
-    println!("{:<10} {:>18} {:>18} {:>14} {:>14}", "n", "fat-tree max cont", "concurrent max cont", "fat-tree qrqw", "concurrent qrqw");
+    println!(
+        "{:<10} {:>18} {:>18} {:>14} {:>14}",
+        "n", "fat-tree max cont", "concurrent max cont", "fat-tree qrqw", "concurrent qrqw"
+    );
     for &n in &[1usize << 10, 1 << 12, 1 << 14] {
         let splitters: Vec<u64> = (1..64).map(|i| i * 1000).collect();
         let keys: Vec<u64> = (0..n as u64).map(|i| (i * 977) % 64_000).collect();
@@ -32,8 +35,13 @@ fn main() {
         println!("{n:<10} {fc:>18} {cc:>18} {ft:>14} {ct:>14}");
     }
 
-    println!("\nAblation 2 — linear-compaction output slack (k = 2048 items out of n = 8192 cells)");
-    println!("{:<16} {:>10} {:>14} {:>12}", "output size", "rounds", "max contention", "qrqw time");
+    println!(
+        "\nAblation 2 — linear-compaction output slack (k = 2048 items out of n = 8192 cells)"
+    );
+    println!(
+        "{:<16} {:>10} {:>14} {:>12}",
+        "output size", "rounds", "max contention", "qrqw time"
+    );
     let n = 8192usize;
     let k = 2048usize;
     for factor in [4usize, 8, 16] {
@@ -53,8 +61,13 @@ fn main() {
         );
     }
 
-    println!("\nAblation 3 — cyclic permutation: fast (Thm 5.2) vs work-optimal (Thm 5.3), n = 4096");
-    println!("{:<18} {:>12} {:>12} {:>14}", "algorithm", "qrqw time", "work", "max contention");
+    println!(
+        "\nAblation 3 — cyclic permutation: fast (Thm 5.2) vs work-optimal (Thm 5.3), n = 4096"
+    );
+    println!(
+        "{:<18} {:>12} {:>12} {:>14}",
+        "algorithm", "qrqw time", "work", "max contention"
+    );
     let n = 4096usize;
     let mut a = Pram::with_seed(4, 5);
     let _ = random_cyclic_permutation_fast(&mut a, n);

@@ -19,7 +19,13 @@ fn show(label: &str, perm: &[u64]) {
         .collect();
     let mapping: Vec<String> = perm.iter().map(|x| (x + 1).to_string()).collect();
     println!("{label}");
-    println!("  i      : {}", (1..=perm.len()).map(|i| i.to_string()).collect::<Vec<_>>().join(" "));
+    println!(
+        "  i      : {}",
+        (1..=perm.len())
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     println!("  pi(i)  : {}", mapping.join(" "));
     println!("  cycles : {}", cycles_str.join(" "));
     println!("  cyclic : {}\n", is_cyclic(perm));
@@ -36,13 +42,22 @@ fn main() {
     // item occupying the next claimed cell, closing a single cycle.
     let pi: Vec<u64> = vec![2, 3, 4, 0, 1];
 
-    show("pi — cyclic permutation (successor linking, left side of Fig. 1)", &pi);
-    show("phi — non-cyclic permutation (prefix-sums compaction, right side of Fig. 1)", &phi);
+    show(
+        "pi — cyclic permutation (successor linking, left side of Fig. 1)",
+        &pi,
+    );
+    show(
+        "phi — non-cyclic permutation (prefix-sums compaction, right side of Fig. 1)",
+        &phi,
+    );
 
     println!("Fresh samples from the two QRQW cyclic-permutation algorithms (n = 10):\n");
     let mut pram = Pram::with_seed(4, 42);
     let fast = random_cyclic_permutation_fast(&mut pram, 10);
-    show("Theorem 5.2 (fast, O(sqrt(lg n)) time) sample", &fast.successor);
+    show(
+        "Theorem 5.2 (fast, O(sqrt(lg n)) time) sample",
+        &fast.successor,
+    );
     let mut pram = Pram::with_seed(4, 43);
     let eff = random_cyclic_permutation_efficient(&mut pram, 10);
     show("Theorem 5.3 (work-optimal) sample", &eff.successor);

@@ -45,20 +45,32 @@ fn main() {
         let mut rng = SmallRng::seed_from_u64(7);
         // few, large sets so the heavy (dart-throwing) path is exercised
         let num_labels = (n / 2048).max(2);
-        let labels: Vec<u64> = (0..n).map(|_| rng.gen_range(0..num_labels as u64)).collect();
+        let labels: Vec<u64> = (0..n)
+            .map(|_| rng.gen_range(0..num_labels as u64))
+            .collect();
         let mut counts = vec![0u64; num_labels];
         for &l in &labels {
             counts[l as usize] += 1;
         }
         let (l1, c1) = (labels.clone(), counts.clone());
-        rows.push(MeasuredRow::measure("mcompact/qrqw heavy+light", n, 2, move |p| {
-            let r = multiple_compaction(p, &l1, &c1);
-            assert!(!r.failed);
-        }));
-        rows.push(MeasuredRow::measure("mcompact/erew int-sort reduction", n, 2, move |p| {
-            let r = light_multiple_compaction(p, &labels, &counts);
-            assert!(!r.failed);
-        }));
+        rows.push(MeasuredRow::measure(
+            "mcompact/qrqw heavy+light",
+            n,
+            2,
+            move |p| {
+                let r = multiple_compaction(p, &l1, &c1);
+                assert!(!r.failed);
+            },
+        ));
+        rows.push(MeasuredRow::measure(
+            "mcompact/erew int-sort reduction",
+            n,
+            2,
+            move |p| {
+                let r = light_multiple_compaction(p, &labels, &counts);
+                assert!(!r.failed);
+            },
+        ));
     }
     print_rows("Multiple compaction", &rows);
 
@@ -68,15 +80,25 @@ fn main() {
         let mut rng = SmallRng::seed_from_u64(11);
         let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..(1u64 << 31))).collect();
         let k1 = keys.clone();
-        rows.push(MeasuredRow::measure("sortU01/qrqw distributive", n, 3, move |p| {
-            let out = sort_uniform_keys(p, &k1);
-            assert!(out.windows(2).all(|w| w[0] <= w[1]));
-        }));
-        rows.push(MeasuredRow::measure("sortU01/erew bitonic", n, 3, move |p| {
-            let base = p.alloc(n);
-            p.memory_mut().load(base, &keys);
-            bitonic_sort(p, base, n);
-        }));
+        rows.push(MeasuredRow::measure(
+            "sortU01/qrqw distributive",
+            n,
+            3,
+            move |p| {
+                let out = sort_uniform_keys(p, &k1);
+                assert!(out.windows(2).all(|w| w[0] <= w[1]));
+            },
+        ));
+        rows.push(MeasuredRow::measure(
+            "sortU01/erew bitonic",
+            n,
+            3,
+            move |p| {
+                let base = p.alloc(n);
+                p.memory_mut().load(base, &keys);
+                bitonic_sort(p, base, n);
+            },
+        ));
     }
     print_rows("Sorting from U(0,1)", &rows);
 
@@ -90,39 +112,49 @@ fn main() {
         }
         let keys: Vec<u64> = set.into_iter().collect();
         let k1 = keys.clone();
-        rows.push(MeasuredRow::measure("hashing/qrqw build+lookup", n, 4, move |p| {
-            let table = QrqwHashTable::build(p, &k1);
-            let hits = table.lookup_batch(p, &k1);
-            assert!(hits.iter().all(|&h| h));
-        }));
-        rows.push(MeasuredRow::measure("hashing/sort+search dictionary", n, 4, move |p| {
-            let base = p.alloc(n);
-            p.memory_mut().load(base, &keys);
-            bitonic_sort(p, base, n);
-            // membership by binary search (concurrent reads; the practical
-            // zero-preprocessing comparator)
-            let keys_ref = &keys;
-            let hits = p.step(|s| {
-                s.par_map(0..n, |i, ctx| {
-                    let x = keys_ref[i];
-                    let (mut lo, mut hi) = (0usize, n);
-                    while lo < hi {
-                        let mid = (lo + hi) / 2;
-                        let v = ctx.read(base + mid);
-                        if v == x {
-                            return true;
+        rows.push(MeasuredRow::measure(
+            "hashing/qrqw build+lookup",
+            n,
+            4,
+            move |p| {
+                let table = QrqwHashTable::build(p, &k1);
+                let hits = table.lookup_batch(p, &k1);
+                assert!(hits.iter().all(|&h| h));
+            },
+        ));
+        rows.push(MeasuredRow::measure(
+            "hashing/sort+search dictionary",
+            n,
+            4,
+            move |p| {
+                let base = p.alloc(n);
+                p.memory_mut().load(base, &keys);
+                bitonic_sort(p, base, n);
+                // membership by binary search (concurrent reads; the practical
+                // zero-preprocessing comparator)
+                let keys_ref = &keys;
+                let hits = p.step(|s| {
+                    s.par_map(0..n, |i, ctx| {
+                        let x = keys_ref[i];
+                        let (mut lo, mut hi) = (0usize, n);
+                        while lo < hi {
+                            let mid = (lo + hi) / 2;
+                            let v = ctx.read(base + mid);
+                            if v == x {
+                                return true;
+                            }
+                            if v < x {
+                                lo = mid + 1;
+                            } else {
+                                hi = mid;
+                            }
                         }
-                        if v < x {
-                            lo = mid + 1;
-                        } else {
-                            hi = mid;
-                        }
-                    }
-                    false
-                })
-            });
-            assert!(hits.iter().all(|&h| h));
-        }));
+                        false
+                    })
+                });
+                assert!(hits.iter().all(|&h| h));
+            },
+        ));
     }
     print_rows("Parallel hashing (build + n lookups)", &rows);
 

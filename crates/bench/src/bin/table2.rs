@@ -2,34 +2,41 @@
 //!
 //! The original table reports the average wall-clock time of 1000 random
 //! permutations of `[1..p]` for three algorithms at `p = 16,384` and
-//! `p = 1,024`.  Here the three algorithms run natively on this machine's
-//! cores (rayon + atomics stand in for the MasPar's processors and router),
-//! and the same algorithms are also run on the PRAM simulator so the
-//! model-predicted ordering of Section 5.2's "asymptotic analysis of the
+//! `p = 1,024`.  Here the same three algorithm *sources* (crate `qrqw-core`,
+//! written against the `Machine` backend API) run natively on this machine's
+//! cores through `qrqw_exec::NativeMachine`, and on the PRAM simulator so
+//! the model-predicted ordering of Section 5.2's "asymptotic analysis of the
 //! implemented algorithms" paragraph can be printed next to the measured
 //! wall clock.
 //!
 //! Usage: `cargo run -p qrqw-bench --release --bin table2 [repetitions]`
 
-use std::time::Instant;
-
+use qrqw_bench::{Algorithm, Backend};
 use qrqw_core::{
     random_permutation_dart_scan, random_permutation_qrqw, random_permutation_sorting_erew,
 };
-use qrqw_exec::{dart_qrqw_permutation, dart_scan_permutation, sorting_based_permutation};
 use qrqw_sim::{CostModel, Pram};
 
-fn time_native(label: &str, n: usize, reps: u64, f: impl Fn(u64) -> qrqw_exec::NativeOutcome) {
-    // warm-up
-    let _ = f(0);
-    let start = Instant::now();
+const TABLE2_ALGOS: [Algorithm; 3] = [
+    Algorithm::PermutationSortingErew,
+    Algorithm::PermutationDartScan,
+    Algorithm::PermutationQrqw,
+];
+
+fn time_native(algo: Algorithm, n: usize, reps: u64) {
+    let _ = algo.run(Backend::Native, n, 0); // warm-up
+    let mut total_ms = 0.0;
     let mut contended = 0u64;
     for r in 0..reps {
-        contended += f(r + 1).contended_attempts;
+        let run = algo.run(Backend::Native, n, r + 1);
+        assert!(run.valid, "{} produced an invalid output", algo.name());
+        total_ms += run.elapsed.as_secs_f64() * 1000.0;
+        contended += run.report.contended_claims;
     }
-    let avg_ms = start.elapsed().as_secs_f64() * 1000.0 / reps as f64;
     println!(
-        "  {label:<28} n={n:<6} avg {avg_ms:>8.3} ms   (avg contended CAS attempts {:>8.1})",
+        "  {:<28} n={n:<6} avg {:>8.3} ms   (avg contended claims {:>8.1})",
+        algo.name(),
+        total_ms / reps as f64,
         contended as f64 / reps as f64
     );
 }
@@ -66,25 +73,26 @@ fn main() {
         .map(|s| s.parse().expect("repetitions must be an integer"))
         .unwrap_or(100);
 
-    println!("Table II reproduction — random permutation on {} hardware threads", rayon::current_num_threads());
-    println!("(paper: MasPar MP-1, 1000 repetitions; here: {reps} repetitions per cell)\n");
+    println!(
+        "Table II reproduction — random permutation on {} hardware threads",
+        rayon::current_num_threads()
+    );
+    println!("(paper: MasPar MP-1, 1000 repetitions; here: {reps} repetitions per cell)");
+    println!("(one algorithm source per row, executed through the Machine backend API)\n");
 
     for &n in &[16_384usize, 1_024] {
         println!("n = p = {n}  (native wall clock)");
-        time_native("sorting-based (erew)", n, reps, |seed| {
-            sorting_based_permutation(n, seed)
-        });
-        time_native("dart-throwing with scans", n, reps, |seed| {
-            dart_scan_permutation(n, seed)
-        });
-        time_native("dart-throwing for qrqw", n, reps, |seed| {
-            dart_qrqw_permutation(n, seed)
-        });
+        for algo in TABLE2_ALGOS {
+            time_native(algo, n, reps);
+        }
         println!();
     }
 
     println!("Model-predicted ordering (simulated, n = 1,024 and n = 4,096):");
-    println!("  {:<28} {:>14} {:>18}", "algorithm", "simd-qrqw time", "scan-simd-qrqw time");
+    println!(
+        "  {:<28} {:>14} {:>18}",
+        "algorithm", "simd-qrqw time", "scan-simd-qrqw time"
+    );
     for &n in &[1_024usize, 4_096] {
         for (label, t_simd, t_scan) in simulated_times(n) {
             println!("  {label:<28} {t_simd:>10} (n={n}) {t_scan:>12} (n={n})");

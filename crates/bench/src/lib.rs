@@ -19,7 +19,221 @@
 
 #![warn(missing_docs)]
 
-use qrqw_sim::{CostModel, Pram, TraceSummary};
+use std::time::{Duration, Instant};
+
+use qrqw_core::{
+    is_permutation, load_balance_erew, load_balance_qrqw, random_permutation_dart_scan,
+    random_permutation_qrqw, random_permutation_sorting_erew,
+};
+use qrqw_exec::NativeMachine;
+use qrqw_prims::linear_compaction;
+use qrqw_sim::{CostModel, CostReport, Machine, Pram, TraceSummary};
+
+/// Which [`Machine`] backend a harness run executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The exact-cost QRQW PRAM simulator ([`Pram`]).
+    Sim,
+    /// The native rayon/atomics machine ([`NativeMachine`]).
+    Native,
+}
+
+impl Backend {
+    /// Both backends, simulator first.
+    pub const ALL: [Backend; 2] = [Backend::Sim, Backend::Native];
+
+    /// Short name (`"sim"` / `"native"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Native => "native",
+        }
+    }
+
+    /// Parses a backend name.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "sim" => Some(Backend::Sim),
+            "native" => Some(Backend::Native),
+            _ => None,
+        }
+    }
+}
+
+/// An algorithm ported to the [`Machine`] backend API, runnable (and timed)
+/// on either backend from this one entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// §5.1.1 QRQW dart-throwing random permutation (Theorem 5.1).
+    PermutationQrqw,
+    /// §5.2 dart throwing with per-round compaction scans.
+    PermutationDartScan,
+    /// §5.2 sorting-based EREW baseline (bitonic system sort).
+    PermutationSortingErew,
+    /// §4 low-contention linear compaction (half-full input array).
+    LinearCompaction,
+    /// §3 QRQW load balancing on a skewed load vector.
+    LoadBalanceQrqw,
+    /// §3 EREW prefix-sums load-balancing baseline.
+    LoadBalanceErew,
+}
+
+impl Algorithm {
+    /// Every ported algorithm.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::PermutationQrqw,
+        Algorithm::PermutationDartScan,
+        Algorithm::PermutationSortingErew,
+        Algorithm::LinearCompaction,
+        Algorithm::LoadBalanceQrqw,
+        Algorithm::LoadBalanceErew,
+    ];
+
+    /// Stable kebab-case name (also accepted by [`Algorithm::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::PermutationQrqw => "permutation-qrqw",
+            Algorithm::PermutationDartScan => "permutation-dart-scan",
+            Algorithm::PermutationSortingErew => "permutation-sorting-erew",
+            Algorithm::LinearCompaction => "linear-compaction",
+            Algorithm::LoadBalanceQrqw => "load-balance-qrqw",
+            Algorithm::LoadBalanceErew => "load-balance-erew",
+        }
+    }
+
+    /// Parses an algorithm name as printed by [`Algorithm::name`].
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        Algorithm::ALL.into_iter().find(|a| a.name() == s)
+    }
+
+    /// The deterministic skewed load vector the load-balancing runs use
+    /// (a few heavy processors, a sparse tail).
+    pub fn skewed_loads(n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|i| if i % 64 == 0 { 64 } else { (i % 2) as u64 })
+            .collect()
+    }
+
+    /// Runs this algorithm at problem size `n` on an already-constructed
+    /// machine, returning whether the output validated and the wall-clock
+    /// time of the algorithm itself (input setup and output validation are
+    /// excluded, matching how the MasPar experiment timed its kernels).
+    pub fn run_on<M: Machine>(self, m: &mut M, n: usize) -> (bool, Duration) {
+        match self {
+            Algorithm::PermutationQrqw => {
+                let start = Instant::now();
+                let out = random_permutation_qrqw(m, n);
+                let elapsed = start.elapsed();
+                (is_permutation(&out.order), elapsed)
+            }
+            Algorithm::PermutationDartScan => {
+                let start = Instant::now();
+                let out = random_permutation_dart_scan(m, n);
+                let elapsed = start.elapsed();
+                (is_permutation(&out.order), elapsed)
+            }
+            Algorithm::PermutationSortingErew => {
+                let start = Instant::now();
+                let out = random_permutation_sorting_erew(m, n);
+                let elapsed = start.elapsed();
+                (is_permutation(&out.order), elapsed)
+            }
+            Algorithm::LinearCompaction => {
+                let src = m.alloc(n.max(1));
+                let k = n / 2;
+                for i in 0..k {
+                    m.poke(src + 2 * i, i as u64 + 1);
+                }
+                let dst = m.alloc((4 * k).max(4));
+                let start = Instant::now();
+                let out = linear_compaction(m, src, n, dst, (4 * k).max(4));
+                let elapsed = start.elapsed();
+                let mut dests: Vec<usize> = out.placements.iter().map(|&(_, d)| d).collect();
+                dests.sort_unstable();
+                dests.dedup();
+                (out.placements.len() == k && dests.len() == k, elapsed)
+            }
+            Algorithm::LoadBalanceQrqw => {
+                let loads = Algorithm::skewed_loads(n);
+                let total: u64 = loads.iter().sum();
+                let start = Instant::now();
+                let res = load_balance_qrqw(m, &loads);
+                let elapsed = start.elapsed();
+                let valid = res.covers_exactly(&loads)
+                    && (n == 0 || res.max_final_load <= 64 * (1 + total / n as u64));
+                (valid, elapsed)
+            }
+            Algorithm::LoadBalanceErew => {
+                let loads = Algorithm::skewed_loads(n);
+                let start = Instant::now();
+                let res = load_balance_erew(m, &loads);
+                let elapsed = start.elapsed();
+                (res.covers_exactly(&loads), elapsed)
+            }
+        }
+    }
+
+    /// Creates a fresh machine of the requested backend, runs this algorithm
+    /// on it, and reports timing, validity and the backend's cost report.
+    pub fn run(self, backend: Backend, n: usize, seed: u64) -> BackendRun {
+        let (valid, elapsed, report) = match backend {
+            Backend::Sim => {
+                let mut m = Pram::with_seed(16, seed);
+                let (valid, elapsed) = self.run_on(&mut m, n);
+                (valid, elapsed, m.cost_report())
+            }
+            Backend::Native => {
+                let mut m = NativeMachine::with_seed(16, seed);
+                let (valid, elapsed) = self.run_on(&mut m, n);
+                (valid, elapsed, m.cost_report())
+            }
+        };
+        BackendRun {
+            algorithm: self.name(),
+            backend: backend.name(),
+            n,
+            seed,
+            valid,
+            elapsed,
+            report,
+        }
+    }
+}
+
+/// One algorithm execution on one backend: the unified record the Table II
+/// harness (and any future sweep) prints.
+#[derive(Debug, Clone)]
+pub struct BackendRun {
+    /// [`Algorithm::name`] of the run.
+    pub algorithm: &'static str,
+    /// [`Backend::name`] of the run.
+    pub backend: &'static str,
+    /// Problem size.
+    pub n: usize,
+    /// Machine seed.
+    pub seed: u64,
+    /// Whether the output validated (permutation check, coverage check, …).
+    pub valid: bool,
+    /// Wall-clock time of the algorithm run itself.
+    pub elapsed: Duration,
+    /// The backend's own cost report.
+    pub report: CostReport,
+}
+
+impl BackendRun {
+    /// Formats the run as one harness row.
+    pub fn format(&self) -> String {
+        format!(
+            "{:<26} {:<7} n={:<7} {:>9.3} ms  valid={} {}",
+            self.algorithm,
+            self.backend,
+            self.n,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.valid,
+            self.report,
+        )
+    }
+}
 
 /// Problem sizes used by the Table I sweep.
 pub const TABLE1_SIZES: [usize; 4] = [1 << 10, 1 << 12, 1 << 14, 1 << 16];
@@ -88,6 +302,28 @@ pub fn print_rows(title: &str, rows: &[MeasuredRow]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_algorithm_runs_on_both_backends() {
+        for algo in Algorithm::ALL {
+            for backend in Backend::ALL {
+                let run = algo.run(backend, 128, 5);
+                assert!(run.valid, "{} failed on {}", algo.name(), backend.name());
+                assert!(run.format().contains(backend.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn name_round_trips_through_parse() {
+        for algo in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(algo.name()), Some(algo));
+        }
+        for backend in Backend::ALL {
+            assert_eq!(Backend::parse(backend.name()), Some(backend));
+        }
+        assert_eq!(Algorithm::parse("nope"), None);
+    }
 
     #[test]
     fn measure_captures_a_trace() {

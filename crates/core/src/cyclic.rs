@@ -108,9 +108,8 @@ fn place_items(
         rounds += 1;
         let k = active.len();
         let active_ref = &active;
-        let targets: Vec<usize> = pram.step(|s| {
-            s.par_map(0..k * q, |_a, ctx| arena + ctx.random_index(size))
-        });
+        let targets: Vec<usize> =
+            pram.step(|s| s.par_map(0..k * q, |_a, ctx| arena + ctx.random_index(size)));
         let attempts: Vec<(u64, usize)> = (0..k * q)
             .map(|a| {
                 let item = active_ref[a / q];
@@ -221,10 +220,7 @@ fn link_successors(
                         let v = ctx.read(prev_base + c);
                         (v, v)
                     } else {
-                        (
-                            ctx.read(prev_base + 2 * c),
-                            ctx.read(prev_base + 2 * c + 1),
-                        )
+                        (ctx.read(prev_base + 2 * c), ctx.read(prev_base + 2 * c + 1))
                     }
                 };
                 let (ll, lr) = read_child(ctx, 2 * t);
@@ -276,7 +272,7 @@ fn link_successors(
     // Collect and, if necessary, repair sequentially (an unset successor
     // means some top-level node was empty — w.h.p. this never happens).
     let mut successor = pram.memory().dump(succ, n);
-    let fallback = successor.iter().any(|&v| v == EMPTY);
+    let fallback = successor.contains(&EMPTY);
     if fallback {
         // Order items by their arena cell and close the cycle directly.
         let mut by_cell: Vec<(usize, usize)> = cells.iter().copied().enumerate().collect();
@@ -378,8 +374,13 @@ mod tests {
     #[test]
     fn tiny_instances() {
         let mut pram = Pram::with_seed(4, 1);
-        assert!(random_cyclic_permutation_fast(&mut pram, 0).successor.is_empty());
-        assert_eq!(random_cyclic_permutation_fast(&mut pram, 1).successor, vec![0]);
+        assert!(random_cyclic_permutation_fast(&mut pram, 0)
+            .successor
+            .is_empty());
+        assert_eq!(
+            random_cyclic_permutation_fast(&mut pram, 1).successor,
+            vec![0]
+        );
         let two = random_cyclic_permutation_fast(&mut pram, 2);
         assert_eq!(two.successor, vec![1, 0]);
     }

@@ -38,7 +38,10 @@ impl FatTree {
     /// with the binary-broadcasting primitive, `O(total_copies)` cells and
     /// work per level.
     pub fn build(pram: &mut Pram, splitters: &[u64], total_copies: usize) -> FatTree {
-        assert!(splitters.windows(2).all(|w| w[0] <= w[1]), "splitters must be sorted");
+        assert!(
+            splitters.windows(2).all(|w| w[0] <= w[1]),
+            "splitters must be sorted"
+        );
         let s = splitters.len();
         let mut levels = Vec::new();
         if s == 0 {
@@ -48,6 +51,7 @@ impl FatTree {
             };
         }
         let depth = (usize::BITS - s.leading_zeros()) as usize; // ⌈lg(s+1)⌉-ish
+
         // Node (j, t) holds the median splitter of the search range that a
         // query reaching it still has to consider.
         for j in 0..depth {
@@ -179,7 +183,10 @@ mod tests {
         let tree = FatTree::build(&mut pram, &splitters, 64);
         let keys: Vec<u64> = vec![0, 10, 11, 35, 70, 71, 100, 19, 20, 21];
         let got = tree.search_batch(&mut pram, &keys);
-        let expect: Vec<usize> = keys.iter().map(|&k| reference_bucket(&splitters, k)).collect();
+        let expect: Vec<usize> = keys
+            .iter()
+            .map(|&k| reference_bucket(&splitters, k))
+            .collect();
         assert_eq!(got, expect);
     }
 
@@ -194,7 +201,10 @@ mod tests {
         let keys: Vec<u64> = (0..500).map(|_| rng.gen_range(0..10_000)).collect();
         let got = tree.search_batch(&mut pram, &keys);
         let conc = tree.search_batch_concurrent(&mut pram, &keys);
-        let expect: Vec<usize> = keys.iter().map(|&k| reference_bucket(&splitters, k)).collect();
+        let expect: Vec<usize> = keys
+            .iter()
+            .map(|&k| reference_bucket(&splitters, k))
+            .collect();
         assert_eq!(got, expect);
         assert_eq!(conc, expect);
     }

@@ -10,8 +10,10 @@
 //! address run, let one representative per address perform the single real
 //! read-modify-write, and broadcast the old value back along the run.
 
-use qrqw_prims::{pack, prefix_sums_exclusive, propagate_nonempty_forward, radix_sort_packed,
-    unpack_key, unpack_payload};
+use qrqw_prims::{
+    pack, prefix_sums_exclusive, propagate_nonempty_forward, radix_sort_packed, unpack_key,
+    unpack_payload,
+};
 use qrqw_sim::schedule::ceil_lg;
 use qrqw_sim::{Pram, EMPTY};
 
@@ -28,7 +30,10 @@ pub fn emulate_fetch_add_step(pram: &mut Pram, requests: &[(usize, u64)]) -> Vec
     if n == 0 {
         return Vec::new();
     }
-    assert!(requests.iter().all(|&(a, _)| a < (1 << 31)), "addresses must be < 2^31");
+    assert!(
+        requests.iter().all(|&(a, _)| a < (1 << 31)),
+        "addresses must be < 2^31"
+    );
     if let Some(max_addr) = requests.iter().map(|&(a, _)| a).max() {
         pram.ensure_memory(max_addr + 1);
     }
@@ -134,7 +139,10 @@ mod tests {
         let mut pram = Pram::new(64);
         let reqs: Vec<(usize, u64)> = (0..20).map(|i| (i, 5)).collect();
         let olds = emulate_fetch_add_step(&mut pram, &reqs);
-        assert!(olds.iter().all(|&v| v == 0), "uninitialised cells read as zero");
+        assert!(
+            olds.iter().all(|&v| v == 0),
+            "uninitialised cells read as zero"
+        );
         for i in 0..20 {
             assert_eq!(pram.memory().peek(i), 5);
         }
@@ -143,14 +151,7 @@ mod tests {
     #[test]
     fn mixed_addresses_match_a_sequential_emulation() {
         let mut pram = Pram::with_seed(64, 3);
-        let reqs: Vec<(usize, u64)> = vec![
-            (5, 1),
-            (9, 10),
-            (5, 2),
-            (9, 20),
-            (5, 3),
-            (2, 7),
-        ];
+        let reqs: Vec<(usize, u64)> = vec![(5, 1), (9, 10), (5, 2), (9, 20), (5, 3), (2, 7)];
         let olds = emulate_fetch_add_step(&mut pram, &reqs);
         // final values equal the sums
         let mut totals: HashMap<usize, u64> = HashMap::new();
@@ -162,7 +163,7 @@ mod tests {
         }
         // per-address old values are exactly the prefix sums of that
         // address's increments in the serialisation order chosen
-        for (&addr, _) in &totals {
+        for &addr in totals.keys() {
             let mut seen: Vec<(u64, u64)> = reqs
                 .iter()
                 .enumerate()

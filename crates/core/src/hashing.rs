@@ -100,7 +100,10 @@ impl QrqwHashTable {
     /// Builds a hash table for the distinct keys `keys` (all `< 2^31 - 1`).
     pub fn build(pram: &mut Pram, keys: &[u64]) -> QrqwHashTable {
         let n = keys.len().max(1);
-        assert!(keys.iter().all(|&k| k < HASH_PRIME), "keys must be < 2^31-1");
+        assert!(
+            keys.iter().all(|&k| k < HASH_PRIME),
+            "keys must be < 2^31-1"
+        );
         let mut rng = SmallRng::seed_from_u64(pram.seed() ^ 0x9A17);
 
         // --- Step 1: draw h ∈ R and duplicate its parameters (Lemma 6.4).
@@ -159,9 +162,8 @@ impl QrqwHashTable {
 
             // Allocation substep: every active bucket claims a random block.
             let active_ref = &active;
-            let picks: Vec<usize> = pram.step(|s| {
-                s.par_map(0..active_ref.len(), |_b, ctx| ctx.random_index(m_t))
-            });
+            let picks: Vec<usize> =
+                pram.step(|s| s.par_map(0..active_ref.len(), |_b, ctx| ctx.random_index(m_t)));
             let attempts: Vec<(u64, usize)> = active
                 .iter()
                 .zip(&picks)
@@ -199,7 +201,9 @@ impl QrqwHashTable {
                 });
             });
             let ok: Vec<bool> = pram.step(|s| {
-                s.par_map(0..writes_ref.len(), |w, ctx| ctx.read(writes_ref[w].1) == writes_ref[w].0)
+                s.par_map(0..writes_ref.len(), |w, ctx| {
+                    ctx.read(writes_ref[w].1) == writes_ref[w].0
+                })
             });
             // Aggregate per bucket (the per-bucket OR the paper charges at
             // contention ≤ bucket size).
@@ -272,8 +276,7 @@ impl QrqwHashTable {
                 pram.step(|s| {
                     s.par_for(0..keys_ref.len(), |i, ctx| {
                         let key = keys_ref[i];
-                        let pos = (((sa as u128 * key as u128 + sb as u128)
-                            % HASH_PRIME as u128)
+                        let pos = (((sa as u128 * key as u128 + sb as u128) % HASH_PRIME as u128)
                             % size as u128) as usize;
                         ctx.write(block + 1 + pos, key);
                         ctx.compute(2);
@@ -348,8 +351,8 @@ impl QrqwHashTable {
         let sa = pram.memory().peek(self.directory + 3 * b + 1);
         let sb = pram.memory().peek(self.directory + 3 * b + 2);
         let size = self.block_size[b].max(1);
-        let pos = (((sa as u128 * x as u128 + sb as u128) % HASH_PRIME as u128) % size as u128)
-            as usize;
+        let pos =
+            (((sa as u128 * x as u128 + sb as u128) % HASH_PRIME as u128) % size as u128) as usize;
         pram.memory().peek(base as usize + pos) == x
     }
 

@@ -15,8 +15,9 @@
 //! contention the paper predicts — a contrast the ablation bench reports.
 
 use crate::multiple_compaction::{build_layout, McLayout};
-use qrqw_prims::{claim_cells, compact_erew, pack, stable_sort_small_range, unpack_payload,
-    ClaimMode};
+use qrqw_prims::{
+    claim_cells, compact_erew, pack, stable_sort_small_range, unpack_payload, ClaimMode,
+};
 use qrqw_sim::schedule::{ceil_lg, log_star};
 use qrqw_sim::{Pram, EMPTY};
 
@@ -27,7 +28,10 @@ pub fn integer_sort_crqw(pram: &mut Pram, keys: &[u64], max_key: u64) -> Vec<u64
     if n <= 1 {
         return keys.to_vec();
     }
-    assert!(keys.iter().all(|&k| k < max_key.max(1)), "keys must be < max_key");
+    assert!(
+        keys.iter().all(|&k| k < max_key.max(1)),
+        "keys must be < max_key"
+    );
     let lg = ceil_lg(n as u64).max(1);
     assert!(
         max_key <= (n as u64).saturating_mul(lg * lg * lg * lg).max(16),
@@ -84,7 +88,10 @@ pub fn integer_sort_crqw(pram: &mut Pram, keys: &[u64], max_key: u64) -> Vec<u64
     pram.step(|s| {
         s.par_for(0..n, |i, ctx| {
             let v = ctx.read(packed + i);
-            ctx.write(packed + i, pack(v >> d_bits, v & ((1u64 << d_bits.min(32)) - 1)));
+            ctx.write(
+                packed + i,
+                pack(v >> d_bits, v & ((1u64 << d_bits.min(32)) - 1)),
+            );
         });
     });
     stable_sort_small_range(pram, packed, n, high_range as usize);
@@ -120,7 +127,12 @@ fn place_values(pram: &mut Pram, keys: &[u64], labels: &[u64], layout: &McLayout
             })
         });
         let attempts: Vec<(u64, usize)> = (0..k * q)
-            .map(|a| ((a % q) as u64 * n as u64 + active[a / q] as u64 + 1, targets[a]))
+            .map(|a| {
+                (
+                    (a % q) as u64 * n as u64 + active[a / q] as u64 + 1,
+                    targets[a],
+                )
+            })
             .collect();
         let won = claim_cells(pram, &attempts, ClaimMode::Occupy);
         let mut keep: Vec<Option<usize>> = vec![None; k];
@@ -185,7 +197,10 @@ fn place_values(pram: &mut Pram, keys: &[u64], labels: &[u64], layout: &McLayout
 fn radix_fallback(pram: &mut Pram, keys: &[u64], max_key: u64) -> Vec<u64> {
     let n = keys.len();
     let base = pram.alloc(n);
-    let words: Vec<u64> = keys.iter().map(|&k| pack(k.min((1 << 31) - 1), 0)).collect();
+    let words: Vec<u64> = keys
+        .iter()
+        .map(|&k| pack(k.min((1 << 31) - 1), 0))
+        .collect();
     pram.memory_mut().load(base, &words);
     let bits = ceil_lg(max_key.max(2)) as usize;
     qrqw_prims::radix_sort_packed(pram, base, n, bits.min(31));

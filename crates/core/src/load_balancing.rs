@@ -22,10 +22,11 @@
 //! reduction from broadcasting); the Table I harness exercises the
 //! implementation across a range of `L` values to exhibit that growth.
 
-use qrqw_prims::{duplicate_values, linear_compaction, prefix_sums_exclusive,
-    propagate_nonempty_forward};
+use qrqw_prims::{
+    duplicate_values, linear_compaction, prefix_sums_exclusive, propagate_nonempty_forward,
+};
 use qrqw_sim::schedule::lg_lg;
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, EMPTY};
 
 /// A contiguous run of tasks, identified by the processor that originally
 /// held them: tasks `start .. start + len` of `origin`'s initial task array.
@@ -103,7 +104,7 @@ fn super_blocks_to_tasks(blocks: &[SuperBlock], loads: &[u64], g: u64) -> Vec<Ta
 }
 
 /// The QRQW load-balancing algorithm (Theorem 3.4).
-pub fn load_balance_qrqw(pram: &mut Pram, loads: &[u64]) -> LoadBalanceResult {
+pub fn load_balance_qrqw<M: Machine>(machine: &mut M, loads: &[u64]) -> LoadBalanceResult {
     let n = loads.len();
     if n == 0 {
         return LoadBalanceResult {
@@ -132,14 +133,15 @@ pub fn load_balance_qrqw(pram: &mut Pram, loads: &[u64]) -> LoadBalanceResult {
             }
         })
         .collect();
-    let mut cur: Vec<u64> = owner.iter().map(|b| b.iter().map(|x| x.st_len).sum()).collect();
+    let mut cur: Vec<u64> = owner
+        .iter()
+        .map(|b| b.iter().map(|x| x.st_len).sum())
+        .collect();
     let max_load = |cur: &[u64]| cur.iter().copied().max().unwrap_or(0);
 
     // Every processor inspects its own load once (the accounted equivalent
     // of reading the `m_i` input).
-    pram.step(|s| {
-        s.par_for(0..n, |_i, ctx| ctx.compute(1));
-    });
+    machine.par_for(n, |_i, ctx| ctx.compute(1));
 
     let l0 = max_load(&cur);
     let mut stages = 0u64;
@@ -154,24 +156,24 @@ pub fn load_balance_qrqw(pram: &mut Pram, loads: &[u64]) -> LoadBalanceResult {
         // Step 0: overloaded processors announce themselves in a source
         // array (one exclusive write each).
         let threshold = 2 * u;
-        let src = pram.alloc(n);
+        let src = machine.alloc(n);
         let overloaded: Vec<usize> = (0..n).filter(|&i| cur[i] >= threshold).collect();
         if overloaded.is_empty() {
-            pram.release_to(src);
+            machine.release_to(src);
             break;
         }
         let over_ref = &overloaded;
-        pram.step(|s| {
-            s.par_for(0..over_ref.len(), |x, ctx| {
-                ctx.write(src + over_ref[x], over_ref[x] as u64);
-            });
+        machine.par_for(over_ref.len(), |x, ctx| {
+            ctx.write(src + over_ref[x], over_ref[x] as u64);
         });
 
         // Step 1: linear compaction maps them injectively into the auxiliary
         // array; each auxiliary cell has a team of u processors standing by.
-        let aux_size = (4 * n.div_ceil(u as usize)).max(4 * overloaded.len()).max(4);
-        let aux = pram.alloc(aux_size);
-        let placement = linear_compaction(pram, src, n, aux, aux_size);
+        let aux_size = (4 * n.div_ceil(u as usize))
+            .max(4 * overloaded.len())
+            .max(4);
+        let aux = machine.alloc(aux_size);
+        let placement = linear_compaction(machine, src, n, aux, aux_size);
 
         // Step 2: broadcast every auxiliary cell to its team (the paper's
         // replacement for concurrent reads), then every team member adopts
@@ -179,8 +181,8 @@ pub fn load_balance_qrqw(pram: &mut Pram, loads: &[u64]) -> LoadBalanceResult {
         // the total number of team slots stays at ~2n and no destination
         // processor receives more than two chunks per stage.
         let team_size = (u as usize).div_ceil(2).max(1);
-        let teams = pram.alloc(aux_size * team_size);
-        duplicate_values(pram, aux, aux_size, teams, team_size);
+        let teams = machine.alloc(aux_size * team_size);
+        duplicate_values(machine, aux, aux_size, teams, team_size);
 
         // Snapshot the overloaded processors' blocks, then clear them.
         let mut chunk_donors: Vec<(usize, Vec<SuperBlock>)> = Vec::new();
@@ -197,12 +199,10 @@ pub fn load_balance_qrqw(pram: &mut Pram, loads: &[u64]) -> LoadBalanceResult {
             .flat_map(|&(cell, _)| (0..team_size).map(move |v| cell * team_size + v))
             .collect();
         let members_ref = &active_members;
-        pram.step(|s| {
-            s.par_for(0..members_ref.len(), |x, ctx| {
-                let slot = members_ref[x];
-                let _donor = ctx.read(teams + slot);
-                ctx.compute(2);
-            });
+        machine.par_for(members_ref.len(), |x, ctx| {
+            let slot = members_ref[x];
+            let _donor = ctx.read(teams + slot);
+            ctx.compute(2);
         });
 
         // Host-side bookkeeping mirroring what the team members just did:
@@ -236,7 +236,7 @@ pub fn load_balance_qrqw(pram: &mut Pram, loads: &[u64]) -> LoadBalanceResult {
                 owner[dest].extend(piece);
             }
         }
-        pram.release_to(src);
+        machine.release_to(src);
     }
 
     // Greedy clean-up (Las Vegas tail): move whole blocks from processors
@@ -264,9 +264,7 @@ pub fn load_balance_qrqw(pram: &mut Pram, loads: &[u64]) -> LoadBalanceResult {
                 }
             }
         }
-        pram.step(|s| {
-            s.par_for(0..1, |_p, ctx| ctx.compute(moved.max(1)));
-        });
+        machine.par_for(1, |_p, ctx| ctx.compute(moved.max(1)));
     }
 
     let assignment: Vec<Vec<TaskBlock>> = owner
@@ -289,7 +287,7 @@ pub fn load_balance_qrqw(pram: &mut Pram, loads: &[u64]) -> LoadBalanceResult {
 /// The EREW prefix-sums baseline (the Table I comparison row): every task
 /// gets a global rank via one prefix-sums pass and ranks are dealt out in
 /// chunks of `⌈m/n⌉`.  `Θ(lg n + lg m)` time, `O(n + m)` work.
-pub fn load_balance_erew(pram: &mut Pram, loads: &[u64]) -> LoadBalanceResult {
+pub fn load_balance_erew<M: Machine>(machine: &mut M, loads: &[u64]) -> LoadBalanceResult {
     let n = loads.len();
     if n == 0 {
         return LoadBalanceResult {
@@ -304,40 +302,34 @@ pub fn load_balance_erew(pram: &mut Pram, loads: &[u64]) -> LoadBalanceResult {
 
     // Prefix sums over the loads give every processor its tasks' global
     // offset.
-    let offs = pram.alloc(n);
-    pram.step(|s| {
-        s.par_for(0..n, |i, ctx| {
-            ctx.compute(1);
-            ctx.write(offs + i, loads[i]);
-        });
+    let offs = machine.alloc(n);
+    machine.par_for(n, |i, ctx| {
+        ctx.compute(1);
+        ctx.write(offs + i, loads[i]);
     });
-    prefix_sums_exclusive(pram, offs, n);
-    let offsets: Vec<u64> = pram.memory().dump(offs, n);
+    prefix_sums_exclusive(machine, offs, n);
+    let offsets: Vec<u64> = machine.dump(offs, n);
 
     // Mark every segment start of the global task array with
     // (origin, offset) and propagate it across the segment, so that task
     // rank p learns its origin without any concurrent reads.
-    let tasks = pram.alloc((m as usize).max(1));
-    pram.step(|s| {
-        s.par_for(0..n, |i, ctx| {
-            if loads[i] > 0 {
-                let off = ctx.read(offs + i);
-                ctx.write(tasks + off as usize, ((i as u64) << 32) | off);
-            }
-        });
+    let tasks = machine.alloc((m as usize).max(1));
+    machine.par_for(n, |i, ctx| {
+        if loads[i] > 0 {
+            let off = ctx.read(offs + i);
+            ctx.write(tasks + off as usize, ((i as u64) << 32) | off);
+        }
     });
-    propagate_nonempty_forward(pram, tasks, m as usize);
+    propagate_nonempty_forward(machine, tasks, m as usize);
 
     // Every task rank computes its destination (rank / g); the blocks are
     // reconstructed host-side from the same arithmetic.
-    pram.step(|s| {
-        s.par_for(0..m as usize, |p, ctx| {
-            let w = ctx.read(tasks + p);
-            debug_assert_ne!(w, EMPTY);
-            ctx.compute(2);
-        });
+    machine.par_for(m as usize, |p, ctx| {
+        let w = ctx.read(tasks + p);
+        debug_assert_ne!(w, EMPTY);
+        ctx.compute(2);
     });
-    pram.release_to(offs);
+    machine.release_to(offs);
 
     let mut assignment: Vec<Vec<TaskBlock>> = vec![Vec::new(); n];
     for i in 0..n {
@@ -370,6 +362,7 @@ pub fn load_balance_erew(pram: &mut Pram, loads: &[u64]) -> LoadBalanceResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qrqw_sim::Pram;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -377,9 +370,9 @@ mod tests {
         // a few processors hold load L, the rest hold 0 or 1, total ~<= 2n
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut loads = vec![0u64; n];
-        let heavy = (n as u64 / l.max(1)).max(1).min(n as u64) as usize;
-        for i in 0..heavy {
-            loads[i] = l;
+        let heavy = (n as u64 / l.max(1)).clamp(1, n as u64) as usize;
+        for load in loads.iter_mut().take(heavy) {
+            *load = l;
         }
         for load in loads.iter_mut().skip(heavy) {
             *load = rng.gen_range(0..2);
@@ -448,7 +441,10 @@ mod tests {
         };
         let t_small = run(4);
         let t_big = run(512);
-        assert!(t_big <= t_small * 2, "EREW baseline should not grow with L ({t_small} vs {t_big})");
+        assert!(
+            t_big <= t_small * 2,
+            "EREW baseline should not grow with L ({t_small} vs {t_big})"
+        );
     }
 
     #[test]

@@ -286,7 +286,10 @@ pub fn light_multiple_compaction(pram: &mut Pram, labels: &[u64], counts: &[u64]
                 ctx.write(starts + i, i as u64);
                 // one reader per label: exclusive
                 ctx.compute(1);
-                ctx.write(bases + i, (layout.b_base + layout.subarray_offset[label]) as u64);
+                ctx.write(
+                    bases + i,
+                    (layout.b_base + layout.subarray_offset[label]) as u64,
+                );
             }
         });
     });
@@ -348,7 +351,8 @@ pub fn multiple_compaction(pram: &mut Pram, labels: &[u64], counts: &[u64]) -> M
     let mut failed = false;
     let mut rounds = 0;
     if !heavy_items.is_empty() {
-        let (f, r) = place_by_dart_throwing(pram, &heavy_items, labels, &layout, &mut positions, true);
+        let (f, r) =
+            place_by_dart_throwing(pram, &heavy_items, labels, &layout, &mut positions, true);
         failed |= f;
         rounds = r;
     }
@@ -422,7 +426,9 @@ mod tests {
         let n = 1024usize;
         let num_labels = 4usize;
         let mut rng = SmallRng::seed_from_u64(3);
-        let labels: Vec<u64> = (0..n).map(|_| rng.gen_range(0..num_labels as u64)).collect();
+        let labels: Vec<u64> = (0..n)
+            .map(|_| rng.gen_range(0..num_labels as u64))
+            .collect();
         let mut counts = vec![0u64; num_labels];
         for &l in &labels {
             counts[l as usize] += 1;
@@ -441,7 +447,9 @@ mod tests {
         let n = 600usize;
         let num_labels = 100usize;
         let mut rng = SmallRng::seed_from_u64(8);
-        let labels: Vec<u64> = (0..n).map(|_| rng.gen_range(0..num_labels as u64)).collect();
+        let labels: Vec<u64> = (0..n)
+            .map(|_| rng.gen_range(0..num_labels as u64))
+            .collect();
         let mut counts = vec![0u64; num_labels];
         for &l in &labels {
             counts[l as usize] += 1;
@@ -454,13 +462,8 @@ mod tests {
     #[test]
     fn mixed_instance_uses_both_paths() {
         // two huge sets and many tiny ones
-        let mut labels = Vec::new();
-        for _ in 0..700 {
-            labels.push(0);
-        }
-        for _ in 0..500 {
-            labels.push(1);
-        }
+        let mut labels = vec![0u64; 700];
+        labels.extend(std::iter::repeat_n(1, 500));
         for i in 0..200 {
             labels.push(2 + (i % 50));
         }
@@ -506,7 +509,9 @@ mod tests {
         let n = 4096usize;
         let num_labels = 64usize;
         let mut rng = SmallRng::seed_from_u64(10);
-        let labels: Vec<u64> = (0..n).map(|_| rng.gen_range(0..num_labels as u64)).collect();
+        let labels: Vec<u64> = (0..n)
+            .map(|_| rng.gen_range(0..num_labels as u64))
+            .collect();
         let mut counts = vec![0u64; num_labels];
         for &l in &labels {
             counts[l as usize] += 1;

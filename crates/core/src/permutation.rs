@@ -17,10 +17,18 @@
 //!   MasPar system sort does), output the ranks; retry on key collisions.
 //!
 //! All three are Las Vegas: they always output a valid permutation.
+//!
+//! Every algorithm here is generic over the [`Machine`] backend: the same
+//! source runs on the exact-cost simulator ([`qrqw_sim::Pram`]) and on the
+//! native rayon/atomics machine (`qrqw_exec::NativeMachine`).  Because both
+//! backends draw per-`(seed, step, proc)` random streams from the same
+//! generator and exclusive claims resolve deterministically, the dart
+//! throwers produce *bit-identical* permutations on both backends for the
+//! same seed.
 
 use qrqw_prims::{bitonic_sort, claim_cells, compact_erew, global_or, ClaimMode};
 use qrqw_sim::schedule::lg_lg;
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, EMPTY};
 
 /// Outcome of a permutation-generation run.
 #[derive(Debug, Clone)]
@@ -39,7 +47,9 @@ pub fn is_permutation(order: &[u64]) -> bool {
     let n = order.len();
     let mut seen = vec![false; n];
     for &x in order {
-        let Ok(i) = usize::try_from(x) else { return false };
+        let Ok(i) = usize::try_from(x) else {
+            return false;
+        };
         if i >= n || seen[i] {
             return false;
         }
@@ -49,7 +59,7 @@ pub fn is_permutation(order: &[u64]) -> bool {
 }
 
 /// The QRQW dart-throwing random-permutation algorithm (Theorem 5.1).
-pub fn random_permutation_qrqw(pram: &mut Pram, n: usize) -> PermutationOutcome {
+pub fn random_permutation_qrqw<M: Machine>(m: &mut M, n: usize) -> PermutationOutcome {
     if n == 0 {
         return PermutationOutcome {
             order: Vec::new(),
@@ -62,7 +72,7 @@ pub fn random_permutation_qrqw(pram: &mut Pram, n: usize) -> PermutationOutcome 
     // pass over it.  6n cells upper-bounds the geometric series plus slack
     // for the low-probability extra rounds.
     let region_len = 6 * n + 64;
-    let a_base = pram.alloc(region_len);
+    let a_base = m.alloc(region_len);
     let mut carve = 0usize;
 
     let mut active: Vec<usize> = (0..n).collect();
@@ -71,7 +81,7 @@ pub fn random_permutation_qrqw(pram: &mut Pram, n: usize) -> PermutationOutcome 
     let mut fallback_used = false;
 
     while !active.is_empty() && rounds < max_rounds {
-        let sub_len = (2 * n >> rounds.min(32)).max(2 * active.len()).max(4);
+        let sub_len = ((2 * n) >> rounds.min(32)).max(2 * active.len()).max(4);
         if carve + sub_len > region_len {
             break;
         }
@@ -82,16 +92,14 @@ pub fn random_permutation_qrqw(pram: &mut Pram, n: usize) -> PermutationOutcome 
         // Each unplaced item throws one dart into this round's fresh
         // subarray; only uncontested claims survive (exclusive mode keeps
         // the permutation unbiased).
-        let active_ref = &active;
-        let targets: Vec<usize> = pram.step(|s| {
-            s.par_map(0..active_ref.len(), |_a, ctx| sub_base + ctx.random_index(sub_len))
-        });
+        let targets: Vec<usize> =
+            m.par_map(active.len(), |_a, ctx| sub_base + ctx.random_index(sub_len));
         let attempts: Vec<(u64, usize)> = active
             .iter()
             .zip(&targets)
             .map(|(&item, &t)| (item as u64, t))
             .collect();
-        let won = claim_cells(pram, &attempts, ClaimMode::Exclusive);
+        let won = claim_cells(m, &attempts, ClaimMode::Exclusive);
         active = active
             .iter()
             .zip(&won)
@@ -107,36 +115,33 @@ pub fn random_permutation_qrqw(pram: &mut Pram, n: usize) -> PermutationOutcome 
         let sub_base = a_base + carve;
         carve += sub_len;
         let leftovers = active.clone();
-        pram.step(|s| {
-            s.par_for(0..1, |_p, ctx| {
-                let mut cursor = 0usize;
-                for &item in &leftovers {
-                    loop {
-                        let pos = if cursor < sub_len {
-                            cursor
-                        } else {
-                            // deterministic wrap: reuse earlier free cells
-                            let r = ctx.random_index(sub_len);
-                            r
-                        };
-                        cursor += 1;
-                        if ctx.read(sub_base + pos) == EMPTY {
-                            ctx.write(sub_base + pos, item as u64);
-                            break;
-                        }
+        m.par_for(1, |_p, ctx| {
+            let mut cursor = 0usize;
+            for &item in &leftovers {
+                loop {
+                    let pos = if cursor < sub_len {
+                        cursor
+                    } else {
+                        // deterministic wrap: reuse earlier free cells
+                        ctx.random_index(sub_len)
+                    };
+                    cursor += 1;
+                    if ctx.read(sub_base + pos) == EMPTY {
+                        ctx.write(sub_base + pos, item as u64);
+                        break;
                     }
                 }
-            });
+            }
         });
     }
 
     // Compact the concatenated subarrays: the relative order of the items in
     // the region is the output permutation.
-    let out = pram.alloc(carve.max(1));
-    let count = compact_erew(pram, a_base, carve, out);
+    let out = m.alloc(carve.max(1));
+    let count = compact_erew(m, a_base, carve, out);
     assert_eq!(count as usize, n, "every item must appear exactly once");
-    let order = pram.memory().dump(out, n);
-    pram.release_to(a_base);
+    let order = m.dump(out, n);
+    m.release_to(a_base);
     PermutationOutcome {
         order,
         rounds,
@@ -148,7 +153,7 @@ pub fn random_permutation_qrqw(pram: &mut Pram, n: usize) -> PermutationOutcome 
 /// (Section 5.2): repeated rounds of dart throwing into an `n`-cell array,
 /// compacting the winners after every round with the machine's built-in
 /// scan (`enumerate`) and completion test (`globalor`).
-pub fn random_permutation_dart_scan(pram: &mut Pram, n: usize) -> PermutationOutcome {
+pub fn random_permutation_dart_scan<M: Machine>(m: &mut M, n: usize) -> PermutationOutcome {
     if n == 0 {
         return PermutationOutcome {
             order: Vec::new(),
@@ -156,9 +161,9 @@ pub fn random_permutation_dart_scan(pram: &mut Pram, n: usize) -> PermutationOut
             fallback_used: false,
         };
     }
-    let arena = pram.alloc(n);
-    let flags = pram.alloc(n);
-    let out = pram.alloc(n);
+    let arena = m.alloc(n);
+    let flags = m.alloc(n);
+    let out = m.alloc(n);
     let mut placed = 0usize;
     let mut active: Vec<usize> = (0..n).collect();
     let mut rounds = 0u64;
@@ -167,44 +172,35 @@ pub fn random_permutation_dart_scan(pram: &mut Pram, n: usize) -> PermutationOut
 
     while !active.is_empty() && rounds < max_rounds {
         rounds += 1;
-        let active_ref = &active;
-        let targets: Vec<usize> = pram.step(|s| {
-            s.par_map(0..active_ref.len(), |_a, ctx| arena + ctx.random_index(n))
-        });
+        let targets: Vec<usize> = m.par_map(active.len(), |_a, ctx| arena + ctx.random_index(n));
         let attempts: Vec<(u64, usize)> = active
             .iter()
             .zip(&targets)
             .map(|(&item, &t)| (item as u64, t))
             .collect();
-        let won = claim_cells(pram, &attempts, ClaimMode::Exclusive);
+        let won = claim_cells(m, &attempts, ClaimMode::Exclusive);
 
         // Winners publish a flag at their cell; a scan (MasPar `enumerate`)
         // ranks them and they transfer themselves to the output positions
         // placed .. placed + k, then clear their arena cells.
-        pram.step(|s| {
-            s.par_for(0..attempts.len(), |a, ctx| {
-                if won[a] {
-                    ctx.write(flags + (attempts[a].1 - arena), 1);
-                }
-            });
+        m.par_for(attempts.len(), |a, ctx| {
+            if won[a] {
+                ctx.write(flags + (attempts[a].1 - arena), 1);
+            }
         });
-        let k = pram.scan_step(flags, n) as usize;
-        pram.step(|s| {
-            s.par_for(0..attempts.len(), |a, ctx| {
-                if won[a] {
-                    let cell = attempts[a].1 - arena;
-                    let rank = ctx.read(flags + cell) as usize - 1;
-                    ctx.write(out + placed + rank, attempts[a].0);
-                    ctx.write(attempts[a].1, EMPTY);
-                }
-            });
+        let k = m.scan_step(flags, n) as usize;
+        m.par_for(attempts.len(), |a, ctx| {
+            if won[a] {
+                let cell = attempts[a].1 - arena;
+                let rank = ctx.read(flags + cell) as usize - 1;
+                ctx.write(out + placed + rank, attempts[a].0);
+                ctx.write(attempts[a].1, EMPTY);
+            }
         });
         // Reset the flag array for the next round (the scan filled every
         // cell with a running total).
-        pram.step(|s| {
-            s.par_for(0..n, |i, ctx| {
-                ctx.write(flags + i, EMPTY);
-            });
+        m.par_for(n, |i, ctx| {
+            ctx.write(flags + i, EMPTY);
         });
         placed += k;
         active = active
@@ -214,22 +210,20 @@ pub fn random_permutation_dart_scan(pram: &mut Pram, n: usize) -> PermutationOut
             .map(|(&item, _)| item)
             .collect();
         // MasPar-style completion check (`globalor` over the arena).
-        let _ = pram.global_or_step(arena, n);
+        let _ = m.global_or_step(arena, n);
     }
 
     if !active.is_empty() {
         fallback_used = true;
         let leftovers = active.clone();
-        pram.step(|s| {
-            s.par_for(0..leftovers.len(), |i, ctx| {
-                ctx.write(out + placed + i, leftovers[i] as u64);
-            });
+        m.par_for(leftovers.len(), |i, ctx| {
+            ctx.write(out + placed + i, leftovers[i] as u64);
         });
         placed += leftovers.len();
     }
     assert_eq!(placed, n);
-    let order = pram.memory().dump(out, n);
-    pram.release_to(arena);
+    let order = m.dump(out, n);
+    m.release_to(arena);
     PermutationOutcome {
         order,
         rounds,
@@ -241,7 +235,7 @@ pub fn random_permutation_dart_scan(pram: &mut Pram, n: usize) -> PermutationOut
 /// item draws a random 31-bit key, the keys are sorted with the bitonic
 /// system sort, and the ranks form the permutation; the (unlikely) event of
 /// a key collision triggers a retry.
-pub fn random_permutation_sorting_erew(pram: &mut Pram, n: usize) -> PermutationOutcome {
+pub fn random_permutation_sorting_erew<M: Machine>(m: &mut M, n: usize) -> PermutationOutcome {
     if n == 0 {
         return PermutationOutcome {
             order: Vec::new(),
@@ -249,41 +243,35 @@ pub fn random_permutation_sorting_erew(pram: &mut Pram, n: usize) -> Permutation
             fallback_used: false,
         };
     }
-    let words = pram.alloc(n);
-    let dup_flags = pram.alloc(n);
+    let words = m.alloc(n);
+    let dup_flags = m.alloc(n);
     let mut rounds = 0u64;
     loop {
         rounds += 1;
-        pram.step(|s| {
-            s.par_for(0..n, |i, ctx| {
-                let key = ctx.random_index(1 << 31) as u64;
-                ctx.write(words + i, (key << 32) | i as u64);
-            });
+        m.par_for(n, |i, ctx| {
+            let key = ctx.random_index(1 << 31) as u64;
+            ctx.write(words + i, (key << 32) | i as u64);
         });
-        bitonic_sort(pram, words, n);
+        bitonic_sort(m, words, n);
         // Collision check: adjacent equal keys?  Done in two EREW-legal
         // substeps: every processor first publishes a shifted copy of its
         // own key, then compares its key against the copy it received.
-        let shifted = pram.alloc(n + 1);
-        pram.step(|s| {
-            s.par_for(0..n, |i, ctx| {
-                let w = ctx.read(words + i);
-                ctx.write(shifted + i + 1, w >> 32);
-            });
+        let shifted = m.alloc(n + 1);
+        m.par_for(n, |i, ctx| {
+            let w = ctx.read(words + i);
+            ctx.write(shifted + i + 1, w >> 32);
         });
-        pram.step(|s| {
-            s.par_for(0..n, |i, ctx| {
-                if i == 0 {
-                    ctx.write(dup_flags, 0);
-                    return;
-                }
-                let prev = ctx.read(shifted + i);
-                let own = ctx.read(words + i) >> 32;
-                ctx.write(dup_flags + i, (prev == own) as u64);
-            });
+        m.par_for(n, |i, ctx| {
+            if i == 0 {
+                ctx.write(dup_flags, 0);
+                return;
+            }
+            let prev = ctx.read(shifted + i);
+            let own = ctx.read(words + i) >> 32;
+            ctx.write(dup_flags + i, (prev == own) as u64);
         });
-        pram.release_to(shifted);
-        if !global_or(pram, dup_flags, n) {
+        m.release_to(shifted);
+        if !global_or(m, dup_flags, n) {
             break;
         }
         if rounds > 16 {
@@ -292,13 +280,12 @@ pub fn random_permutation_sorting_erew(pram: &mut Pram, n: usize) -> Permutation
             break;
         }
     }
-    let order: Vec<u64> = pram
-        .memory()
+    let order: Vec<u64> = m
         .dump(words, n)
         .into_iter()
         .map(|w| w & 0xFFFF_FFFF)
         .collect();
-    pram.release_to(words);
+    m.release_to(words);
     PermutationOutcome {
         order,
         rounds,
@@ -309,7 +296,7 @@ pub fn random_permutation_sorting_erew(pram: &mut Pram, n: usize) -> Permutation
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qrqw_sim::CostModel;
+    use qrqw_sim::{CostModel, Pram};
 
     #[test]
     fn qrqw_algorithm_outputs_a_permutation() {
@@ -357,7 +344,11 @@ mod tests {
             "contention {}",
             pram.trace().max_contention()
         );
-        assert!(pram.trace().work() <= 80 * n as u64, "work {}", pram.trace().work());
+        assert!(
+            pram.trace().work() <= 80 * n as u64,
+            "work {}",
+            pram.trace().work()
+        );
         // The QRQW time must be far below n (the contention bound is what
         // distinguishes the model from a serial queue).
         assert!(pram.trace().time(CostModel::Qrqw) < n as u64 / 4);
@@ -383,7 +374,9 @@ mod tests {
         let mut pram = Pram::new(4);
         assert!(random_permutation_qrqw(&mut pram, 0).order.is_empty());
         assert!(random_permutation_dart_scan(&mut pram, 0).order.is_empty());
-        assert!(random_permutation_sorting_erew(&mut pram, 0).order.is_empty());
+        assert!(random_permutation_sorting_erew(&mut pram, 0)
+            .order
+            .is_empty());
     }
 
     #[test]

@@ -90,9 +90,8 @@ fn sample_sort(pram: &mut Pram, keys: &[u64], kind: SearchKind) -> Vec<u64> {
         .map(|i| (i * stride.max(1)).min(sample_count - 1))
         .collect();
     let pos_ref = &splitter_positions;
-    let mut splitters: Vec<u64> = pram.step(|s| {
-        s.par_map(0..pos_ref.len(), |i, ctx| ctx.read(sample + pos_ref[i]))
-    });
+    let mut splitters: Vec<u64> =
+        pram.step(|s| s.par_map(0..pos_ref.len(), |i, ctx| ctx.read(sample + pos_ref[i])));
     splitters.dedup();
 
     // --- Step 3: label every key with its splitter bucket.

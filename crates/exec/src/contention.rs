@@ -75,7 +75,9 @@ mod tests {
     fn is_safe_to_share_across_threads() {
         use rayon::prelude::*;
         let c = ContentionCounter::new();
-        (0..10_000).into_par_iter().for_each(|i| c.record(i % 4 == 0));
+        (0..10_000)
+            .into_par_iter()
+            .for_each(|i| c.record(i % 4 == 0));
         assert_eq!(c.attempts(), 10_000);
         assert_eq!(c.failures(), 2_500);
     }

@@ -1,30 +1,25 @@
-//! # qrqw-exec — native shared-memory executor for the Table II experiment
+//! # qrqw-exec — the native shared-memory `Machine` backend
 //!
-//! Section 5.2 of the paper compares three random-permutation algorithms on
-//! a 16,384-processor MasPar MP-1 (Table II) and, later, on a Cray J90.
-//! Neither machine exists here, so this crate substitutes a modern
-//! shared-memory multicore driven by rayon and atomics: the three algorithms
-//! are implemented natively (threads contending on atomic cells play the
-//! role of the MasPar router queues) and timed with wall-clock benchmarks.
-//! The simulated-model cross-check lives in `qrqw-core::permutation`; this
-//! crate is about real execution.
+//! Section 5.2 of the paper compares its random-permutation algorithms on a
+//! 16,384-processor MasPar MP-1 (Table II).  Neither that machine nor the
+//! later Cray J90 exists here, so this crate substitutes a modern
+//! shared-memory multicore: [`NativeMachine`] implements the
+//! [`qrqw_sim::Machine`] backend API with an [`std::sync::atomic::AtomicU64`]
+//! arena and rayon-style thread fan-out, and threads contending on atomic
+//! cells play the role of the MasPar router queues.
 //!
-//! * [`sorting_based_permutation`] — draw a random 64-bit key per item and
-//!   sort (the EREW baseline; `rank32` on the MasPar, a parallel sort here).
-//! * [`dart_scan_permutation`] — dart throwing with a compaction scan after
-//!   every round.
-//! * [`dart_qrqw_permutation`] — the paper's QRQW algorithm: dart throwing
-//!   into geometrically shrinking fresh subarrays, one compaction at the end.
-//!
-//! [`ContentionCounter`] records the number of failed CAS attempts, the
-//! native analogue of the QRQW contention charge.
+//! The algorithms themselves live in `qrqw-core`, written once against the
+//! `Machine` trait; running `qrqw_core::random_permutation_qrqw` (or linear
+//! compaction, or load balancing, …) on a [`NativeMachine`] *is* the native
+//! execution — there is no second copy of any algorithm in this crate.
+//! [`ContentionCounter`] records failed claim attempts, the native
+//! observable analogue of the QRQW contention charge, and
+//! [`qrqw_sim::Machine::cost_report`] reports wall-clock time next to it.
 
 #![warn(missing_docs)]
 
 pub mod contention;
-pub mod permutation;
+pub mod machine;
 
 pub use contention::ContentionCounter;
-pub use permutation::{
-    dart_qrqw_permutation, dart_scan_permutation, sorting_based_permutation, NativeOutcome,
-};
+pub use machine::NativeMachine;

@@ -1,0 +1,481 @@
+//! [`NativeMachine`]: the native shared-memory implementation of the
+//! [`Machine`] backend API.
+//!
+//! Shared memory is a flat arena of [`AtomicU64`] cells; a step fans its
+//! virtual processors out over real threads (threads contending on atomic
+//! cells play the role of the MasPar router queues of the Section 5.2
+//! experiment).  The backend keeps the full `Machine` contract:
+//!
+//! * every step is a barrier (the thread pool joins before the step
+//!   returns), so steps are synchronous;
+//! * per-processor randomness comes from the same
+//!   [`qrqw_sim::rng::proc_rng`] streams as the simulator, and every
+//!   operation advances the step index by the amount the contract
+//!   prescribes, so the same algorithm draws the same random numbers on
+//!   both backends;
+//! * [`Machine::claim`] is implemented with compare-and-swap: a probe pass,
+//!   a CAS pass, and (for [`ClaimMode::Exclusive`]) a poison pass plus a
+//!   verify-and-restore pass, separated by barriers.  Exclusive claims are
+//!   therefore exactly as deterministic as on the simulator — an attempt
+//!   succeeds iff it is the only live claim on its cell — while occupy
+//!   claims hand the cell to whichever thread wins the CAS.
+//!
+//! What the simulator measures as queue contention, this backend *observes*:
+//! the [`ContentionCounter`] records every live claim that lost its cell to
+//! a same-step collision, and [`Machine::cost_report`] reports wall-clock
+//! time plus that count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rayon::prelude::*;
+
+use qrqw_sim::proc_rng;
+use qrqw_sim::{ClaimMode, CostReport, Machine, MachineProc, EMPTY};
+
+use crate::contention::ContentionCounter;
+
+/// Sentinel written by exclusive-claim losers so the CAS winner can detect
+/// that its cell was contested.  Claim tags must stay below this value
+/// (every tag in the repository is an index-derived value far below it).
+const POISON: u64 = u64::MAX - 1;
+
+/// The native rayon/atomics [`Machine`] backend.
+pub struct NativeMachine {
+    cells: Vec<AtomicU64>,
+    seed: u64,
+    steps_executed: u64,
+    heap_top: usize,
+    counter: ContentionCounter,
+    created: Instant,
+}
+
+impl NativeMachine {
+    /// Creates a machine with `mem_size` cells (all [`EMPTY`]) and seed 0.
+    pub fn new(mem_size: usize) -> Self {
+        Machine::with_seed(mem_size, 0)
+    }
+
+    /// The contention instrumentation of this machine.
+    pub fn contention(&self) -> &ContentionCounter {
+        &self.counter
+    }
+
+    fn grow(&mut self, size: usize) {
+        if self.cells.len() < size {
+            self.cells.resize_with(size, || AtomicU64::new(EMPTY));
+        }
+    }
+}
+
+impl std::fmt::Debug for NativeMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeMachine")
+            .field("cells", &self.cells.len())
+            .field("seed", &self.seed)
+            .field("steps_executed", &self.steps_executed)
+            .field("heap_top", &self.heap_top)
+            .finish()
+    }
+}
+
+/// Per-processor context handed to step closures by [`NativeMachine`].
+struct NativeProc<'a> {
+    cells: &'a [AtomicU64],
+    seed: u64,
+    step_idx: u64,
+    proc: u64,
+    rng: Option<SmallRng>,
+}
+
+impl MachineProc for NativeProc<'_> {
+    fn proc_id(&self) -> u64 {
+        self.proc
+    }
+
+    fn read(&mut self, addr: usize) -> u64 {
+        assert!(
+            addr < self.cells.len(),
+            "read of address {addr} outside shared memory of size {}",
+            self.cells.len()
+        );
+        self.cells[addr].load(Ordering::Relaxed)
+    }
+
+    fn write(&mut self, addr: usize, value: u64) {
+        assert!(
+            addr < self.cells.len(),
+            "write of address {addr} outside shared memory of size {}",
+            self.cells.len()
+        );
+        self.cells[addr].store(value, Ordering::Relaxed);
+    }
+
+    fn compute(&mut self, _ops: u64) {}
+
+    fn random_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "random_index bound must be positive");
+        if self.rng.is_none() {
+            self.rng = Some(proc_rng(self.seed, self.step_idx, self.proc));
+        }
+        self.rng.as_mut().unwrap().gen_range(0..bound)
+    }
+}
+
+impl Machine for NativeMachine {
+    fn with_seed(mem_size: usize, seed: u64) -> Self {
+        let mut cells = Vec::new();
+        cells.resize_with(mem_size, || AtomicU64::new(EMPTY));
+        NativeMachine {
+            cells,
+            seed,
+            steps_executed: 0,
+            heap_top: mem_size,
+            counter: ContentionCounter::new(),
+            created: Instant::now(),
+        }
+    }
+
+    fn backend(&self) -> &'static str {
+        "native"
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn steps_executed(&self) -> u64 {
+        self.steps_executed
+    }
+
+    fn ensure_memory(&mut self, size: usize) {
+        self.grow(size);
+        self.heap_top = self.heap_top.max(size);
+    }
+
+    fn alloc(&mut self, len: usize) -> usize {
+        let base = self.heap_top;
+        self.heap_top += len;
+        self.grow(self.heap_top);
+        Machine::clear_region(self, base, len);
+        base
+    }
+
+    fn release_to(&mut self, base: usize) {
+        assert!(base <= self.heap_top, "release_to past the allocation top");
+        self.heap_top = base;
+    }
+
+    fn heap_top(&self) -> usize {
+        self.heap_top
+    }
+
+    fn load(&mut self, base: usize, values: &[u64]) {
+        self.grow(base + values.len());
+        for (i, &v) in values.iter().enumerate() {
+            self.cells[base + i].store(v, Ordering::Relaxed);
+        }
+    }
+
+    fn dump(&self, base: usize, len: usize) -> Vec<u64> {
+        (base..base + len)
+            .map(|a| self.cells[a].load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn peek(&self, addr: usize) -> u64 {
+        self.cells[addr].load(Ordering::Relaxed)
+    }
+
+    fn poke(&mut self, addr: usize, value: u64) {
+        self.cells[addr].store(value, Ordering::Relaxed);
+    }
+
+    fn clear_region(&mut self, base: usize, len: usize) {
+        self.grow(base + len);
+        for a in base..base + len {
+            self.cells[a].store(EMPTY, Ordering::Relaxed);
+        }
+    }
+
+    fn par_map<T, F>(&mut self, procs: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut dyn MachineProc) -> T + Sync,
+    {
+        let step_idx = self.steps_executed;
+        let seed = self.seed;
+        let cells = &self.cells[..];
+        let out: Vec<T> = (0..procs)
+            .into_par_iter()
+            .map(|p| {
+                let mut ctx = NativeProc {
+                    cells,
+                    seed,
+                    step_idx,
+                    proc: p as u64,
+                    rng: None,
+                };
+                f(p, &mut ctx)
+            })
+            .collect();
+        self.steps_executed += 1;
+        out
+    }
+
+    fn scan_step(&mut self, base: usize, len: usize) -> u64 {
+        self.grow(base + len);
+        const CHUNK: usize = 8192;
+        let nchunks = len.div_ceil(CHUNK);
+        let cells = &self.cells[..];
+        let val = |i: usize| {
+            let v = cells[base + i].load(Ordering::Relaxed);
+            if v == EMPTY {
+                0
+            } else {
+                v
+            }
+        };
+        // Two-pass parallel prefix: per-chunk totals, an exclusive scan of
+        // those totals on the host, then a parallel fill of each chunk.
+        let mut offsets: Vec<u64> = (0..nchunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * CHUNK;
+                let hi = ((c + 1) * CHUNK).min(len);
+                (lo..hi).map(val).sum()
+            })
+            .collect();
+        let mut acc = 0u64;
+        for o in offsets.iter_mut() {
+            let t = *o;
+            *o = acc;
+            acc += t;
+        }
+        let offsets = &offsets;
+        (0..nchunks).into_par_iter().for_each(|c| {
+            let lo = c * CHUNK;
+            let hi = ((c + 1) * CHUNK).min(len);
+            let mut run = offsets[c];
+            for i in lo..hi {
+                run += val(i);
+                cells[base + i].store(run, Ordering::Relaxed);
+            }
+        });
+        self.steps_executed += 1;
+        acc
+    }
+
+    fn global_or_step(&mut self, base: usize, len: usize) -> bool {
+        self.grow(base + len);
+        let cells = &self.cells[..];
+        let any = (0..len).into_par_iter().any(|i| {
+            let v = cells[base + i].load(Ordering::Relaxed);
+            v != 0 && v != EMPTY
+        });
+        self.steps_executed += 1;
+        any
+    }
+
+    fn claim(&mut self, attempts: &[(u64, usize)], mode: ClaimMode) -> Vec<bool> {
+        let k = attempts.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        debug_assert!(
+            attempts
+                .iter()
+                .all(|&(tag, _)| tag != EMPTY && tag != POISON),
+            "claim tags must differ from the EMPTY and POISON sentinels"
+        );
+        if let Some(max_addr) = attempts.iter().map(|&(_, a)| a).max() {
+            self.ensure_memory(max_addr + 1);
+        }
+        let cells = &self.cells[..];
+
+        // Probe pass: all probes complete (barrier) before any CAS, so a
+        // pre-occupied cell rejects every claim, matching the simulator's
+        // snapshot-read S1.
+        let live: Vec<bool> = (0..k)
+            .into_par_iter()
+            .map(|i| cells[attempts[i].1].load(Ordering::Acquire) == EMPTY)
+            .collect();
+
+        // CAS pass: live claimants race for their cells.
+        let cas_won: Vec<bool> = (0..k)
+            .into_par_iter()
+            .map(|i| {
+                live[i]
+                    && cells[attempts[i].1]
+                        .compare_exchange(EMPTY, attempts[i].0, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+            })
+            .collect();
+
+        let success = match mode {
+            ClaimMode::Occupy => {
+                self.steps_executed += 3;
+                cas_won
+            }
+            ClaimMode::Exclusive => {
+                // Poison pass: every live loser marks its (necessarily
+                // CAS-won) cell as contested.
+                (0..k).into_par_iter().for_each(|i| {
+                    if live[i] && !cas_won[i] {
+                        cells[attempts[i].1].store(POISON, Ordering::Release);
+                    }
+                });
+                // Verify-and-restore pass: a CAS winner whose tag survived
+                // was the unique claimant; a poisoned cell is released.
+                let success: Vec<bool> = (0..k)
+                    .into_par_iter()
+                    .map(|i| {
+                        if !cas_won[i] {
+                            return false;
+                        }
+                        if cells[attempts[i].1].load(Ordering::Acquire) == attempts[i].0 {
+                            true
+                        } else {
+                            cells[attempts[i].1].store(EMPTY, Ordering::Release);
+                            false
+                        }
+                    })
+                    .collect();
+                self.steps_executed += 6;
+                success
+            }
+        };
+
+        for i in 0..k {
+            if live[i] {
+                self.counter.record(!success[i]);
+            }
+        }
+        success
+    }
+
+    fn cost_report(&self) -> CostReport {
+        CostReport {
+            backend: "native",
+            steps: self.steps_executed,
+            wall: self.created.elapsed(),
+            claim_attempts: self.counter.attempts(),
+            contended_claims: self.counter.failures(),
+            work: None,
+            max_contention: None,
+            time_qrqw: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_runs_all_processors_in_order() {
+        let mut m = NativeMachine::new(16);
+        let out = m.par_map(5000, |p, ctx| {
+            ctx.write(p % 16, p as u64);
+            p * 2
+        });
+        assert_eq!(out.len(), 5000);
+        assert_eq!(out[1234], 2468);
+        assert_eq!(m.steps_executed, 1);
+    }
+
+    #[test]
+    fn scan_step_matches_sequential_prefix() {
+        let mut m = NativeMachine::new(0);
+        let n = 20_000usize;
+        let vals: Vec<u64> = (0..n as u64).map(|i| i % 7).collect();
+        Machine::ensure_memory(&mut m, n);
+        Machine::load(&mut m, 0, &vals);
+        let total = m.scan_step(0, n);
+        assert_eq!(total, vals.iter().sum::<u64>());
+        let got = Machine::dump(&m, 0, n);
+        let mut acc = 0u64;
+        for i in 0..n {
+            acc += vals[i];
+            assert_eq!(got[i], acc, "mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn scan_step_treats_empty_as_zero() {
+        let mut m = NativeMachine::new(4);
+        Machine::poke(&mut m, 1, 5);
+        assert_eq!(m.scan_step(0, 4), 5);
+        assert_eq!(Machine::dump(&m, 0, 4), vec![0, 5, 5, 5]);
+    }
+
+    #[test]
+    fn global_or_detects_any_nonzero() {
+        let mut m = NativeMachine::new(5000);
+        assert!(!m.global_or_step(0, 5000));
+        Machine::poke(&mut m, 4321, 9);
+        assert!(m.global_or_step(0, 5000));
+    }
+
+    #[test]
+    fn exclusive_claim_is_deterministic_and_restores_contested_cells() {
+        let mut m = NativeMachine::new(8);
+        let ok = m.claim(&[(1, 4), (2, 4), (3, 4), (4, 6)], ClaimMode::Exclusive);
+        assert_eq!(ok, vec![false, false, false, true]);
+        assert_eq!(
+            Machine::peek(&m, 4),
+            EMPTY,
+            "contested cell must be restored"
+        );
+        assert_eq!(Machine::peek(&m, 6), 4);
+        assert_eq!(m.steps_executed, 6);
+        assert_eq!(m.contention().failures(), 3);
+    }
+
+    #[test]
+    fn occupy_claim_lets_exactly_one_winner_through() {
+        let mut m = NativeMachine::new(8);
+        let attempts = vec![(10u64, 4usize), (11, 4), (12, 4)];
+        let ok = m.claim(&attempts, ClaimMode::Occupy);
+        assert_eq!(ok.iter().filter(|&&b| b).count(), 1);
+        let winner = ok.iter().position(|&b| b).unwrap();
+        assert_eq!(Machine::peek(&m, 4), attempts[winner].0);
+        assert_eq!(m.steps_executed, 3);
+    }
+
+    #[test]
+    fn occupied_cells_reject_claims_in_both_modes() {
+        for mode in [ClaimMode::Exclusive, ClaimMode::Occupy] {
+            let mut m = NativeMachine::new(8);
+            Machine::poke(&mut m, 2, 55);
+            assert_eq!(m.claim(&[(77, 2)], mode), vec![false]);
+            assert_eq!(Machine::peek(&m, 2), 55);
+        }
+    }
+
+    #[test]
+    fn alloc_and_release_behave_like_a_stack() {
+        let mut m = NativeMachine::new(8);
+        let a = Machine::alloc(&mut m, 4);
+        assert_eq!(a, 8);
+        let b = Machine::alloc(&mut m, 2);
+        assert_eq!(b, 12);
+        Machine::release_to(&mut m, b);
+        let c = Machine::alloc(&mut m, 3);
+        assert_eq!(c, 12);
+        assert!(Machine::dump(&m, c, 3).iter().all(|&v| v == EMPTY));
+    }
+
+    #[test]
+    fn random_streams_match_the_simulator() {
+        // The same (seed, step, proc) coordinates must give the same draws
+        // on both backends — the cornerstone of cross-backend parity.
+        let mut native = NativeMachine::with_seed(4, 77);
+        let native_draws = native.par_map(64, |_p, ctx| ctx.random_index(1000));
+        let mut sim = qrqw_sim::Pram::with_seed(4, 77);
+        let sim_draws = Machine::par_map(&mut sim, 64, |_p, ctx| ctx.random_index(1000));
+        assert_eq!(native_draws, sim_draws);
+    }
+}

@@ -11,47 +11,43 @@
 //! Cells may hold any `u64` below [`qrqw_sim::EMPTY`]; the routine pads to a
 //! power of two internally with `EMPTY`, which sorts to the end.
 
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, EMPTY};
 
 use crate::util::next_pow2;
 
 /// Sorts `[base, base+n)` in ascending order.
-pub fn bitonic_sort(pram: &mut Pram, base: usize, n: usize) {
+pub fn bitonic_sort<M: Machine>(m: &mut M, base: usize, n: usize) {
     if n <= 1 {
         return;
     }
-    pram.ensure_memory(base + n);
-    let m = next_pow2(n);
-    let work = pram.alloc(m);
+    m.ensure_memory(base + n);
+    let width = next_pow2(n);
+    let work = m.alloc(width);
 
     // Copy in, padding with EMPTY (the maximum value, so pads stay at the
     // tail of the sorted order).
-    pram.step(|s| {
-        s.par_for(0..m, |i, ctx| {
-            let v = if i < n { ctx.read(base + i) } else { EMPTY };
-            ctx.write(work + i, v);
-        });
+    m.par_for(width, |i, ctx| {
+        let v = if i < n { ctx.read(base + i) } else { EMPTY };
+        ctx.write(work + i, v);
     });
 
     let mut k = 2usize;
-    while k <= m {
+    while k <= width {
         let mut j = k / 2;
         while j >= 1 {
-            pram.step(|s| {
-                s.par_for(0..m, |i, ctx| {
-                    let l = i ^ j;
-                    if l <= i {
-                        return;
-                    }
-                    let a = ctx.read(work + i);
-                    let b = ctx.read(work + l);
-                    let ascending = (i & k) == 0;
-                    let out_of_order = if ascending { a > b } else { a < b };
-                    if out_of_order {
-                        ctx.write(work + i, b);
-                        ctx.write(work + l, a);
-                    }
-                });
+            m.par_for(width, |i, ctx| {
+                let l = i ^ j;
+                if l <= i {
+                    return;
+                }
+                let a = ctx.read(work + i);
+                let b = ctx.read(work + l);
+                let ascending = (i & k) == 0;
+                let out_of_order = if ascending { a > b } else { a < b };
+                if out_of_order {
+                    ctx.write(work + i, b);
+                    ctx.write(work + l, a);
+                }
             });
             j /= 2;
         }
@@ -59,13 +55,11 @@ pub fn bitonic_sort(pram: &mut Pram, base: usize, n: usize) {
     }
 
     // Copy the sorted prefix back.
-    pram.step(|s| {
-        s.par_for(0..n, |i, ctx| {
-            let v = ctx.read(work + i);
-            ctx.write(base + i, v);
-        });
+    m.par_for(n, |i, ctx| {
+        let v = ctx.read(work + i);
+        ctx.write(base + i, v);
     });
-    pram.release_to(work);
+    m.release_to(work);
 }
 
 /// Sorts `num_segs` independent, equally sized segments
@@ -77,35 +71,36 @@ pub fn bitonic_sort(pram: &mut Pram, base: usize, n: usize) {
 /// `seg_size` must be a power of two (callers pad with [`EMPTY`], which
 /// sorts to the end of each segment).  This is the "finish the groups in
 /// parallel" tool used by the sample-sort finishing phase (Section 7.2).
-pub fn bitonic_sort_segments(pram: &mut Pram, base: usize, seg_size: usize, num_segs: usize) {
+pub fn bitonic_sort_segments<M: Machine>(m: &mut M, base: usize, seg_size: usize, num_segs: usize) {
     if seg_size <= 1 || num_segs == 0 {
         return;
     }
-    assert!(seg_size.is_power_of_two(), "segment size must be a power of two");
-    pram.ensure_memory(base + seg_size * num_segs);
+    assert!(
+        seg_size.is_power_of_two(),
+        "segment size must be a power of two"
+    );
+    m.ensure_memory(base + seg_size * num_segs);
     let total = seg_size * num_segs;
     let mut k = 2usize;
     while k <= seg_size {
         let mut j = k / 2;
         while j >= 1 {
-            pram.step(|s| {
-                s.par_for(0..total, |g, ctx| {
-                    let seg = g / seg_size;
-                    let i = g % seg_size;
-                    let l = i ^ j;
-                    if l <= i {
-                        return;
-                    }
-                    let off = base + seg * seg_size;
-                    let a = ctx.read(off + i);
-                    let b = ctx.read(off + l);
-                    let ascending = (i & k) == 0;
-                    let out_of_order = if ascending { a > b } else { a < b };
-                    if out_of_order {
-                        ctx.write(off + i, b);
-                        ctx.write(off + l, a);
-                    }
-                });
+            m.par_for(total, |g, ctx| {
+                let seg = g / seg_size;
+                let i = g % seg_size;
+                let l = i ^ j;
+                if l <= i {
+                    return;
+                }
+                let off = base + seg * seg_size;
+                let a = ctx.read(off + i);
+                let b = ctx.read(off + l);
+                let ascending = (i & k) == 0;
+                let out_of_order = if ascending { a > b } else { a < b };
+                if out_of_order {
+                    ctx.write(off + i, b);
+                    ctx.write(off + l, a);
+                }
             });
             j /= 2;
         }
@@ -116,7 +111,7 @@ pub fn bitonic_sort_segments(pram: &mut Pram, base: usize, seg_size: usize, num_
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qrqw_sim::CostModel;
+    use qrqw_sim::{CostModel, Pram};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -163,7 +158,10 @@ mod tests {
         let mut pram = Pram::new(16);
         pram.memory_mut().load(0, &xs);
         bitonic_sort(&mut pram, 0, xs.len());
-        assert_eq!(pram.memory().dump(0, xs.len()), vec![1, 1, 2, 2, 2, 2, 3, 3, 3]);
+        assert_eq!(
+            pram.memory().dump(0, xs.len()),
+            vec![1, 1, 2, 2, 2, 2, 3, 3, 3]
+        );
 
         let sorted: Vec<u64> = (0..33).collect();
         let mut pram = Pram::new(64);

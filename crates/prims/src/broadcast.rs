@@ -9,32 +9,28 @@
 //! each processor read a random copy" — used by the hashing algorithm
 //! (Lemma 6.4) and the binary-search fat-tree (Section 7.2).
 
-use qrqw_sim::Pram;
+use qrqw_sim::Machine;
 
 /// Copies the value at `src_addr` into the `count` cells
 /// `dest_base .. dest_base + count` in `O(lg count)` EREW-legal steps and
 /// `O(count)` work.
-pub fn broadcast_cell(pram: &mut Pram, src_addr: usize, dest_base: usize, count: usize) {
+pub fn broadcast_cell<M: Machine>(m: &mut M, src_addr: usize, dest_base: usize, count: usize) {
     if count == 0 {
         return;
     }
-    pram.ensure_memory(dest_base + count);
+    m.ensure_memory(dest_base + count);
     // Seed the first destination cell.
-    pram.step(|s| {
-        s.par_for(0..1, |_p, ctx| {
-            let v = ctx.read(src_addr);
-            ctx.write(dest_base, v);
-        });
+    m.par_for(1, |_p, ctx| {
+        let v = ctx.read(src_addr);
+        ctx.write(dest_base, v);
     });
     // Double the copied prefix until it covers the region.
     let mut have = 1usize;
     while have < count {
         let add = have.min(count - have);
-        pram.step(|s| {
-            s.par_for(0..add, |p, ctx| {
-                let v = ctx.read(dest_base + p);
-                ctx.write(dest_base + have + p, v);
-            });
+        m.par_for(add, |p, ctx| {
+            let v = ctx.read(dest_base + p);
+            ctx.write(dest_base + have + p, v);
         });
         have += add;
     }
@@ -49,8 +45,8 @@ pub fn broadcast_cell(pram: &mut Pram, src_addr: usize, dest_base: usize, count:
 /// for a random `r`, so `κ` concurrent readers of the same logical value
 /// spread over `copies` cells and the expected contention drops to
 /// `κ / copies`.
-pub fn duplicate_values(
-    pram: &mut Pram,
+pub fn duplicate_values<M: Machine>(
+    m: &mut M,
     src_base: usize,
     k: usize,
     dest_base: usize,
@@ -59,25 +55,21 @@ pub fn duplicate_values(
     if k == 0 || copies == 0 {
         return;
     }
-    pram.ensure_memory(dest_base + k * copies);
+    m.ensure_memory(dest_base + k * copies);
     // Seed copy 0 of every value.
-    pram.step(|s| {
-        s.par_for(0..k, |i, ctx| {
-            let v = ctx.read(src_base + i);
-            ctx.write(dest_base + i * copies, v);
-        });
+    m.par_for(k, |i, ctx| {
+        let v = ctx.read(src_base + i);
+        ctx.write(dest_base + i * copies, v);
     });
     // Doubling within every block simultaneously.
     let mut have = 1usize;
     while have < copies {
         let add = have.min(copies - have);
-        pram.step(|s| {
-            s.par_for(0..k * add, |p, ctx| {
-                let i = p / add;
-                let j = p % add;
-                let v = ctx.read(dest_base + i * copies + j);
-                ctx.write(dest_base + i * copies + have + j, v);
-            });
+        m.par_for(k * add, |p, ctx| {
+            let i = p / add;
+            let j = p % add;
+            let v = ctx.read(dest_base + i * copies + j);
+            ctx.write(dest_base + i * copies + have + j, v);
         });
         have += add;
     }
@@ -92,25 +84,24 @@ pub fn duplicate_values(
 /// bucket's subarray pointer to all items of the bucket after they have been
 /// sorted by label.  `⌈lg len⌉` steps of contention ≤ 2 each; the total work
 /// is `O(len · lg s)` where `s` is the longest empty run being filled.
-pub fn propagate_nonempty_forward(pram: &mut Pram, base: usize, len: usize) {
+pub fn propagate_nonempty_forward<M: Machine>(m: &mut M, base: usize, len: usize) {
     use qrqw_sim::EMPTY;
     if len <= 1 {
         return;
     }
-    pram.ensure_memory(base + len);
+    m.ensure_memory(base + len);
     let mut jump = 1usize;
     while jump < len {
-        pram.step(|s| {
-            s.par_for(jump..len, |i, ctx| {
-                let own = ctx.read(base + i);
-                if own != EMPTY {
-                    return;
-                }
-                let prev = ctx.read(base + i - jump);
-                if prev != EMPTY {
-                    ctx.write(base + i, prev);
-                }
-            });
+        m.par_for(len - jump, |p, ctx| {
+            let i = p + jump;
+            let own = ctx.read(base + i);
+            if own != EMPTY {
+                return;
+            }
+            let prev = ctx.read(base + i - jump);
+            if prev != EMPTY {
+                ctx.write(base + i, prev);
+            }
         });
         jump *= 2;
     }

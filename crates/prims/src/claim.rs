@@ -21,99 +21,32 @@
 //! contention of every step is at most the size of the largest collision
 //! set — exactly the quantity the QRQW metric charges.
 
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::Machine;
 
-/// Collision-resolution flavour for [`claim_cells`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ClaimMode {
-    /// Simultaneous claimants all fail and the cell stays empty.
-    Exclusive,
-    /// The arbitration winner among simultaneous claimants succeeds.
-    Occupy,
-}
+pub use qrqw_sim::ClaimMode;
 
-/// Executes one round of the claiming protocol.
+/// Executes one round of the claiming protocol on any [`Machine`] backend.
 ///
 /// `attempts[i] = (tag, target)` asks to claim shared-memory cell `target`
-/// with the (unique, non-[`EMPTY`]) value `tag`; the return vector reports
-/// which attempts succeeded.  After the call, every successfully claimed
-/// cell contains its claimant's tag; unsuccessful attempts leave cells
-/// unchanged (Exclusive) or owned by the arbitration winner (Occupy).
+/// with the (unique, non-[`qrqw_sim::EMPTY`]) value `tag`; the return vector
+/// reports which attempts succeeded.  After the call, every successfully
+/// claimed cell contains its claimant's tag; unsuccessful attempts leave
+/// cells unchanged (Exclusive) or owned by the arbitration winner (Occupy).
 ///
-/// Cost: 3 steps (Occupy) or 6 steps (Exclusive), each with per-processor
-/// operation count 1 and contention equal to the largest collision set.
-pub fn claim_cells(pram: &mut Pram, attempts: &[(u64, usize)], mode: ClaimMode) -> Vec<bool> {
-    let k = attempts.len();
-    if k == 0 {
-        return Vec::new();
-    }
-    debug_assert!(
-        attempts.iter().all(|&(tag, _)| tag != EMPTY),
-        "claim tags must differ from EMPTY"
-    );
-    if let Some(max_addr) = attempts.iter().map(|&(_, a)| a).max() {
-        pram.ensure_memory(max_addr + 1);
-    }
-
-    // S1: probe — an already-occupied cell rejects the claim outright.
-    let live: Vec<bool> = pram.step(|s| {
-        s.par_map(0..k, |i, ctx| ctx.read(attempts[i].1) == EMPTY)
-    });
-
-    // S2: live claimants write their tag.
-    pram.step(|s| {
-        s.par_for(0..k, |i, ctx| {
-            if live[i] {
-                ctx.write(attempts[i].1, attempts[i].0);
-            }
-        });
-    });
-
-    // S3: live claimants read back; holding one's own tag makes one the
-    // tentative winner of the cell.
-    let tentative: Vec<bool> = pram.step(|s| {
-        s.par_map(0..k, |i, ctx| live[i] && ctx.read(attempts[i].1) == attempts[i].0)
-    });
-
-    match mode {
-        ClaimMode::Occupy => tentative,
-        ClaimMode::Exclusive => {
-            // S4: the losers of a collision re-write their tag, poisoning the
-            // cell so the tentative winner can detect that it was contested.
-            pram.step(|s| {
-                s.par_for(0..k, |i, ctx| {
-                    if live[i] && !tentative[i] {
-                        ctx.write(attempts[i].1, attempts[i].0);
-                    }
-                });
-            });
-            // S5: tentative winners re-read; an unchanged cell means the
-            // claim was uncontested.
-            let success: Vec<bool> = pram.step(|s| {
-                s.par_map(0..k, |i, ctx| {
-                    tentative[i] && ctx.read(attempts[i].1) == attempts[i].0
-                })
-            });
-            // S6: contested cells are restored to empty (the tentative
-            // winner knows the cell was empty before the round, and the
-            // poisoning losers also clear, so the cell ends empty whichever
-            // write wins arbitration).
-            pram.step(|s| {
-                s.par_for(0..k, |i, ctx| {
-                    if live[i] && !success[i] {
-                        ctx.write(attempts[i].1, EMPTY);
-                    }
-                });
-            });
-            success
-        }
-    }
+/// This is a thin wrapper over [`Machine::claim`]: the simulator runs the
+/// paper's constant-round protocol (3 steps for Occupy, 6 for Exclusive,
+/// each with per-processor operation count 1 and contention equal to the
+/// largest collision set), the native backend an equivalent CAS sequence
+/// with the same step-count charge.
+pub fn claim_cells<M: Machine>(m: &mut M, attempts: &[(u64, usize)], mode: ClaimMode) -> Vec<bool> {
+    m.claim(attempts, mode)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use qrqw_sim::CostModel;
+    use qrqw_sim::{Pram, EMPTY};
 
     #[test]
     fn unique_claims_succeed_in_both_modes() {
@@ -145,7 +78,11 @@ mod tests {
         let attempts = vec![(1u64, 4usize), (2, 4), (3, 4), (4, 6)];
         let ok = claim_cells(&mut pram, &attempts, ClaimMode::Exclusive);
         assert_eq!(ok, vec![false, false, false, true]);
-        assert_eq!(pram.memory().peek(4), EMPTY, "contested cell must be restored");
+        assert_eq!(
+            pram.memory().peek(4),
+            EMPTY,
+            "contested cell must be restored"
+        );
         assert_eq!(pram.memory().peek(6), 4);
     }
 
@@ -180,9 +117,15 @@ mod tests {
     #[test]
     fn sequential_rounds_respect_previous_claims() {
         let mut pram = Pram::new(8);
-        assert_eq!(claim_cells(&mut pram, &[(1, 2)], ClaimMode::Occupy), vec![true]);
+        assert_eq!(
+            claim_cells(&mut pram, &[(1, 2)], ClaimMode::Occupy),
+            vec![true]
+        );
         // a later round cannot steal the cell
-        assert_eq!(claim_cells(&mut pram, &[(9, 2)], ClaimMode::Occupy), vec![false]);
+        assert_eq!(
+            claim_cells(&mut pram, &[(9, 2)], ClaimMode::Occupy),
+            vec![false]
+        );
         assert_eq!(pram.memory().peek(2), 1);
     }
 }

@@ -29,7 +29,7 @@
 //!   in DESIGN.md.
 
 use qrqw_sim::schedule::ceil_lg;
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, EMPTY};
 
 use crate::claim::{claim_cells, ClaimMode};
 use crate::prefix::prefix_sums_exclusive;
@@ -37,30 +37,26 @@ use crate::prefix::prefix_sums_exclusive;
 /// Moves the non-empty cells of `[src_base, src_base+n)` to the front of
 /// `[dst_base, dst_base+n)` in their original order, returning how many
 /// there were.  `Θ(lg n)` time, `O(n)` work, EREW-legal.
-pub fn compact_erew(pram: &mut Pram, src_base: usize, n: usize, dst_base: usize) -> u64 {
+pub fn compact_erew<M: Machine>(m: &mut M, src_base: usize, n: usize, dst_base: usize) -> u64 {
     if n == 0 {
         return 0;
     }
-    pram.ensure_memory(src_base + n);
-    pram.ensure_memory(dst_base + n);
-    let flags = pram.alloc(n);
-    pram.step(|s| {
-        s.par_for(0..n, |i, ctx| {
-            let v = ctx.read(src_base + i);
-            ctx.write(flags + i, (v != EMPTY) as u64);
-        });
+    m.ensure_memory(src_base + n);
+    m.ensure_memory(dst_base + n);
+    let flags = m.alloc(n);
+    m.par_for(n, |i, ctx| {
+        let v = ctx.read(src_base + i);
+        ctx.write(flags + i, (v != EMPTY) as u64);
     });
-    let count = prefix_sums_exclusive(pram, flags, n);
-    pram.step(|s| {
-        s.par_for(0..n, |i, ctx| {
-            let v = ctx.read(src_base + i);
-            if v != EMPTY {
-                let pos = ctx.read(flags + i) as usize;
-                ctx.write(dst_base + pos, v);
-            }
-        });
+    let count = prefix_sums_exclusive(m, flags, n);
+    m.par_for(n, |i, ctx| {
+        let v = ctx.read(src_base + i);
+        if v != EMPTY {
+            let pos = ctx.read(flags + i) as usize;
+            ctx.write(dst_base + pos, v);
+        }
     });
-    pram.release_to(flags);
+    m.release_to(flags);
     count
 }
 
@@ -84,21 +80,19 @@ pub struct LinearCompactionOutcome {
 /// `dst_size` must be at least four times the number of non-empty cells
 /// (the paper's constant-factor slack); randomized, Las Vegas, linear work,
 /// `O(lg*n · lg n / lg lg n)` QRQW time w.h.p. (see the module notes).
-pub fn linear_compaction(
-    pram: &mut Pram,
+pub fn linear_compaction<M: Machine>(
+    m: &mut M,
     src_base: usize,
     n: usize,
     dst_base: usize,
     dst_size: usize,
 ) -> LinearCompactionOutcome {
-    pram.ensure_memory(src_base + n.max(1));
-    pram.ensure_memory(dst_base + dst_size.max(1));
+    m.ensure_memory(src_base + n.max(1));
+    m.ensure_memory(dst_base + dst_size.max(1));
 
     // Each processor inspects its own cell (one read each) and the hosts of
     // non-empty cells become the active item set.
-    let occupied: Vec<bool> = pram.step(|s| {
-        s.par_map(0..n, |i, ctx| ctx.read(src_base + i) != EMPTY)
-    });
+    let occupied: Vec<bool> = m.par_map(n, |i, ctx| ctx.read(src_base + i) != EMPTY);
     let mut active: Vec<usize> = (0..n).filter(|&i| occupied[i]).collect();
     let count = active.len();
     assert!(
@@ -119,9 +113,7 @@ pub fn linear_compaction(
 
         // Every team member picks a random target cell (one accounted
         // random draw per member).
-        let targets: Vec<usize> = pram.step(|s| {
-            s.par_map(0..k_active * q, |_a, ctx| ctx.random_index(dst_size))
-        });
+        let targets: Vec<usize> = m.par_map(k_active * q, |_a, ctx| ctx.random_index(dst_size));
 
         // Claim attempts: tag = member * n + source_index + 1 (unique, below
         // EMPTY for all simulated sizes).
@@ -132,20 +124,18 @@ pub fn linear_compaction(
                 (member * n as u64 + item as u64 + 1, dst_base + targets[a])
             })
             .collect();
-        let won = claim_cells(pram, &attempts, ClaimMode::Occupy);
+        let won = claim_cells(m, &attempts, ClaimMode::Occupy);
 
         // Team-internal selection of the surviving copy (the paper charges a
         // within-group prefix computation for this; we account one compute
         // operation per team member).
-        pram.step(|s| {
-            s.par_for(0..k_active * q, |_a, ctx| ctx.compute(1));
-        });
+        m.par_for(k_active * q, |_a, ctx| ctx.compute(1));
 
         // Fix-up step: the selected winner rewrites its cell with the source
         // index, redundant winners release their cells.
         let mut keep: Vec<Option<usize>> = vec![None; k_active]; // attempt index kept per item
-        for a in 0..k_active * q {
-            if won[a] {
+        for (a, &got) in won.iter().enumerate() {
+            if got {
                 let item_slot = a / q;
                 if keep[item_slot].is_none() {
                     keep[item_slot] = Some(a);
@@ -155,19 +145,17 @@ pub fn linear_compaction(
         let keep_ref = &keep;
         let attempts_ref = &attempts;
         let won_ref = &won;
-        pram.step(|s| {
-            s.par_for(0..k_active * q, |a, ctx| {
-                if !won_ref[a] {
-                    return;
-                }
-                let item_slot = a / q;
-                let item = active[item_slot];
-                if keep_ref[item_slot] == Some(a) {
-                    ctx.write(attempts_ref[a].1, item as u64);
-                } else {
-                    ctx.write(attempts_ref[a].1, EMPTY);
-                }
-            });
+        m.par_for(k_active * q, |a, ctx| {
+            if !won_ref[a] {
+                return;
+            }
+            let item_slot = a / q;
+            let item = active[item_slot];
+            if keep_ref[item_slot] == Some(a) {
+                ctx.write(attempts_ref[a].1, item as u64);
+            } else {
+                ctx.write(attempts_ref[a].1, EMPTY);
+            }
         });
 
         let mut still_active = Vec::new();
@@ -186,8 +174,8 @@ pub fn linear_compaction(
     let fallback_used = !active.is_empty();
     if fallback_used {
         let leftovers = active.clone();
-        let placed_spots: Vec<(usize, usize)> = pram.step(|s| {
-            let got = s.par_map(0..1, |_p, ctx| {
+        let placed_spots: Vec<(usize, usize)> = m
+            .par_map(1, |_p, ctx| {
                 let mut spots = Vec::new();
                 let mut cursor = 0usize;
                 for &item in &leftovers {
@@ -203,9 +191,10 @@ pub fn linear_compaction(
                     }
                 }
                 spots
-            });
-            got.into_iter().next().unwrap_or_default()
-        });
+            })
+            .into_iter()
+            .next()
+            .unwrap_or_default();
         assert_eq!(
             placed_spots.len(),
             active.len(),
@@ -224,7 +213,7 @@ pub fn linear_compaction(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qrqw_sim::CostModel;
+    use qrqw_sim::{CostModel, Pram};
     use std::collections::HashSet;
 
     #[test]

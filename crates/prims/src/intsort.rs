@@ -109,7 +109,7 @@ pub fn stable_sort_small_range(pram: &mut Pram, base: usize, n: usize, num_keys:
     if n <= 1 || num_keys <= 1 {
         return;
     }
-    let digit_buckets = qrqw_sim::schedule::ceil_lg(n.max(4) as u64).max(256).min(1 << 12) as usize;
+    let digit_buckets = qrqw_sim::schedule::ceil_lg(n.max(4) as u64).clamp(256, 1 << 12) as usize;
     if num_keys <= digit_buckets {
         stable_sort_by(pram, base, n, num_keys, unpack_key);
         return;
@@ -184,7 +184,8 @@ mod tests {
     #[test]
     fn sort_is_stable_across_digit_boundaries() {
         // keys chosen so that several share low digits but differ in high ones
-        let pairs: Vec<(u64, u64)> = vec![(0x201, 0), (0x101, 1), (0x201, 2), (0x001, 3), (0x101, 4)];
+        let pairs: Vec<(u64, u64)> =
+            vec![(0x201, 0), (0x101, 1), (0x201, 2), (0x001, 3), (0x101, 4)];
         let mut pram = Pram::new(1);
         load_pairs(&mut pram, &pairs);
         radix_sort_packed(&mut pram, 0, pairs.len(), 12);

@@ -10,96 +10,86 @@
 //! Cells equal to [`qrqw_sim::EMPTY`] are treated as zero, which is what the
 //! flag-counting uses in this repository want.
 
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, EMPTY};
 
 use crate::util::next_pow2;
 
 /// Replaces `mem[base .. base+len)` by its *inclusive* prefix sums and
 /// returns the total.
-pub fn prefix_sums_inclusive(pram: &mut Pram, base: usize, len: usize) -> u64 {
-    scan(pram, base, len, true)
+pub fn prefix_sums_inclusive<M: Machine>(m: &mut M, base: usize, len: usize) -> u64 {
+    scan(m, base, len, true)
 }
 
 /// Replaces `mem[base .. base+len)` by its *exclusive* prefix sums and
 /// returns the total.
-pub fn prefix_sums_exclusive(pram: &mut Pram, base: usize, len: usize) -> u64 {
-    scan(pram, base, len, false)
+pub fn prefix_sums_exclusive<M: Machine>(m: &mut M, base: usize, len: usize) -> u64 {
+    scan(m, base, len, false)
 }
 
-fn scan(pram: &mut Pram, base: usize, len: usize, inclusive: bool) -> u64 {
+fn scan<M: Machine>(m: &mut M, base: usize, len: usize, inclusive: bool) -> u64 {
     if len == 0 {
         return 0;
     }
-    let m = next_pow2(len);
-    let w = pram.alloc(m);
+    let width = next_pow2(len);
+    let w = m.alloc(width);
 
     // Copy the input into the scratch tree (EMPTY -> 0; cells past `len`
     // are already EMPTY and become 0).
-    pram.step(|s| {
-        s.par_for(0..m, |i, ctx| {
-            let v = if i < len { ctx.read(base + i) } else { EMPTY };
-            ctx.write(w + i, if v == EMPTY { 0 } else { v });
-        });
+    m.par_for(width, |i, ctx| {
+        let v = if i < len { ctx.read(base + i) } else { EMPTY };
+        ctx.write(w + i, if v == EMPTY { 0 } else { v });
     });
 
     // Up-sweep.
-    let levels = m.trailing_zeros() as usize;
+    let levels = width.trailing_zeros() as usize;
     for d in 0..levels {
         let stride = 1usize << (d + 1);
         let half = 1usize << d;
-        pram.step(|s| {
-            s.par_for(0..m / stride, |i, ctx| {
-                let left = w + i * stride + half - 1;
-                let right = w + i * stride + stride - 1;
-                let a = ctx.read(left);
-                let b = ctx.read(right);
-                ctx.write(right, a + b);
-            });
+        m.par_for(width / stride, |i, ctx| {
+            let left = w + i * stride + half - 1;
+            let right = w + i * stride + stride - 1;
+            let a = ctx.read(left);
+            let b = ctx.read(right);
+            ctx.write(right, a + b);
         });
     }
-    let total = pram.memory().peek(w + m - 1);
+    let total = m.peek(w + width - 1);
 
     // Down-sweep: clear the root, then push partial sums down.
-    pram.step(|s| {
-        s.par_for(0..1, |_i, ctx| ctx.write(w + m - 1, 0));
-    });
+    m.par_for(1, |_i, ctx| ctx.write(w + width - 1, 0));
     for d in (0..levels).rev() {
         let stride = 1usize << (d + 1);
         let half = 1usize << d;
-        pram.step(|s| {
-            s.par_for(0..m / stride, |i, ctx| {
-                let left = w + i * stride + half - 1;
-                let right = w + i * stride + stride - 1;
-                let a = ctx.read(left);
-                let b = ctx.read(right);
-                ctx.write(left, b);
-                ctx.write(right, a + b);
-            });
+        m.par_for(width / stride, |i, ctx| {
+            let left = w + i * stride + half - 1;
+            let right = w + i * stride + stride - 1;
+            let a = ctx.read(left);
+            let b = ctx.read(right);
+            ctx.write(left, b);
+            ctx.write(right, a + b);
         });
     }
 
     // Write the result back into the caller's region.
-    pram.step(|s| {
-        s.par_for(0..len, |i, ctx| {
-            let excl = ctx.read(w + i);
-            if inclusive {
-                let orig = ctx.read(base + i);
-                let orig = if orig == EMPTY { 0 } else { orig };
-                ctx.write(base + i, excl + orig);
-            } else {
-                ctx.write(base + i, excl);
-            }
-        });
+    m.par_for(len, |i, ctx| {
+        let excl = ctx.read(w + i);
+        if inclusive {
+            let orig = ctx.read(base + i);
+            let orig = if orig == EMPTY { 0 } else { orig };
+            ctx.write(base + i, excl + orig);
+        } else {
+            ctx.write(base + i, excl);
+        }
     });
 
-    pram.release_to(w);
+    m.release_to(w);
     total
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qrqw_sim::CostModel;
+    use qrqw_sim::{CostModel, Pram};
 
     fn reference_inclusive(xs: &[u64]) -> Vec<u64> {
         let mut acc = 0;
@@ -159,7 +149,11 @@ mod tests {
         // 2 lg n + 3 steps, every step has m = κ = small constant
         assert!(t <= 4 * 10 + 12, "time {t} should be O(lg n)");
         // work is linear
-        assert!(trace.work() <= 16 * n as u64, "work {} should be O(n)", trace.work());
+        assert!(
+            trace.work() <= 16 * n as u64,
+            "work {} should be O(n)",
+            trace.work()
+        );
     }
 
     #[test]

@@ -6,59 +6,62 @@
 //! the failure tests of the Las Vegas wrappers).  Each runs in `⌈lg n⌉ + 1`
 //! EREW-legal steps and `O(n)` work.
 
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, EMPTY};
 
 use crate::util::next_pow2;
 
-fn tree_reduce(pram: &mut Pram, base: usize, len: usize, combine: fn(u64, u64) -> u64, identity: u64, map_empty: u64) -> u64 {
+fn tree_reduce<M: Machine>(
+    m: &mut M,
+    base: usize,
+    len: usize,
+    combine: fn(u64, u64) -> u64,
+    identity: u64,
+    map_empty: u64,
+) -> u64 {
     if len == 0 {
         return identity;
     }
-    let m = next_pow2(len);
-    let w = pram.alloc(m);
-    pram.step(|s| {
-        s.par_for(0..m, |i, ctx| {
-            let v = if i < len { ctx.read(base + i) } else { EMPTY };
-            ctx.write(w + i, if v == EMPTY { map_empty } else { v });
-        });
+    let width = next_pow2(len);
+    let w = m.alloc(width);
+    m.par_for(width, |i, ctx| {
+        let v = if i < len { ctx.read(base + i) } else { EMPTY };
+        ctx.write(w + i, if v == EMPTY { map_empty } else { v });
     });
-    let levels = m.trailing_zeros() as usize;
+    let levels = width.trailing_zeros() as usize;
     for d in 0..levels {
         let stride = 1usize << (d + 1);
         let half = 1usize << d;
-        pram.step(|s| {
-            s.par_for(0..m / stride, |i, ctx| {
-                let a = ctx.read(w + i * stride + half - 1);
-                let b = ctx.read(w + i * stride + stride - 1);
-                ctx.write(w + i * stride + stride - 1, combine(a, b));
-            });
+        m.par_for(width / stride, |i, ctx| {
+            let a = ctx.read(w + i * stride + half - 1);
+            let b = ctx.read(w + i * stride + stride - 1);
+            ctx.write(w + i * stride + stride - 1, combine(a, b));
         });
     }
-    let result = pram.memory().peek(w + m - 1);
-    pram.release_to(w);
+    let result = m.peek(w + width - 1);
+    m.release_to(w);
     result
 }
 
 /// Returns true iff any cell in `[base, base+len)` is non-zero and
 /// non-[`EMPTY`].  `O(lg n)` EREW steps, `O(n)` work.
-pub fn global_or(pram: &mut Pram, base: usize, len: usize) -> bool {
-    tree_reduce(pram, base, len, |a, b| (a != 0 || b != 0) as u64, 0, 0) != 0
+pub fn global_or<M: Machine>(m: &mut M, base: usize, len: usize) -> bool {
+    tree_reduce(m, base, len, |a, b| (a != 0 || b != 0) as u64, 0, 0) != 0
 }
 
 /// Sum of the region ([`EMPTY`] counts as zero).  `O(lg n)` EREW steps.
-pub fn reduce_sum(pram: &mut Pram, base: usize, len: usize) -> u64 {
-    tree_reduce(pram, base, len, |a, b| a + b, 0, 0)
+pub fn reduce_sum<M: Machine>(m: &mut M, base: usize, len: usize) -> u64 {
+    tree_reduce(m, base, len, |a, b| a + b, 0, 0)
 }
 
 /// Maximum of the region ([`EMPTY`] counts as zero).  `O(lg n)` EREW steps.
-pub fn reduce_max(pram: &mut Pram, base: usize, len: usize) -> u64 {
-    tree_reduce(pram, base, len, |a, b| a.max(b), 0, 0)
+pub fn reduce_max<M: Machine>(m: &mut M, base: usize, len: usize) -> u64 {
+    tree_reduce(m, base, len, |a, b| a.max(b), 0, 0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qrqw_sim::CostModel;
+    use qrqw_sim::{CostModel, Pram};
 
     #[test]
     fn or_detects_presence() {

@@ -58,6 +58,10 @@
 //!
 //! ## Crate layout
 //!
+//! * [`machine`] — the [`Machine`] backend trait: the work–time presentation
+//!   as an API, implemented by [`Pram`] here and by the native
+//!   rayon/atomics machine in `qrqw-exec`, so each algorithm is written once
+//!   and runs on either substrate.
 //! * [`memory`] — the flat shared memory and the `EMPTY` sentinel.
 //! * [`step`] — [`StepCtx`] / [`ProcCtx`]: the per-step, per-processor API.
 //! * [`stats`] — [`StepStats`] and [`Trace`].
@@ -69,6 +73,7 @@
 
 #![warn(missing_docs)]
 
+pub mod machine;
 pub mod memory;
 pub mod model;
 pub mod pram;
@@ -77,12 +82,13 @@ pub mod schedule;
 pub mod stats;
 pub mod step;
 
+pub use machine::{ClaimMode, CostReport, Machine, MachineProc};
 pub use memory::{SharedMemory, EMPTY};
 pub use model::CostModel;
 pub use pram::{ExecMode, Pram};
 pub use rng::proc_rng;
 pub use schedule::{
-    bsp_emulation_time, brent_time, geometric_decaying_processors, l_spawning_processors,
+    brent_time, bsp_emulation_time, geometric_decaying_processors, l_spawning_processors,
     GeometricDecayCheck, SpawningProfile,
 };
 pub use stats::{StepStats, Trace, TraceSummary};

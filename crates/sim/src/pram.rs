@@ -34,6 +34,9 @@ pub struct Pram {
     mode: ExecMode,
     steps_executed: u64,
     heap_top: usize,
+    created: std::time::Instant,
+    claim_attempts: u64,
+    claim_failures: u64,
 }
 
 impl Pram {
@@ -52,7 +55,28 @@ impl Pram {
             mode: ExecMode::default(),
             steps_executed: 0,
             heap_top: mem_size,
+            created: std::time::Instant::now(),
+            claim_attempts: 0,
+            claim_failures: 0,
         }
+    }
+
+    /// Host wall-clock time elapsed since this PRAM was created (reported by
+    /// [`crate::machine::Machine::cost_report`] alongside the model-side
+    /// quantities).
+    pub fn wall_elapsed(&self) -> std::time::Duration {
+        self.created.elapsed()
+    }
+
+    /// `(live attempts, collision failures)` recorded by
+    /// [`crate::machine::Machine::claim`] so far.
+    pub fn claim_stats(&self) -> (u64, u64) {
+        (self.claim_attempts, self.claim_failures)
+    }
+
+    pub(crate) fn note_claims(&mut self, live: u64, contended: u64) {
+        self.claim_attempts += live;
+        self.claim_failures += contended;
     }
 
     /// Allocates `len` fresh [`crate::EMPTY`]-initialised cells past every
@@ -178,19 +202,26 @@ impl Pram {
     /// MasPar `globalor` routine): returns true iff any cell in the region
     /// is non-zero and non-[`crate::EMPTY`].  Charged like a scan.
     pub fn global_or_step(&mut self, base: usize, len: usize) -> bool {
+        self.mem.ensure(base + len);
         let mut any = false;
+        let mut examined = 0u64;
         for i in 0..len {
+            examined += 1;
             let v = self.mem.peek(base + i);
             if v != 0 && v != crate::memory::EMPTY {
                 any = true;
                 break;
             }
         }
+        // Work reflects the cells actually inspected before the
+        // short-circuit; the *time* charge keeps `scan_width = len` because
+        // the machine primitive is a reduction tree over the whole region
+        // regardless of where the first non-zero value sits.
         self.trace.push(StepStats {
-            active_procs: len as u64,
-            total_reads: len as u64,
+            active_procs: examined,
+            total_reads: examined,
             total_writes: 0,
-            total_computes: len as u64,
+            total_computes: examined,
             max_ops_per_proc: 1,
             max_read_contention: 1,
             max_write_contention: 1,
@@ -212,8 +243,8 @@ impl Pram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::CostModel;
     use crate::memory::EMPTY;
+    use crate::model::CostModel;
 
     #[test]
     fn writes_apply_at_end_of_step_with_lowest_id_winner() {
@@ -271,6 +302,25 @@ mod tests {
         assert!(!pram.global_or_step(0, 8));
         pram.memory_mut().poke(5, 1);
         assert!(pram.global_or_step(0, 8));
+    }
+
+    #[test]
+    fn global_or_step_charges_only_examined_cells_as_work() {
+        let mut pram = Pram::new(8);
+        pram.memory_mut().poke(0, 1);
+        assert!(pram.global_or_step(0, 8));
+        let s = pram.trace().step_stats()[0];
+        // short-circuits on the first cell: one read of work...
+        assert_eq!(s.total_reads, 1);
+        assert_eq!(s.active_procs, 1);
+        // ...but still a full-width reduction for the time charge.
+        assert_eq!(s.scan_width, 8);
+        assert_eq!(pram.trace().time(CostModel::Qrqw), 3); // ceil(lg 8)
+
+        // an all-empty region examines every cell
+        let mut pram = Pram::new(8);
+        assert!(!pram.global_or_step(0, 8));
+        assert_eq!(pram.trace().step_stats()[0].total_reads, 8);
     }
 
     #[test]

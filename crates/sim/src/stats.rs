@@ -35,7 +35,9 @@ impl StepStats {
     /// Definition 2.1 corner-case convention that a step with no memory
     /// operations has contention one.
     pub fn max_contention(&self) -> u64 {
-        self.max_read_contention.max(self.max_write_contention).max(1)
+        self.max_read_contention
+            .max(self.max_write_contention)
+            .max(1)
     }
 
     /// Total operations (reads + computes + writes) — the step's work in the
@@ -100,7 +102,11 @@ impl Trace {
 
     /// The largest contention observed in any step of the run.
     pub fn max_contention(&self) -> u64 {
-        self.steps.iter().map(StepStats::max_contention).max().unwrap_or(1)
+        self.steps
+            .iter()
+            .map(StepStats::max_contention)
+            .max()
+            .unwrap_or(1)
     }
 
     /// The per-step sequence of maximum contentions (useful for plotting the

@@ -23,10 +23,19 @@ fn main() {
     let build = pram.take_trace();
     println!("Built a hash table for {n} keys:");
     println!("  iterations (oblivious rounds) : {}", table.iterations);
-    println!("  displacement parameters k     : {}", table.displacement_parameters());
+    println!(
+        "  displacement parameters k     : {}",
+        table.displacement_parameters()
+    );
     println!("  build work                    : {}", build.work());
-    println!("  build time  (qrqw metric)     : {}", build.time(CostModel::Qrqw));
-    println!("  build max contention          : {}", build.max_contention());
+    println!(
+        "  build time  (qrqw metric)     : {}",
+        build.time(CostModel::Qrqw)
+    );
+    println!(
+        "  build max contention          : {}",
+        build.max_contention()
+    );
 
     // Half present, half absent queries.
     let mut queries: Vec<u64> = keys.iter().take(n / 2).copied().collect();
@@ -39,10 +48,22 @@ fn main() {
     let answers = table.lookup_batch(&mut pram, &queries);
     let hits = answers.iter().filter(|&&a| a).count();
     let lookup = pram.take_trace();
-    println!("\nAnswered {n} membership queries ({hits} hits, {} misses):", n - hits);
-    println!("  lookup time (qrqw metric)     : {}", lookup.time(CostModel::Qrqw));
-    println!("  lookup time (crcw metric)     : {}", lookup.time(CostModel::Crcw));
-    println!("  lookup max contention         : {}", lookup.max_contention());
+    println!(
+        "\nAnswered {n} membership queries ({hits} hits, {} misses):",
+        n - hits
+    );
+    println!(
+        "  lookup time (qrqw metric)     : {}",
+        lookup.time(CostModel::Qrqw)
+    );
+    println!(
+        "  lookup time (crcw metric)     : {}",
+        lookup.time(CostModel::Crcw)
+    );
+    println!(
+        "  lookup max contention         : {}",
+        lookup.max_contention()
+    );
     println!("\nThe gap between max contention and n is the whole point: without the");
     println!("duplicated displacement parameters every query hitting the same a_j would");
     println!("queue on one cell and the qrqw lookup time would grow linearly in n.");

@@ -25,7 +25,12 @@ fn main() {
     });
 
     println!("Two steps, four cost models:");
-    for model in [CostModel::Erew, CostModel::Qrqw, CostModel::Crqw, CostModel::Crcw] {
+    for model in [
+        CostModel::Erew,
+        CostModel::Qrqw,
+        CostModel::Crqw,
+        CostModel::Crcw,
+    ] {
         println!(
             "  {:<6}  time = {:<6} (violations = {})",
             model.to_string(),
@@ -60,5 +65,7 @@ fn main() {
         erew.trace().work(),
         erew.trace().max_contention()
     );
-    println!("  -> low-contention dart throwing beats the bitonic-sort baseline, Table II's effect.");
+    println!(
+        "  -> low-contention dart throwing beats the bitonic-sort baseline, Table II's effect."
+    );
 }

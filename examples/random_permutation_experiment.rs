@@ -1,21 +1,30 @@
 //! The Section 5.2 experiment, end to end: run the three random-permutation
-//! algorithms natively (rayon + atomics) at the paper's two machine sizes
-//! and print a Table II-style comparison.
+//! algorithms — the *same* `qrqw-core` sources that drive the simulator —
+//! natively through the `Machine` backend API at the paper's two machine
+//! sizes and print a Table II-style comparison.
 //!
 //! Run with `cargo run --release --example random_permutation_experiment`.
 
 use std::time::Instant;
 
-use qrqw_suite::exec::{
-    dart_qrqw_permutation, dart_scan_permutation, sorting_based_permutation,
+use qrqw_suite::algos::{
+    random_permutation_dart_scan, random_permutation_qrqw, random_permutation_sorting_erew,
+    PermutationOutcome,
 };
+use qrqw_suite::exec::NativeMachine;
+use qrqw_suite::sim::Machine;
 
-fn average_ms(reps: u64, f: impl Fn(u64) -> qrqw_suite::exec::NativeOutcome) -> (f64, f64) {
-    let _ = f(0); // warm-up
+type Algo = fn(&mut NativeMachine, usize) -> PermutationOutcome;
+
+fn average_ms(reps: u64, n: usize, f: Algo) -> (f64, f64) {
+    let mut m = NativeMachine::with_seed(16, 0);
+    let _ = f(&mut m, n); // warm-up
     let start = Instant::now();
     let mut contended = 0u64;
     for r in 0..reps {
-        contended += f(r + 1).contended_attempts;
+        let mut m = NativeMachine::with_seed(16, r + 1);
+        let _ = f(&mut m, n);
+        contended += m.cost_report().contended_claims;
     }
     (
         start.elapsed().as_secs_f64() * 1000.0 / reps as f64,
@@ -28,23 +37,33 @@ fn main() {
         .nth(1)
         .map(|s| s.parse().expect("repetitions"))
         .unwrap_or(50);
-    println!("Random permutation on the MasPar MP-1 — reproduced on {} threads, {reps} repetitions\n", rayon::current_num_threads());
+    println!(
+        "Random permutation on the MasPar MP-1 — reproduced on {} threads, {reps} repetitions\n",
+        rayon::current_num_threads()
+    );
     println!("{:<30} {:>12} {:>12}", "Algorithm", "16K items", "1K items");
 
-    let mut table: Vec<(&str, Box<dyn Fn(usize, u64) -> qrqw_suite::exec::NativeOutcome>)> = Vec::new();
-    table.push(("Sorting-based (erew)", Box::new(sorting_based_permutation)));
-    table.push(("Dart-throwing with scans", Box::new(dart_scan_permutation)));
-    table.push(("Dart-throwing for qrqw", Box::new(dart_qrqw_permutation)));
+    let table: Vec<(&str, Algo)> = vec![
+        ("Sorting-based (erew)", |m, n| {
+            random_permutation_sorting_erew(m, n)
+        }),
+        ("Dart-throwing with scans", |m, n| {
+            random_permutation_dart_scan(m, n)
+        }),
+        ("Dart-throwing for qrqw", |m, n| {
+            random_permutation_qrqw(m, n)
+        }),
+    ];
 
     for (label, f) in &table {
-        let (big, _) = average_ms(reps, |s| f(16_384, s));
-        let (small, _) = average_ms(reps, |s| f(1_024, s));
+        let (big, _) = average_ms(reps, 16_384, *f);
+        let (small, _) = average_ms(reps, 1_024, *f);
         println!("{label:<30} {big:>9.3} ms {small:>9.3} ms");
     }
 
-    println!("\nContention diagnostics (average contended CAS attempts per run, 16K items):");
+    println!("\nContention diagnostics (average contended claim attempts per run, 16K items):");
     for (label, f) in &table {
-        let (_, contended) = average_ms(reps.min(20), |s| f(16_384, s));
+        let (_, contended) = average_ms(reps.min(20), 16_384, *f);
         println!("  {label:<30} {contended:>10.1}");
     }
     println!("\nPaper (Table II): 11.25 / 10.01, 8.02 / 6.05, 7.57 / 2.88 ms — the qrqw dart thrower wins in both columns.");

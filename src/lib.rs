@@ -4,12 +4,15 @@
 //! (and downstream users who just want everything) can depend on a single
 //! package:
 //!
-//! * [`sim`] — the QRQW PRAM simulator and cost models,
+//! * [`sim`] — the QRQW PRAM simulator, the cost models, and the
+//!   [`sim::Machine`] backend trait,
 //! * [`prims`] — parallel primitives (prefix sums, broadcasting, claiming,
-//!   compaction, sorting networks),
-//! * [`algos`] — the paper's algorithms and their baselines,
-//! * [`exec`] — the native rayon/atomics executor for the Table II
-//!   experiment.
+//!   compaction, sorting networks), generic over the backend,
+//! * [`algos`] — the paper's algorithms and their baselines; random
+//!   permutation, linear compaction and load balancing run on any
+//!   [`sim::Machine`],
+//! * [`exec`] — the native rayon/atomics backend ([`exec::NativeMachine`])
+//!   for wall-clock Table II runs.
 
 pub use qrqw_core as algos;
 pub use qrqw_exec as exec;

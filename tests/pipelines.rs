@@ -69,13 +69,19 @@ fn table_two_ordering_holds_in_the_simulator() {
 }
 
 #[test]
-fn native_and_simulated_permutations_agree_on_validity() {
+fn native_and_simulated_permutations_are_identical() {
+    use qrqw_suite::exec::NativeMachine;
+    use qrqw_suite::sim::Machine;
     for n in [64usize, 1000] {
-        let native = qrqw_suite::exec::dart_qrqw_permutation(n, 9);
-        assert!(qrqw_suite::exec::permutation::is_permutation(&native.order));
+        let mut native = NativeMachine::with_seed(16, 9);
+        let nat = random_permutation_qrqw(&mut native, n);
+        assert!(is_permutation(&nat.order));
         let mut pram = Pram::with_seed(16, 9);
         let sim = random_permutation_qrqw(&mut pram, n);
         assert!(is_permutation(&sim.order));
+        // One algorithm source + shared (seed, step, proc) random streams +
+        // deterministic exclusive claims ⇒ bit-identical output.
+        assert_eq!(nat.order, sim.order);
     }
 }
 
@@ -92,12 +98,12 @@ fn integer_sort_feeds_fetch_add_emulation() {
     let reqs: Vec<(usize, u64)> = (0..512).map(|i| (i % 7, (i % 5 + 1) as u64)).collect();
     let olds = emulate_fetch_add_step(&mut pram, &reqs);
     assert_eq!(olds.len(), reqs.len());
-    let mut totals = vec![0u64; 7];
+    let mut totals = [0u64; 7];
     for &(a, v) in &reqs {
         totals[a] += v;
     }
-    for a in 0..7 {
-        assert_eq!(pram.memory().peek(a), totals[a]);
+    for (a, &total) in totals.iter().enumerate() {
+        assert_eq!(pram.memory().peek(a), total);
     }
 }
 
@@ -168,7 +174,10 @@ fn brent_and_bsp_costs_are_consistent_across_an_algorithm_run() {
     let t = pram.trace().time(CostModel::Qrqw);
     let w = pram.trace().work();
     // Theorem 2.3: p-processor time is work/p + time.
-    assert_eq!(pram.trace().brent_time(64, CostModel::Qrqw), w.div_ceil(64) + t);
+    assert_eq!(
+        pram.trace().brent_time(64, CostModel::Qrqw),
+        w.div_ceil(64) + t
+    );
     // Theorem 1.1: BSP emulation is t·lg p.
     assert_eq!(pram.trace().bsp_time(1024, CostModel::Qrqw), t * 10);
 }

@@ -1,61 +1,101 @@
-//! Property-based tests (proptest) over the core invariants of the
-//! primitives and algorithms.
+//! Randomized property tests over the core invariants of the primitives and
+//! algorithms.
+//!
+//! The build container has no crates registry, so instead of `proptest`
+//! these use seeded `SmallRng` case generation: every property is exercised
+//! over a couple dozen random inputs per run, deterministically per seed.
 
-use proptest::prelude::*;
 use qrqw_suite::algos::{
     cycle_representation, is_cyclic, is_permutation, multiple_compaction,
     random_cyclic_permutation_fast, random_permutation_qrqw, sample_sort_qrqw, sort_uniform_keys,
     QrqwHashTable,
 };
 use qrqw_suite::prims::{
-    bitonic_sort, compact_erew, prefix_sums_inclusive, radix_sort_packed, unpack_key,
+    bitonic_sort, compact_erew, pack, prefix_sums_inclusive, radix_sort_packed, unpack_key,
     unpack_payload,
 };
 use qrqw_suite::sim::{CostModel, Pram, EMPTY};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn prefix_sums_match_sequential_scan(xs in prop::collection::vec(0u64..1000, 1..300)) {
+fn rng_for(case: u64, salt: u64) -> SmallRng {
+    SmallRng::seed_from_u64(case.wrapping_mul(0x9E37_79B9) ^ salt)
+}
+
+#[test]
+fn prefix_sums_match_sequential_scan() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 1);
+        let len = rng.gen_range(1..300usize);
+        let xs: Vec<u64> = (0..len).map(|_| rng.gen_range(0..1000u64)).collect();
         let mut pram = Pram::new(xs.len());
         pram.memory_mut().load(0, &xs);
         let total = prefix_sums_inclusive(&mut pram, 0, xs.len());
         let mut acc = 0u64;
-        let expect: Vec<u64> = xs.iter().map(|&x| { acc += x; acc }).collect();
-        prop_assert_eq!(pram.memory().dump(0, xs.len()), expect);
-        prop_assert_eq!(total, xs.iter().sum::<u64>());
-        prop_assert_eq!(pram.trace().violations(CostModel::Erew), 0);
+        let expect: Vec<u64> = xs
+            .iter()
+            .map(|&x| {
+                acc += x;
+                acc
+            })
+            .collect();
+        assert_eq!(pram.memory().dump(0, xs.len()), expect);
+        assert_eq!(total, xs.iter().sum::<u64>());
+        assert_eq!(pram.trace().violations(CostModel::Erew), 0);
     }
+}
 
-    #[test]
-    fn bitonic_sorts_any_input(xs in prop::collection::vec(0u64..1_000_000, 0..400)) {
+#[test]
+fn bitonic_sorts_any_input() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 2);
+        let len = rng.gen_range(0..400usize);
+        let xs: Vec<u64> = (0..len).map(|_| rng.gen_range(0..1_000_000u64)).collect();
         let mut pram = Pram::new(xs.len().max(1));
         pram.memory_mut().load(0, &xs);
         bitonic_sort(&mut pram, 0, xs.len());
         let mut expect = xs.clone();
         expect.sort_unstable();
-        prop_assert_eq!(pram.memory().dump(0, xs.len()), expect);
+        assert_eq!(pram.memory().dump(0, xs.len()), expect);
     }
+}
 
-    #[test]
-    fn radix_sort_is_a_stable_sort(pairs in prop::collection::vec((0u64..500, 0u64..10_000), 1..300)) {
-        let words: Vec<u64> = pairs.iter().map(|&(k, p)| (k << 32) | p).collect();
-        let mut pram = Pram::new(words.len());
-        let packed: Vec<u64> = pairs.iter().enumerate().map(|(i, &(k, _))| qrqw_suite::prims::pack(k, i as u64)).collect();
+#[test]
+fn radix_sort_is_a_stable_sort() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 3);
+        let len = rng.gen_range(1..300usize);
+        let keys: Vec<u64> = (0..len).map(|_| rng.gen_range(0..500u64)).collect();
+        let mut pram = Pram::new(len);
+        let packed: Vec<u64> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| pack(k, i as u64))
+            .collect();
         pram.memory_mut().load(0, &packed);
         radix_sort_packed(&mut pram, 0, packed.len(), 16);
-        let out: Vec<(u64, u64)> = pram.memory().dump(0, packed.len()).into_iter()
-            .map(|w| (unpack_key(w), unpack_payload(w))).collect();
-        // sorted by key, and ties keep original order (stability)
-        prop_assert!(out.windows(2).all(|w| w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1)));
-        let _ = words;
+        let out: Vec<(u64, u64)> = pram
+            .memory()
+            .dump(0, packed.len())
+            .into_iter()
+            .map(|w| (unpack_key(w), unpack_payload(w)))
+            .collect();
+        // sorted by key, ties keep original order (stability)
+        assert!(out
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1)));
     }
+}
 
-    #[test]
-    fn compaction_preserves_the_multiset(mask in prop::collection::vec(any::<bool>(), 1..300)) {
-        let n = mask.len();
+#[test]
+fn compaction_preserves_the_multiset() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 4);
+        let n = rng.gen_range(1..300usize);
+        let mask: Vec<bool> = (0..n).map(|_| rng.gen_range(0..2u32) == 1).collect();
         let mut pram = Pram::new(2 * n);
         let mut expect = Vec::new();
         for (i, &keep) in mask.iter().enumerate() {
@@ -65,84 +105,103 @@ proptest! {
             }
         }
         let count = compact_erew(&mut pram, 0, n, n);
-        prop_assert_eq!(count as usize, expect.len());
-        prop_assert_eq!(pram.memory().dump(n, expect.len()), expect);
+        assert_eq!(count as usize, expect.len());
+        assert_eq!(pram.memory().dump(n, expect.len()), expect);
+        // empty cells never leak into the compacted output
+        assert!(pram
+            .memory()
+            .dump(n, count as usize)
+            .iter()
+            .all(|&v| v != EMPTY));
     }
+}
 
-    #[test]
-    fn random_permutation_is_always_a_permutation(n in 1usize..600, seed in 0u64..50) {
+#[test]
+fn random_permutation_is_always_a_permutation() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 5);
+        let n = rng.gen_range(1..600usize);
+        let seed = rng.gen_range(0..50u64);
         let mut pram = Pram::with_seed(4, seed);
         let out = random_permutation_qrqw(&mut pram, n);
-        prop_assert!(is_permutation(&out.order));
+        assert!(is_permutation(&out.order), "n={n} seed={seed}");
     }
+}
 
-    #[test]
-    fn cyclic_permutation_is_one_cycle(n in 2usize..400, seed in 0u64..30) {
+#[test]
+fn cyclic_permutation_is_one_cycle() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 6);
+        let n = rng.gen_range(2..400usize);
+        let seed = rng.gen_range(0..30u64);
         let mut pram = Pram::with_seed(4, seed);
         let out = random_cyclic_permutation_fast(&mut pram, n);
-        prop_assert!(is_permutation(&out.successor));
-        prop_assert!(is_cyclic(&out.successor));
-        prop_assert_eq!(cycle_representation(&out.successor).len(), 1);
+        assert!(is_permutation(&out.successor));
+        assert!(is_cyclic(&out.successor));
+        assert_eq!(cycle_representation(&out.successor).len(), 1);
     }
+}
 
-    #[test]
-    fn multiple_compaction_places_items_in_their_subarrays(
-        labels in prop::collection::vec(0u64..20, 1..400)
-    ) {
+#[test]
+fn multiple_compaction_places_items_in_their_subarrays() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 7);
+        let len = rng.gen_range(1..400usize);
+        let labels: Vec<u64> = (0..len).map(|_| rng.gen_range(0..20u64)).collect();
         let mut counts = vec![0u64; 20];
-        for &l in &labels { counts[l as usize] += 1; }
+        for &l in &labels {
+            counts[l as usize] += 1;
+        }
         let mut pram = Pram::with_seed(4, 17);
         let r = multiple_compaction(&mut pram, &labels, &counts);
-        prop_assert!(!r.failed);
+        assert!(!r.failed);
         let mut seen = HashSet::new();
         for (item, &pos) in r.positions.iter().enumerate() {
-            prop_assert!(pos != usize::MAX);
-            prop_assert!(seen.insert(pos));
+            assert!(pos != usize::MAX);
+            assert!(seen.insert(pos));
             let label = labels[item] as usize;
             let lo = r.layout.b_base + r.layout.subarray_offset[label];
-            prop_assert!(pos >= lo && pos < lo + r.layout.subarray_len[label]);
+            assert!(pos >= lo && pos < lo + r.layout.subarray_len[label]);
         }
     }
+}
 
-    #[test]
-    fn sorts_agree_with_std(keys in prop::collection::vec(0u64..(1 << 31), 1..500)) {
+#[test]
+fn sorts_agree_with_std() {
+    for case in 0..8 {
+        let mut rng = rng_for(case, 8);
+        let len = rng.gen_range(1..500usize);
+        let keys: Vec<u64> = (0..len).map(|_| rng.gen_range(0..(1u64 << 31))).collect();
         let mut expect = keys.clone();
         expect.sort_unstable();
         let mut a = Pram::with_seed(4, 3);
-        prop_assert_eq!(sort_uniform_keys(&mut a, &keys), expect.clone());
+        assert_eq!(sort_uniform_keys(&mut a, &keys), expect.clone());
         let mut b = Pram::with_seed(4, 4);
-        prop_assert_eq!(sample_sort_qrqw(&mut b, &keys), expect);
+        assert_eq!(sample_sort_qrqw(&mut b, &keys), expect);
     }
+}
 
-    #[test]
-    fn hash_table_answers_membership_exactly(
-        keys in prop::collection::hash_set(1u64..1_000_000, 1..200),
-        probes in prop::collection::vec(1u64..1_000_000, 1..200)
-    ) {
-        let keys: Vec<u64> = keys.into_iter().collect();
+#[test]
+fn hash_table_answers_membership_exactly() {
+    for case in 0..CASES {
+        let mut rng = rng_for(case, 9);
+        let n_keys = rng.gen_range(1..200usize);
+        let keys: Vec<u64> = {
+            let mut set = HashSet::new();
+            while set.len() < n_keys {
+                set.insert(rng.gen_range(1..1_000_000u64));
+            }
+            set.into_iter().collect()
+        };
+        let probes: Vec<u64> = (0..rng.gen_range(1..200usize))
+            .map(|_| rng.gen_range(1..1_000_000u64))
+            .collect();
         let mut pram = Pram::with_seed(4, 23);
         let table = QrqwHashTable::build(&mut pram, &keys);
         let set: HashSet<u64> = keys.iter().copied().collect();
         let answers = table.lookup_batch(&mut pram, &probes);
         for (q, a) in probes.iter().zip(answers) {
-            prop_assert_eq!(a, set.contains(q));
+            assert_eq!(a, set.contains(q));
         }
-    }
-
-    #[test]
-    fn empty_cells_never_leak_into_compacted_output(
-        vals in prop::collection::vec(prop::option::of(0u64..100), 1..200)
-    ) {
-        let n = vals.len();
-        let mut pram = Pram::new(2 * n);
-        for (i, v) in vals.iter().enumerate() {
-            if let Some(x) = v {
-                pram.memory_mut().poke(i, *x);
-            }
-        }
-        let count = compact_erew(&mut pram, 0, n, n);
-        let out = pram.memory().dump(n, count as usize);
-        prop_assert!(out.iter().all(|&v| v != EMPTY));
-        prop_assert_eq!(count as usize, vals.iter().filter(|v| v.is_some()).count());
     }
 }

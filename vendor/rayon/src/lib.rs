@@ -1,0 +1,271 @@
+//! Offline stand-in for the subset of the crates.io `rayon` API this
+//! workspace uses.
+//!
+//! The container this repository builds in has no crates registry, so the
+//! workspace vendors a minimal data-parallelism layer.  It is *really*
+//! parallel — work is split into contiguous chunks executed on
+//! `std::thread::scope` threads, one per available core — and, like rayon,
+//! `collect` preserves item order, so results are independent of scheduling.
+//!
+//! Supported surface: `par_iter()` on slices, `into_par_iter()` on
+//! `Range<usize>`, the adapters `map` / `for_each` / `any` / `collect`, and
+//! [`current_num_threads`].  Parallel sources are random-access ("indexed"
+//! in rayon terms), which covers every call site in this repository.
+
+use std::panic;
+use std::thread;
+
+/// Number of worker threads a parallel operation will use at most.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Below this many items a parallel operation just runs inline: spawning
+/// threads for tiny inputs costs more than it saves.
+const INLINE_CUTOFF: usize = 2048;
+
+/// Runs `produce(i)` for `i in 0..len` across threads, returning the results
+/// in index order.
+fn par_produce<T, P>(len: usize, produce: P) -> Vec<T>
+where
+    T: Send,
+    P: Fn(usize) -> T + Sync,
+{
+    let threads = current_num_threads().min(len);
+    if threads <= 1 || len < INLINE_CUTOFF {
+        return (0..len).map(produce).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(threads);
+    thread::scope(|s| {
+        let produce = &produce;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(len);
+                s.spawn(move || (lo..hi).map(produce).collect::<Vec<T>>())
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => parts.push(part),
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// A random-access parallel iterator.
+///
+/// Unlike rayon's lazy splitter this is an eager, indexed design: a source
+/// exposes `(len, get(i))` and every consumer fans the index space out over
+/// threads.  `collect` returns items in index order.
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of items.
+    fn pi_len(&self) -> usize;
+
+    /// Produces the item at `index` (called from worker threads).
+    fn pi_get(&self, index: usize) -> Self::Item;
+
+    /// Maps every item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Runs `f` on every item for its side effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _ = par_produce(self.pi_len(), |i| f(self.pi_get(i)));
+    }
+
+    /// True iff `f` holds for at least one item (all items are evaluated;
+    /// rayon also gives no short-circuit guarantee across threads).
+    fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Sync,
+    {
+        par_produce(self.pi_len(), |i| f(self.pi_get(i)))
+            .into_iter()
+            .any(|b| b)
+    }
+
+    /// Collects all items in index order.
+    fn collect<C>(self) -> C
+    where
+        C: From<Vec<Self::Item>>,
+    {
+        C::from(par_produce(self.pi_len(), |i| self.pi_get(i)))
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        par_produce(self.pi_len(), |i| self.pi_get(i))
+            .into_iter()
+            .sum()
+    }
+}
+
+/// [`ParallelIterator::map`] adapter.
+pub struct Map<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.inner.pi_len()
+    }
+
+    fn pi_get(&self, index: usize) -> R {
+        (self.f)(self.inner.pi_get(index))
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn pi_len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn pi_get(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+/// Parallel iterator over slice references.
+pub struct SliceIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_get(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+/// Conversion of owned sources into parallel iterators.
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator;
+
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            end: self.end.max(self.start),
+        }
+    }
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator;
+
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// The rayon prelude: everything a call site needs in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..10_000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_borrows() {
+        let xs: Vec<u64> = (0..5000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled[4999], 9998);
+    }
+
+    #[test]
+    fn any_and_sum() {
+        assert!((0..5000).into_par_iter().any(|i| i == 4999));
+        assert!(!(0..5000).into_par_iter().any(|i| i == 5000));
+        let s: usize = (0..5000).into_par_iter().sum();
+        assert_eq!(s, 4999 * 5000 / 2);
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0..10_000).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        let out: Vec<usize> = (5..5).into_par_iter().collect();
+        assert!(out.is_empty());
+    }
+}
