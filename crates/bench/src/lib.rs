@@ -21,13 +21,17 @@
 
 use std::time::{Duration, Instant};
 
+use qrqw_core::hashing::HASH_PRIME;
 use qrqw_core::{
-    is_permutation, load_balance_erew, load_balance_qrqw, random_permutation_dart_scan,
-    random_permutation_qrqw, random_permutation_sorting_erew,
+    emulate_fetch_add_step, integer_sort_crqw, is_cyclic, is_permutation, load_balance_erew,
+    load_balance_qrqw, multiple_compaction, random_cyclic_permutation_efficient,
+    random_cyclic_permutation_fast, random_permutation_dart_scan, random_permutation_qrqw,
+    random_permutation_sorting_erew, sample_sort_crqw, sample_sort_qrqw, sort_uniform_keys,
+    QrqwHashTable,
 };
 use qrqw_exec::NativeMachine;
-use qrqw_prims::linear_compaction;
-use qrqw_sim::{CostModel, CostReport, Machine, Pram, TraceSummary};
+use qrqw_prims::{linear_compaction, list_rank};
+use qrqw_sim::{CostModel, CostReport, Machine, Pram, TraceSummary, EMPTY};
 
 /// Which [`Machine`] backend a harness run executes on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,17 +80,48 @@ pub enum Algorithm {
     LoadBalanceQrqw,
     /// §3 EREW prefix-sums load-balancing baseline.
     LoadBalanceErew,
+    /// §4 multiple compaction (mixed heavy + light instance, Theorem 4.1).
+    MultipleCompaction,
+    /// §6 hash-table construction plus `n` positive and `n` negative
+    /// membership lookups (Theorem 6.1).
+    Hashing,
+    /// §5.1.2 fast random cyclic permutation (Theorem 5.2).
+    CyclicFast,
+    /// §5.1.3 work-optimal random cyclic permutation (Theorem 5.3).
+    CyclicEfficient,
+    /// §7.2 sample sort with fat-tree labelling (QRQW Algorithm A).
+    SampleSortQrqw,
+    /// §7.2 sample sort with concurrent-read binary-search labelling.
+    SampleSortCrqw,
+    /// §7.3 CRQW integer sorting (Theorem 7.4).
+    IntegerSort,
+    /// §7.1 distributive sorting of U(0,1) keys (Theorem 7.1).
+    DistributiveSort,
+    /// §7.3 one emulated Fetch&Add step over a hot address set (Lemma 7.5).
+    FetchAdd,
+    /// §3 pointer-jumping list ranking over one n-node chain.
+    ListRank,
 }
 
 impl Algorithm {
     /// Every ported algorithm.
-    pub const ALL: [Algorithm; 6] = [
+    pub const ALL: [Algorithm; 16] = [
         Algorithm::PermutationQrqw,
         Algorithm::PermutationDartScan,
         Algorithm::PermutationSortingErew,
         Algorithm::LinearCompaction,
         Algorithm::LoadBalanceQrqw,
         Algorithm::LoadBalanceErew,
+        Algorithm::MultipleCompaction,
+        Algorithm::Hashing,
+        Algorithm::CyclicFast,
+        Algorithm::CyclicEfficient,
+        Algorithm::SampleSortQrqw,
+        Algorithm::SampleSortCrqw,
+        Algorithm::IntegerSort,
+        Algorithm::DistributiveSort,
+        Algorithm::FetchAdd,
+        Algorithm::ListRank,
     ];
 
     /// Stable kebab-case name (also accepted by [`Algorithm::parse`]).
@@ -98,6 +133,16 @@ impl Algorithm {
             Algorithm::LinearCompaction => "linear-compaction",
             Algorithm::LoadBalanceQrqw => "load-balance-qrqw",
             Algorithm::LoadBalanceErew => "load-balance-erew",
+            Algorithm::MultipleCompaction => "multiple-compaction",
+            Algorithm::Hashing => "hashing",
+            Algorithm::CyclicFast => "cyclic-fast",
+            Algorithm::CyclicEfficient => "cyclic-efficient",
+            Algorithm::SampleSortQrqw => "sample-sort-qrqw",
+            Algorithm::SampleSortCrqw => "sample-sort-crqw",
+            Algorithm::IntegerSort => "integer-sort",
+            Algorithm::DistributiveSort => "distributive-sort",
+            Algorithm::FetchAdd => "fetch-add",
+            Algorithm::ListRank => "list-rank",
         }
     }
 
@@ -111,6 +156,17 @@ impl Algorithm {
     pub fn skewed_loads(n: usize) -> Vec<u64> {
         (0..n)
             .map(|i| if i % 64 == 0 { 64 } else { (i % 2) as u64 })
+            .collect()
+    }
+
+    /// Deterministic scattered keys below [`HASH_PRIME`]: the multiplicative
+    /// map `i ↦ (i+1)·MULT mod (2³¹−1)` is injective (the modulus is prime),
+    /// so the keys are distinct — what the hashing and sorting workloads
+    /// need without host-side RNG state.
+    pub fn scattered_keys(n: usize, offset: usize) -> Vec<u64> {
+        const MULT: u64 = 0x5DEE_CE66;
+        (0..n)
+            .map(|i| ((i + offset) as u64 + 1) * MULT % HASH_PRIME)
             .collect()
     }
 
@@ -169,6 +225,143 @@ impl Algorithm {
                 let res = load_balance_erew(m, &loads);
                 let elapsed = start.elapsed();
                 (res.covers_exactly(&loads), elapsed)
+            }
+            Algorithm::MultipleCompaction => {
+                // Mixed instance: one heavy label plus a spread of light ones.
+                let num_labels = (n / 32).clamp(2, 64);
+                let labels: Vec<u64> = (0..n)
+                    .map(|i| {
+                        if i % 3 == 0 {
+                            0
+                        } else {
+                            (i % num_labels) as u64
+                        }
+                    })
+                    .collect();
+                let mut counts = vec![0u64; num_labels];
+                for &l in &labels {
+                    counts[l as usize] += 1;
+                }
+                let start = Instant::now();
+                let res = multiple_compaction(m, &labels, &counts);
+                let elapsed = start.elapsed();
+                let mut dests: Vec<usize> = res.positions.clone();
+                dests.sort_unstable();
+                dests.dedup();
+                let in_subarray = res.positions.iter().enumerate().all(|(item, &pos)| {
+                    let label = labels[item] as usize;
+                    let lo = res.layout.b_base + res.layout.subarray_offset[label];
+                    pos >= lo && pos < lo + res.layout.subarray_len[label]
+                });
+                (!res.failed && dests.len() == n && in_subarray, elapsed)
+            }
+            Algorithm::Hashing => {
+                let keys = Algorithm::scattered_keys(n, 0);
+                let probes = Algorithm::scattered_keys(n, n);
+                let start = Instant::now();
+                let table = QrqwHashTable::build(m, &keys);
+                let hits = table.lookup_batch(m, &keys);
+                let misses = table.lookup_batch(m, &probes);
+                let elapsed = start.elapsed();
+                let valid =
+                    hits.len() == n && hits.iter().all(|&h| h) && misses.iter().all(|&h| !h);
+                (valid, elapsed)
+            }
+            Algorithm::CyclicFast => {
+                let start = Instant::now();
+                let out = random_cyclic_permutation_fast(m, n);
+                let elapsed = start.elapsed();
+                (
+                    is_permutation(&out.successor) && is_cyclic(&out.successor),
+                    elapsed,
+                )
+            }
+            Algorithm::CyclicEfficient => {
+                let start = Instant::now();
+                let out = random_cyclic_permutation_efficient(m, n);
+                let elapsed = start.elapsed();
+                (
+                    is_permutation(&out.successor) && is_cyclic(&out.successor),
+                    elapsed,
+                )
+            }
+            Algorithm::SampleSortQrqw => {
+                let keys = Algorithm::scattered_keys(n, 0);
+                let start = Instant::now();
+                let got = sample_sort_qrqw(m, &keys);
+                let elapsed = start.elapsed();
+                let mut expect = keys;
+                expect.sort_unstable();
+                (got == expect, elapsed)
+            }
+            Algorithm::SampleSortCrqw => {
+                let keys = Algorithm::scattered_keys(n, 0);
+                let start = Instant::now();
+                let got = sample_sort_crqw(m, &keys);
+                let elapsed = start.elapsed();
+                let mut expect = keys;
+                expect.sort_unstable();
+                (got == expect, elapsed)
+            }
+            Algorithm::IntegerSort => {
+                let max_key = (n as u64 * 16).max(16);
+                let keys: Vec<u64> = Algorithm::scattered_keys(n, 0)
+                    .into_iter()
+                    .map(|k| k % max_key)
+                    .collect();
+                let start = Instant::now();
+                let got = integer_sort_crqw(m, &keys, max_key);
+                let elapsed = start.elapsed();
+                let mut expect = keys;
+                expect.sort_unstable();
+                (got == expect, elapsed)
+            }
+            Algorithm::DistributiveSort => {
+                let keys = Algorithm::scattered_keys(n, 0);
+                let start = Instant::now();
+                let got = sort_uniform_keys(m, &keys);
+                let elapsed = start.elapsed();
+                let mut expect = keys;
+                expect.sort_unstable();
+                (got == expect, elapsed)
+            }
+            Algorithm::FetchAdd => {
+                // Unit increments over a hot set of n/8 counters: the old
+                // values seen at each address must be exactly 0..count.
+                let num_addrs = (n / 8).max(1);
+                let requests: Vec<(usize, u64)> = (0..n).map(|i| (i % num_addrs, 1)).collect();
+                let start = Instant::now();
+                let olds = emulate_fetch_add_step(m, &requests);
+                let elapsed = start.elapsed();
+                let mut per_addr: Vec<Vec<u64>> = vec![Vec::new(); num_addrs];
+                for (i, &(a, _)) in requests.iter().enumerate() {
+                    per_addr[a].push(olds[i]);
+                }
+                let valid = per_addr.iter().enumerate().all(|(a, seen)| {
+                    let mut seen = seen.clone();
+                    seen.sort_unstable();
+                    seen == (0..seen.len() as u64).collect::<Vec<u64>>()
+                        && m.peek(a) == seen.len() as u64
+                });
+                (valid, elapsed)
+            }
+            Algorithm::ListRank => {
+                // One chain 0 → 1 → … → n−1; rank of node i must be n−1−i.
+                let succ_base = m.alloc(n.max(1));
+                let rank_base = m.alloc(n.max(1));
+                let succ: Vec<u64> = (0..n)
+                    .map(|i| if i + 1 < n { i as u64 + 1 } else { EMPTY })
+                    .collect();
+                m.load(succ_base, &succ);
+                let start = Instant::now();
+                list_rank(m, succ_base, n, rank_base);
+                let elapsed = start.elapsed();
+                let ranks = m.dump(rank_base, n);
+                let valid = ranks
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &r)| r == (n - 1 - i) as u64);
+                (valid, elapsed)
             }
         }
     }

@@ -24,7 +24,7 @@
 
 use qrqw_prims::{claim_cells, ClaimMode};
 use qrqw_sim::schedule::{ceil_lg, lg_lg, log_star, sqrt_lg};
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, MachineProc, EMPTY};
 
 /// Outcome of a cyclic-permutation generation.
 #[derive(Debug, Clone)]
@@ -90,8 +90,8 @@ pub fn cycle_representation(perm: &[u64]) -> Vec<Vec<u64>> {
 /// Places the `n` items into `[arena, arena+size)` with exclusive dart
 /// throwing; `darts_per_item` darts in the first round, then team doubling.
 /// Returns each item's cell and whether a sequential clean-up ran.
-fn place_items(
-    pram: &mut Pram,
+fn place_items<M: Machine>(
+    m: &mut M,
     n: usize,
     arena: usize,
     size: usize,
@@ -108,8 +108,7 @@ fn place_items(
         rounds += 1;
         let k = active.len();
         let active_ref = &active;
-        let targets: Vec<usize> =
-            pram.step(|s| s.par_map(0..k * q, |_a, ctx| arena + ctx.random_index(size)));
+        let targets: Vec<usize> = m.par_map(k * q, |_a, ctx| arena + ctx.random_index(size));
         let attempts: Vec<(u64, usize)> = (0..k * q)
             .map(|a| {
                 let item = active_ref[a / q];
@@ -117,7 +116,7 @@ fn place_items(
                 (member * n as u64 + item as u64 + 1, targets[a])
             })
             .collect();
-        let won = claim_cells(pram, &attempts, ClaimMode::Exclusive);
+        let won = claim_cells(m, &attempts, ClaimMode::Exclusive);
 
         // Keep the first claimed cell per item, mark the rest unclaimed
         // (step 2 of Theorem 5.2), and stamp the kept cell with the item id.
@@ -128,17 +127,15 @@ fn place_items(
             }
         }
         let (keep_ref, attempts_ref, won_ref) = (&keep, &attempts, &won);
-        pram.step(|s| {
-            s.par_for(0..k * q, |a, ctx| {
-                if !won_ref[a] {
-                    return;
-                }
-                if keep_ref[a / q] == Some(a) {
-                    ctx.write(attempts_ref[a].1, active_ref[a / q] as u64);
-                } else {
-                    ctx.write(attempts_ref[a].1, EMPTY);
-                }
-            });
+        m.par_for(k * q, |a, ctx| {
+            if !won_ref[a] {
+                return;
+            }
+            if keep_ref[a / q] == Some(a) {
+                ctx.write(attempts_ref[a].1, active_ref[a / q] as u64);
+            } else {
+                ctx.write(attempts_ref[a].1, EMPTY);
+            }
         });
         let mut still = Vec::new();
         for (slot, &item) in active.iter().enumerate() {
@@ -153,29 +150,21 @@ fn place_items(
 
     let fallback = !active.is_empty();
     if fallback {
-        let leftovers = active.clone();
-        let spots: Vec<(usize, usize)> = pram.step(|s| {
-            s.par_map(0..1, |_p, ctx| {
-                let mut out = Vec::new();
-                let mut cursor = 0usize;
-                for &item in &leftovers {
-                    while cursor < size {
-                        let addr = arena + cursor;
-                        cursor += 1;
-                        if ctx.read(addr) == EMPTY {
-                            ctx.write(addr, item as u64);
-                            out.push((item, addr));
-                            break;
-                        }
-                    }
-                }
-                out
-            })
-            .pop()
-            .unwrap_or_default()
-        });
+        // Sequential Las-Vegas clean-up: one shared-cursor walk of the arena.
+        let mut cursor = 0usize;
+        let spots = qrqw_prims::seq_place_leftovers(
+            m,
+            &active,
+            |_item| {
+                (cursor < size).then(|| {
+                    cursor += 1;
+                    arena + cursor - 1
+                })
+            },
+            |item| item as u64,
+        );
         for (item, addr) in spots {
-            cells[item] = addr;
+            cells[item] = addr.expect("the dart arena has at least 2n free cells");
         }
     }
     (cells, fallback, rounds)
@@ -187,15 +176,15 @@ fn place_items(
 /// their subtree; merging two siblings links the left child's rightmost
 /// item to the right child's leftmost item.  `levels` bounds the walk; gaps
 /// larger than `2^levels` are fixed by a sequential sweep (w.h.p. none).
-fn link_successors(
-    pram: &mut Pram,
+fn link_successors<M: Machine>(
+    m: &mut M,
     arena: usize,
     size: usize,
     levels: usize,
     cells: &[usize],
 ) -> (Vec<u64>, bool) {
     let n = cells.len();
-    let succ = pram.alloc(n);
+    let succ = m.alloc(n);
 
     // Level 0 is the arena itself; higher levels store (leftmost, rightmost)
     // packed as two cells per node.
@@ -209,39 +198,37 @@ fn link_successors(
             break;
         }
         let nodes = prev_nodes.div_ceil(2);
-        let base = pram.alloc(2 * nodes);
-        pram.step(|s| {
-            s.par_for(0..nodes, |t, ctx| {
-                let read_child = |ctx: &mut qrqw_sim::ProcCtx<'_>, c: usize| -> (u64, u64) {
-                    if c >= prev_nodes {
-                        return (EMPTY, EMPTY);
-                    }
-                    if prev_is_arena {
-                        let v = ctx.read(prev_base + c);
-                        (v, v)
-                    } else {
-                        (ctx.read(prev_base + 2 * c), ctx.read(prev_base + 2 * c + 1))
-                    }
-                };
-                let (ll, lr) = read_child(ctx, 2 * t);
-                let (rl, rr) = read_child(ctx, 2 * t + 1);
-                // Link across the sibling boundary, at the lowest level where
-                // both sides are non-empty (do not overwrite earlier links).
-                if lr != EMPTY && rl != EMPTY {
-                    let existing = ctx.read(succ + lr as usize);
-                    if existing == EMPTY {
-                        ctx.write(succ + lr as usize, rl);
-                    }
+        let base = m.alloc(2 * nodes);
+        m.par_for(nodes, |t, ctx| {
+            let read_child = |ctx: &mut dyn MachineProc, c: usize| -> (u64, u64) {
+                if c >= prev_nodes {
+                    return (EMPTY, EMPTY);
                 }
-                let left = if ll != EMPTY { ll } else { rl };
-                let right = if rr != EMPTY { rr } else { lr };
-                if left != EMPTY {
-                    ctx.write(base + 2 * t, left);
+                if prev_is_arena {
+                    let v = ctx.read(prev_base + c);
+                    (v, v)
+                } else {
+                    (ctx.read(prev_base + 2 * c), ctx.read(prev_base + 2 * c + 1))
                 }
-                if right != EMPTY {
-                    ctx.write(base + 2 * t + 1, right);
+            };
+            let (ll, lr) = read_child(ctx, 2 * t);
+            let (rl, rr) = read_child(ctx, 2 * t + 1);
+            // Link across the sibling boundary, at the lowest level where
+            // both sides are non-empty (do not overwrite earlier links).
+            if lr != EMPTY && rl != EMPTY {
+                let existing = ctx.read(succ + lr as usize);
+                if existing == EMPTY {
+                    ctx.write(succ + lr as usize, rl);
                 }
-            });
+            }
+            let left = if ll != EMPTY { ll } else { rl };
+            let right = if rr != EMPTY { rr } else { lr };
+            if left != EMPTY {
+                ctx.write(base + 2 * t, left);
+            }
+            if right != EMPTY {
+                ctx.write(base + 2 * t + 1, right);
+            }
         });
         prev_base = base;
         prev_nodes = nodes;
@@ -252,34 +239,30 @@ fn link_successors(
     // Top level: link every node's rightmost item to the leftmost item of
     // the next non-empty node to its right (immediate neighbour w.h.p.).
     if let Some(&(base, nodes)) = level_meta.first() {
-        pram.step(|s| {
-            s.par_for(0..nodes, |t, ctx| {
-                let right = ctx.read(base + 2 * t + 1);
-                if right == EMPTY {
-                    return;
+        m.par_for(nodes, |t, ctx| {
+            let right = ctx.read(base + 2 * t + 1);
+            if right == EMPTY {
+                return;
+            }
+            let next_left = ctx.read(base + 2 * ((t + 1) % nodes));
+            if next_left != EMPTY {
+                let existing = ctx.read(succ + right as usize);
+                if existing == EMPTY {
+                    ctx.write(succ + right as usize, next_left);
                 }
-                let next_left = ctx.read(base + 2 * ((t + 1) % nodes));
-                if next_left != EMPTY {
-                    let existing = ctx.read(succ + right as usize);
-                    if existing == EMPTY {
-                        ctx.write(succ + right as usize, next_left);
-                    }
-                }
-            });
+            }
         });
     }
 
     // Collect and, if necessary, repair sequentially (an unset successor
     // means some top-level node was empty — w.h.p. this never happens).
-    let mut successor = pram.memory().dump(succ, n);
+    let mut successor = m.dump(succ, n);
     let fallback = successor.contains(&EMPTY);
     if fallback {
         // Order items by their arena cell and close the cycle directly.
         let mut by_cell: Vec<(usize, usize)> = cells.iter().copied().enumerate().collect();
         by_cell.sort_by_key(|&(_, c)| c);
-        pram.step(|s| {
-            s.par_for(0..1, |_p, ctx| ctx.compute(n as u64));
-        });
+        m.seq_step(|ctx| ctx.compute(n as u64));
         for w in 0..by_cell.len() {
             let (item, _) = by_cell[w];
             let (next_item, _) = by_cell[(w + 1) % by_cell.len()];
@@ -290,7 +273,7 @@ fn link_successors(
 }
 
 /// The fast algorithm of Theorem 5.2: `O(√lg n)` time with `n` processors.
-pub fn random_cyclic_permutation_fast(pram: &mut Pram, n: usize) -> CyclicOutcome {
+pub fn random_cyclic_permutation_fast<M: Machine>(m: &mut M, n: usize) -> CyclicOutcome {
     if n == 0 {
         return CyclicOutcome {
             successor: Vec::new(),
@@ -307,11 +290,11 @@ pub fn random_cyclic_permutation_fast(pram: &mut Pram, n: usize) -> CyclicOutcom
     }
     let f = sqrt_lg(n as u64).max(1) as usize;
     let size = ((n / f.max(1)) << f.min(8)).max(2 * n);
-    let arena = pram.alloc(size);
-    let (cells, fb1, rounds) = place_items(pram, n, arena, size, f);
+    let arena = m.alloc(size);
+    let (cells, fb1, rounds) = place_items(m, n, arena, size, f);
     let levels = (2 * f + 3).min(ceil_lg(size as u64) as usize + 1);
-    let (successor, fb2) = link_successors(pram, arena, size, levels, &cells);
-    pram.release_to(arena);
+    let (successor, fb2) = link_successors(m, arena, size, levels, &cells);
+    m.release_to(arena);
     CyclicOutcome {
         successor,
         fallback_used: fb1 || fb2,
@@ -321,7 +304,7 @@ pub fn random_cyclic_permutation_fast(pram: &mut Pram, n: usize) -> CyclicOutcom
 
 /// The work-optimal algorithm of Theorem 5.3: log-star placement into a
 /// `Θ(n)`-cell array, `O(lg lg n)`-level successor search, linear work.
-pub fn random_cyclic_permutation_efficient(pram: &mut Pram, n: usize) -> CyclicOutcome {
+pub fn random_cyclic_permutation_efficient<M: Machine>(m: &mut M, n: usize) -> CyclicOutcome {
     if n == 0 {
         return CyclicOutcome {
             successor: Vec::new(),
@@ -337,11 +320,11 @@ pub fn random_cyclic_permutation_efficient(pram: &mut Pram, n: usize) -> CyclicO
         };
     }
     let size = 4 * n;
-    let arena = pram.alloc(size);
-    let (cells, fb1, rounds) = place_items(pram, n, arena, size, 1);
+    let arena = m.alloc(size);
+    let (cells, fb1, rounds) = place_items(m, n, arena, size, 1);
     let levels = (2 * lg_lg(n as u64) as usize + 6).min(ceil_lg(size as u64) as usize + 1);
-    let (successor, fb2) = link_successors(pram, arena, size, levels, &cells);
-    pram.release_to(arena);
+    let (successor, fb2) = link_successors(m, arena, size, levels, &cells);
+    m.release_to(arena);
     CyclicOutcome {
         successor,
         fallback_used: fb1 || fb2,
@@ -352,6 +335,7 @@ pub fn random_cyclic_permutation_efficient(pram: &mut Pram, n: usize) -> CyclicO
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qrqw_sim::Pram;
 
     #[test]
     fn fast_algorithm_produces_a_single_cycle() {

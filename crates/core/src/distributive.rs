@@ -15,7 +15,7 @@
 use crate::multiple_compaction::heavy_multiple_compaction;
 use qrqw_prims::{bitonic_sort, compact_erew};
 use qrqw_sim::schedule::ceil_lg;
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, EMPTY};
 
 /// Maximum representable key (exclusive): keys are fractions `key / 2^31`.
 pub const KEY_RANGE: u64 = 1 << 31;
@@ -24,7 +24,7 @@ pub const KEY_RANGE: u64 = 1 << 31;
 /// ascending order.  Las Vegas: if the input is so skewed that some
 /// subinterval overflows its `Θ(lg n)` budget, the run falls back to the
 /// system (bitonic) sort, preserving correctness on any input.
-pub fn sort_uniform_keys(pram: &mut Pram, keys: &[u64]) -> Vec<u64> {
+pub fn sort_uniform_keys<M: Machine>(m: &mut M, keys: &[u64]) -> Vec<u64> {
     let n = keys.len();
     if n <= 1 {
         return keys.to_vec();
@@ -32,7 +32,7 @@ pub fn sort_uniform_keys(pram: &mut Pram, keys: &[u64]) -> Vec<u64> {
     assert!(keys.iter().all(|&k| k < KEY_RANGE), "keys must be < 2^31");
     let lg = ceil_lg(n as u64).max(1);
     if n <= 4 * lg as usize {
-        return fallback_sort(pram, keys);
+        return fallback_sort(m, keys);
     }
 
     // Subintervals and the per-subinterval key budget (4·count cells each).
@@ -45,77 +45,72 @@ pub fn sort_uniform_keys(pram: &mut Pram, keys: &[u64]) -> Vec<u64> {
     let counts = vec![count; buckets];
 
     // The labelling itself is one accounted constant-work step per key.
-    pram.step(|s| {
-        s.par_for(0..n, |_i, ctx| ctx.compute(2));
-    });
+    m.par_for(n, |_i, ctx| ctx.compute(2));
 
     // The paper invokes its multiple-compaction algorithm here; the relaxed
     // dart-throwing (heavy) placement is the right fit because every
     // subinterval has the same Θ(lg n) budget and a failure report simply
     // routes the run to the Las-Vegas fallback below.
-    let result = heavy_multiple_compaction(pram, &labels, &counts, true);
+    let result = heavy_multiple_compaction(m, &labels, &counts, true);
     if result.failed {
-        return fallback_sort(pram, keys);
+        return fallback_sort(m, keys);
     }
 
     // Each placed item writes its key value next to its placement, in a
     // value array parallel to B.
-    let vals = pram.alloc(result.layout.b_len);
+    let vals = m.alloc(result.layout.b_len);
     let positions = &result.positions;
     let b_base = result.layout.b_base;
-    pram.step(|s| {
-        s.par_for(0..n, |i, ctx| {
-            ctx.write(vals + (positions[i] - b_base), keys[i]);
-        });
+    m.par_for(n, |i, ctx| {
+        ctx.write(vals + (positions[i] - b_base), keys[i]);
     });
 
     // One processor per subinterval sorts its O(lg n) keys sequentially and
     // rewrites its subarray in sorted, front-packed order.
     let layout = &result.layout;
-    pram.step(|s| {
-        s.par_for(0..buckets, |j, ctx| {
-            let off = layout.subarray_offset[j];
-            let len = layout.subarray_len[j];
-            let mut local: Vec<u64> = Vec::new();
-            for c in 0..len {
-                let v = ctx.read(vals + off + c);
-                if v != EMPTY {
-                    local.push(v);
-                }
+    m.par_for(buckets, |j, ctx| {
+        let off = layout.subarray_offset[j];
+        let len = layout.subarray_len[j];
+        let mut local: Vec<u64> = Vec::new();
+        for c in 0..len {
+            let v = ctx.read(vals + off + c);
+            if v != EMPTY {
+                local.push(v);
             }
-            local.sort_unstable();
-            ctx.compute((local.len() as u64 + 1) * (ceil_lg(local.len().max(2) as u64) + 1));
-            for (c, &v) in local.iter().enumerate() {
-                ctx.write(vals + off + c, v);
-            }
-            for c in local.len()..len {
-                ctx.write(vals + off + c, EMPTY);
-            }
-        });
+        }
+        local.sort_unstable();
+        ctx.compute((local.len() as u64 + 1) * (ceil_lg(local.len().max(2) as u64) + 1));
+        for (c, &v) in local.iter().enumerate() {
+            ctx.write(vals + off + c, v);
+        }
+        for c in local.len()..len {
+            ctx.write(vals + off + c, EMPTY);
+        }
     });
 
     // Compact the subinterval-ordered, locally sorted values into the final
     // sorted array.
-    let out = pram.alloc(result.layout.b_len.max(1));
-    let cnt = compact_erew(pram, vals, result.layout.b_len, out);
+    let out = m.alloc(result.layout.b_len.max(1));
+    let cnt = compact_erew(m, vals, result.layout.b_len, out);
     assert_eq!(cnt as usize, n);
-    let sorted = pram.memory().dump(out, n);
-    pram.release_to(vals);
+    let sorted = m.dump(out, n);
+    m.release_to(vals);
     sorted
 }
 
-fn fallback_sort(pram: &mut Pram, keys: &[u64]) -> Vec<u64> {
-    let base = pram.alloc(keys.len());
-    pram.memory_mut().load(base, keys);
-    bitonic_sort(pram, base, keys.len());
-    let out = pram.memory().dump(base, keys.len());
-    pram.release_to(base);
+fn fallback_sort<M: Machine>(m: &mut M, keys: &[u64]) -> Vec<u64> {
+    let base = m.alloc(keys.len());
+    m.load(base, keys);
+    bitonic_sort(m, base, keys.len());
+    let out = m.dump(base, keys.len());
+    m.release_to(base);
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qrqw_sim::Pram;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 

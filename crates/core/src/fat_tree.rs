@@ -14,7 +14,7 @@
 //! `sample_sort_crqw`).
 
 use qrqw_prims::duplicate_values;
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, EMPTY};
 
 /// One level of the fat-tree: `nodes` distinct splitters, each replicated
 /// `copies` times, stored contiguously.
@@ -37,7 +37,7 @@ impl FatTree {
     /// replication at every level.  `O(lg |splitters|)` levels are built
     /// with the binary-broadcasting primitive, `O(total_copies)` cells and
     /// work per level.
-    pub fn build(pram: &mut Pram, splitters: &[u64], total_copies: usize) -> FatTree {
+    pub fn build<M: Machine>(m: &mut M, splitters: &[u64], total_copies: usize) -> FatTree {
         assert!(
             splitters.windows(2).all(|w| w[0] <= w[1]),
             "splitters must be sorted"
@@ -68,15 +68,13 @@ impl FatTree {
                     }
                 })
                 .collect();
-            let src = pram.alloc(nodes);
-            pram.step(|st| {
-                st.par_for(0..nodes, |t, ctx| {
-                    ctx.compute(1);
-                    ctx.write(src + t, values[t]);
-                });
+            let src = m.alloc(nodes);
+            m.par_for(nodes, |t, ctx| {
+                ctx.compute(1);
+                ctx.write(src + t, values[t]);
             });
-            let base = pram.alloc(nodes * copies);
-            duplicate_values(pram, src, nodes, base, copies);
+            let base = m.alloc(nodes * copies);
+            duplicate_values(m, src, nodes, base, copies);
             levels.push(Level { base, copies });
         }
         FatTree {
@@ -98,8 +96,8 @@ impl FatTree {
     /// Searches all `keys` in parallel, each reading a *random copy* of the
     /// node it visits at every level (the low-contention QRQW search).
     /// Returns the bucket index (number of splitters `≤` key) per key.
-    pub fn search_batch(&self, pram: &mut Pram, keys: &[u64]) -> Vec<usize> {
-        self.search(pram, keys, true)
+    pub fn search_batch<M: Machine>(&self, m: &mut M, keys: &[u64]) -> Vec<usize> {
+        self.search(m, keys, true)
     }
 
     /// The same search but every key reads copy 0 of its node — the
@@ -107,11 +105,11 @@ impl FatTree {
     /// QRQW metric this exhibits `Θ(#keys)` contention at the root, which
     /// is exactly the hot spot the fat-tree exists to remove; the ablation
     /// bench contrasts the two.
-    pub fn search_batch_concurrent(&self, pram: &mut Pram, keys: &[u64]) -> Vec<usize> {
-        self.search(pram, keys, false)
+    pub fn search_batch_concurrent<M: Machine>(&self, m: &mut M, keys: &[u64]) -> Vec<usize> {
+        self.search(m, keys, false)
     }
 
-    fn search(&self, pram: &mut Pram, keys: &[u64], randomize: bool) -> Vec<usize> {
+    fn search<M: Machine>(&self, m: &mut M, keys: &[u64], randomize: bool) -> Vec<usize> {
         let s = self.splitters.len();
         if s == 0 || keys.is_empty() {
             return vec![0; keys.len()];
@@ -121,27 +119,25 @@ impl FatTree {
         let mut state: Vec<(usize, usize, usize)> = vec![(0, s, 0); keys.len()];
         for level in &self.levels {
             let prev = state.clone();
-            state = pram.step(|st| {
-                st.par_map(0..keys.len(), |i, ctx| {
-                    let (lo, hi, node) = prev[i];
-                    if lo >= hi {
-                        return (lo, hi, node);
-                    }
-                    let copy = if randomize {
-                        ctx.random_index(level.copies)
-                    } else {
-                        0
-                    };
-                    let splitter = ctx.read(level.base + node * level.copies + copy);
-                    debug_assert_ne!(splitter, EMPTY);
-                    let mid = (lo + hi) / 2;
-                    ctx.compute(1);
-                    if keys[i] < splitter {
-                        (lo, mid, 2 * node)
-                    } else {
-                        (mid + 1, hi, 2 * node + 1)
-                    }
-                })
+            state = m.par_map(keys.len(), |i, ctx| {
+                let (lo, hi, node) = prev[i];
+                if lo >= hi {
+                    return (lo, hi, node);
+                }
+                let copy = if randomize {
+                    ctx.random_index(level.copies)
+                } else {
+                    0
+                };
+                let splitter = ctx.read(level.base + node * level.copies + copy);
+                debug_assert_ne!(splitter, EMPTY);
+                let mid = (lo + hi) / 2;
+                ctx.compute(1);
+                if keys[i] < splitter {
+                    (lo, mid, 2 * node)
+                } else {
+                    (mid + 1, hi, 2 * node + 1)
+                }
             });
         }
         state.into_iter().map(|(lo, _, _)| lo).collect()
@@ -169,6 +165,7 @@ fn range_of(s: usize, level: usize, t: usize) -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qrqw_sim::Pram;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 

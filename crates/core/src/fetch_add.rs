@@ -15,7 +15,7 @@ use qrqw_prims::{
     unpack_payload,
 };
 use qrqw_sim::schedule::ceil_lg;
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, EMPTY};
 
 /// Executes one Fetch&Add step: request `i` atomically adds `requests[i].1`
 /// to shared-memory address `requests[i].0` and receives the value that was
@@ -25,7 +25,7 @@ use qrqw_sim::{Pram, EMPTY};
 /// Addresses must be below `2^31` and the memory cells involved must hold
 /// numeric values (an [`EMPTY`] cell counts as zero, matching an
 /// uninitialised counter).
-pub fn emulate_fetch_add_step(pram: &mut Pram, requests: &[(usize, u64)]) -> Vec<u64> {
+pub fn emulate_fetch_add_step<M: Machine>(m: &mut M, requests: &[(usize, u64)]) -> Vec<u64> {
     let n = requests.len();
     if n == 0 {
         return Vec::new();
@@ -35,85 +35,77 @@ pub fn emulate_fetch_add_step(pram: &mut Pram, requests: &[(usize, u64)]) -> Vec
         "addresses must be < 2^31"
     );
     if let Some(max_addr) = requests.iter().map(|&(a, _)| a).max() {
-        pram.ensure_memory(max_addr + 1);
+        m.ensure_memory(max_addr + 1);
     }
 
     // Sort the requests by address (the integer-sorting reduction).
-    let words = pram.alloc(n);
-    pram.step(|s| {
-        s.par_for(0..n, |i, ctx| {
-            ctx.compute(1);
-            ctx.write(words + i, pack(requests[i].0 as u64, i as u64));
-        });
+    let words = m.alloc(n);
+    m.par_for(n, |i, ctx| {
+        ctx.compute(1);
+        ctx.write(words + i, pack(requests[i].0 as u64, i as u64));
     });
     let addr_bits = ceil_lg(requests.iter().map(|&(a, _)| a as u64).max().unwrap_or(1) + 1).max(1);
-    radix_sort_packed(pram, words, n, addr_bits as usize);
-    let sorted: Vec<(usize, usize)> = pram
-        .memory()
+    radix_sort_packed(m, words, n, addr_bits as usize);
+    let sorted: Vec<(usize, usize)> = m
         .dump(words, n)
         .into_iter()
         .map(|w| (unpack_key(w) as usize, unpack_payload(w) as usize))
         .collect();
 
     // Exclusive prefix sums of the increments in sorted order.
-    let incs = pram.alloc(n);
+    let incs = m.alloc(n);
     let sorted_ref = &sorted;
-    pram.step(|s| {
-        s.par_for(0..n, |i, ctx| {
-            ctx.write(incs + i, requests[sorted_ref[i].1].1);
-        });
+    m.par_for(n, |i, ctx| {
+        ctx.write(incs + i, requests[sorted_ref[i].1].1);
     });
-    prefix_sums_exclusive(pram, incs, n);
+    prefix_sums_exclusive(m, incs, n);
 
     // Run boundaries: the first request of every address run remembers the
     // global prefix at the run start and performs the one real
     // read-modify-write of the target cell; both the run-start prefix and
     // the old cell value are then propagated along the run.
-    let run_prefix = pram.alloc(n);
-    let old_vals = pram.alloc(n);
-    pram.step(|s| {
-        s.par_for(0..n, |i, ctx| {
-            let (addr, _) = sorted_ref[i];
-            let is_start = i == 0 || sorted_ref[i - 1].0 != addr;
-            if is_start {
-                let p = ctx.read(incs + i);
-                ctx.write(run_prefix + i, p);
-                let old = ctx.read(addr);
-                ctx.write(old_vals + i, if old == EMPTY { 0 } else { old });
-            }
-        });
+    let run_prefix = m.alloc(n);
+    let old_vals = m.alloc(n);
+    m.par_for(n, |i, ctx| {
+        let (addr, _) = sorted_ref[i];
+        let is_start = i == 0 || sorted_ref[i - 1].0 != addr;
+        if is_start {
+            let p = ctx.read(incs + i);
+            ctx.write(run_prefix + i, p);
+            let old = ctx.read(addr);
+            ctx.write(old_vals + i, if old == EMPTY { 0 } else { old });
+        }
     });
-    propagate_nonempty_forward(pram, run_prefix, n);
-    propagate_nonempty_forward(pram, old_vals, n);
+    propagate_nonempty_forward(m, run_prefix, n);
+    propagate_nonempty_forward(m, old_vals, n);
 
     // Representatives write back old + run_total; every request computes its
     // own return value old + (prefix - run_start_prefix).
-    let results: Vec<(usize, u64)> = pram.step(|s| {
-        s.par_map(0..n, |i, ctx| {
-            let (addr, req) = sorted_ref[i];
-            let my_prefix = ctx.read(incs + i);
-            let start_prefix = ctx.read(run_prefix + i);
-            let old = ctx.read(old_vals + i);
-            ctx.compute(2);
-            let is_last = i + 1 == sorted_ref.len() || sorted_ref[i + 1].0 != addr;
-            if is_last {
-                let run_total = my_prefix + requests[req].1 - start_prefix;
-                ctx.write(addr, old + run_total);
-            }
-            (req, old + (my_prefix - start_prefix))
-        })
+    let results: Vec<(usize, u64)> = m.par_map(n, |i, ctx| {
+        let (addr, req) = sorted_ref[i];
+        let my_prefix = ctx.read(incs + i);
+        let start_prefix = ctx.read(run_prefix + i);
+        let old = ctx.read(old_vals + i);
+        ctx.compute(2);
+        let is_last = i + 1 == sorted_ref.len() || sorted_ref[i + 1].0 != addr;
+        if is_last {
+            let run_total = my_prefix + requests[req].1 - start_prefix;
+            ctx.write(addr, old + run_total);
+        }
+        (req, old + (my_prefix - start_prefix))
     });
     let mut out = vec![0u64; n];
     for (req, val) in results {
         out[req] = val;
     }
-    pram.release_to(words);
+    m.release_to(words);
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qrqw_sim::Pram;
     use std::collections::HashMap;
 
     #[test]

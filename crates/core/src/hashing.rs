@@ -28,7 +28,7 @@
 
 use qrqw_prims::{claim_cells, duplicate_values, ClaimMode};
 use qrqw_sim::schedule::lg_lg;
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, EMPTY};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -91,38 +91,42 @@ pub struct QrqwHashTable {
 impl QrqwHashTable {
     /// First-level bucket of key `x`, *without* accounting (host-side use
     /// only; the accounted evaluation happens inside build/lookup steps).
-    fn bucket_of(&self, pram: &Pram, x: u64) -> usize {
+    fn bucket_of<M: Machine>(&self, m: &M, x: u64) -> usize {
         let j = self.f.eval(x) as usize;
-        let a = pram.memory().peek(self.a_region + j * self.copies);
+        let a = m.peek(self.a_region + j * self.copies);
         ((self.g.eval(x) + a) % self.n as u64) as usize
     }
 
-    /// Builds a hash table for the distinct keys `keys` (all `< 2^31 - 1`).
-    pub fn build(pram: &mut Pram, keys: &[u64]) -> QrqwHashTable {
+    /// Builds a hash table for the distinct keys `keys` (all `< 2^31 - 1`)
+    /// on any [`Machine`] backend.  Host-side random draws (the hash
+    /// functions themselves) come from a `SmallRng` seeded by the machine
+    /// seed, so two backends with the same seed build with the same hash
+    /// functions; the occupy-mode block claims may still resolve
+    /// differently, so the resulting tables are semantically equivalent
+    /// (identical membership answers) rather than bit-identical.
+    pub fn build<M: Machine>(m: &mut M, keys: &[u64]) -> QrqwHashTable {
         let n = keys.len().max(1);
         assert!(
             keys.iter().all(|&k| k < HASH_PRIME),
             "keys must be < 2^31-1"
         );
-        let mut rng = SmallRng::seed_from_u64(pram.seed() ^ 0x9A17);
+        let mut rng = SmallRng::seed_from_u64(m.seed() ^ 0x9A17);
 
         // --- Step 1: draw h ∈ R and duplicate its parameters (Lemma 6.4).
         let k = ((n as f64).powf(3.0 / 7.0).ceil() as usize).max(1);
         let copies = (4 * n).div_ceil(k).max(1);
         let f = PolyHash::random(&mut rng, 7, k as u64);
         let g = PolyHash::random(&mut rng, 11, n as u64);
-        let a_src = pram.alloc(k);
+        let a_src = m.alloc(k);
         let a_vals: Vec<u64> = (0..k).map(|_| rng.gen_range(0..n as u64)).collect();
-        pram.step(|s| {
-            s.par_for(0..k, |j, ctx| {
-                ctx.compute(1);
-                ctx.write(a_src + j, a_vals[j]);
-            });
+        m.par_for(k, |j, ctx| {
+            ctx.compute(1);
+            ctx.write(a_src + j, a_vals[j]);
         });
-        let a_region = pram.alloc(k * copies);
-        duplicate_values(pram, a_src, k, a_region, copies);
+        let a_region = m.alloc(k * copies);
+        duplicate_values(m, a_src, k, a_region, copies);
 
-        let directory = pram.alloc(3 * n);
+        let directory = m.alloc(3 * n);
         let mut table = QrqwHashTable {
             n,
             k,
@@ -141,7 +145,7 @@ impl QrqwHashTable {
 
         // Accounted evaluation of h on every key: each key reads a random
         // copy of a_{f(x)} — the low-contention evaluation of Lemma 6.4.
-        let buckets = table.eval_batch(pram, keys);
+        let buckets = table.eval_batch(m, keys);
 
         // Group keys by bucket (host mirror of the processors' private
         // knowledge of their own bucket).
@@ -158,18 +162,17 @@ impl QrqwHashTable {
             iter += 1;
             let x_t = 1usize << (iter + 2).min(12); // block size (capped)
             let m_t = ((2 * n) >> (2 * (iter as usize - 1)).min(24)).max(64); // number of blocks
-            let blocks = pram.alloc(m_t * (x_t + 1)); // +1 header cell per block
+            let blocks = m.alloc(m_t * (x_t + 1)); // +1 header cell per block
 
             // Allocation substep: every active bucket claims a random block.
             let active_ref = &active;
-            let picks: Vec<usize> =
-                pram.step(|s| s.par_map(0..active_ref.len(), |_b, ctx| ctx.random_index(m_t)));
+            let picks: Vec<usize> = m.par_map(active_ref.len(), |_b, ctx| ctx.random_index(m_t));
             let attempts: Vec<(u64, usize)> = active
                 .iter()
                 .zip(&picks)
                 .map(|(&b, &blk)| (b as u64 + 1, blocks + blk * (x_t + 1)))
                 .collect();
-            let won = claim_cells(pram, &attempts, ClaimMode::Occupy);
+            let won = claim_cells(m, &attempts, ClaimMode::Occupy);
 
             // Hashing substep: claimed buckets try a random linear function.
             let mut sec: Vec<(u64, u64)> = Vec::with_capacity(active.len());
@@ -194,16 +197,12 @@ impl QrqwHashTable {
                 }
             }
             let writes_ref = &writes;
-            pram.step(|s| {
-                s.par_for(0..writes_ref.len(), |w, ctx| {
-                    ctx.compute(2);
-                    ctx.write(writes_ref[w].1, writes_ref[w].0);
-                });
+            m.par_for(writes_ref.len(), |w, ctx| {
+                ctx.compute(2);
+                ctx.write(writes_ref[w].1, writes_ref[w].0);
             });
-            let ok: Vec<bool> = pram.step(|s| {
-                s.par_map(0..writes_ref.len(), |w, ctx| {
-                    ctx.read(writes_ref[w].1) == writes_ref[w].0
-                })
+            let ok: Vec<bool> = m.par_map(writes_ref.len(), |w, ctx| {
+                ctx.read(writes_ref[w].1) == writes_ref[w].0
             });
             // Aggregate per bucket (the per-bucket OR the paper charges at
             // contention ≤ bucket size).
@@ -211,12 +210,10 @@ impl QrqwHashTable {
             for (w, &slot) in write_owner.iter().enumerate() {
                 bucket_ok[slot] &= ok[w];
             }
-            pram.step(|s| {
-                s.par_for(0..writes_ref.len(), |w, ctx| {
-                    // model the failure-flag write of each key
-                    let _ = w;
-                    ctx.compute(1);
-                });
+            m.par_for(writes_ref.len(), |w, ctx| {
+                // model the failure-flag write of each key
+                let _ = w;
+                ctx.compute(1);
             });
 
             // Successful buckets record their directory entry.
@@ -233,13 +230,11 @@ impl QrqwHashTable {
             }
             let dir_ref = &dir_writes;
             let dir_base = directory;
-            pram.step(|s| {
-                s.par_for(0..dir_ref.len(), |d, ctx| {
-                    let (b, base, sa, sb) = dir_ref[d];
-                    ctx.write(dir_base + 3 * b, base);
-                    ctx.write(dir_base + 3 * b + 1, sa);
-                    ctx.write(dir_base + 3 * b + 2, sb);
-                });
+            m.par_for(dir_ref.len(), |d, ctx| {
+                let (b, base, sa, sb) = dir_ref[d];
+                ctx.write(dir_base + 3 * b, base);
+                ctx.write(dir_base + 3 * b + 1, sa);
+                ctx.write(dir_base + 3 * b + 2, sb);
             });
             active = still;
         }
@@ -252,7 +247,7 @@ impl QrqwHashTable {
             for &b in &active {
                 let keys_b = bucket_keys[b].clone();
                 let size = (keys_b.len() * keys_b.len() * 2).max(4);
-                let block = pram.alloc(size + 1);
+                let block = m.alloc(size + 1);
                 let mut placed = None;
                 for _try in 0..64 {
                     let sa = rng.gen_range(1..HASH_PRIME);
@@ -273,21 +268,17 @@ impl QrqwHashTable {
                 }
                 let (sa, sb) = placed.expect("quadratic block admits a perfect linear hash");
                 let keys_ref = &keys_b;
-                pram.step(|s| {
-                    s.par_for(0..keys_ref.len(), |i, ctx| {
-                        let key = keys_ref[i];
-                        let pos = (((sa as u128 * key as u128 + sb as u128) % HASH_PRIME as u128)
-                            % size as u128) as usize;
-                        ctx.write(block + 1 + pos, key);
-                        ctx.compute(2);
-                    });
+                m.par_for(keys_ref.len(), |i, ctx| {
+                    let key = keys_ref[i];
+                    let pos = (((sa as u128 * key as u128 + sb as u128) % HASH_PRIME as u128)
+                        % size as u128) as usize;
+                    ctx.write(block + 1 + pos, key);
+                    ctx.compute(2);
                 });
-                pram.step(|s| {
-                    s.par_for(0..1, |_p, ctx| {
-                        ctx.write(dir_base_of(directory, b), (block + 1) as u64);
-                        ctx.write(dir_base_of(directory, b) + 1, sa);
-                        ctx.write(dir_base_of(directory, b) + 2, sb);
-                    });
+                m.par_for(1, |_p, ctx| {
+                    ctx.write(dir_base_of(directory, b), (block + 1) as u64);
+                    ctx.write(dir_base_of(directory, b) + 1, sa);
+                    ctx.write(dir_base_of(directory, b) + 2, sb);
                 });
                 table.block_size[b] = size as u64;
             }
@@ -297,63 +288,59 @@ impl QrqwHashTable {
 
     /// Accounted batch evaluation of the first-level function: every key
     /// reads a random copy of its `a_{f(x)}` parameter (Lemma 6.4).
-    fn eval_batch(&self, pram: &mut Pram, keys: &[u64]) -> Vec<usize> {
+    fn eval_batch<M: Machine>(&self, m: &mut M, keys: &[u64]) -> Vec<usize> {
         let f = self.f.clone();
         let g = self.g.clone();
         let (copies, a_region, n) = (self.copies, self.a_region, self.n);
-        pram.step(|s| {
-            s.par_map(0..keys.len(), |i, ctx| {
-                let x = keys[i];
-                ctx.compute(f.cost() + g.cost());
-                let j = f.eval(x) as usize;
-                let r = ctx.random_index(copies);
-                let a = ctx.read(a_region + j * copies + r);
-                ((g.eval(x) + a) % n as u64) as usize
-            })
+        m.par_map(keys.len(), |i, ctx| {
+            let x = keys[i];
+            ctx.compute(f.cost() + g.cost());
+            let j = f.eval(x) as usize;
+            let r = ctx.random_index(copies);
+            let a = ctx.read(a_region + j * copies + r);
+            ((g.eval(x) + a) % n as u64) as usize
         })
     }
 
     /// Answers `queries.len()` membership queries in parallel, returning
     /// `true` for each query key present in the table.
-    pub fn lookup_batch(&self, pram: &mut Pram, queries: &[u64]) -> Vec<bool> {
+    pub fn lookup_batch<M: Machine>(&self, m: &mut M, queries: &[u64]) -> Vec<bool> {
         if queries.is_empty() {
             return Vec::new();
         }
-        let buckets = self.eval_batch(pram, queries);
+        let buckets = self.eval_batch(m, queries);
         let directory = self.directory;
         let block_size = &self.block_size;
-        pram.step(|s| {
-            s.par_map(0..queries.len(), |i, ctx| {
-                let b = buckets[i];
-                let base = ctx.read(directory + 3 * b);
-                if base == EMPTY {
-                    return false;
-                }
-                let sa = ctx.read(directory + 3 * b + 1);
-                let sb = ctx.read(directory + 3 * b + 2);
-                let size = block_size[b].max(1);
-                let x = queries[i];
-                ctx.compute(2);
-                let pos = (((sa as u128 * x as u128 + sb as u128) % HASH_PRIME as u128)
-                    % size as u128) as usize;
-                ctx.read(base as usize + pos) == x
-            })
+        m.par_map(queries.len(), |i, ctx| {
+            let b = buckets[i];
+            let base = ctx.read(directory + 3 * b);
+            if base == EMPTY {
+                return false;
+            }
+            let sa = ctx.read(directory + 3 * b + 1);
+            let sb = ctx.read(directory + 3 * b + 2);
+            let size = block_size[b].max(1);
+            let x = queries[i];
+            ctx.compute(2);
+            let pos = (((sa as u128 * x as u128 + sb as u128) % HASH_PRIME as u128) % size as u128)
+                as usize;
+            ctx.read(base as usize + pos) == x
         })
     }
 
     /// Host-side membership check (no accounting), for validation in tests.
-    pub fn contains(&self, pram: &Pram, x: u64) -> bool {
-        let b = self.bucket_of(pram, x);
-        let base = pram.memory().peek(self.directory + 3 * b);
+    pub fn contains<M: Machine>(&self, m: &M, x: u64) -> bool {
+        let b = self.bucket_of(m, x);
+        let base = m.peek(self.directory + 3 * b);
         if base == EMPTY {
             return false;
         }
-        let sa = pram.memory().peek(self.directory + 3 * b + 1);
-        let sb = pram.memory().peek(self.directory + 3 * b + 2);
+        let sa = m.peek(self.directory + 3 * b + 1);
+        let sb = m.peek(self.directory + 3 * b + 2);
         let size = self.block_size[b].max(1);
         let pos =
             (((sa as u128 * x as u128 + sb as u128) % HASH_PRIME as u128) % size as u128) as usize;
-        pram.memory().peek(base as usize + pos) == x
+        m.peek(base as usize + pos) == x
     }
 
     /// Number of first-level displacement parameters (`k = Θ(n^{3/7})`).
@@ -370,7 +357,7 @@ fn dir_base_of(directory: usize, bucket: usize) -> usize {
 mod tests {
     use super::*;
     use qrqw_sim::schedule::ceil_lg;
-    use qrqw_sim::CostModel;
+    use qrqw_sim::{CostModel, Pram};
 
     fn distinct_keys(n: usize, seed: u64) -> Vec<u64> {
         let mut rng = SmallRng::seed_from_u64(seed);

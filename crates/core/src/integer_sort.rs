@@ -19,11 +19,11 @@ use qrqw_prims::{
     claim_cells, compact_erew, pack, stable_sort_small_range, unpack_payload, ClaimMode,
 };
 use qrqw_sim::schedule::{ceil_lg, log_star};
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, EMPTY};
 
 /// Sorts `keys`, each below `max_key ≤ n · lg^c n` for a small constant `c`
 /// (asserted loosely), returning the sorted sequence.
-pub fn integer_sort_crqw(pram: &mut Pram, keys: &[u64], max_key: u64) -> Vec<u64> {
+pub fn integer_sort_crqw<M: Machine>(m: &mut M, keys: &[u64], max_key: u64) -> Vec<u64> {
     let n = keys.len();
     if n <= 1 {
         return keys.to_vec();
@@ -48,12 +48,10 @@ pub fn integer_sort_crqw(pram: &mut Pram, keys: &[u64], max_key: u64) -> Vec<u64
     // --- Steps 1–3: sample n / lg² n keys and derive per-label count
     // estimates count_j = β·lg² n·max(N_j, lg n) (the paper's overestimate).
     let sample_size = (n / (lg * lg) as usize).max(16).min(n);
-    let samples: Vec<u64> = pram.step(|s| {
-        s.par_map(0..sample_size, |i, ctx| {
-            ctx.compute(1);
-            let _ = ctx.random_index(n);
-            keys[(i * 7919 + ctx.random_index(n)) % n]
-        })
+    let samples: Vec<u64> = m.par_map(sample_size, |i, ctx| {
+        ctx.compute(1);
+        let _ = ctx.random_index(n);
+        keys[(i * 7919 + ctx.random_index(n)) % n]
     });
     let mut sample_counts = vec![0u64; d as usize];
     for &k in &samples {
@@ -69,45 +67,42 @@ pub fn integer_sort_crqw(pram: &mut Pram, keys: &[u64], max_key: u64) -> Vec<u64
     // label's subarray with relaxed heavy multiple compaction.  The keys'
     // *values* are written so the subarrays can be finished in place.
     let labels: Vec<u64> = keys.iter().map(|&k| k & (d - 1)).collect();
-    let layout = build_layout(pram, &counts);
-    if !place_values(pram, keys, &labels, &layout) {
+    let layout = build_layout(m, &counts);
+    if !place_values(m, keys, &labels, &layout) {
         // count estimate failed (w.h.p. never): fall back to a full-width
         // radix sort, which is still linear work.
-        return radix_fallback(pram, keys, max_key);
+        return radix_fallback(m, keys, max_key);
     }
 
     // --- Step 7: compact B to size n.  The subarrays appear in label order,
     // so the result is sorted by the low bits.
-    let packed = pram.alloc(layout.b_len.max(1));
-    let cnt = compact_erew(pram, layout.b_base, layout.b_len, packed);
+    let packed = m.alloc(layout.b_len.max(1));
+    let cnt = compact_erew(m, layout.b_base, layout.b_len, packed);
     assert_eq!(cnt as usize, n);
 
     // --- Finishing phase: stable small-range sort on the high bits
     // (Fact 4.3).  Pack (high bits, position) and sort stably.
     let high_range = (max_key >> d_bits) + 1;
-    pram.step(|s| {
-        s.par_for(0..n, |i, ctx| {
-            let v = ctx.read(packed + i);
-            ctx.write(
-                packed + i,
-                pack(v >> d_bits, v & ((1u64 << d_bits.min(32)) - 1)),
-            );
-        });
+    m.par_for(n, |i, ctx| {
+        let v = ctx.read(packed + i);
+        ctx.write(
+            packed + i,
+            pack(v >> d_bits, v & ((1u64 << d_bits.min(32)) - 1)),
+        );
     });
-    stable_sort_small_range(pram, packed, n, high_range as usize);
-    let sorted: Vec<u64> = pram
-        .memory()
+    stable_sort_small_range(m, packed, n, high_range as usize);
+    let sorted: Vec<u64> = m
         .dump(packed, n)
         .into_iter()
         .map(|w| (qrqw_prims::unpack_key(w) << d_bits) | unpack_payload(w))
         .collect();
-    pram.release_to(packed);
+    m.release_to(packed);
     sorted
 }
 
 /// Dart-throwing placement of key values into label subarrays (relaxed
 /// heavy multiple compaction specialised to value cells).
-fn place_values(pram: &mut Pram, keys: &[u64], labels: &[u64], layout: &McLayout) -> bool {
+fn place_values<M: Machine>(m: &mut M, keys: &[u64], labels: &[u64], layout: &McLayout) -> bool {
     let n = keys.len();
     let mut active: Vec<usize> = (0..n).collect();
     let mut team = 1usize;
@@ -119,12 +114,10 @@ fn place_values(pram: &mut Pram, keys: &[u64], labels: &[u64], layout: &McLayout
         let q = team;
         let k = active.len();
         let active_ref = &active;
-        let targets: Vec<usize> = pram.step(|s| {
-            s.par_map(0..k * q, |a, ctx| {
-                let item = active_ref[a / q];
-                let label = labels[item] as usize;
-                layout.cell(label, ctx.random_index(layout.subarray_len[label].max(1)))
-            })
+        let targets: Vec<usize> = m.par_map(k * q, |a, ctx| {
+            let item = active_ref[a / q];
+            let label = labels[item] as usize;
+            layout.cell(label, ctx.random_index(layout.subarray_len[label].max(1)))
         });
         let attempts: Vec<(u64, usize)> = (0..k * q)
             .map(|a| {
@@ -134,7 +127,7 @@ fn place_values(pram: &mut Pram, keys: &[u64], labels: &[u64], layout: &McLayout
                 )
             })
             .collect();
-        let won = claim_cells(pram, &attempts, ClaimMode::Occupy);
+        let won = claim_cells(m, &attempts, ClaimMode::Occupy);
         let mut keep: Vec<Option<usize>> = vec![None; k];
         for a in 0..k * q {
             if won[a] && keep[a / q].is_none() {
@@ -142,18 +135,16 @@ fn place_values(pram: &mut Pram, keys: &[u64], labels: &[u64], layout: &McLayout
             }
         }
         let (keep_ref, attempts_ref, won_ref) = (&keep, &attempts, &won);
-        pram.step(|s| {
-            s.par_for(0..k * q, |a, ctx| {
-                if !won_ref[a] {
-                    return;
-                }
-                let slot = a / q;
-                if keep_ref[slot] == Some(a) {
-                    ctx.write(attempts_ref[a].1, keys[active_ref[slot]]);
-                } else {
-                    ctx.write(attempts_ref[a].1, EMPTY);
-                }
-            });
+        m.par_for(k * q, |a, ctx| {
+            if !won_ref[a] {
+                return;
+            }
+            let slot = a / q;
+            if keep_ref[slot] == Some(a) {
+                ctx.write(attempts_ref[a].1, keys[active_ref[slot]]);
+            } else {
+                ctx.write(attempts_ref[a].1, EMPTY);
+            }
         });
         active = active
             .iter()
@@ -166,57 +157,47 @@ fn place_values(pram: &mut Pram, keys: &[u64], labels: &[u64], layout: &McLayout
     if active.is_empty() {
         return true;
     }
-    let leftovers = active.clone();
-    let oks: Vec<bool> = pram.step(|s| {
-        s.par_map(0..1, |_p, ctx| {
-            let mut cursors: std::collections::HashMap<usize, usize> = Default::default();
-            leftovers
-                .iter()
-                .map(|&item| {
-                    let label = labels[item] as usize;
-                    let len = layout.subarray_len[label];
-                    let cur = cursors.entry(label).or_insert(0);
-                    while *cur < len {
-                        let addr = layout.cell(label, *cur);
-                        *cur += 1;
-                        if ctx.read(addr) == EMPTY {
-                            ctx.write(addr, keys[item]);
-                            return true;
-                        }
-                    }
-                    false
-                })
-                .collect::<Vec<bool>>()
-        })
-        .pop()
-        .unwrap_or_default()
-    });
-    oks.iter().all(|&b| b)
+    // Sequential Las-Vegas clean-up; an exhausted subarray reports failure.
+    let mut cursors: std::collections::HashMap<usize, usize> = Default::default();
+    let placed = qrqw_prims::seq_place_leftovers(
+        m,
+        &active,
+        |item| {
+            let label = labels[item] as usize;
+            let cur = cursors.entry(label).or_insert(0);
+            (*cur < layout.subarray_len[label]).then(|| {
+                *cur += 1;
+                layout.cell(label, *cur - 1)
+            })
+        },
+        |item| keys[item],
+    );
+    placed.iter().all(|&(_, spot)| spot.is_some())
 }
 
-fn radix_fallback(pram: &mut Pram, keys: &[u64], max_key: u64) -> Vec<u64> {
+fn radix_fallback<M: Machine>(m: &mut M, keys: &[u64], max_key: u64) -> Vec<u64> {
     let n = keys.len();
-    let base = pram.alloc(n);
+    let base = m.alloc(n);
     let words: Vec<u64> = keys
         .iter()
         .map(|&k| pack(k.min((1 << 31) - 1), 0))
         .collect();
-    pram.memory_mut().load(base, &words);
+    m.load(base, &words);
     let bits = ceil_lg(max_key.max(2)) as usize;
-    qrqw_prims::radix_sort_packed(pram, base, n, bits.min(31));
-    let out: Vec<u64> = pram
-        .memory()
+    qrqw_prims::radix_sort_packed(m, base, n, bits.min(31));
+    let out: Vec<u64> = m
         .dump(base, n)
         .into_iter()
         .map(qrqw_prims::unpack_key)
         .collect();
-    pram.release_to(base);
+    m.release_to(base);
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qrqw_sim::Pram;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 

@@ -18,10 +18,16 @@
 //! | §7.2 general sorting (sample sort + binary-search fat-tree) | [`sample_sort`], [`fat_tree`] |
 //! | §7.3 integer sorting and Fetch&Add emulation | [`integer_sort`], [`fetch_add`] |
 //!
-//! Every public routine executes on a caller-supplied [`qrqw_sim::Pram`], so
-//! its time under any PRAM cost model, its work, and its contention profile
-//! can be read off the trace afterwards — that is how the Table I and
-//! Table II harnesses in `qrqw-bench` are built.
+//! Every public routine is generic over the [`qrqw_sim::Machine`] backend
+//! trait: the same algorithm source runs on the exact-cost simulator
+//! ([`qrqw_sim::Pram`]) — where its time under any PRAM cost model, its work,
+//! and its contention profile can be read off the trace afterwards — and on
+//! the native threads/atomics machine (`qrqw_exec::NativeMachine`) for wall
+//! clock.  That is how the Table I / Table II harnesses and the
+//! `backend_bench` registry in `qrqw-bench` are built; the cross-backend
+//! parity suite in `tests/backends.rs` pins the exact contract each
+//! algorithm keeps (bit-identical output for exclusive-claim and
+//! deterministic routines, semantic validity for occupy-based ones).
 
 #![warn(missing_docs)]
 

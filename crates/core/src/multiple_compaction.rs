@@ -28,7 +28,7 @@ use qrqw_prims::{
     claim_cells, prefix_sums_exclusive, propagate_nonempty_forward, radix_sort_packed, ClaimMode,
 };
 use qrqw_sim::schedule::{ceil_lg, log_star};
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, EMPTY};
 
 /// The position of every label's private subarray inside the output array.
 #[derive(Debug, Clone)]
@@ -68,25 +68,22 @@ pub struct McResult {
 }
 
 /// Builds the output array `B` and the per-label subarrays (size `4·count`)
-/// from the counts, charging the prefix-sums computation to the PRAM.
-pub fn build_layout(pram: &mut Pram, counts: &[u64]) -> McLayout {
+/// from the counts, charging the prefix-sums computation to the machine.
+pub fn build_layout<M: Machine>(m: &mut M, counts: &[u64]) -> McLayout {
     let num_labels = counts.len();
-    let sizes = pram.alloc(num_labels.max(1));
-    pram.step(|s| {
-        s.par_for(0..num_labels, |j, ctx| {
-            ctx.compute(1);
-            ctx.write(sizes + j, 4 * counts[j]);
-        });
+    let sizes = m.alloc(num_labels.max(1));
+    m.par_for(num_labels, |j, ctx| {
+        ctx.compute(1);
+        ctx.write(sizes + j, 4 * counts[j]);
     });
-    let total = prefix_sums_exclusive(pram, sizes, num_labels) as usize;
-    let offsets: Vec<usize> = pram
-        .memory()
+    let total = prefix_sums_exclusive(m, sizes, num_labels) as usize;
+    let offsets: Vec<usize> = m
         .dump(sizes, num_labels)
         .into_iter()
         .map(|v| v as usize)
         .collect();
-    pram.release_to(sizes);
-    let b_base = pram.alloc(total.max(1));
+    m.release_to(sizes);
+    let b_base = m.alloc(total.max(1));
     McLayout {
         b_base,
         b_len: total,
@@ -99,8 +96,8 @@ pub fn build_layout(pram: &mut Pram, counts: &[u64]) -> McLayout {
 /// dart-throwing (the heavy algorithm of Section 4.1); used by both the
 /// heavy case and, internally, by the sorting algorithms of Section 7 that
 /// call "relaxed heavy multiple compaction".
-fn place_by_dart_throwing(
-    pram: &mut Pram,
+fn place_by_dart_throwing<M: Machine>(
+    m: &mut M,
     items: &[usize],
     labels: &[u64],
     layout: &McLayout,
@@ -122,13 +119,11 @@ fn place_by_dart_throwing(
 
         // Every team member picks a random slot inside its item's subarray.
         let active_ref = &active;
-        let targets: Vec<usize> = pram.step(|s| {
-            s.par_map(0..k * q, |a, ctx| {
-                let item = active_ref[a / q];
-                let label = labels[item] as usize;
-                let len = layout.subarray_len[label];
-                layout.cell(label, ctx.random_index(len.max(1)))
-            })
+        let targets: Vec<usize> = m.par_map(k * q, |a, ctx| {
+            let item = active_ref[a / q];
+            let label = labels[item] as usize;
+            let len = layout.subarray_len[label];
+            layout.cell(label, ctx.random_index(len.max(1)))
         });
         let attempts: Vec<(u64, usize)> = (0..k * q)
             .map(|a| {
@@ -137,7 +132,7 @@ fn place_by_dart_throwing(
                 (member * n as u64 + item as u64 + 1, targets[a])
             })
             .collect();
-        let won = claim_cells(pram, &attempts, ClaimMode::Occupy);
+        let won = claim_cells(m, &attempts, ClaimMode::Occupy);
 
         // Keep the first successful copy per item, release the others, and
         // stamp the winning cell with the item's index.
@@ -148,19 +143,17 @@ fn place_by_dart_throwing(
             }
         }
         let (keep_ref, attempts_ref, won_ref) = (&keep, &attempts, &won);
-        pram.step(|s| {
-            s.par_for(0..k * q, |a, ctx| {
-                ctx.compute(1);
-                if !won_ref[a] {
-                    return;
-                }
-                let slot = a / q;
-                if keep_ref[slot] == Some(a) {
-                    ctx.write(attempts_ref[a].1, active_ref[slot] as u64);
-                } else {
-                    ctx.write(attempts_ref[a].1, EMPTY);
-                }
-            });
+        m.par_for(k * q, |a, ctx| {
+            ctx.compute(1);
+            if !won_ref[a] {
+                return;
+            }
+            let slot = a / q;
+            if keep_ref[slot] == Some(a) {
+                ctx.write(attempts_ref[a].1, active_ref[slot] as u64);
+            } else {
+                ctx.write(attempts_ref[a].1, EMPTY);
+            }
         });
 
         let mut still = Vec::new();
@@ -174,35 +167,23 @@ fn place_by_dart_throwing(
         team = (1u64 << team.min(6)).min(team_cap).max(team + 1);
     }
 
-    // Las-Vegas clean-up (or relaxed failure report): one processor per
-    // leftover label scans that label's subarray for free cells.
+    // Las-Vegas clean-up (or relaxed failure report): one sequential step
+    // scans each leftover label's subarray for free cells.
     if !active.is_empty() {
-        let leftovers = active.clone();
-        let placed: Vec<(usize, Option<usize>)> = pram.step(|s| {
-            s.par_map(0..1, |_p, ctx| {
-                let mut cursor: std::collections::HashMap<usize, usize> = Default::default();
-                let mut out = Vec::new();
-                for &item in &leftovers {
-                    let label = labels[item] as usize;
-                    let len = layout.subarray_len[label];
-                    let cur = cursor.entry(label).or_insert(0);
-                    let mut found = None;
-                    while *cur < len {
-                        let addr = layout.cell(label, *cur);
-                        *cur += 1;
-                        if ctx.read(addr) == EMPTY {
-                            ctx.write(addr, item as u64);
-                            found = Some(addr);
-                            break;
-                        }
-                    }
-                    out.push((item, found));
-                }
-                out
-            })
-            .pop()
-            .unwrap_or_default()
-        });
+        let mut cursors: std::collections::HashMap<usize, usize> = Default::default();
+        let placed = qrqw_prims::seq_place_leftovers(
+            m,
+            &active,
+            |item| {
+                let label = labels[item] as usize;
+                let cur = cursors.entry(label).or_insert(0);
+                (*cur < layout.subarray_len[label]).then(|| {
+                    *cur += 1;
+                    layout.cell(label, *cur - 1)
+                })
+            },
+            |item| item as u64,
+        );
         for (item, spot) in placed {
             match spot {
                 Some(addr) => positions[item] = addr,
@@ -220,17 +201,17 @@ fn place_by_dart_throwing(
 /// least `α lg² n`.  With `relaxed = true` this is the "relaxed" variant
 /// used by the sorting algorithms of Section 7: if some set turns out to
 /// exceed its promised count the run reports failure instead of panicking.
-pub fn heavy_multiple_compaction(
-    pram: &mut Pram,
+pub fn heavy_multiple_compaction<M: Machine>(
+    m: &mut M,
     labels: &[u64],
     counts: &[u64],
     relaxed: bool,
 ) -> McResult {
-    let layout = build_layout(pram, counts);
+    let layout = build_layout(m, counts);
     let mut positions = vec![usize::MAX; labels.len()];
     let items: Vec<usize> = (0..labels.len()).collect();
     let (failed, rounds) =
-        place_by_dart_throwing(pram, &items, labels, &layout, &mut positions, relaxed);
+        place_by_dart_throwing(m, &items, labels, &layout, &mut positions, relaxed);
     McResult {
         positions,
         layout,
@@ -243,8 +224,12 @@ pub fn heavy_multiple_compaction(
 /// below `α lg² n`.  Items are sorted by label with the Fact 4.3 radix
 /// sort, ranked within their label run, and written to
 /// `subarray(label)[rank]`.
-pub fn light_multiple_compaction(pram: &mut Pram, labels: &[u64], counts: &[u64]) -> McResult {
-    let layout = build_layout(pram, counts);
+pub fn light_multiple_compaction<M: Machine>(
+    m: &mut M,
+    labels: &[u64],
+    counts: &[u64],
+) -> McResult {
+    let layout = build_layout(m, counts);
     let n = labels.len();
     let mut positions = vec![usize::MAX; n];
     if n == 0 {
@@ -258,60 +243,54 @@ pub fn light_multiple_compaction(pram: &mut Pram, labels: &[u64], counts: &[u64]
 
     // Step (i)-(ii) of Section 4.2 in spirit: every item publishes a packed
     // (label, item) word; the words are then stably sorted by label.
-    let words = pram.alloc(n);
-    pram.step(|s| {
-        s.par_for(0..n, |i, ctx| {
-            ctx.compute(1);
-            ctx.write(words + i, qrqw_prims::pack(labels[i], i as u64));
-        });
+    let words = m.alloc(n);
+    m.par_for(n, |i, ctx| {
+        ctx.compute(1);
+        ctx.write(words + i, qrqw_prims::pack(labels[i], i as u64));
     });
     let label_bits = (ceil_lg(counts.len().max(2) as u64) + 1) as usize;
-    radix_sort_packed(pram, words, n, label_bits);
+    radix_sort_packed(m, words, n, label_bits);
 
     // Rank every item within its label run: mark run starts, propagate the
     // run-start index and the label's subarray base forward, then rank =
     // own index - run start.
-    let starts = pram.alloc(n);
-    let bases = pram.alloc(n);
-    pram.step(|s| {
-        s.par_for(0..n, |i, ctx| {
-            let w = ctx.read(words + i);
-            let label = qrqw_prims::unpack_key(w) as usize;
-            let is_start = if i == 0 {
-                true
-            } else {
-                qrqw_prims::unpack_key(ctx.read(words + i - 1)) as usize != label
-            };
-            if is_start {
-                ctx.write(starts + i, i as u64);
-                // one reader per label: exclusive
-                ctx.compute(1);
-                ctx.write(
-                    bases + i,
-                    (layout.b_base + layout.subarray_offset[label]) as u64,
-                );
-            }
-        });
+    let starts = m.alloc(n);
+    let bases = m.alloc(n);
+    m.par_for(n, |i, ctx| {
+        let w = ctx.read(words + i);
+        let label = qrqw_prims::unpack_key(w) as usize;
+        let is_start = if i == 0 {
+            true
+        } else {
+            qrqw_prims::unpack_key(ctx.read(words + i - 1)) as usize != label
+        };
+        if is_start {
+            ctx.write(starts + i, i as u64);
+            // one reader per label: exclusive
+            ctx.compute(1);
+            ctx.write(
+                bases + i,
+                (layout.b_base + layout.subarray_offset[label]) as u64,
+            );
+        }
     });
-    propagate_nonempty_forward(pram, starts, n);
-    propagate_nonempty_forward(pram, bases, n);
+    propagate_nonempty_forward(m, starts, n);
+    propagate_nonempty_forward(m, bases, n);
 
     // Final placement: each item writes itself into subarray_base + rank.
-    let placed: Vec<(usize, usize, bool)> = pram.step(|s| {
-        s.par_map(0..n, |i, ctx| {
-            let w = ctx.read(words + i);
-            let item = qrqw_prims::unpack_payload(w) as usize;
-            let label = qrqw_prims::unpack_key(w) as usize;
-            let start = ctx.read(starts + i) as usize;
-            let base = ctx.read(bases + i) as usize;
-            let rank = i - start;
-            if rank < layout.subarray_len[label] {
-                ctx.write(base + rank, item as u64);
-                (item, base + rank, true)
-            } else {
-                (item, usize::MAX, false)
-            }
-        })
+    let placed: Vec<(usize, usize, bool)> = m.par_map(n, |i, ctx| {
+        let w = ctx.read(words + i);
+        let item = qrqw_prims::unpack_payload(w) as usize;
+        let label = qrqw_prims::unpack_key(w) as usize;
+        let start = ctx.read(starts + i) as usize;
+        let base = ctx.read(bases + i) as usize;
+        let rank = i - start;
+        if rank < layout.subarray_len[label] {
+            ctx.write(base + rank, item as u64);
+            (item, base + rank, true)
+        } else {
+            (item, usize::MAX, false)
+        }
     });
     let mut failed = false;
     for (item, addr, ok) in placed {
@@ -321,7 +300,7 @@ pub fn light_multiple_compaction(pram: &mut Pram, labels: &[u64], counts: &[u64]
             failed = true;
         }
     }
-    pram.release_to(words);
+    m.release_to(words);
     McResult {
         positions,
         layout,
@@ -333,12 +312,12 @@ pub fn light_multiple_compaction(pram: &mut Pram, labels: &[u64], counts: &[u64]
 /// Solves an arbitrary multiple-compaction instance (Theorem 4.1): labels
 /// with counts of at least `lg² n` go through the heavy algorithm, the rest
 /// through the light algorithm, one application each.
-pub fn multiple_compaction(pram: &mut Pram, labels: &[u64], counts: &[u64]) -> McResult {
+pub fn multiple_compaction<M: Machine>(m: &mut M, labels: &[u64], counts: &[u64]) -> McResult {
     let n = labels.len();
     let lg = ceil_lg(n.max(2) as u64);
     let threshold = (lg * lg).max(4);
 
-    let layout = build_layout(pram, counts);
+    let layout = build_layout(m, counts);
     let mut positions = vec![usize::MAX; n];
 
     let heavy_items: Vec<usize> = (0..n)
@@ -351,8 +330,7 @@ pub fn multiple_compaction(pram: &mut Pram, labels: &[u64], counts: &[u64]) -> M
     let mut failed = false;
     let mut rounds = 0;
     if !heavy_items.is_empty() {
-        let (f, r) =
-            place_by_dart_throwing(pram, &heavy_items, labels, &layout, &mut positions, true);
+        let (f, r) = place_by_dart_throwing(m, &heavy_items, labels, &layout, &mut positions, true);
         failed |= f;
         rounds = r;
     }
@@ -366,7 +344,7 @@ pub fn multiple_compaction(pram: &mut Pram, labels: &[u64], counts: &[u64]) -> M
             .iter()
             .map(|&c| if c < threshold { c } else { 0 })
             .collect();
-        let sub = light_multiple_compaction(pram, &light_labels, &light_counts);
+        let sub = light_multiple_compaction(m, &light_labels, &light_counts);
         failed |= sub.failed;
         for (slot, &item) in light_items.iter().enumerate() {
             let p = sub.positions[slot];
@@ -385,11 +363,9 @@ pub fn multiple_compaction(pram: &mut Pram, labels: &[u64], counts: &[u64]) -> M
             .filter(|&&i| positions[i] != usize::MAX)
             .map(|&i| (i, positions[i]))
             .collect();
-        pram.step(|s| {
-            s.par_for(0..to_write.len(), |t, ctx| {
-                let (item, addr) = to_write[t];
-                ctx.write(addr, item as u64);
-            });
+        m.par_for(to_write.len(), |t, ctx| {
+            let (item, addr) = to_write[t];
+            ctx.write(addr, item as u64);
         });
     }
 
@@ -404,6 +380,7 @@ pub fn multiple_compaction(pram: &mut Pram, labels: &[u64], counts: &[u64]) -> M
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qrqw_sim::Pram;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     use std::collections::HashSet;

@@ -108,14 +108,17 @@ pub fn random_permutation_qrqw<M: Machine>(m: &mut M, n: usize) -> PermutationOu
             .collect();
     }
 
-    // Sequential Las-Vegas clean-up for the (w.h.p. empty) remainder.
+    // Sequential Las-Vegas clean-up for the (w.h.p. empty) remainder, run
+    // as a sequential step so the placement walk sees its own writes — with
+    // snapshot reads the random wrap-around probes could land on a cell
+    // claimed earlier in the same step and double-book it.
     if !active.is_empty() {
         fallback_used = true;
         let sub_len = (2 * active.len()).max(4).min(region_len - carve);
         let sub_base = a_base + carve;
         carve += sub_len;
         let leftovers = active.clone();
-        m.par_for(1, |_p, ctx| {
+        m.seq_step(|ctx| {
             let mut cursor = 0usize;
             for &item in &leftovers {
                 loop {

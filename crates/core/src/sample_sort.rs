@@ -26,7 +26,7 @@ use crate::fat_tree::FatTree;
 use crate::multiple_compaction::{build_layout, McLayout};
 use qrqw_prims::{bitonic_sort, bitonic_sort_segments, claim_cells, compact_erew, ClaimMode};
 use qrqw_sim::schedule::ceil_lg;
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, EMPTY};
 
 /// Which labelling strategy a sample-sort run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,17 +37,17 @@ enum SearchKind {
 
 /// Sorts `keys` (each `< 2^31`) with the QRQW variant of Algorithm A
 /// (fat-tree labelling).  Returns the sorted keys.
-pub fn sample_sort_qrqw(pram: &mut Pram, keys: &[u64]) -> Vec<u64> {
-    sample_sort(pram, keys, SearchKind::FatTree)
+pub fn sample_sort_qrqw<M: Machine>(m: &mut M, keys: &[u64]) -> Vec<u64> {
+    sample_sort(m, keys, SearchKind::FatTree)
 }
 
 /// Sorts `keys` with the CRQW variant of Algorithm A (concurrent-read
 /// binary-search labelling).
-pub fn sample_sort_crqw(pram: &mut Pram, keys: &[u64]) -> Vec<u64> {
-    sample_sort(pram, keys, SearchKind::ConcurrentBinarySearch)
+pub fn sample_sort_crqw<M: Machine>(m: &mut M, keys: &[u64]) -> Vec<u64> {
+    sample_sort(m, keys, SearchKind::ConcurrentBinarySearch)
 }
 
-fn sample_sort(pram: &mut Pram, keys: &[u64], kind: SearchKind) -> Vec<u64> {
+fn sample_sort<M: Machine>(m: &mut M, keys: &[u64], kind: SearchKind) -> Vec<u64> {
     let n = keys.len();
     if n <= 1 {
         return keys.to_vec();
@@ -57,31 +57,29 @@ fn sample_sort(pram: &mut Pram, keys: &[u64], kind: SearchKind) -> Vec<u64> {
 
     // Small inputs: the recursion would stop immediately, so sort directly.
     if n <= (4 * lg * lg) as usize {
-        let base = pram.alloc(n);
-        pram.memory_mut().load(base, keys);
-        bitonic_sort(pram, base, n);
-        let out = pram.memory().dump(base, n);
-        pram.release_to(base);
+        let base = m.alloc(n);
+        m.load(base, keys);
+        bitonic_sort(m, base, n);
+        let out = m.dump(base, n);
+        m.release_to(base);
         return out;
     }
 
     // --- Step 1: sample ~√n keys (each sampling processor reads one random
     // input cell).
-    let input = pram.alloc(n);
-    pram.memory_mut().load(input, keys);
+    let input = m.alloc(n);
+    m.load(input, keys);
     let sample_count = ((n as f64).sqrt().ceil() as usize).max(4).min(n);
-    let sample = pram.alloc(sample_count);
-    pram.step(|s| {
-        s.par_for(0..sample_count, |i, ctx| {
-            let pick = ctx.random_index(n);
-            let v = ctx.read(input + pick);
-            ctx.write(sample + i, v);
-        });
+    let sample = m.alloc(sample_count);
+    m.par_for(sample_count, |i, ctx| {
+        let pick = ctx.random_index(n);
+        let v = ctx.read(input + pick);
+        ctx.write(sample + i, v);
     });
 
     // --- Step 2: sort the sample (bitonic; EREW) and pick every
     // (sample_count / num_splitters)-th element as a splitter.
-    bitonic_sort(pram, sample, sample_count);
+    bitonic_sort(m, sample, sample_count);
     let num_splitters = ((sample_count as f64).sqrt().ceil() as usize)
         .max(1)
         .min(sample_count);
@@ -90,39 +88,36 @@ fn sample_sort(pram: &mut Pram, keys: &[u64], kind: SearchKind) -> Vec<u64> {
         .map(|i| (i * stride.max(1)).min(sample_count - 1))
         .collect();
     let pos_ref = &splitter_positions;
-    let mut splitters: Vec<u64> =
-        pram.step(|s| s.par_map(0..pos_ref.len(), |i, ctx| ctx.read(sample + pos_ref[i])));
+    let mut splitters: Vec<u64> = m.par_map(pos_ref.len(), |i, ctx| ctx.read(sample + pos_ref[i]));
     splitters.dedup();
 
     // --- Step 3: label every key with its splitter bucket.
     let labels: Vec<usize> = match kind {
         SearchKind::FatTree => {
-            let tree = FatTree::build(pram, &splitters, n.max(16));
-            tree.search_batch(pram, keys)
+            let tree = FatTree::build(m, &splitters, n.max(16));
+            tree.search_batch(m, keys)
         }
         SearchKind::ConcurrentBinarySearch => {
             // splitters live in one shared array; every key binary-searches
             // it with plain (concurrent) reads.
-            let spl = pram.alloc(splitters.len());
-            pram.memory_mut().load(spl, &splitters);
+            let spl = m.alloc(splitters.len());
+            m.load(spl, &splitters);
             let s_len = splitters.len();
-            pram.step(|s| {
-                s.par_map(0..n, |i, ctx| {
-                    let key = keys[i];
-                    let mut lo = 0usize;
-                    let mut hi = s_len;
-                    while lo < hi {
-                        let mid = (lo + hi) / 2;
-                        let v = ctx.read(spl + mid);
-                        ctx.compute(1);
-                        if key < v {
-                            hi = mid;
-                        } else {
-                            lo = mid + 1;
-                        }
+            m.par_map(n, |i, ctx| {
+                let key = keys[i];
+                let mut lo = 0usize;
+                let mut hi = s_len;
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    let v = ctx.read(spl + mid);
+                    ctx.compute(1);
+                    if key < v {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
                     }
-                    lo
-                })
+                }
+                lo
             })
         }
     };
@@ -135,26 +130,26 @@ fn sample_sort(pram: &mut Pram, keys: &[u64], kind: SearchKind) -> Vec<u64> {
     let seg = (4 * expected + 8 * lg as usize).next_power_of_two();
     let counts = vec![(seg / 4) as u64; num_buckets];
     let labels_u64: Vec<u64> = labels.iter().map(|&l| l as u64).collect();
-    let layout = build_layout(pram, &counts);
-    let placed = place_keys(pram, keys, &labels_u64, &layout);
+    let layout = build_layout(m, &counts);
+    let placed = place_keys(m, keys, &labels_u64, &layout);
     if !placed {
         // Las-Vegas restart path of the paper, collapsed to the safe
         // fallback: sort the whole input with the system (bitonic) sort.
-        bitonic_sort(pram, input, n);
-        let out = pram.memory().dump(input, n);
-        pram.release_to(input);
+        bitonic_sort(m, input, n);
+        let out = m.dump(input, n);
+        m.release_to(input);
         return out;
     }
 
     // --- Step 5: finish every bucket with one parallel bitonic pass over
     // the equal-size subarrays (EMPTY padding sorts to the end), then
     // compact out the padding.
-    bitonic_sort_segments(pram, layout.b_base, seg, num_buckets);
-    let out_region = pram.alloc(layout.b_len);
-    let cnt = compact_erew(pram, layout.b_base, layout.b_len, out_region);
+    bitonic_sort_segments(m, layout.b_base, seg, num_buckets);
+    let out_region = m.alloc(layout.b_len);
+    let cnt = compact_erew(m, layout.b_base, layout.b_len, out_region);
     assert_eq!(cnt as usize, n);
-    let out = pram.memory().dump(out_region, n);
-    pram.release_to(input);
+    let out = m.dump(out_region, n);
+    m.release_to(input);
     out
 }
 
@@ -162,7 +157,7 @@ fn sample_sort(pram: &mut Pram, keys: &[u64], kind: SearchKind) -> Vec<u64> {
 /// subarrays (the relaxed heavy multiple compaction of Section 4.1, with
 /// the cells holding key values rather than item indices because the finish
 /// sorts values in place).  Returns false if some bucket overflowed.
-fn place_keys(pram: &mut Pram, keys: &[u64], labels: &[u64], layout: &McLayout) -> bool {
+fn place_keys<M: Machine>(m: &mut M, keys: &[u64], labels: &[u64], layout: &McLayout) -> bool {
     let n = keys.len();
     let mut active: Vec<usize> = (0..n).collect();
     let mut team = 1usize;
@@ -175,12 +170,10 @@ fn place_keys(pram: &mut Pram, keys: &[u64], labels: &[u64], layout: &McLayout) 
         let q = team;
         let k = active.len();
         let active_ref = &active;
-        let targets: Vec<usize> = pram.step(|s| {
-            s.par_map(0..k * q, |a, ctx| {
-                let item = active_ref[a / q];
-                let label = labels[item] as usize;
-                layout.cell(label, ctx.random_index(layout.subarray_len[label].max(1)))
-            })
+        let targets: Vec<usize> = m.par_map(k * q, |a, ctx| {
+            let item = active_ref[a / q];
+            let label = labels[item] as usize;
+            layout.cell(label, ctx.random_index(layout.subarray_len[label].max(1)))
         });
         let attempts: Vec<(u64, usize)> = (0..k * q)
             .map(|a| {
@@ -188,7 +181,7 @@ fn place_keys(pram: &mut Pram, keys: &[u64], labels: &[u64], layout: &McLayout) 
                 ((a % q) as u64 * n as u64 + item as u64 + 1, targets[a])
             })
             .collect();
-        let won = claim_cells(pram, &attempts, ClaimMode::Occupy);
+        let won = claim_cells(m, &attempts, ClaimMode::Occupy);
         let mut keep: Vec<Option<usize>> = vec![None; k];
         for a in 0..k * q {
             if won[a] && keep[a / q].is_none() {
@@ -196,18 +189,16 @@ fn place_keys(pram: &mut Pram, keys: &[u64], labels: &[u64], layout: &McLayout) 
             }
         }
         let (keep_ref, attempts_ref, won_ref) = (&keep, &attempts, &won);
-        pram.step(|s| {
-            s.par_for(0..k * q, |a, ctx| {
-                if !won_ref[a] {
-                    return;
-                }
-                let slot = a / q;
-                if keep_ref[slot] == Some(a) {
-                    ctx.write(attempts_ref[a].1, keys[active_ref[slot]]);
-                } else {
-                    ctx.write(attempts_ref[a].1, EMPTY);
-                }
-            });
+        m.par_for(k * q, |a, ctx| {
+            if !won_ref[a] {
+                return;
+            }
+            let slot = a / q;
+            if keep_ref[slot] == Some(a) {
+                ctx.write(attempts_ref[a].1, keys[active_ref[slot]]);
+            } else {
+                ctx.write(attempts_ref[a].1, EMPTY);
+            }
         });
         active = active
             .iter()
@@ -222,38 +213,27 @@ fn place_keys(pram: &mut Pram, keys: &[u64], labels: &[u64], layout: &McLayout) 
         return true;
     }
     // Sequential clean-up; reports overflow as failure (relaxed semantics).
-    let leftovers = active.clone();
-    let placed: Vec<bool> = pram.step(|s| {
-        s.par_map(0..1, |_p, ctx| {
-            let mut oks = Vec::new();
-            let mut cursors: std::collections::HashMap<usize, usize> = Default::default();
-            for &item in &leftovers {
-                let label = labels[item] as usize;
-                let len = layout.subarray_len[label];
-                let cur = cursors.entry(label).or_insert(0);
-                let mut ok = false;
-                while *cur < len {
-                    let addr = layout.cell(label, *cur);
-                    *cur += 1;
-                    if ctx.read(addr) == EMPTY {
-                        ctx.write(addr, keys[item]);
-                        ok = true;
-                        break;
-                    }
-                }
-                oks.push(ok);
-            }
-            oks
-        })
-        .pop()
-        .unwrap_or_default()
-    });
-    placed.iter().all(|&b| b)
+    let mut cursors: std::collections::HashMap<usize, usize> = Default::default();
+    let placed = qrqw_prims::seq_place_leftovers(
+        m,
+        &active,
+        |item| {
+            let label = labels[item] as usize;
+            let cur = cursors.entry(label).or_insert(0);
+            (*cur < layout.subarray_len[label]).then(|| {
+                *cur += 1;
+                layout.cell(label, *cur - 1)
+            })
+        },
+        |item| keys[item],
+    );
+    placed.iter().all(|&(_, spot)| spot.is_some())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qrqw_sim::Pram;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 

@@ -12,7 +12,7 @@
 //! some processor holding more than twice the average load.
 
 use crate::load_balancing::load_balance_qrqw;
-use qrqw_sim::Pram;
+use qrqw_sim::Machine;
 
 /// Statistics of an L-spawning execution.
 #[derive(Debug, Clone, Default)]
@@ -33,8 +33,8 @@ pub struct SpawningReport {
 /// next round (at most `l - 1` of them, checked).  The run stops after
 /// `max_rounds` rounds or when no tasks remain; the tasks still alive are
 /// returned together with the execution report.
-pub fn run_l_spawning<T, F>(
-    pram: &mut Pram,
+pub fn run_l_spawning<M, T, F>(
+    m: &mut M,
     initial: Vec<T>,
     p: usize,
     l: u64,
@@ -42,6 +42,7 @@ pub fn run_l_spawning<T, F>(
     spawn: F,
 ) -> (Vec<T>, SpawningReport)
 where
+    M: Machine,
     T: Clone + Send + Sync,
     F: Fn(u64, &T) -> Vec<T> + Sync,
 {
@@ -66,20 +67,18 @@ where
         // one per spawned task).
         let queues_ref = &queues;
         let spawn_ref = &spawn;
-        let next: Vec<Vec<T>> = pram.step(|s| {
-            s.par_map(0..p, |proc, ctx| {
-                let mut out = Vec::new();
-                for t in &queues_ref[proc] {
-                    let children = spawn_ref(round, t);
-                    assert!(
-                        (children.len() as u64) < l.max(1) + 1,
-                        "a task spawned more than L-1 children"
-                    );
-                    ctx.compute(1 + children.len() as u64);
-                    out.extend(children);
-                }
-                out
-            })
+        let next: Vec<Vec<T>> = m.par_map(p, |proc, ctx| {
+            let mut out = Vec::new();
+            for t in &queues_ref[proc] {
+                let children = spawn_ref(round, t);
+                assert!(
+                    (children.len() as u64) < l.max(1) + 1,
+                    "a task spawned more than L-1 children"
+                );
+                ctx.compute(1 + children.len() as u64);
+                out.extend(children);
+            }
+            out
         });
         queues = next;
 
@@ -90,7 +89,7 @@ where
         report.max_load_seen = report.max_load_seen.max(max);
         if total > 0 && max > 2 * total.div_ceil(p as u64) + 2 {
             report.rebalances += 1;
-            let plan = load_balance_qrqw(pram, &loads);
+            let plan = load_balance_qrqw(m, &loads);
             let mut new_queues: Vec<Vec<T>> = vec![Vec::new(); p];
             for (dest, blocks) in plan.assignment.iter().enumerate() {
                 for b in blocks {
@@ -110,6 +109,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qrqw_sim::Pram;
 
     #[test]
     fn geometric_decay_terminates_without_rebalancing_much() {
@@ -156,7 +156,7 @@ mod tests {
     #[test]
     fn empty_initial_set_is_a_noop() {
         let mut pram = Pram::new(4);
-        let (rest, report) = run_l_spawning::<u8, _>(&mut pram, vec![], 4, 2, 5, |_, _| vec![]);
+        let (rest, report) = run_l_spawning::<_, u8, _>(&mut pram, vec![], 4, 2, 5, |_, _| vec![]);
         assert!(rest.is_empty());
         assert_eq!(report.rounds, 0);
     }

@@ -225,6 +225,27 @@ impl Machine for NativeMachine {
         out
     }
 
+    fn seq_step<T, F>(&mut self, f: F) -> T
+    where
+        F: FnOnce(&mut dyn MachineProc) -> T,
+    {
+        // A native thread's reads already see its own earlier stores, so the
+        // sequential step is simply one processor run inline on the caller's
+        // thread — the contract's step-index and RNG-stream advances are the
+        // same as for a one-processor parallel step.
+        let step_idx = self.steps_executed;
+        let mut ctx = NativeProc {
+            cells: &self.cells[..],
+            seed: self.seed,
+            step_idx,
+            proc: 0,
+            rng: None,
+        };
+        let result = f(&mut ctx);
+        self.steps_executed += 1;
+        result
+    }
+
     fn scan_step(&mut self, base: usize, len: usize) -> u64 {
         self.grow(base + len);
         const CHUNK: usize = 8192;
@@ -466,6 +487,31 @@ mod tests {
         let c = Machine::alloc(&mut m, 3);
         assert_eq!(c, 12);
         assert!(Machine::dump(&m, c, 3).iter().all(|&v| v == EMPTY));
+    }
+
+    #[test]
+    fn seq_step_reads_own_writes_and_advances_one_step() {
+        let mut m = NativeMachine::new(8);
+        let observed = m.seq_step(|ctx| {
+            ctx.write(3, 41);
+            let fresh = ctx.read(3);
+            ctx.write(3, fresh + 1);
+            ctx.read(3)
+        });
+        assert_eq!(observed, 42);
+        assert_eq!(Machine::peek(&m, 3), 42);
+        assert_eq!(m.steps_executed, 1);
+    }
+
+    #[test]
+    fn seq_step_random_stream_matches_the_simulator() {
+        let mut native = NativeMachine::with_seed(4, 31);
+        let a = native.seq_step(|ctx| ctx.random_index(1 << 20));
+        let b = native.seq_step(|ctx| ctx.random_index(1 << 20));
+        let mut sim = qrqw_sim::Pram::with_seed(4, 31);
+        let c = Machine::seq_step(&mut sim, |ctx| ctx.random_index(1 << 20));
+        let d = Machine::seq_step(&mut sim, |ctx| ctx.random_index(1 << 20));
+        assert_eq!((a, b), (c, d));
     }
 
     #[test]

@@ -34,6 +34,47 @@ use qrqw_sim::{Machine, EMPTY};
 use crate::claim::{claim_cells, ClaimMode};
 use crate::prefix::prefix_sums_exclusive;
 
+/// The shared sequential Las-Vegas clean-up walk behind every dart-throwing
+/// algorithm's fallback path: for each leftover `item`, advance its
+/// candidate-cell stream (`candidates(item)`, `None` = exhausted) until an
+/// [`EMPTY`] cell turns up, write `value_of(item)` there, and report the
+/// cell.  Runs as one [`Machine::seq_step`], so the walk observes its own
+/// placements immediately on every backend — the property the fallbacks
+/// need to stay injective.
+///
+/// `candidates` is stateful across items (a shared cursor models one
+/// processor scanning an arena; per-label cursors model one scan per
+/// subarray), which is exactly how the w.h.p.-dead tails of Sections 4–7
+/// are specified.
+pub fn seq_place_leftovers<M, C, V>(
+    m: &mut M,
+    items: &[usize],
+    mut candidates: C,
+    value_of: V,
+) -> Vec<(usize, Option<usize>)>
+where
+    M: Machine,
+    C: FnMut(usize) -> Option<usize>,
+    V: Fn(usize) -> u64,
+{
+    m.seq_step(|ctx| {
+        items
+            .iter()
+            .map(|&item| {
+                let mut found = None;
+                while let Some(addr) = candidates(item) {
+                    if ctx.read(addr) == EMPTY {
+                        ctx.write(addr, value_of(item));
+                        found = Some(addr);
+                        break;
+                    }
+                }
+                (item, found)
+            })
+            .collect()
+    })
+}
+
 /// Moves the non-empty cells of `[src_base, src_base+n)` to the front of
 /// `[dst_base, dst_base+n)` in their original order, returning how many
 /// there were.  `Θ(lg n)` time, `O(n)` work, EREW-legal.
@@ -169,38 +210,31 @@ pub fn linear_compaction<M: Machine>(
         team = (1u64 << team.min(6)).min(team_cap).max(team + 1);
     }
 
-    // Las-Vegas clean-up: one processor walks the output array and places
-    // whatever is left (w.h.p. nothing).
+    // Las-Vegas clean-up: one sequential step walks the output array and
+    // places whatever is left (w.h.p. nothing).
     let fallback_used = !active.is_empty();
     if fallback_used {
-        let leftovers = active.clone();
-        let placed_spots: Vec<(usize, usize)> = m
-            .par_map(1, |_p, ctx| {
-                let mut spots = Vec::new();
-                let mut cursor = 0usize;
-                for &item in &leftovers {
-                    while cursor < dst_size {
-                        let v = ctx.read(dst_base + cursor);
-                        if v == EMPTY {
-                            ctx.write(dst_base + cursor, item as u64);
-                            spots.push((item, cursor));
-                            cursor += 1;
-                            break;
-                        }
-                        cursor += 1;
-                    }
-                }
-                spots
-            })
-            .into_iter()
-            .next()
-            .unwrap_or_default();
-        assert_eq!(
-            placed_spots.len(),
-            active.len(),
+        let mut cursor = 0usize;
+        let placed = seq_place_leftovers(
+            m,
+            &active,
+            |_item| {
+                (cursor < dst_size).then(|| {
+                    cursor += 1;
+                    dst_base + cursor - 1
+                })
+            },
+            |item| item as u64,
+        );
+        assert!(
+            placed.iter().all(|&(_, spot)| spot.is_some()),
             "output array too small for the linear-compaction fallback"
         );
-        placements.extend(placed_spots);
+        placements.extend(
+            placed
+                .into_iter()
+                .map(|(item, spot)| (item, spot.unwrap() - dst_base)),
+        );
     }
 
     LinearCompactionOutcome {

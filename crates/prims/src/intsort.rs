@@ -12,7 +12,7 @@
 //! 32 bits, an arbitrary payload (usually the original index) in the low 32
 //! bits.
 
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, EMPTY};
 
 use crate::prefix::prefix_sums_exclusive;
 use crate::util::unpack_key;
@@ -23,80 +23,81 @@ use crate::util::unpack_key;
 /// `O(g + lg n)` time and `O(n)` work on an EREW PRAM, where
 /// `g = max(num_buckets, lg n)` is the group size each processor handles
 /// sequentially (the paper's choice `g = lg n`, generalised so callers may
-/// use more buckets per pass at a proportional time cost).
-pub fn stable_sort_by<F>(pram: &mut Pram, base: usize, n: usize, num_buckets: usize, bucket_of: F)
-where
+/// use more buckets per pass at a proportional time cost).  Deterministic on
+/// every [`Machine`] backend.
+pub fn stable_sort_by<M: Machine, F>(
+    m: &mut M,
+    base: usize,
+    n: usize,
+    num_buckets: usize,
+    bucket_of: F,
+) where
     F: Fn(u64) -> u64 + Sync,
 {
     if n <= 1 {
         return;
     }
     assert!(num_buckets >= 1);
-    pram.ensure_memory(base + n);
+    m.ensure_memory(base + n);
     let lg_n = qrqw_sim::schedule::ceil_lg(n as u64) as usize;
     let g = num_buckets.max(lg_n).max(1);
     let p = n.div_ceil(g);
 
-    let counts = pram.alloc(num_buckets * p); // N[key * p + group]
-    let out = pram.alloc(n);
+    let counts = m.alloc(num_buckets * p); // N[key * p + group]
+    let out = m.alloc(n);
 
     // Pass 1: every group processor counts its keys and publishes its column
     // of the count matrix (zero counts are simply left EMPTY, which the
     // prefix-sums routine treats as zero).
-    pram.step(|s| {
-        s.par_for(0..p, |j, ctx| {
-            let lo = j * g;
-            let hi = ((j + 1) * g).min(n);
-            let mut local = vec![0u64; num_buckets];
-            for i in lo..hi {
-                let w = ctx.read(base + i);
-                let b = bucket_of(w) as usize;
-                assert!(b < num_buckets, "bucket {b} out of range {num_buckets}");
-                local[b] += 1;
-                ctx.compute(1);
+    let bucket_of = &bucket_of;
+    m.par_for(p, |j, ctx| {
+        let lo = j * g;
+        let hi = ((j + 1) * g).min(n);
+        let mut local = vec![0u64; num_buckets];
+        for i in lo..hi {
+            let w = ctx.read(base + i);
+            let b = bucket_of(w) as usize;
+            assert!(b < num_buckets, "bucket {b} out of range {num_buckets}");
+            local[b] += 1;
+            ctx.compute(1);
+        }
+        for (b, &c) in local.iter().enumerate() {
+            if c > 0 {
+                ctx.write(counts + b * p + j, c);
             }
-            for (b, &c) in local.iter().enumerate() {
-                if c > 0 {
-                    ctx.write(counts + b * p + j, c);
-                }
-            }
-        });
+        }
     });
 
     // Pass 2: exclusive prefix sums over the count matrix in row-major
     // (key-major) order give every (key, group) its starting output rank.
-    prefix_sums_exclusive(pram, counts, num_buckets * p);
+    prefix_sums_exclusive(m, counts, num_buckets * p);
 
     // Pass 3: every group processor re-reads its keys and copies them to
     // their global ranks (distinct ranks, so the writes are exclusive).
-    pram.step(|s| {
-        s.par_for(0..p, |j, ctx| {
-            let lo = j * g;
-            let hi = ((j + 1) * g).min(n);
-            let mut next = vec![u64::MAX; num_buckets];
-            for i in lo..hi {
-                let w = ctx.read(base + i);
-                let b = bucket_of(w) as usize;
-                if next[b] == u64::MAX {
-                    let start = ctx.read(counts + b * p + j);
-                    next[b] = if start == EMPTY { 0 } else { start };
-                }
-                ctx.write(out + next[b] as usize, w);
-                next[b] += 1;
-                ctx.compute(1);
+    m.par_for(p, |j, ctx| {
+        let lo = j * g;
+        let hi = ((j + 1) * g).min(n);
+        let mut next = vec![u64::MAX; num_buckets];
+        for i in lo..hi {
+            let w = ctx.read(base + i);
+            let b = bucket_of(w) as usize;
+            if next[b] == u64::MAX {
+                let start = ctx.read(counts + b * p + j);
+                next[b] = if start == EMPTY { 0 } else { start };
             }
-        });
+            ctx.write(out + next[b] as usize, w);
+            next[b] += 1;
+            ctx.compute(1);
+        }
     });
 
     // Pass 4: copy the sorted sequence back to the caller's region.
-    pram.step(|s| {
-        s.par_for(0..n, |i, ctx| {
-            let w = ctx.read(out + i);
-            ctx.write(base + i, w);
-        });
+    m.par_for(n, |i, ctx| {
+        let w = ctx.read(out + i);
+        ctx.write(base + i, w);
     });
 
-    pram.release_to(counts);
+    m.release_to(counts);
 }
 
 /// Stably sorts the packed words of `[base, base+n)` by their (full) key
@@ -105,22 +106,22 @@ where
 /// For `num_keys ≤ lg^c n` this is exactly the Fact 4.3 routine (applied in
 /// `⌈lg num_keys / lg g⌉` digit passes of `g = max(lg n, 256)` buckets
 /// each); the total time is `O(lg n)` per pass with linear work.
-pub fn stable_sort_small_range(pram: &mut Pram, base: usize, n: usize, num_keys: usize) {
+pub fn stable_sort_small_range<M: Machine>(m: &mut M, base: usize, n: usize, num_keys: usize) {
     if n <= 1 || num_keys <= 1 {
         return;
     }
     let digit_buckets = qrqw_sim::schedule::ceil_lg(n.max(4) as u64).clamp(256, 1 << 12) as usize;
     if num_keys <= digit_buckets {
-        stable_sort_by(pram, base, n, num_keys, unpack_key);
+        stable_sort_by(m, base, n, num_keys, unpack_key);
         return;
     }
     let key_bits = 64 - (num_keys as u64 - 1).leading_zeros();
-    radix_sort_packed(pram, base, n, key_bits as usize);
+    radix_sort_packed(m, base, n, key_bits as usize);
 }
 
 /// Stable LSD radix sort of packed words by the low `key_bits` bits of
 /// their key field; `O(key_bits / 8)` counting passes of 256 buckets each.
-pub fn radix_sort_packed(pram: &mut Pram, base: usize, n: usize, key_bits: usize) {
+pub fn radix_sort_packed<M: Machine>(m: &mut M, base: usize, n: usize, key_bits: usize) {
     if n <= 1 || key_bits == 0 {
         return;
     }
@@ -128,7 +129,7 @@ pub fn radix_sort_packed(pram: &mut Pram, base: usize, n: usize, key_bits: usize
     let passes = key_bits.div_ceil(digit_bits);
     for t in 0..passes {
         let shift = t * digit_bits;
-        stable_sort_by(pram, base, n, 1 << digit_bits, move |w| {
+        stable_sort_by(m, base, n, 1 << digit_bits, move |w| {
             (unpack_key(w) >> shift) & 0xFF
         });
     }
@@ -138,7 +139,7 @@ pub fn radix_sort_packed(pram: &mut Pram, base: usize, n: usize, key_bits: usize
 mod tests {
     use super::*;
     use crate::util::{pack, unpack_payload};
-    use qrqw_sim::CostModel;
+    use qrqw_sim::{CostModel, Pram};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 

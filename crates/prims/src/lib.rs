@@ -1,9 +1,11 @@
-//! # qrqw-prims — parallel building blocks on the QRQW PRAM simulator
+//! # qrqw-prims — parallel building blocks over the `Machine` backend API
 //!
 //! This crate provides the primitive parallel routines that the paper's
-//! algorithms (crate `qrqw-core`) are built from, each expressed as a
-//! sequence of synchronous steps on a [`qrqw_sim::Pram`] so that its time,
-//! work and contention are measured exactly:
+//! algorithms (crate `qrqw-core`) are built from.  Every routine is generic
+//! over [`qrqw_sim::Machine`], expressed as a sequence of synchronous steps:
+//! on the simulator backend ([`qrqw_sim::Pram`]) its time, work and
+//! contention are measured exactly; on the native backend
+//! (`qrqw_exec::NativeMachine`) the same source runs on real threads.
 //!
 //! * [`prefix`] — work-optimal EREW prefix sums (Blelloch up/down sweep),
 //!   the `Θ(lg n)`-time tool behind the EREW baselines of Table I.
@@ -41,7 +43,9 @@ pub mod util;
 pub use bitonic::{bitonic_sort, bitonic_sort_segments};
 pub use broadcast::{broadcast_cell, duplicate_values, propagate_nonempty_forward};
 pub use claim::{claim_cells, ClaimMode};
-pub use compaction::{compact_erew, linear_compaction, LinearCompactionOutcome};
+pub use compaction::{
+    compact_erew, linear_compaction, seq_place_leftovers, LinearCompactionOutcome,
+};
 pub use intsort::{radix_sort_packed, stable_sort_small_range};
 pub use listrank::list_rank;
 pub use prefix::{prefix_sums_exclusive, prefix_sums_inclusive};

@@ -13,7 +13,7 @@
 //! its unique successor's cells), so the whole routine is EREW-legal: a
 //! node's cells are read only by its unique predecessor.
 
-use qrqw_sim::{Pram, EMPTY};
+use qrqw_sim::{Machine, EMPTY};
 
 /// The null successor pointer marking the end of a list.
 pub const NIL: u64 = EMPTY;
@@ -22,67 +22,61 @@ pub const NIL: u64 = EMPTY;
 /// `succ[base_succ + i]` (`NIL` terminates a list), the number of links from
 /// `i` to the end of its list, storing it in `rank[base_rank + i]`.
 ///
-/// Runs in `2⌈lg n⌉ + 2` EREW-legal steps with `O(n lg n)` work.
-pub fn list_rank(pram: &mut Pram, base_succ: usize, n: usize, base_rank: usize) {
+/// Runs in `2⌈lg n⌉ + 2` EREW-legal steps with `O(n lg n)` work on any
+/// [`Machine`] backend (the routine is deterministic, so both backends
+/// produce identical ranks).
+pub fn list_rank<M: Machine>(m: &mut M, base_succ: usize, n: usize, base_rank: usize) {
     if n == 0 {
         return;
     }
-    pram.ensure_memory(base_succ + n);
-    pram.ensure_memory(base_rank + n);
+    m.ensure_memory(base_succ + n);
+    m.ensure_memory(base_rank + n);
     // Shared "publication" arrays for the current pointer of every node;
     // the ranks are published in the caller's output array.
-    let s_pub = pram.alloc(n);
+    let s_pub = m.alloc(n);
 
     // Private per-node state (the node's current rank and pointer), carried
     // between steps by the host exactly as a PRAM processor would carry it
     // in its private memory.
-    let mut state: Vec<(u64, u64)> = pram.step(|s| {
-        s.par_map(0..n, |i, ctx| {
-            let succ = ctx.read(base_succ + i);
-            let rank = if succ == NIL { 0 } else { 1 };
-            (rank, succ)
-        })
+    let mut state: Vec<(u64, u64)> = m.par_map(n, |i, ctx| {
+        let succ = ctx.read(base_succ + i);
+        let rank = if succ == NIL { 0 } else { 1 };
+        (rank, succ)
     });
 
     let rounds = (usize::BITS - (n - 1).leading_zeros()).max(1);
     for _ in 0..rounds {
         // Publish: every node writes its own cells (exclusive).
         let snapshot = state.clone();
-        pram.step(|s| {
-            s.par_for(0..n, |i, ctx| {
-                let (rank, succ) = snapshot[i];
-                ctx.write(base_rank + i, rank);
-                ctx.write(s_pub + i, succ);
-            });
+        m.par_for(n, |i, ctx| {
+            let (rank, succ) = snapshot[i];
+            ctx.write(base_rank + i, rank);
+            ctx.write(s_pub + i, succ);
         });
         // Jump: every node reads its unique successor's cells (exclusive).
         let prev = state.clone();
-        state = pram.step(|s| {
-            s.par_map(0..n, |i, ctx| {
-                let (rank, succ) = prev[i];
-                if succ == NIL {
-                    return (rank, succ);
-                }
-                let succ_rank = ctx.read(base_rank + succ as usize);
-                let succ_succ = ctx.read(s_pub + succ as usize);
-                (rank + succ_rank, succ_succ)
-            })
+        state = m.par_map(n, |i, ctx| {
+            let (rank, succ) = prev[i];
+            if succ == NIL {
+                return (rank, succ);
+            }
+            let succ_rank = ctx.read(base_rank + succ as usize);
+            let succ_succ = ctx.read(s_pub + succ as usize);
+            (rank + succ_rank, succ_succ)
         });
     }
 
     // Final publish of the converged ranks.
-    pram.step(|s| {
-        s.par_for(0..n, |i, ctx| {
-            ctx.write(base_rank + i, state[i].0);
-        });
+    m.par_for(n, |i, ctx| {
+        ctx.write(base_rank + i, state[i].0);
     });
-    pram.release_to(s_pub);
+    m.release_to(s_pub);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qrqw_sim::CostModel;
+    use qrqw_sim::{CostModel, Pram};
 
     /// Builds the successor array of a single list visiting `order` in turn.
     fn chain(order: &[usize], n: usize) -> Vec<u64> {

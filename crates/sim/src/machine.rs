@@ -28,8 +28,8 @@
 //! 2. **Deterministic randomness.**  [`MachineProc::random_index`] draws from
 //!    a stream derived from `(machine seed, step index, processor id)` via
 //!    [`crate::rng::proc_rng`], identically on every backend.  Each
-//!    [`Machine::par_map`] / [`Machine::par_for`] call advances the step
-//!    index by exactly 1, [`Machine::scan_step`] and
+//!    [`Machine::par_map`] / [`Machine::par_for`] / [`Machine::seq_step`]
+//!    call advances the step index by exactly 1, [`Machine::scan_step`] and
 //!    [`Machine::global_or_step`] by 1, and [`Machine::claim`] by 6
 //!    ([`ClaimMode::Exclusive`]) or 3 ([`ClaimMode::Occupy`]) — the length of
 //!    the simulated claiming protocol.  Backends that keep this contract give
@@ -234,6 +234,26 @@ pub trait Machine {
         let _ = self.par_map(procs, |p, ctx| f(p, ctx));
     }
 
+    /// Executes one *sequential* step: a single processor (id 0) runs `f`
+    /// and — unlike inside [`Machine::par_map`], whose reads observe the
+    /// memory as of the start of the step — its reads see its **own earlier
+    /// writes within the same step** on every backend.
+    ///
+    /// This is the primitive for the sequential Las-Vegas clean-up passes
+    /// (e.g. the dead-with-high-probability tails of the dart-throwing
+    /// algorithms), which walk an array writing into free cells and must
+    /// observe those writes immediately to stay correct.  Expressing them
+    /// through `par_map(1, …)` used to be a latent sim-vs-native divergence:
+    /// the simulator's snapshot reads would return stale values that a
+    /// native thread sees fresh.
+    ///
+    /// Advances the step index by exactly 1; the processor draws from the
+    /// same `(seed, step, 0)` random stream as processor 0 of a parallel
+    /// step, so sequential steps preserve cross-backend RNG parity.
+    fn seq_step<T, F>(&mut self, f: F) -> T
+    where
+        F: FnOnce(&mut dyn MachineProc) -> T;
+
     /// Built-in inclusive prefix sums over `[base, base+len)` ([`crate::EMPTY`]
     /// counts as zero), returning the total — the MasPar `enumerate`/`scan`
     /// primitive.  Advances the step index by 1.
@@ -316,6 +336,13 @@ impl Machine for Pram {
         F: Fn(usize, &mut dyn MachineProc) -> T + Sync,
     {
         self.step(|s| s.par_map(0..procs, |p, ctx| f(p, ctx)))
+    }
+
+    fn seq_step<T, F>(&mut self, f: F) -> T
+    where
+        F: FnOnce(&mut dyn MachineProc) -> T,
+    {
+        Pram::seq_step(self, f)
     }
 
     fn scan_step(&mut self, base: usize, len: usize) -> u64 {

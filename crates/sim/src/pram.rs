@@ -1,6 +1,11 @@
 //! The PRAM driver: shared memory + step execution + trace accumulation.
 
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::machine::MachineProc;
 use crate::memory::SharedMemory;
+use crate::rng::proc_rng;
 use crate::stats::{StepStats, Trace};
 use crate::step::StepCtx;
 
@@ -167,6 +172,45 @@ impl Pram {
         result
     }
 
+    /// Executes one *sequential* step (see [`crate::Machine::seq_step`]): a
+    /// single processor (id 0) runs `f` with write-through memory semantics,
+    /// so its reads observe its own earlier writes within the step — the
+    /// behaviour a native thread gets for free and the snapshot-read
+    /// [`Pram::step`] deliberately forbids.
+    ///
+    /// The step is charged as the serial computation it is: one active
+    /// processor whose time equals its total operation count, contention 1.
+    /// Advances the step index by 1; random draws come from the
+    /// `(seed, step, 0)` stream, matching every other backend.
+    pub fn seq_step<T>(&mut self, f: impl FnOnce(&mut dyn MachineProc) -> T) -> T {
+        let step_idx = self.steps_executed;
+        let mut ctx = SeqProc {
+            mem: &mut self.mem,
+            seed: self.seed,
+            step_idx,
+            rng: None,
+            reads: 0,
+            writes: 0,
+            computes: 0,
+        };
+        let result = f(&mut ctx);
+        let (reads, writes, computes) = (ctx.reads, ctx.writes, ctx.computes);
+        let ops = reads + writes + computes;
+        self.trace.push(StepStats {
+            active_procs: (ops > 0) as u64,
+            total_reads: reads,
+            total_writes: writes,
+            total_computes: computes,
+            max_ops_per_proc: ops,
+            max_read_contention: (reads > 0) as u64,
+            max_write_contention: (writes > 0) as u64,
+            is_scan: false,
+            scan_width: 0,
+        });
+        self.steps_executed += 1;
+        result
+    }
+
     /// Executes a built-in inclusive prefix-sums (scan) step over the memory
     /// region `[base, base+len)`, returning the total sum.
     ///
@@ -237,6 +281,56 @@ impl Pram {
     /// measuring individual phases of a larger algorithm.
     pub fn take_trace(&mut self) -> Trace {
         std::mem::take(&mut self.trace)
+    }
+}
+
+/// The write-through per-processor context of [`Pram::seq_step`].
+struct SeqProc<'a> {
+    mem: &'a mut SharedMemory,
+    seed: u64,
+    step_idx: u64,
+    rng: Option<SmallRng>,
+    reads: u64,
+    writes: u64,
+    computes: u64,
+}
+
+impl MachineProc for SeqProc<'_> {
+    fn proc_id(&self) -> u64 {
+        0
+    }
+
+    fn read(&mut self, addr: usize) -> u64 {
+        assert!(
+            addr < self.mem.len(),
+            "read of address {addr} outside shared memory of size {}",
+            self.mem.len()
+        );
+        self.reads += 1;
+        self.mem.peek(addr)
+    }
+
+    fn write(&mut self, addr: usize, value: u64) {
+        assert!(
+            addr < self.mem.len(),
+            "write of address {addr} outside shared memory of size {}",
+            self.mem.len()
+        );
+        self.writes += 1;
+        self.mem.poke(addr, value);
+    }
+
+    fn compute(&mut self, ops: u64) {
+        self.computes += ops;
+    }
+
+    fn random_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "random_index bound must be positive");
+        self.computes += 1;
+        if self.rng.is_none() {
+            self.rng = Some(proc_rng(self.seed, self.step_idx, 0));
+        }
+        self.rng.as_mut().unwrap().gen_range(0..bound)
     }
 }
 
@@ -352,6 +446,51 @@ mod tests {
         // ensure_memory pushes the high-water mark
         pram.ensure_memory(32);
         assert_eq!(pram.alloc(1), 32);
+    }
+
+    #[test]
+    fn seq_step_reads_own_writes_within_the_step() {
+        let mut pram = Pram::new(8);
+        let observed = pram.seq_step(|ctx| {
+            ctx.write(3, 41);
+            let fresh = ctx.read(3);
+            ctx.write(3, fresh + 1);
+            ctx.read(3)
+        });
+        assert_eq!(observed, 42, "sequential reads must see same-step writes");
+        assert_eq!(pram.memory().peek(3), 42);
+        assert_eq!(pram.steps_executed(), 1);
+    }
+
+    #[test]
+    fn seq_step_is_charged_as_one_serial_processor() {
+        let mut pram = Pram::new(8);
+        pram.seq_step(|ctx| {
+            for i in 0..4 {
+                let v = ctx.read(i);
+                ctx.write(i, v.wrapping_add(1));
+            }
+            ctx.compute(2);
+        });
+        let s = pram.trace().step_stats()[0];
+        assert_eq!(s.active_procs, 1);
+        assert_eq!(s.total_reads, 4);
+        assert_eq!(s.total_writes, 4);
+        assert_eq!(s.total_computes, 2);
+        assert_eq!(s.max_ops_per_proc, 10);
+        assert_eq!(s.max_read_contention, 1);
+        assert_eq!(pram.trace().time(CostModel::Qrqw), 10);
+    }
+
+    #[test]
+    fn seq_step_draws_from_the_processor_zero_stream() {
+        // A seq_step at step index t must draw the same numbers as processor
+        // 0 of a parallel step at index t (the cross-backend RNG contract).
+        let mut a = Pram::with_seed(8, 9);
+        let seq_draw = a.seq_step(|ctx| ctx.random_index(1_000_000));
+        let mut b = Pram::with_seed(8, 9);
+        let par_draw = b.step(|s| s.par_map(0..1, |_p, ctx| ctx.random_index(1_000_000)))[0];
+        assert_eq!(seq_draw, par_draw);
     }
 
     #[test]

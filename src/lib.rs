@@ -7,10 +7,12 @@
 //! * [`sim`] — the QRQW PRAM simulator, the cost models, and the
 //!   [`sim::Machine`] backend trait,
 //! * [`prims`] — parallel primitives (prefix sums, broadcasting, claiming,
-//!   compaction, sorting networks), generic over the backend,
-//! * [`algos`] — the paper's algorithms and their baselines; random
-//!   permutation, linear compaction and load balancing run on any
-//!   [`sim::Machine`],
+//!   compaction, list ranking, integer/bitonic sorts), generic over the
+//!   backend,
+//! * [`algos`] — the paper's algorithms and their baselines, every one
+//!   generic over [`sim::Machine`]: load balancing, multiple compaction,
+//!   random (cyclic) permutation, hashing, the three sorts, Fetch&Add
+//!   emulation, the fat-tree,
 //! * [`exec`] — the native rayon/atomics backend ([`exec::NativeMachine`])
 //!   for wall-clock Table II runs.
 

@@ -1,0 +1,74 @@
+//! Registry/backend drift guard: every [`Algorithm::ALL`] variant must run
+//! and validate once on *both* backends at small problem sizes.
+//!
+//! This is the tier-1 twin of the CI `backend_bench` smoke step: adding an
+//! algorithm to the registry without porting it (or porting one without
+//! registering it in a runnable state) fails this build immediately, and a
+//! backend regression that breaks any single variant is pinned to its name.
+
+use qrqw_bench::{Algorithm, Backend};
+
+#[test]
+fn every_registry_variant_runs_and_validates_on_both_backends() {
+    for n in [64usize, 257] {
+        for algo in Algorithm::ALL {
+            for backend in Backend::ALL {
+                let run = algo.run(backend, n, 11);
+                assert!(
+                    run.valid,
+                    "{} produced an invalid output on {} at n={n}",
+                    algo.name(),
+                    backend.name()
+                );
+                assert_eq!(run.backend, backend.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn registry_names_are_stable_and_parse_round_trips() {
+    for algo in Algorithm::ALL {
+        assert_eq!(Algorithm::parse(algo.name()), Some(algo), "{}", algo.name());
+    }
+    assert!(
+        Algorithm::ALL.len() >= 13,
+        "the port promised ≥ 13 variants"
+    );
+}
+
+#[test]
+fn exclusive_claim_algorithms_report_identical_cost_counters_across_backends() {
+    // For the claim-deterministic variants the two backends must agree not
+    // just on output but on the step and claim counters the harness prints.
+    for algo in [
+        Algorithm::PermutationQrqw,
+        Algorithm::PermutationDartScan,
+        Algorithm::CyclicFast,
+        Algorithm::CyclicEfficient,
+        Algorithm::ListRank,
+        Algorithm::FetchAdd,
+    ] {
+        let sim = algo.run(Backend::Sim, 200, 7);
+        let native = algo.run(Backend::Native, 200, 7);
+        assert!(sim.valid && native.valid, "{}", algo.name());
+        assert_eq!(
+            sim.report.steps,
+            native.report.steps,
+            "{}: step counters out of lockstep",
+            algo.name()
+        );
+        assert_eq!(
+            sim.report.claim_attempts,
+            native.report.claim_attempts,
+            "{}: claim counters diverged",
+            algo.name()
+        );
+        assert_eq!(
+            sim.report.contended_claims,
+            native.report.contended_claims,
+            "{}: contention counters diverged",
+            algo.name()
+        );
+    }
+}

@@ -6,15 +6,15 @@
 //! over a couple dozen random inputs per run, deterministically per seed.
 
 use qrqw_suite::algos::{
-    cycle_representation, is_cyclic, is_permutation, multiple_compaction,
-    random_cyclic_permutation_fast, random_permutation_qrqw, sample_sort_qrqw, sort_uniform_keys,
-    QrqwHashTable,
+    cycle_representation, integer_sort_crqw, is_cyclic, is_permutation, multiple_compaction,
+    random_cyclic_permutation_fast, random_permutation_qrqw, sample_sort_crqw, sample_sort_qrqw,
+    sort_uniform_keys, QrqwHashTable,
 };
 use qrqw_suite::prims::{
-    bitonic_sort, compact_erew, pack, prefix_sums_inclusive, radix_sort_packed, unpack_key,
-    unpack_payload,
+    bitonic_sort, compact_erew, pack, prefix_sums_inclusive, radix_sort_packed,
+    stable_sort_small_range, unpack_key, unpack_payload,
 };
-use qrqw_suite::sim::{CostModel, Pram, EMPTY};
+use qrqw_suite::sim::{CostModel, Machine, Pram, EMPTY};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -178,6 +178,112 @@ fn sorts_agree_with_std() {
         assert_eq!(sort_uniform_keys(&mut a, &keys), expect.clone());
         let mut b = Pram::with_seed(4, 4);
         assert_eq!(sample_sort_qrqw(&mut b, &keys), expect);
+    }
+}
+
+/// The boundary-heavy size sweep the ported-sort properties run over:
+/// degenerate inputs, the 63/64 power-of-two straddle, and a real load.
+const SIZE_SWEEP: [usize; 6] = [0, 1, 2, 63, 64, 1000];
+
+fn sweep_keys(n: usize, seed: u64, range: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..range.max(1))).collect()
+}
+
+/// Sortedness + multiset preservation: the output is exactly the std-sorted
+/// input (which implies both properties at once).
+fn assert_sorts_multiset(got: &[u64], input: &[u64], label: &str, n: usize, seed: u64) {
+    let mut expect = input.to_vec();
+    expect.sort_unstable();
+    assert_eq!(got, expect, "{label} wrong (n={n}, seed={seed})");
+}
+
+#[test]
+fn ported_sorts_preserve_multiset_across_size_sweep() {
+    for n in SIZE_SWEEP {
+        for seed in [1u64, 2, 3] {
+            let keys = sweep_keys(n, seed ^ 0xABCD, 1 << 31);
+
+            let mut m = Pram::with_seed(4, seed);
+            let got = sample_sort_qrqw(&mut m, &keys);
+            assert_sorts_multiset(&got, &keys, "sample_sort_qrqw", n, seed);
+
+            let mut m = Pram::with_seed(4, seed);
+            let got = sample_sort_crqw(&mut m, &keys);
+            assert_sorts_multiset(&got, &keys, "sample_sort_crqw", n, seed);
+
+            let mut m = Pram::with_seed(4, seed);
+            let got = sort_uniform_keys(&mut m, &keys);
+            assert_sorts_multiset(&got, &keys, "sort_uniform_keys", n, seed);
+
+            let max_key = (n as u64).max(16);
+            let small: Vec<u64> = keys.iter().map(|&k| k % max_key).collect();
+            let mut m = Pram::with_seed(4, seed);
+            let got = integer_sort_crqw(&mut m, &small, max_key);
+            assert_sorts_multiset(&got, &small, "integer_sort_crqw", n, seed);
+        }
+    }
+}
+
+#[test]
+fn stable_small_range_sort_preserves_multiset_and_stability_across_sweep() {
+    for n in SIZE_SWEEP {
+        for seed in [1u64, 2, 3] {
+            let keys = sweep_keys(n, seed ^ 0x51AB, 21);
+            let mut m = Pram::with_seed(4, seed);
+            let base = Machine::alloc(&mut m, n.max(1));
+            let words: Vec<u64> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| pack(k, i as u64))
+                .collect();
+            Machine::load(&mut m, base, &words);
+            stable_sort_small_range(&mut m, base, n, 21);
+            let out: Vec<(u64, u64)> = Machine::dump(&m, base, n)
+                .into_iter()
+                .map(|w| (unpack_key(w), unpack_payload(w)))
+                .collect();
+            let mut expect: Vec<(u64, u64)> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (k, i as u64))
+                .collect();
+            expect.sort_by_key(|&(k, _)| k); // std stable sort
+            assert_eq!(out, expect, "stable sort diverged (n={n}, seed={seed})");
+        }
+    }
+}
+
+#[test]
+fn hash_lookups_find_exactly_the_inserted_keys_across_sweep() {
+    for n in SIZE_SWEEP {
+        for seed in [1u64, 2, 3] {
+            let keys: Vec<u64> = {
+                // distinct keys below 2^31 - 1, in a seed-deterministic
+                // order (HashSet iteration order is per-process random and
+                // the build is sensitive to key order, so sort).
+                let mut set = HashSet::new();
+                let mut rng = SmallRng::seed_from_u64(seed ^ 0x6A5);
+                while set.len() < n {
+                    set.insert(rng.gen_range(1..(1u64 << 31) - 1));
+                }
+                let mut v: Vec<u64> = set.into_iter().collect();
+                v.sort_unstable();
+                v
+            };
+            let probes: Vec<u64> = (0..200u64).map(|i| i * 37 + 5).collect();
+            let mut m = Pram::with_seed(4, seed);
+            let table = QrqwHashTable::build(&mut m, &keys);
+            let set: HashSet<u64> = keys.iter().copied().collect();
+            assert!(
+                table.lookup_batch(&mut m, &keys).iter().all(|&h| h),
+                "an inserted key was not found (n={n}, seed={seed})"
+            );
+            let answers = table.lookup_batch(&mut m, &probes);
+            for (q, a) in probes.iter().zip(answers) {
+                assert_eq!(a, set.contains(q), "probe {q} wrong (n={n}, seed={seed})");
+            }
+        }
     }
 }
 
