@@ -1,0 +1,218 @@
+//! `perf_report` — records the native-vs-simulator performance trajectory.
+//!
+//! Runs every registry algorithm (or a chosen subset) on both backends at a
+//! set of problem sizes, prints one row per (algorithm, n), and writes a
+//! machine-readable JSON report so the repository's perf history is a
+//! committed artifact (`BENCH_native.json`) instead of folklore.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p qrqw-bench --release --bin perf_report            # full sweep
+//! cargo run -p qrqw-bench --release --bin perf_report -- \
+//!     [--sizes 65536,1048576] [--algos all|name,name] [--seed 1] \
+//!     [--threads N] [--sim-cap N] [--out BENCH_native.json]
+//! ```
+//!
+//! * `--threads` forces the native thread count (otherwise `QRQW_THREADS` /
+//!   host parallelism decides);
+//! * `--sim-cap` skips simulator runs above that size (the simulator is
+//!   O(work) per step; CI smoke runs use a small cap), recorded as
+//!   `"sim": null` in the JSON;
+//! * the exit code is non-zero if **any** run fails its validator, so CI
+//!   can use a small run as a cross-backend smoke check.
+//!
+//! JSON shape (one object per (algorithm, n) in `"runs"`):
+//!
+//! ```text
+//! {"algorithm": "permutation-qrqw", "n": 1048576,
+//!  "native": {"wall_ms": …, "steps": …, "claim_attempts": …,
+//!             "contended_claims": …, "valid": true},
+//!  "sim":    {… same fields, plus "work", "max_contention", "time_qrqw"},
+//!  "sim_over_native": 68.9}
+//! ```
+
+use std::io::Write as _;
+
+use qrqw_bench::{Algorithm, Backend, BackendRun};
+
+struct Config {
+    sizes: Vec<usize>,
+    algos: Vec<Algorithm>,
+    seed: u64,
+    threads: Option<usize>,
+    sim_cap: usize,
+    out: String,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: perf_report [--sizes N,N] [--algos all|name,name] [--seed S] \
+         [--threads T] [--sim-cap N] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        sizes: vec![1 << 16, 1 << 20],
+        algos: Algorithm::ALL.to_vec(),
+        seed: 1,
+        threads: None,
+        sim_cap: usize::MAX,
+        out: "BENCH_native.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--sizes" => {
+                cfg.sizes = value()
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| usage(&format!("bad size {s:?}")))
+                    })
+                    .collect();
+            }
+            "--algos" => {
+                let spec = value();
+                if spec != "all" {
+                    cfg.algos = spec
+                        .split(',')
+                        .map(|s| {
+                            Algorithm::parse(s.trim())
+                                .unwrap_or_else(|| usage(&format!("unknown algorithm {s:?}")))
+                        })
+                        .collect();
+                }
+            }
+            "--seed" => cfg.seed = value().parse().unwrap_or_else(|_| usage("bad --seed")),
+            "--threads" => {
+                cfg.threads = Some(value().parse().unwrap_or_else(|_| usage("bad --threads")))
+            }
+            "--sim-cap" => cfg.sim_cap = value().parse().unwrap_or_else(|_| usage("bad --sim-cap")),
+            "--out" => cfg.out = value(),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if cfg.sizes.is_empty() || cfg.algos.is_empty() {
+        usage("need at least one size and one algorithm");
+    }
+    cfg
+}
+
+fn json_run(run: &BackendRun) -> String {
+    let mut fields = vec![
+        format!("\"wall_ms\": {:.3}", run.elapsed.as_secs_f64() * 1e3),
+        format!("\"steps\": {}", run.report.steps),
+        format!("\"claim_attempts\": {}", run.report.claim_attempts),
+        format!("\"contended_claims\": {}", run.report.contended_claims),
+        format!("\"valid\": {}", run.valid),
+    ];
+    if let Some(work) = run.report.work {
+        fields.push(format!("\"work\": {work}"));
+    }
+    if let Some(mc) = run.report.max_contention {
+        fields.push(format!("\"max_contention\": {mc}"));
+    }
+    if let Some(t) = run.report.time_qrqw {
+        fields.push(format!("\"time_qrqw\": {t}"));
+    }
+    format!("{{{}}}", fields.join(", "))
+}
+
+fn main() {
+    let cfg = parse_args();
+    let threads_used = cfg.threads.unwrap_or_else(|| {
+        qrqw_exec::StepPool::from_env().threads() // same resolution the machine uses
+    });
+    println!(
+        "perf_report: sizes {:?}, {} algorithms, seed {}, native threads {} (host cores {}), sim cap {}",
+        cfg.sizes,
+        cfg.algos.len(),
+        cfg.seed,
+        threads_used,
+        rayon::current_num_threads(),
+        if cfg.sim_cap == usize::MAX {
+            "none".to_string()
+        } else {
+            cfg.sim_cap.to_string()
+        },
+    );
+
+    let mut entries: Vec<String> = Vec::new();
+    let mut all_valid = true;
+    for &n in &cfg.sizes {
+        for &algo in &cfg.algos {
+            // Simulator first, matching `backend_bench` ordering: both
+            // machines then allocate against a warmed process heap rather
+            // than only the second one.
+            let sim = (n <= cfg.sim_cap).then(|| algo.run(Backend::Sim, n, cfg.seed));
+            let native = algo.run_native(n, cfg.seed, cfg.threads);
+            all_valid &= native.valid;
+            let ratio = sim
+                .as_ref()
+                .map(|s| s.elapsed.as_secs_f64() / native.elapsed.as_secs_f64().max(f64::EPSILON));
+            let (sim_ms, ratio_str, sim_json) = match &sim {
+                Some(s) => {
+                    all_valid &= s.valid;
+                    (
+                        format!("{:>10.3}", s.elapsed.as_secs_f64() * 1e3),
+                        format!("{:>8.1}x", ratio.unwrap()),
+                        json_run(s),
+                    )
+                }
+                None => (
+                    format!("{:>10}", "-"),
+                    format!("{:>9}", "-"),
+                    "null".to_string(),
+                ),
+            };
+            println!(
+                "{:<26} n={:<8} native {:>9.3} ms  sim {} ms  sim/native {}  valid={}",
+                algo.name(),
+                n,
+                native.elapsed.as_secs_f64() * 1e3,
+                sim_ms,
+                ratio_str,
+                native.valid && sim.as_ref().is_none_or(|s| s.valid),
+            );
+            let ratio_json = ratio.map_or("null".to_string(), |r| format!("{r:.2}"));
+            entries.push(format!(
+                "    {{\"algorithm\": \"{}\", \"n\": {}, \"native\": {}, \"sim\": {}, \"sim_over_native\": {}}}",
+                algo.name(),
+                n,
+                json_run(&native),
+                sim_json,
+                ratio_json,
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"generated_by\": \"perf_report\",\n  \"seed\": {},\n  \"threads\": {},\n  \
+         \"host_cores\": {},\n  \"sizes\": {:?},\n  \"all_valid\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        cfg.seed,
+        threads_used,
+        rayon::current_num_threads(),
+        cfg.sizes,
+        all_valid,
+        entries.join(",\n"),
+    );
+    let mut file = std::fs::File::create(&cfg.out)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", cfg.out));
+    file.write_all(json.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", cfg.out));
+    println!("wrote {}", cfg.out);
+
+    if !all_valid {
+        eprintln!("perf_report: at least one run failed its validator");
+        std::process::exit(1);
+    }
+}

@@ -369,18 +369,37 @@ impl Algorithm {
     /// Creates a fresh machine of the requested backend, runs this algorithm
     /// on it, and reports timing, validity and the backend's cost report.
     pub fn run(self, backend: Backend, n: usize, seed: u64) -> BackendRun {
-        let (valid, elapsed, report) = match backend {
+        match backend {
             Backend::Sim => {
                 let mut m = Pram::with_seed(16, seed);
                 let (valid, elapsed) = self.run_on(&mut m, n);
-                (valid, elapsed, m.cost_report())
+                self.package(backend, n, seed, valid, elapsed, m.cost_report())
             }
-            Backend::Native => {
-                let mut m = NativeMachine::with_seed(16, seed);
-                let (valid, elapsed) = self.run_on(&mut m, n);
-                (valid, elapsed, m.cost_report())
-            }
+            Backend::Native => self.run_native(n, seed, None),
+        }
+    }
+
+    /// Runs this algorithm on a fresh [`NativeMachine`], optionally with an
+    /// explicit thread count (otherwise `QRQW_THREADS` / host parallelism,
+    /// as [`qrqw_sim::Machine::with_seed`] resolves it).
+    pub fn run_native(self, n: usize, seed: u64, threads: Option<usize>) -> BackendRun {
+        let mut m = match threads {
+            Some(t) => NativeMachine::with_threads(16, seed, t),
+            None => NativeMachine::with_seed(16, seed),
         };
+        let (valid, elapsed) = self.run_on(&mut m, n);
+        self.package(Backend::Native, n, seed, valid, elapsed, m.cost_report())
+    }
+
+    fn package(
+        self,
+        backend: Backend,
+        n: usize,
+        seed: u64,
+        valid: bool,
+        elapsed: Duration,
+        report: CostReport,
+    ) -> BackendRun {
         BackendRun {
             algorithm: self.name(),
             backend: backend.name(),

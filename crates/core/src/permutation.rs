@@ -67,12 +67,15 @@ pub fn random_permutation_qrqw<M: Machine>(m: &mut M, n: usize) -> PermutationOu
             fallback_used: false,
         };
     }
-    // Fresh subarrays: round r uses d·n/2^r cells (d = 2), all carved out of
-    // one contiguous region so the final compaction is a single prefix-sums
-    // pass over it.  6n cells upper-bounds the geometric series plus slack
-    // for the low-probability extra rounds.
-    let region_len = 6 * n + 64;
-    let a_base = m.alloc(region_len);
+    // Fresh subarrays: round r uses d·n/2^r cells (d = 2), carved as one
+    // stack allocation per round — the allocator is a bump stack and
+    // nothing else allocates between rounds, so the subarrays are
+    // contiguous and the final compaction is a single scan over them,
+    // while rounds that never happen cost no memory.  6n cells
+    // upper-bounds the geometric series plus slack for the
+    // low-probability extra rounds.
+    let region_cap = 6 * n + 64;
+    let a_base = m.heap_top();
     let mut carve = 0usize;
 
     let mut active: Vec<usize> = (0..n).collect();
@@ -82,30 +85,25 @@ pub fn random_permutation_qrqw<M: Machine>(m: &mut M, n: usize) -> PermutationOu
 
     while !active.is_empty() && rounds < max_rounds {
         let sub_len = ((2 * n) >> rounds.min(32)).max(2 * active.len()).max(4);
-        if carve + sub_len > region_len {
+        if carve + sub_len > region_cap {
             break;
         }
-        let sub_base = a_base + carve;
+        let sub_base = m.alloc(sub_len);
+        debug_assert_eq!(sub_base, a_base + carve);
         carve += sub_len;
         rounds += 1;
 
         // Each unplaced item throws one dart into this round's fresh
         // subarray; only uncontested claims survive (exclusive mode keeps
-        // the permutation unbiased).
-        let targets: Vec<usize> =
-            m.par_map(active.len(), |_a, ctx| sub_base + ctx.random_index(sub_len));
-        let attempts: Vec<(u64, usize)> = active
-            .iter()
-            .zip(&targets)
-            .map(|(&item, &t)| (item as u64, t))
-            .collect();
+        // the permutation unbiased).  The dart par_map emits the claim
+        // attempts directly (same processor indices, so the same draws as a
+        // separate target pass), and the losers are filtered in place.
+        let attempts: Vec<(u64, usize)> = m.par_map(active.len(), |a, ctx| {
+            (active[a] as u64, sub_base + ctx.random_index(sub_len))
+        });
         let won = claim_cells(m, &attempts, ClaimMode::Exclusive);
-        active = active
-            .iter()
-            .zip(&won)
-            .filter(|&(_, &w)| !w)
-            .map(|(&item, _)| item)
-            .collect();
+        let mut survived = won.iter();
+        active.retain(|_| !*survived.next().unwrap());
     }
 
     // Sequential Las-Vegas clean-up for the (w.h.p. empty) remainder, run
@@ -114,8 +112,9 @@ pub fn random_permutation_qrqw<M: Machine>(m: &mut M, n: usize) -> PermutationOu
     // claimed earlier in the same step and double-book it.
     if !active.is_empty() {
         fallback_used = true;
-        let sub_len = (2 * active.len()).max(4).min(region_len - carve);
-        let sub_base = a_base + carve;
+        let sub_len = (2 * active.len()).max(4).min(region_cap - carve);
+        let sub_base = m.alloc(sub_len);
+        debug_assert_eq!(sub_base, a_base + carve);
         carve += sub_len;
         let leftovers = active.clone();
         m.seq_step(|ctx| {
@@ -139,8 +138,10 @@ pub fn random_permutation_qrqw<M: Machine>(m: &mut M, n: usize) -> PermutationOu
     }
 
     // Compact the concatenated subarrays: the relative order of the items in
-    // the region is the output permutation.
-    let out = m.alloc(carve.max(1));
+    // the region is the output permutation.  Exactly `n` items survive, so
+    // the output region is `n` cells (`compact_step` only ensures memory up
+    // to the survivor count).
+    let out = m.alloc(n);
     let count = compact_erew(m, a_base, carve, out);
     assert_eq!(count as usize, n, "every item must appear exactly once");
     let order = m.dump(out, n);
@@ -235,9 +236,16 @@ pub fn random_permutation_dart_scan<M: Machine>(m: &mut M, n: usize) -> Permutat
 }
 
 /// The sorting-based EREW random-permutation algorithm (Section 5.2): each
-/// item draws a random 31-bit key, the keys are sorted with the bitonic
-/// system sort, and the ranks form the permutation; the (unlikely) event of
-/// a key collision triggers a retry.
+/// item draws a random key, the keys are sorted with the bitonic system
+/// sort, and the ranks form the permutation; the (unlikely) event of a key
+/// collision triggers a retry.
+///
+/// Keys use every bit the packed `(key, index)` word does not need for the
+/// index — the paper assumes Θ(log n)-bit random priorities, and a fixed
+/// key width would hit the birthday bound (a fixed 31-bit key collides
+/// almost surely for n ≳ 2¹⁷, turning every round into a futile re-sort).
+/// With `64 − ⌈log₂ n⌉` key bits the per-round collision probability stays
+/// below `n² / 2⁶⁵⁻ˡᵒᵍ ⁿ` — about 3% at n = 2²⁰.
 pub fn random_permutation_sorting_erew<M: Machine>(m: &mut M, n: usize) -> PermutationOutcome {
     if n == 0 {
         return PermutationOutcome {
@@ -246,14 +254,17 @@ pub fn random_permutation_sorting_erew<M: Machine>(m: &mut M, n: usize) -> Permu
             fallback_used: false,
         };
     }
+    let idx_bits = n.next_power_of_two().trailing_zeros().max(1) as usize;
+    let idx_mask = (1u64 << idx_bits) - 1;
+    let key_bound = 1usize << (64 - idx_bits).min(usize::BITS as usize - 1);
     let words = m.alloc(n);
     let dup_flags = m.alloc(n);
     let mut rounds = 0u64;
     loop {
         rounds += 1;
         m.par_for(n, |i, ctx| {
-            let key = ctx.random_index(1 << 31) as u64;
-            ctx.write(words + i, (key << 32) | i as u64);
+            let key = ctx.random_index(key_bound) as u64;
+            ctx.write(words + i, (key << idx_bits) | i as u64);
         });
         bitonic_sort(m, words, n);
         // Collision check: adjacent equal keys?  Done in two EREW-legal
@@ -262,7 +273,7 @@ pub fn random_permutation_sorting_erew<M: Machine>(m: &mut M, n: usize) -> Permu
         let shifted = m.alloc(n + 1);
         m.par_for(n, |i, ctx| {
             let w = ctx.read(words + i);
-            ctx.write(shifted + i + 1, w >> 32);
+            ctx.write(shifted + i + 1, w >> idx_bits);
         });
         m.par_for(n, |i, ctx| {
             if i == 0 {
@@ -270,7 +281,7 @@ pub fn random_permutation_sorting_erew<M: Machine>(m: &mut M, n: usize) -> Permu
                 return;
             }
             let prev = ctx.read(shifted + i);
-            let own = ctx.read(words + i) >> 32;
+            let own = ctx.read(words + i) >> idx_bits;
             ctx.write(dup_flags + i, (prev == own) as u64);
         });
         m.release_to(shifted);
@@ -283,11 +294,7 @@ pub fn random_permutation_sorting_erew<M: Machine>(m: &mut M, n: usize) -> Permu
             break;
         }
     }
-    let order: Vec<u64> = m
-        .dump(words, n)
-        .into_iter()
-        .map(|w| w & 0xFFFF_FFFF)
-        .collect();
+    let order: Vec<u64> = m.dump(words, n).into_iter().map(|w| w & idx_mask).collect();
     m.release_to(words);
     PermutationOutcome {
         order,

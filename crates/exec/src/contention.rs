@@ -23,9 +23,20 @@ impl ContentionCounter {
     /// Records one claim attempt and whether it failed.
     #[inline]
     pub fn record(&self, failed: bool) {
-        self.attempts.fetch_add(1, Ordering::Relaxed);
-        if failed {
-            self.failures.fetch_add(1, Ordering::Relaxed);
+        self.add(1, failed as u64);
+    }
+
+    /// Records a batch of `attempts` claim attempts, `failures` of which
+    /// failed — two atomic adds total, so a claim pass can aggregate its
+    /// bookkeeping per chunk instead of paying per-attempt increments.
+    #[inline]
+    pub fn add(&self, attempts: u64, failures: u64) {
+        debug_assert!(failures <= attempts);
+        if attempts > 0 {
+            self.attempts.fetch_add(attempts, Ordering::Relaxed);
+        }
+        if failures > 0 {
+            self.failures.fetch_add(failures, Ordering::Relaxed);
         }
     }
 

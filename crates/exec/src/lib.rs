@@ -15,11 +15,20 @@
 //! [`ContentionCounter`] records failed claim attempts, the native
 //! observable analogue of the QRQW contention charge, and
 //! [`qrqw_sim::Machine::cost_report`] reports wall-clock time next to it.
+//!
+//! Execution is pooled and allocation-free on the step path: [`pool::StepPool`]
+//! dispatches every step as contiguous chunks to persistent, parked worker
+//! threads (spawned once per process), and the machine keeps reusable
+//! scratch for its claim bitsets and scan offsets — see the module docs of
+//! [`machine`].  Thread count comes from [`NativeMachine::with_threads`] or
+//! the `QRQW_THREADS` environment variable.
 
 #![warn(missing_docs)]
 
 pub mod contention;
 pub mod machine;
+pub mod pool;
 
 pub use contention::ContentionCounter;
 pub use machine::NativeMachine;
+pub use pool::StepPool;

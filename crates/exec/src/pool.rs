@@ -1,0 +1,131 @@
+//! Step dispatch policy for the native backend.
+//!
+//! [`StepPool`] decides *how* a machine step fans out over the persistent
+//! worker pool (`rayon::pool`): how many threads participate, how the index
+//! space is chunked, and when a step is small enough to run inline on the
+//! calling thread.  The pool threads themselves are process-wide and parked
+//! between steps — a `NativeMachine` never spawns threads on the step path.
+//!
+//! The thread count is configurable per machine (builder) and per process
+//! (the `QRQW_THREADS` environment variable), mirroring how the Section 5.2
+//! MasPar experiment swept machine sizes.  Determinism does not depend on
+//! the choice: chunk boundaries only decide which thread computes an index,
+//! never what is computed for it.
+
+/// Environment variable overriding the native backend's thread count.
+pub const THREADS_ENV: &str = "QRQW_THREADS";
+
+/// Below this many items a step runs inline: pool dispatch costs more than
+/// it saves on tiny steps.
+const INLINE_CUTOFF: usize = 2048;
+
+/// Chunks are at least this long (pre-alignment), so oversubscribed thread
+/// counts cannot shred a step into cache-hostile slivers.
+const MIN_CHUNK: usize = 512;
+
+/// Chunks handed out per participating thread: > 1 gives dynamic load
+/// balance when chunk costs are skewed (e.g. contended CAS ranges).
+const CHUNKS_PER_THREAD: usize = 4;
+
+pub(crate) use rayon::pool::SendPtr;
+
+/// Per-machine dispatch policy over the process-wide worker pool.
+#[derive(Debug, Clone)]
+pub struct StepPool {
+    threads: usize,
+}
+
+impl StepPool {
+    /// Policy with an explicit thread count (clamped to at least 1; the
+    /// process-wide pool additionally clamps to
+    /// [`rayon::pool::MAX_POOL_THREADS`]).
+    pub fn with_threads(threads: usize) -> Self {
+        StepPool {
+            threads: threads.clamp(1, rayon::pool::MAX_POOL_THREADS),
+        }
+    }
+
+    /// Default policy: `QRQW_THREADS` if set and parseable as a positive
+    /// integer, otherwise the host's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(rayon::current_num_threads);
+        StepPool::with_threads(threads)
+    }
+
+    /// Number of threads (including the caller) a dispatched step uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(lo, hi)` over `[0, len)` in contiguous chunks whose
+    /// boundaries are multiples of `align` (last chunk excepted), on the
+    /// worker pool.  Blocks until all chunks finish.  Small or
+    /// single-threaded dispatches run inline as one chunk.
+    pub fn dispatch<F>(&self, len: usize, align: usize, f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if len == 0 {
+            return;
+        }
+        if self.threads <= 1 || len <= INLINE_CUTOFF.max(align) {
+            f(0, len);
+            return;
+        }
+        let raw = len
+            .div_ceil(self.threads * CHUNKS_PER_THREAD)
+            .max(MIN_CHUNK);
+        let chunk = raw.div_ceil(align) * align;
+        rayon::pool::run(len, chunk, self.threads, f);
+    }
+}
+
+impl Default for StepPool {
+    fn default() -> Self {
+        StepPool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn explicit_thread_count_is_clamped_to_at_least_one() {
+        assert_eq!(StepPool::with_threads(0).threads(), 1);
+        assert_eq!(StepPool::with_threads(3).threads(), 3);
+    }
+
+    #[test]
+    fn dispatch_respects_alignment() {
+        let pool = StepPool::with_threads(4);
+        let ranges = Mutex::new(Vec::new());
+        let len = 100_000;
+        pool.dispatch(len, 64, |lo, hi| {
+            ranges.lock().unwrap().push((lo, hi));
+        });
+        let mut ranges = ranges.into_inner().unwrap();
+        ranges.sort_unstable();
+        let mut expect = 0;
+        for &(lo, hi) in &ranges {
+            assert_eq!(lo % 64, 0, "chunk start {lo} not 64-aligned");
+            assert_eq!(lo, expect);
+            expect = hi;
+        }
+        assert_eq!(expect, len);
+        assert!(ranges.len() > 1, "a 100k dispatch on 4 threads must chunk");
+    }
+
+    #[test]
+    fn small_dispatch_runs_inline_as_one_chunk() {
+        let pool = StepPool::with_threads(8);
+        let ranges = Mutex::new(Vec::new());
+        pool.dispatch(100, 1, |lo, hi| ranges.lock().unwrap().push((lo, hi)));
+        assert_eq!(*ranges.lock().unwrap(), vec![(0, 100)]);
+    }
+}

@@ -32,7 +32,6 @@ use qrqw_sim::schedule::ceil_lg;
 use qrqw_sim::{Machine, EMPTY};
 
 use crate::claim::{claim_cells, ClaimMode};
-use crate::prefix::prefix_sums_exclusive;
 
 /// The shared sequential Las-Vegas clean-up walk behind every dart-throwing
 /// algorithm's fallback path: for each leftover `item`, advance its
@@ -77,28 +76,12 @@ where
 
 /// Moves the non-empty cells of `[src_base, src_base+n)` to the front of
 /// `[dst_base, dst_base+n)` in their original order, returning how many
-/// there were.  `Θ(lg n)` time, `O(n)` work, EREW-legal.
+/// there were.  EREW-legal; this is the machine's compaction primitive
+/// ([`Machine::compact_step`]): the simulator runs (and charges) the
+/// canonical flag-write → [`Machine::scan_step`] → rank-gather route, the
+/// native backend fuses the passes into two block sweeps.
 pub fn compact_erew<M: Machine>(m: &mut M, src_base: usize, n: usize, dst_base: usize) -> u64 {
-    if n == 0 {
-        return 0;
-    }
-    m.ensure_memory(src_base + n);
-    m.ensure_memory(dst_base + n);
-    let flags = m.alloc(n);
-    m.par_for(n, |i, ctx| {
-        let v = ctx.read(src_base + i);
-        ctx.write(flags + i, (v != EMPTY) as u64);
-    });
-    let count = prefix_sums_exclusive(m, flags, n);
-    m.par_for(n, |i, ctx| {
-        let v = ctx.read(src_base + i);
-        if v != EMPTY {
-            let pos = ctx.read(flags + i) as usize;
-            ctx.write(dst_base + pos, v);
-        }
-    });
-    m.release_to(flags);
-    count
+    m.compact_step(src_base, n, dst_base)
 }
 
 /// Result of a [`linear_compaction`] call.

@@ -264,6 +264,49 @@ pub trait Machine {
     /// Advances the step index by 1.
     fn global_or_step(&mut self, base: usize, len: usize) -> bool;
 
+    /// Compacts the non-[`crate::EMPTY`] cells of `[src, src+len)` to the
+    /// front of `[dst, dst+len)` in their original order, returning how
+    /// many there were.  `src` and `dst` must not overlap.  Memory is
+    /// ensured up to `dst + count` (the survivor count), not `dst + len` —
+    /// a caller that knows its survivor count may allocate exactly that.
+    ///
+    /// The default implementation is the canonical EREW-legal route — flag
+    /// write, one [`Machine::scan_step`], rank gather — and is what the
+    /// simulator charges; it advances the step index by exactly 3 and
+    /// draws no randomness, and any override must do the same (the native
+    /// backend fuses the passes into two block sweeps over reused scratch,
+    /// with identical observable results).
+    fn compact_step(&mut self, src: usize, len: usize, dst: usize) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        self.ensure_memory(src + len);
+        let flags = self.alloc(len);
+        self.par_for(len, |i, ctx| {
+            let v = ctx.read(src + i);
+            ctx.write(flags + i, (v != EMPTY) as u64);
+        });
+        // In-place inclusive scan: a surviving cell's destination is its
+        // exclusive rank, i.e. the inclusive count one cell to the left
+        // (0 for the first cell).  Each flag cell is read by exactly one
+        // processor in the gather, so the pass stays EREW-legal.
+        let count = self.scan_step(flags, len);
+        self.ensure_memory(dst + count as usize);
+        self.par_for(len, |i, ctx| {
+            let v = ctx.read(src + i);
+            if v != EMPTY {
+                let pos = if i == 0 {
+                    0
+                } else {
+                    ctx.read(flags + i - 1) as usize
+                };
+                ctx.write(dst + pos, v);
+            }
+        });
+        self.release_to(flags);
+        count
+    }
+
     /// Executes the cell-claiming protocol of Section 5.1:
     /// `attempts[i] = (tag, target)` asks to claim cell `target` with the
     /// unique non-[`crate::EMPTY`] value `tag`; returns which attempts

@@ -1,0 +1,251 @@
+//! Thread-count invariance for the native backend.
+//!
+//! The pooled native machine dispatches every step as contiguous chunks,
+//! and the chunk layout changes with the thread count (builder override or
+//! `QRQW_THREADS`).  The backend contract says the layout must be
+//! *unobservable*: per-`(seed, step, proc)` RNG streams and deterministic
+//! exclusive-claim outcomes do not depend on which thread computed which
+//! index.  These tests pin that down by running every
+//! deterministic/exclusive-claim registry algorithm at several thread
+//! counts — including oversubscribed ones, so chunked pool dispatch is
+//! exercised even on a single-core host — and requiring bit-identical
+//! outputs, plus agreement with the simulator as the reference.
+
+use qrqw_suite::algos::{
+    emulate_fetch_add_step, random_cyclic_permutation_efficient, random_cyclic_permutation_fast,
+    random_permutation_dart_scan, random_permutation_qrqw, random_permutation_sorting_erew,
+    sample_sort_qrqw, sort_uniform_keys,
+};
+use qrqw_suite::exec::NativeMachine;
+use qrqw_suite::prims::{list_rank, pack, radix_sort_packed, unpack_key};
+use qrqw_suite::sim::{Machine, Pram, EMPTY};
+
+/// The thread counts every invariance test sweeps: sequential, the
+/// smallest genuinely chunked count, an odd oversubscribed count, and the
+/// process default (`QRQW_THREADS` / host parallelism).
+const THREAD_COUNTS: [Option<usize>; 4] = [Some(1), Some(2), Some(5), None];
+
+fn machine(seed: u64, threads: Option<usize>) -> NativeMachine {
+    match threads {
+        Some(t) => NativeMachine::with_threads(16, seed, t),
+        None => NativeMachine::with_seed(16, seed),
+    }
+}
+
+/// Runs `f` on a fresh native machine at every thread count and asserts
+/// all runs return the same value; returns that value.
+fn invariant_under_threads<T, F>(seed: u64, label: &str, f: F) -> T
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn(&mut NativeMachine) -> T,
+{
+    let mut baseline: Option<T> = None;
+    for threads in THREAD_COUNTS {
+        let mut m = machine(seed, threads);
+        let out = f(&mut m);
+        match &baseline {
+            None => baseline = Some(out),
+            Some(b) => assert_eq!(
+                &out, b,
+                "{label}: output changed at thread count {threads:?} (seed {seed})"
+            ),
+        }
+    }
+    baseline.unwrap()
+}
+
+#[test]
+fn permutations_are_bit_identical_at_every_thread_count() {
+    for (n, seed) in [(3000usize, 7u64), (777, 41)] {
+        let native = invariant_under_threads(seed, "permutation-qrqw", |m| {
+            random_permutation_qrqw(m, n).order
+        });
+        let mut sim = Pram::with_seed(16, seed);
+        assert_eq!(
+            native,
+            random_permutation_qrqw(&mut sim, n).order,
+            "native must agree with the simulator reference"
+        );
+
+        let native = invariant_under_threads(seed, "permutation-dart-scan", |m| {
+            random_permutation_dart_scan(m, n).order
+        });
+        let mut sim = Pram::with_seed(16, seed);
+        assert_eq!(native, random_permutation_dart_scan(&mut sim, n).order);
+
+        let native = invariant_under_threads(seed, "permutation-sorting-erew", |m| {
+            random_permutation_sorting_erew(m, n).order
+        });
+        let mut sim = Pram::with_seed(16, seed);
+        assert_eq!(native, random_permutation_sorting_erew(&mut sim, n).order);
+    }
+}
+
+#[test]
+fn cyclic_permutations_are_bit_identical_at_every_thread_count() {
+    let n = 2048usize;
+    for seed in [3u64, 19] {
+        let fast = invariant_under_threads(seed, "cyclic-fast", |m| {
+            random_cyclic_permutation_fast(m, n).successor
+        });
+        let mut sim = Pram::with_seed(16, seed);
+        assert_eq!(fast, random_cyclic_permutation_fast(&mut sim, n).successor);
+
+        let eff = invariant_under_threads(seed, "cyclic-efficient", |m| {
+            random_cyclic_permutation_efficient(m, n).successor
+        });
+        let mut sim = Pram::with_seed(16, seed);
+        assert_eq!(
+            eff,
+            random_cyclic_permutation_efficient(&mut sim, n).successor
+        );
+    }
+}
+
+#[test]
+fn deterministic_prims_are_bit_identical_at_every_thread_count() {
+    // List ranking over a pseudo-random chain.
+    let n = 4000usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in 1..n {
+        order.swap(i, (i * 48271) % (i + 1));
+    }
+    let mut succ = vec![EMPTY; n];
+    for w in order.windows(2) {
+        succ[w[0]] = w[1] as u64;
+    }
+    let ranks = invariant_under_threads(0, "list-rank", |m| {
+        let succ_base = m.alloc(n);
+        let rank_base = m.alloc(n);
+        m.load(succ_base, &succ);
+        list_rank(m, succ_base, n, rank_base);
+        m.dump(rank_base, n)
+    });
+    assert_eq!(ranks.len(), n);
+
+    // Stable packed radix sort: key/value pairs with duplicate keys, so
+    // stability is visible in the output order.
+    let pairs: Vec<u64> = (0..n)
+        .map(|i| pack(((i * 37) % 64) as u64, i as u64))
+        .collect();
+    let sorted = invariant_under_threads(0, "radix-sort-packed", |m| {
+        let base = m.alloc(n);
+        m.load(base, &pairs);
+        radix_sort_packed(m, base, n, 6);
+        m.dump(base, n)
+    });
+    assert!(sorted
+        .windows(2)
+        .all(|w| unpack_key(w[0]) <= unpack_key(w[1])));
+
+    // One emulated Fetch&Add step over a hot address set.
+    let requests: Vec<(usize, u64)> = (0..n).map(|i| (i % 97, 1 + (i % 3) as u64)).collect();
+    invariant_under_threads(5, "fetch-add", |m| emulate_fetch_add_step(m, &requests));
+}
+
+#[test]
+fn sorts_are_bit_identical_at_every_thread_count() {
+    let keys = qrqw_bench::Algorithm::scattered_keys(3000, 0);
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    let got = invariant_under_threads(2, "sample-sort-qrqw", |m| sample_sort_qrqw(m, &keys));
+    assert_eq!(got, expect);
+    let got = invariant_under_threads(2, "distributive-sort", |m| sort_uniform_keys(m, &keys));
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn contention_totals_are_invariant_across_thread_counts() {
+    // Exclusive-claim contention is fully deterministic; occupy-mode totals
+    // are too (each contested cell has exactly one winner), even though the
+    // winner's identity is not.  The observed counters must not depend on
+    // chunking.
+    let n = 8192usize;
+    let (attempts, failures, steps) = invariant_under_threads(11, "contention-totals", |m| {
+        let _ = random_permutation_qrqw(m, n);
+        let report = m.cost_report();
+        (report.claim_attempts, report.contended_claims, report.steps)
+    });
+    let mut sim = Pram::with_seed(16, 11);
+    let _ = random_permutation_qrqw(&mut sim, n);
+    let rs = sim.cost_report();
+    assert_eq!(
+        (attempts, failures, steps),
+        (rs.claim_attempts, rs.contended_claims, rs.steps),
+        "native contention totals must match the simulator's collision counts"
+    );
+}
+
+#[test]
+fn scan_and_global_or_are_invariant_across_thread_counts() {
+    let n = 50_000usize;
+    let vals: Vec<u64> = (0..n as u64).map(|i| i % 11).collect();
+    let reference = invariant_under_threads(0, "scan-step", |m| {
+        m.ensure_memory(n);
+        m.load(0, &vals);
+        let total = m.scan_step(0, n);
+        (total, m.dump(0, n))
+    });
+    assert_eq!(reference.0, vals.iter().sum::<u64>());
+
+    invariant_under_threads(0, "global-or", |m| {
+        m.ensure_memory(n);
+        let empty = m.global_or_step(0, n);
+        m.poke(n - 1, 3);
+        let hit_last = m.global_or_step(0, n);
+        m.poke(n - 1, 0);
+        m.poke(0, 5);
+        let hit_first = m.global_or_step(0, n);
+        assert!(!empty && hit_last && hit_first);
+        (empty, hit_last, hit_first)
+    });
+}
+
+/// Probe used by [`qrqw_threads_env_var_controls_the_default_thread_count`]:
+/// when re-executed in a child process with `QRQW_THREADS` set, it checks
+/// that machine construction honours (or safely ignores) the variable.
+/// Without the variable it trivially passes, so a normal run is unaffected.
+#[test]
+fn helper_qrqw_threads_env_probe() {
+    let Ok(spec) = std::env::var("QRQW_THREADS") else {
+        return;
+    };
+    let threads = NativeMachine::with_seed(16, 0).threads();
+    match spec.trim().parse::<usize>() {
+        Ok(want) if want > 0 => assert_eq!(
+            threads, want,
+            "QRQW_THREADS={spec} must set the thread count"
+        ),
+        _ => assert!(
+            threads >= 1,
+            "unparseable QRQW_THREADS={spec} must fall back to host parallelism"
+        ),
+    }
+    assert_eq!(
+        NativeMachine::with_threads(16, 0, 7).threads(),
+        7,
+        "the builder must override the environment"
+    );
+}
+
+#[test]
+fn qrqw_threads_env_var_controls_the_default_thread_count() {
+    // Mutating the environment in-process (`std::env::set_var`) races with
+    // `getenv` calls from concurrently running tests, which is documented
+    // undefined behavior on POSIX — so the probe runs in a child process
+    // whose environment is set before it starts.
+    let exe = std::env::current_exe().expect("test binary path");
+    for spec in ["3", "not-a-number"] {
+        let output = std::process::Command::new(&exe)
+            .args(["--exact", "helper_qrqw_threads_env_probe"])
+            .env("QRQW_THREADS", spec)
+            .output()
+            .expect("re-exec test binary");
+        assert!(
+            output.status.success(),
+            "env probe failed for QRQW_THREADS={spec}:\n{}\n{}",
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

@@ -3,17 +3,29 @@
 //!
 //! The container this repository builds in has no crates registry, so the
 //! workspace vendors a minimal data-parallelism layer.  It is *really*
-//! parallel — work is split into contiguous chunks executed on
-//! `std::thread::scope` threads, one per available core — and, like rayon,
-//! `collect` preserves item order, so results are independent of scheduling.
+//! parallel, and since PR 3 it is also *persistent*: all work runs on the
+//! process-wide worker pool of [`pool`], whose threads are spawned once and
+//! parked between jobs, instead of paying a `std::thread::scope` spawn per
+//! parallel call.  Work is split into contiguous chunks claimed dynamically
+//! by workers; `collect` writes results straight into their final slots, so
+//! item order is preserved and results are independent of scheduling.
 //!
 //! Supported surface: `par_iter()` on slices, `into_par_iter()` on
-//! `Range<usize>`, the adapters `map` / `for_each` / `any` / `collect`, and
-//! [`current_num_threads`].  Parallel sources are random-access ("indexed"
-//! in rayon terms), which covers every call site in this repository.
+//! `Range<usize>`, the adapters `map` / `for_each` / `any` / `collect` /
+//! `sum`, and [`current_num_threads`].  Parallel sources are random-access
+//! ("indexed" in rayon terms), which covers every call site in this
+//! repository.  Unlike upstream rayon, [`ParallelIterator::any`]
+//! short-circuits: a hit raises a shared flag that later chunks observe
+//! before (and periodically while) scanning.
+//!
+//! Lower-level chunked dispatch — used by the native machine backend to
+//! run one context per chunk instead of one per item — is exposed as
+//! [`pool::run`].
 
-use std::panic;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;
+
+pub mod pool;
 
 /// Number of worker threads a parallel operation will use at most.
 pub fn current_num_threads() -> usize {
@@ -22,12 +34,25 @@ pub fn current_num_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Below this many items a parallel operation just runs inline: spawning
-/// threads for tiny inputs costs more than it saves.
+/// Below this many items a parallel operation just runs inline: dispatching
+/// to the pool for tiny inputs costs more than it saves.
 const INLINE_CUTOFF: usize = 2048;
 
-/// Runs `produce(i)` for `i in 0..len` across threads, returning the results
-/// in index order.
+/// How often a short-circuiting scan re-checks the shared "found" flag.
+const ANY_POLL_MASK: usize = 0x1FF;
+
+/// Chunk length for `len` items over `threads` threads: a few chunks per
+/// thread for dynamic load balance, but never degenerate slivers.
+fn chunk_len_for(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads * 4).max(INLINE_CUTOFF / 4)
+}
+
+use pool::SendPtr;
+
+/// Runs `produce(i)` for `i in 0..len` across the pool, returning the
+/// results in index order.  If a chunk panics, already-written values are
+/// leaked (not dropped) when the panic is re-thrown — acceptable for this
+/// stand-in, since panics inside parallel sections are programmer errors.
 fn par_produce<T, P>(len: usize, produce: P) -> Vec<T>
 where
     T: Send,
@@ -37,32 +62,71 @@ where
     if threads <= 1 || len < INLINE_CUTOFF {
         return (0..len).map(produce).collect();
     }
-    let chunk = len.div_ceil(threads);
-    let mut parts: Vec<Vec<T>> = Vec::with_capacity(threads);
-    thread::scope(|s| {
-        let produce = &produce;
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(len);
-                s.spawn(move || (lo..hi).map(produce).collect::<Vec<T>>())
-            })
-            .collect();
-        for h in handles {
-            match h.join() {
-                Ok(part) => parts.push(part),
-                Err(payload) => panic::resume_unwind(payload),
+    let mut out: Vec<T> = Vec::with_capacity(len);
+    let slots = SendPtr(out.as_mut_ptr());
+    let slots = &slots;
+    pool::run(len, chunk_len_for(len, threads), threads, |lo, hi| {
+        for i in lo..hi {
+            // Disjoint chunks write disjoint slots of the reserved buffer.
+            unsafe { slots.0.add(i).write(produce(i)) };
+        }
+    });
+    // Every chunk completed (pool::run is a barrier), so all slots are
+    // initialized.  On a chunk panic `run` re-throws before we get here.
+    unsafe { out.set_len(len) };
+    out
+}
+
+/// Runs `body(i)` for `i in 0..len` across the pool, for side effects.
+fn par_drive<P>(len: usize, body: P)
+where
+    P: Fn(usize) + Sync,
+{
+    let threads = current_num_threads().min(len);
+    if threads <= 1 || len < INLINE_CUTOFF {
+        (0..len).for_each(body);
+        return;
+    }
+    pool::run(len, chunk_len_for(len, threads), threads, |lo, hi| {
+        for i in lo..hi {
+            body(i);
+        }
+    });
+}
+
+/// True iff `pred(i)` holds for some `i in 0..len`; short-circuits via a
+/// shared flag that every chunk polls.
+fn par_any<P>(len: usize, pred: P) -> bool
+where
+    P: Fn(usize) -> bool + Sync,
+{
+    let threads = current_num_threads().min(len);
+    if threads <= 1 || len < INLINE_CUTOFF {
+        return (0..len).any(pred);
+    }
+    let found = AtomicBool::new(false);
+    pool::run(len, chunk_len_for(len, threads), threads, |lo, hi| {
+        if found.load(Ordering::Relaxed) {
+            return;
+        }
+        for i in lo..hi {
+            if i & ANY_POLL_MASK == 0 && found.load(Ordering::Relaxed) {
+                return;
+            }
+            if pred(i) {
+                found.store(true, Ordering::Relaxed);
+                return;
             }
         }
     });
-    parts.into_iter().flatten().collect()
+    found.load(Ordering::Relaxed)
 }
 
 /// A random-access parallel iterator.
 ///
 /// Unlike rayon's lazy splitter this is an eager, indexed design: a source
 /// exposes `(len, get(i))` and every consumer fans the index space out over
-/// threads.  `collect` returns items in index order.
+/// the persistent pool.  `collect` returns items in index order.
 pub trait ParallelIterator: Sized + Sync {
     /// The element type.
     type Item: Send;
@@ -87,18 +151,18 @@ pub trait ParallelIterator: Sized + Sync {
     where
         F: Fn(Self::Item) + Sync,
     {
-        let _ = par_produce(self.pi_len(), |i| f(self.pi_get(i)));
+        par_drive(self.pi_len(), |i| f(self.pi_get(i)));
     }
 
-    /// True iff `f` holds for at least one item (all items are evaluated;
-    /// rayon also gives no short-circuit guarantee across threads).
+    /// True iff `f` holds for at least one item.  A hit stops the scan
+    /// early: chunks check a shared flag before and periodically during
+    /// their run (upstream rayon likewise short-circuits, without
+    /// guaranteeing how many items are still visited).
     fn any<F>(self, f: F) -> bool
     where
         F: Fn(Self::Item) -> bool + Sync,
     {
-        par_produce(self.pi_len(), |i| f(self.pi_get(i)))
-            .into_iter()
-            .any(|b| b)
+        par_any(self.pi_len(), |i| f(self.pi_get(i)))
     }
 
     /// Collects all items in index order.
@@ -114,6 +178,9 @@ pub trait ParallelIterator: Sized + Sync {
     where
         S: std::iter::Sum<Self::Item>,
     {
+        // Summed inline from an index-ordered buffer, so non-commutative
+        // `Sum` impls (saturating, floating point) see a deterministic
+        // order.
         par_produce(self.pi_len(), |i| self.pi_get(i))
             .into_iter()
             .sum()
@@ -251,6 +318,22 @@ mod tests {
         assert!(!(0..5000).into_par_iter().any(|i| i == 5000));
         let s: usize = (0..5000).into_par_iter().sum();
         assert_eq!(s, 4999 * 5000 / 2);
+    }
+
+    #[test]
+    fn any_short_circuits_on_an_early_hit() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let evaluated = AtomicUsize::new(0);
+        let hit = (0..1 << 20).into_par_iter().any(|i| {
+            evaluated.fetch_add(1, Ordering::Relaxed);
+            i == 0
+        });
+        assert!(hit);
+        assert!(
+            evaluated.load(Ordering::Relaxed) < 1 << 20,
+            "a hit at index 0 must stop the scan early (evaluated {})",
+            evaluated.load(Ordering::Relaxed)
+        );
     }
 
     #[test]

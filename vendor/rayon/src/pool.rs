@@ -1,0 +1,408 @@
+//! The persistent worker pool behind every parallel operation.
+//!
+//! The first version of this stand-in spawned fresh `std::thread::scope`
+//! threads for every parallel call, which put a thread-creation syscall on
+//! the hot path of every single machine step.  This module replaces that
+//! with rayon's actual runtime shape: a process-wide set of worker threads
+//! spawned once and parked on a condvar between jobs.  Dispatching a job is
+//! a mutex lock plus a `notify_all`; workers and the caller then race to
+//! claim contiguous chunks of the index space with one `fetch_add` per
+//! chunk, so load balancing is dynamic but results stay index-addressed
+//! (and therefore deterministic).
+//!
+//! Safety model: a [`run`] call publishes a lifetime-erased pointer to a
+//! stack-allocated job record.  The pointer is only handed to workers under
+//! the pool mutex while the job is published, and [`run`] does not return
+//! (or unwind) until it has unpublished the job *and* observed every active
+//! worker finish — so the record, and the borrowed closure inside it,
+//! strictly outlive all worker access.  Worker panics are caught per chunk
+//! and re-thrown on the calling thread.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// Upper bound on pool workers: thread-count overrides above this are
+/// clamped (oversubscription far past the core count stops being useful,
+/// and the tests only need "more threads than cores" to exercise chunked
+/// dispatch on small hosts).
+pub const MAX_POOL_THREADS: usize = 64;
+
+/// Shares a raw pointer with pool chunks that access disjoint index
+/// ranges.  The user must guarantee that concurrent accesses through it
+/// are disjoint and that the pointee outlives the dispatch ([`run`] is a
+/// barrier, so outliving the `run` call suffices).
+pub struct SendPtr<T>(pub *mut T);
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// One published job: a lifetime-erased chunk runner plus claim/completion
+/// bookkeeping.  Lives on the dispatching caller's stack for the duration
+/// of the [`run`] call.
+struct JobCore {
+    /// Next unclaimed chunk index (`fetch_add` to claim).
+    next: AtomicUsize,
+    /// Total number of chunks.
+    n_chunks: usize,
+    /// Items per chunk (the last chunk may be shorter).
+    chunk_len: usize,
+    /// Total number of items.
+    len: usize,
+    /// The chunk body, called as `task(lo, hi)` for each claimed chunk.
+    /// Lifetime-erased; validity is guaranteed by the completion protocol.
+    task: *const (dyn Fn(usize, usize) + Sync),
+    /// First panic payload caught in a worker chunk, re-thrown by the caller.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// What the pool mutex protects.
+struct State {
+    /// Monotonic dispatch counter, so a worker never re-enters a job it has
+    /// already drained.
+    epoch: u64,
+    /// The currently published job, if any (dispatches are serialized).
+    job: Option<JobRef>,
+    /// Workers currently executing chunks of the published job.
+    active: usize,
+    /// Worker threads spawned so far.
+    workers: usize,
+}
+
+/// Pointer to the published job, tagged with its dispatch epoch.
+#[derive(Clone, Copy)]
+struct JobRef {
+    job: *const JobCore,
+    epoch: u64,
+}
+
+// The raw pointer is only dereferenced while the completion protocol keeps
+// the pointee alive; the pointee's shared fields are atomics and mutexes.
+unsafe impl Send for JobRef {}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// Callers park here: for job completion, and for their turn to publish.
+    done_cv: Condvar,
+}
+
+static POOL: OnceLock<&'static Shared> = OnceLock::new();
+
+fn shared() -> &'static Shared {
+    POOL.get_or_init(|| {
+        Box::leak(Box::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                active: 0,
+                workers: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }))
+    })
+}
+
+thread_local! {
+    /// True on pool workers and on callers while they participate in a job:
+    /// nested parallel calls from inside a chunk body run inline instead of
+    /// deadlocking on the (serialized) dispatch slot.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Claims and runs chunks of `job` until none remain.  Panics from the
+/// chunk body are caught and stashed in the job record.
+fn drain_chunks(job: &JobCore) {
+    let task = unsafe { &*job.task };
+    loop {
+        let c = job.next.fetch_add(1, Ordering::Relaxed);
+        if c >= job.n_chunks {
+            return;
+        }
+        let lo = c * job.chunk_len;
+        let hi = ((c + 1) * job.chunk_len).min(job.len);
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| task(lo, hi))) {
+            let mut slot = job.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &'static Shared) {
+    IN_POOL.with(|f| f.set(true));
+    let mut seen_epoch = 0u64;
+    let mut guard = shared.state.lock().unwrap();
+    loop {
+        if let Some(jref) = guard.job {
+            if jref.epoch != seen_epoch {
+                seen_epoch = jref.epoch;
+                guard.active += 1;
+                drop(guard);
+                drain_chunks(unsafe { &*jref.job });
+                guard = shared.state.lock().unwrap();
+                guard.active -= 1;
+                if guard.active == 0 {
+                    shared.done_cv.notify_all();
+                }
+                continue;
+            }
+        }
+        guard = shared.work_cv.wait(guard).unwrap();
+    }
+}
+
+/// Unpublishes the job and waits out active workers — in `Drop`, so the job
+/// record cannot leave the caller's stack early even if the caller's own
+/// chunk panics.
+struct CompletionGuard {
+    shared: &'static Shared,
+}
+
+impl Drop for CompletionGuard {
+    fn drop(&mut self) {
+        let mut guard = self.shared.state.lock().unwrap();
+        // Unpublish first: a worker that has not yet observed the job must
+        // never start it once we begin waiting.
+        guard.job = None;
+        while guard.active > 0 {
+            guard = self.shared.done_cv.wait(guard).unwrap();
+        }
+        // Wake callers queued for the dispatch slot.
+        self.shared.done_cv.notify_all();
+    }
+}
+
+/// Restores the caller's reentrancy flag even on unwind.
+struct FlagGuard;
+
+impl Drop for FlagGuard {
+    fn drop(&mut self) {
+        IN_POOL.with(|f| f.set(false));
+    }
+}
+
+/// Runs `f(lo, hi)` over `[0, len)` split into contiguous chunks of
+/// `chunk_len` items, on up to `max_threads` threads (the caller
+/// participates and counts as one).  Blocks until every chunk has finished.
+///
+/// Chunk boundaries are a pure function of `(len, chunk_len)`, and chunks
+/// address disjoint index ranges, so any writes keyed by index are
+/// scheduling-independent.  Runs inline when parallelism cannot help (one
+/// thread, one chunk) or when called from inside another pool job.
+pub fn run<F>(len: usize, chunk_len: usize, max_threads: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = len.div_ceil(chunk_len);
+    let threads = max_threads.min(MAX_POOL_THREADS).min(n_chunks);
+    if threads <= 1 || IN_POOL.with(|g| g.get()) {
+        f(0, len);
+        return;
+    }
+
+    let shared = shared();
+    let job = JobCore {
+        next: AtomicUsize::new(0),
+        n_chunks,
+        chunk_len,
+        len,
+        // Lifetime erasure: the completion guard below keeps `f` (and this
+        // record) alive until no worker can reach them.
+        task: unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(usize, usize) + Sync),
+                *const (dyn Fn(usize, usize) + Sync),
+            >(&f)
+        },
+        panic: Mutex::new(None),
+    };
+
+    {
+        let mut guard = shared.state.lock().unwrap();
+        // Serialize dispatches: wait for the slot.
+        while guard.job.is_some() {
+            guard = shared.done_cv.wait(guard).unwrap();
+        }
+        // Top up the worker set to `threads - 1` helpers.
+        while guard.workers < threads - 1 {
+            guard.workers += 1;
+            thread::Builder::new()
+                .name(format!("qrqw-pool-{}", guard.workers))
+                .spawn(move || worker_loop(shared))
+                .expect("failed to spawn pool worker");
+        }
+        guard.epoch += 1;
+        guard.job = Some(JobRef {
+            job: &job,
+            epoch: guard.epoch,
+        });
+        shared.work_cv.notify_all();
+    }
+
+    let completion = CompletionGuard { shared };
+    {
+        let _flag = FlagGuard;
+        IN_POOL.with(|g| g.set(true));
+        drain_chunks(&job);
+    }
+    drop(completion);
+
+    let payload = job.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        panic::resume_unwind(payload);
+    }
+}
+
+/// Number of worker threads currently spawned (for tests/telemetry).
+pub fn spawned_workers() -> usize {
+    shared().state.lock().unwrap().workers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let n = 100_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        run(n, 1024, 4, |lo, hi| {
+            for h in &hits[lo..hi] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn oversubscribed_threads_spawn_workers_even_on_one_core() {
+        run(10_000, 512, 4, |_lo, _hi| {});
+        assert!(spawned_workers() >= 3);
+    }
+
+    #[test]
+    fn chunk_boundaries_are_aligned_and_contiguous() {
+        let seen = Mutex::new(Vec::new());
+        run(10_000, 1 << 8, 4, |lo, hi| {
+            assert_eq!(lo % (1 << 8), 0);
+            seen.lock().unwrap().push((lo, hi));
+        });
+        let mut ranges = seen.into_inner().unwrap();
+        ranges.sort_unstable();
+        let mut expect = 0;
+        for (lo, hi) in ranges {
+            assert_eq!(lo, expect);
+            expect = hi;
+        }
+        assert_eq!(expect, 10_000);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let caught = panic::catch_unwind(|| {
+            run(50_000, 128, 4, |lo, _hi| {
+                if lo >= 25_000 {
+                    panic!("boom at {lo}");
+                }
+            });
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.starts_with("boom at"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn nested_run_degrades_to_inline() {
+        let outer = AtomicUsize::new(0);
+        let inner = AtomicUsize::new(0);
+        run(8192, 1024, 4, |lo, hi| {
+            outer.fetch_add(hi - lo, Ordering::Relaxed);
+            run(10, 1, 4, |l, h| {
+                inner.fetch_add(h - l, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 8192);
+        assert_eq!(inner.load(Ordering::Relaxed), 80);
+    }
+
+    #[test]
+    fn back_to_back_jobs_reuse_the_pool() {
+        // Prime the pool, then check that 50 further identical dispatches
+        // spawn no additional workers: `run` only tops the pool up to
+        // `threads - 1`, which the priming call already reached.
+        run(4096, 256, 4, |_lo, _hi| {});
+        let primed = spawned_workers();
+        for round in 0..50 {
+            let sum = AtomicUsize::new(0);
+            run(4096, 256, 4, |lo, hi| {
+                sum.fetch_add((lo..hi).sum::<usize>(), Ordering::Relaxed);
+            });
+            assert_eq!(
+                sum.load(Ordering::Relaxed),
+                4095 * 4096 / 2,
+                "round {round}"
+            );
+        }
+        // Concurrent tests may request more threads, but repeating *this*
+        // job can at most leave the pool where some other request put it.
+        assert!(spawned_workers() <= primed.max(MAX_POOL_THREADS - 1));
+        assert!(primed >= 3);
+    }
+
+    #[test]
+    fn concurrent_dispatchers_serialize_safely() {
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        let local = AtomicUsize::new(0);
+                        run(5000, 500, 3, |lo, hi| {
+                            local.fetch_add(hi - lo, Ordering::Relaxed);
+                        });
+                        assert_eq!(local.load(Ordering::Relaxed), 5000);
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 80);
+    }
+
+    #[test]
+    fn early_exit_flag_skips_remaining_chunks() {
+        // A cooperative cancel flag: late chunks observe it and return
+        // immediately, so the pool supports short-circuiting scans.
+        let evaluated = AtomicUsize::new(0);
+        let found = AtomicBool::new(false);
+        run(1 << 20, 1024, 4, |lo, hi| {
+            if found.load(Ordering::Relaxed) {
+                return;
+            }
+            for i in lo..hi {
+                evaluated.fetch_add(1, Ordering::Relaxed);
+                if i == 0 {
+                    found.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+        });
+        assert!(found.load(Ordering::Relaxed));
+        assert!(
+            evaluated.load(Ordering::Relaxed) < 1 << 20,
+            "a first-chunk hit must not scan the whole range"
+        );
+    }
+}
