@@ -11,7 +11,8 @@
 //!
 //! `algorithm` is one of the names printed by the sweep (e.g.
 //! `permutation-qrqw`, `linear-compaction`, `load-balance-qrqw`) or `all`;
-//! `backend` is `sim`, `native` or `both`.
+//! `backend` is a backend name (`sim`, `native`, `bsp`), a comma-separated
+//! list, or `all` (aka the historical `both`).
 
 use qrqw_bench::{Algorithm, Backend, BackendRun};
 
@@ -59,14 +60,10 @@ fn main() {
             std::process::exit(2);
         })]
     };
-    let backends: Vec<Backend> = if backend_arg == "both" {
-        Backend::ALL.to_vec()
-    } else {
-        vec![Backend::parse(backend_arg).unwrap_or_else(|| {
-            eprintln!("unknown backend `{backend_arg}` (sim | native | both)");
-            std::process::exit(2);
-        })]
-    };
+    let backends: Vec<Backend> = Backend::parse_set(backend_arg).unwrap_or_else(|| {
+        eprintln!("unknown backend set `{backend_arg}` (sim | native | bsp | name,name | all)");
+        std::process::exit(2);
+    });
 
     println!("machine-backend bench: n={n}, {reps} reps, seed {seed}\n");
     for algo in &algos {

@@ -1,26 +1,37 @@
-//! `perf_report` — records the native-vs-simulator performance trajectory.
+//! `perf_report` — records the cross-backend performance trajectory.
 //!
-//! Runs every registry algorithm (or a chosen subset) on both backends at a
-//! set of problem sizes, prints one row per (algorithm, n), and writes a
-//! machine-readable JSON report so the repository's perf history is a
-//! committed artifact (`BENCH_native.json`) instead of folklore.
+//! Runs every registry algorithm (or a chosen subset) on the selected
+//! backends at a set of problem sizes, prints one row per (algorithm, n),
+//! and writes a machine-readable JSON report so the repository's perf
+//! history is a committed artifact (`BENCH_native.json`) instead of
+//! folklore.  For the BSP backend the row and the JSON carry the *measured*
+//! Theorem 1.1 emulation cost next to the formula-predicted bound.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p qrqw-bench --release --bin perf_report            # full sweep
 //! cargo run -p qrqw-bench --release --bin perf_report -- \
-//!     [--sizes 65536,1048576] [--algos all|name,name] [--seed 1] \
-//!     [--threads N] [--sim-cap N] [--out BENCH_native.json]
+//!     [--backend sim,native,bsp|all] [--sizes 65536,1048576] \
+//!     [--algos all|name,name] [--seed 1] [--threads N] \
+//!     [--sim-cap N] [--bsp-cap N] [--out BENCH_native.json]
 //! ```
 //!
-//! * `--threads` forces the native thread count (otherwise `QRQW_THREADS` /
-//!   host parallelism decides);
-//! * `--sim-cap` skips simulator runs above that size (the simulator is
-//!   O(work) per step; CI smoke runs use a small cap), recorded as
-//!   `"sim": null` in the JSON;
-//! * the exit code is non-zero if **any** run fails its validator, so CI
-//!   can use a small run as a cross-backend smoke check.
+//! * `--backend` (alias `--backends`) selects which backends run
+//!   (default: all);
+//! * `--threads` forces the native/BSP thread count (otherwise
+//!   `QRQW_THREADS` / host parallelism decides);
+//! * `--sim-cap` / `--bsp-cap` skip simulator / BSP runs above that size
+//!   (both are O(work)-per-step machines; the BSP cap defaults to 2¹⁷),
+//!   recorded as `"sim": null` / `"bsp": null` in the JSON;
+//! * the exit code is non-zero if **any** run fails its validator — for
+//!   BSP runs that includes the Theorem 1.1 conformance check
+//!   `measured_cost ≤ the simulator's independently traced QRQW time`,
+//!   armed whenever the simulator ran the same configuration (pass
+//!   `--backend bsp,sim` to a smoke run to arm it; the machine's own
+//!   `predicted_cost` is `measured_cost · ⌈lg p⌉` by construction and is
+//!   reported for the table, not used as a gate) — so CI can use a small
+//!   run as a cross-backend smoke check.
 //!
 //! JSON shape (one object per (algorithm, n) in `"runs"`):
 //!
@@ -29,6 +40,9 @@
 //!  "native": {"wall_ms": …, "steps": …, "claim_attempts": …,
 //!             "contended_claims": …, "valid": true},
 //!  "sim":    {… same fields, plus "work", "max_contention", "time_qrqw"},
+//!  "bsp":    {… same fields, plus "supersteps", "messages", "max_queue",
+//!             "max_h_relation", "measured_cost", "predicted_cost",
+//!             "components"},
 //!  "sim_over_native": 68.9}
 //! ```
 
@@ -37,30 +51,35 @@ use std::io::Write as _;
 use qrqw_bench::{Algorithm, Backend, BackendRun};
 
 struct Config {
+    backends: Vec<Backend>,
     sizes: Vec<usize>,
     algos: Vec<Algorithm>,
     seed: u64,
     threads: Option<usize>,
     sim_cap: usize,
+    bsp_cap: usize,
     out: String,
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: perf_report [--sizes N,N] [--algos all|name,name] [--seed S] \
-         [--threads T] [--sim-cap N] [--out PATH]"
+        "usage: perf_report [--backend sim,native,bsp|all] [--sizes N,N] \
+         [--algos all|name,name] [--seed S] [--threads T] [--sim-cap N] \
+         [--bsp-cap N] [--out PATH]"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Config {
     let mut cfg = Config {
+        backends: Backend::ALL.to_vec(),
         sizes: vec![1 << 16, 1 << 20],
         algos: Algorithm::ALL.to_vec(),
         seed: 1,
         threads: None,
         sim_cap: usize::MAX,
+        bsp_cap: 1 << 17,
         out: "BENCH_native.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -70,6 +89,11 @@ fn parse_args() -> Config {
                 .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
         };
         match flag.as_str() {
+            "--backend" | "--backends" => {
+                let spec = value();
+                cfg.backends = Backend::parse_set(&spec)
+                    .unwrap_or_else(|| usage(&format!("bad backend set {spec:?}")));
+            }
             "--sizes" => {
                 cfg.sizes = value()
                     .split(',')
@@ -97,6 +121,7 @@ fn parse_args() -> Config {
                 cfg.threads = Some(value().parse().unwrap_or_else(|_| usage("bad --threads")))
             }
             "--sim-cap" => cfg.sim_cap = value().parse().unwrap_or_else(|_| usage("bad --sim-cap")),
+            "--bsp-cap" => cfg.bsp_cap = value().parse().unwrap_or_else(|_| usage("bad --bsp-cap")),
             "--out" => cfg.out = value(),
             other => usage(&format!("unknown flag {other:?}")),
         }
@@ -107,13 +132,17 @@ fn parse_args() -> Config {
     cfg
 }
 
-fn json_run(run: &BackendRun) -> String {
+/// Serialises one run; `valid` is what the report concluded about it —
+/// the run's own output validator, *and* (for BSP runs that had a
+/// simulator twin) the Theorem 1.1 cross-check — so a JSON consumer
+/// filtering on `"valid"` sees conformance failures on the offending run.
+fn json_run(run: &BackendRun, valid: bool) -> String {
     let mut fields = vec![
         format!("\"wall_ms\": {:.3}", run.elapsed.as_secs_f64() * 1e3),
         format!("\"steps\": {}", run.report.steps),
         format!("\"claim_attempts\": {}", run.report.claim_attempts),
         format!("\"contended_claims\": {}", run.report.contended_claims),
-        format!("\"valid\": {}", run.valid),
+        format!("\"valid\": {valid}"),
     ];
     if let Some(work) = run.report.work {
         fields.push(format!("\"work\": {work}"));
@@ -124,16 +153,34 @@ fn json_run(run: &BackendRun) -> String {
     if let Some(t) = run.report.time_qrqw {
         fields.push(format!("\"time_qrqw\": {t}"));
     }
+    if let Some(b) = run.report.bsp {
+        fields.push(format!("\"supersteps\": {}", b.supersteps));
+        fields.push(format!("\"messages\": {}", b.messages));
+        fields.push(format!("\"max_queue\": {}", b.max_queue));
+        fields.push(format!("\"max_h_relation\": {}", b.max_h_relation));
+        fields.push(format!("\"measured_cost\": {}", b.measured_cost));
+        fields.push(format!("\"predicted_cost\": {}", b.predicted_cost));
+        fields.push(format!("\"components\": {}", b.components));
+    }
     format!("{{{}}}", fields.join(", "))
+}
+
+fn ms(run: &Option<BackendRun>) -> String {
+    match run {
+        Some(r) => format!("{:>9.3}", r.elapsed.as_secs_f64() * 1e3),
+        None => format!("{:>9}", "-"),
+    }
 }
 
 fn main() {
     let cfg = parse_args();
     let threads_used = cfg.threads.unwrap_or_else(|| {
-        qrqw_exec::StepPool::from_env().threads() // same resolution the machine uses
+        qrqw_exec::StepPool::from_env().threads() // same resolution the machines use
     });
+    let backend_names: Vec<&str> = cfg.backends.iter().map(|b| b.name()).collect();
     println!(
-        "perf_report: sizes {:?}, {} algorithms, seed {}, native threads {} (host cores {}), sim cap {}",
+        "perf_report: backends {:?}, sizes {:?}, {} algorithms, seed {}, threads {} (host cores {}), sim cap {}, bsp cap {}",
+        backend_names,
         cfg.sizes,
         cfg.algos.len(),
         cfg.seed,
@@ -144,60 +191,116 @@ fn main() {
         } else {
             cfg.sim_cap.to_string()
         },
+        if cfg.bsp_cap == usize::MAX {
+            "none".to_string()
+        } else {
+            cfg.bsp_cap.to_string()
+        },
     );
 
+    let wants = |b: Backend| cfg.backends.contains(&b);
     let mut entries: Vec<String> = Vec::new();
     let mut all_valid = true;
     for &n in &cfg.sizes {
         for &algo in &cfg.algos {
-            // Simulator first, matching `backend_bench` ordering: both
+            // Simulator first, matching `backend_bench` ordering: the other
             // machines then allocate against a warmed process heap rather
-            // than only the second one.
-            let sim = (n <= cfg.sim_cap).then(|| algo.run(Backend::Sim, n, cfg.seed));
-            let native = algo.run_native(n, cfg.seed, cfg.threads);
-            all_valid &= native.valid;
-            let ratio = sim
-                .as_ref()
-                .map(|s| s.elapsed.as_secs_f64() / native.elapsed.as_secs_f64().max(f64::EPSILON));
-            let (sim_ms, ratio_str, sim_json) = match &sim {
-                Some(s) => {
-                    all_valid &= s.valid;
-                    (
-                        format!("{:>10.3}", s.elapsed.as_secs_f64() * 1e3),
-                        format!("{:>8.1}x", ratio.unwrap()),
-                        json_run(s),
+            // than only the later ones.
+            let sim = (wants(Backend::Sim) && n <= cfg.sim_cap)
+                .then(|| algo.run(Backend::Sim, n, cfg.seed));
+            let native = wants(Backend::Native).then(|| algo.run_native(n, cfg.seed, cfg.threads));
+            let bsp = (wants(Backend::Bsp) && n <= cfg.bsp_cap)
+                .then(|| algo.run_bsp(n, cfg.seed, cfg.threads));
+            if wants(Backend::Bsp) && n > cfg.bsp_cap {
+                // Never let an explicitly requested backend be skipped
+                // silently — a "-" row plus a stderr note, so a green
+                // report cannot be mistaken for BSP coverage it lacks.
+                eprintln!(
+                    "perf_report: note: skipping bsp at n={n} (> --bsp-cap {}); \
+                     raise --bsp-cap to include it",
+                    cfg.bsp_cap
+                );
+            }
+            // Cross-machine Theorem 1.1 conformance: the BSP machine's own
+            // measured/predicted pair coincides by construction (the router
+            // realizes each step at its formula charge), so the genuine
+            // check is against the simulator's *independently* traced QRQW
+            // time for the same seed whenever both backends ran.  The
+            // verdict is attached to the BSP run's own validity so the JSON
+            // pinpoints the offending (algorithm, n).
+            let cross_ok = match (&sim, &bsp) {
+                (Some(s), Some(b)) => {
+                    let charged = s.report.time_qrqw.unwrap_or(0);
+                    let measured = b.report.bsp.map_or(0, |c| c.measured_cost);
+                    if measured > charged {
+                        eprintln!(
+                            "perf_report: {} n={n}: bsp measured cost {measured} exceeds the \
+                             simulator's charged QRQW time {charged}",
+                            algo.name(),
+                        );
+                    }
+                    measured <= charged
+                }
+                _ => true,
+            };
+            let sim_ok = sim.as_ref().is_none_or(|r| r.valid);
+            let native_ok = native.as_ref().is_none_or(|r| r.valid);
+            let bsp_ok = bsp.as_ref().is_none_or(|r| r.valid) && cross_ok;
+            all_valid &= sim_ok && native_ok && bsp_ok;
+            let ratio = match (&sim, &native) {
+                (Some(s), Some(nat)) => {
+                    Some(s.elapsed.as_secs_f64() / nat.elapsed.as_secs_f64().max(f64::EPSILON))
+                }
+                _ => None,
+            };
+            let ratio_str = ratio.map_or(format!("{:>8}", "-"), |r| format!("{r:>7.1}x"));
+            let bsp_str = match &bsp {
+                Some(r) => {
+                    let b = r.report.bsp.expect("bsp run carries its cost section");
+                    format!(
+                        "measured {:>8} predicted {:>9} ({:>4.1}x headroom)",
+                        b.measured_cost,
+                        b.predicted_cost,
+                        b.headroom().unwrap_or(f64::NAN),
                     )
                 }
-                None => (
-                    format!("{:>10}", "-"),
-                    format!("{:>9}", "-"),
-                    "null".to_string(),
-                ),
+                None => "-".to_string(),
             };
+            let valid = sim_ok && native_ok && bsp_ok;
             println!(
-                "{:<26} n={:<8} native {:>9.3} ms  sim {} ms  sim/native {}  valid={}",
+                "{:<26} n={:<8} native {} ms  sim {} ms  sim/native {}  bsp {}  valid={}",
                 algo.name(),
                 n,
-                native.elapsed.as_secs_f64() * 1e3,
-                sim_ms,
+                ms(&native),
+                ms(&sim),
                 ratio_str,
-                native.valid && sim.as_ref().is_none_or(|s| s.valid),
+                bsp_str,
+                valid,
             );
             let ratio_json = ratio.map_or("null".to_string(), |r| format!("{r:.2}"));
+            let opt_json = |r: &Option<BackendRun>, ok: bool| {
+                r.as_ref().map_or("null".to_string(), |r| json_run(r, ok))
+            };
             entries.push(format!(
-                "    {{\"algorithm\": \"{}\", \"n\": {}, \"native\": {}, \"sim\": {}, \"sim_over_native\": {}}}",
+                "    {{\"algorithm\": \"{}\", \"n\": {}, \"native\": {}, \"sim\": {}, \"bsp\": {}, \"sim_over_native\": {}}}",
                 algo.name(),
                 n,
-                json_run(&native),
-                sim_json,
+                opt_json(&native, native_ok),
+                opt_json(&sim, sim_ok),
+                opt_json(&bsp, bsp_ok),
                 ratio_json,
             ));
         }
     }
 
     let json = format!(
-        "{{\n  \"generated_by\": \"perf_report\",\n  \"seed\": {},\n  \"threads\": {},\n  \
-         \"host_cores\": {},\n  \"sizes\": {:?},\n  \"all_valid\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"generated_by\": \"perf_report\",\n  \"backends\": [{}],\n  \"seed\": {},\n  \
+         \"threads\": {},\n  \"host_cores\": {},\n  \"sizes\": {:?},\n  \"all_valid\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        backend_names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
         cfg.seed,
         threads_used,
         rayon::current_num_threads(),
@@ -212,7 +315,7 @@ fn main() {
     println!("wrote {}", cfg.out);
 
     if !all_valid {
-        eprintln!("perf_report: at least one run failed its validator");
+        eprintln!("perf_report: at least one run failed its validator or the Theorem 1.1 bound");
         std::process::exit(1);
     }
 }

@@ -21,6 +21,7 @@
 
 use std::time::{Duration, Instant};
 
+use qrqw_bsp::BspMachine;
 use qrqw_core::hashing::HASH_PRIME;
 use qrqw_core::{
     emulate_fetch_add_step, integer_sort_crqw, is_cyclic, is_permutation, load_balance_erew,
@@ -40,32 +41,44 @@ pub enum Backend {
     Sim,
     /// The native rayon/atomics machine ([`NativeMachine`]).
     Native,
+    /// The batch-message BSP machine ([`BspMachine`]) measuring the
+    /// Theorem 1.1 emulation.
+    Bsp,
 }
 
 impl Backend {
-    /// Both backends, simulator first.
-    pub const ALL: [Backend; 2] = [Backend::Sim, Backend::Native];
+    /// Every backend, simulator first.
+    pub const ALL: [Backend; 3] = [Backend::Sim, Backend::Native, Backend::Bsp];
 
-    /// Short name (`"sim"` / `"native"`).
+    /// Short name (`"sim"` / `"native"` / `"bsp"`).
     pub fn name(self) -> &'static str {
         match self {
             Backend::Sim => "sim",
             Backend::Native => "native",
+            Backend::Bsp => "bsp",
         }
     }
 
     /// Parses a backend name.
     pub fn parse(s: &str) -> Option<Backend> {
-        match s {
-            "sim" => Some(Backend::Sim),
-            "native" => Some(Backend::Native),
-            _ => None,
+        Backend::ALL.into_iter().find(|b| b.name() == s)
+    }
+
+    /// Parses a backend *set* specification: a comma-separated list of
+    /// backend names, `all`, or the historical `both` (= all backends).
+    pub fn parse_set(spec: &str) -> Option<Vec<Backend>> {
+        if spec == "all" || spec == "both" {
+            return Some(Backend::ALL.to_vec());
         }
+        spec.split(',')
+            .map(|s| Backend::parse(s.trim()))
+            .collect::<Option<Vec<_>>>()
+            .filter(|v| !v.is_empty())
     }
 }
 
 /// An algorithm ported to the [`Machine`] backend API, runnable (and timed)
-/// on either backend from this one entry point.
+/// on any backend from this one entry point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
     /// §5.1.1 QRQW dart-throwing random permutation (Theorem 5.1).
@@ -376,6 +389,7 @@ impl Algorithm {
                 self.package(backend, n, seed, valid, elapsed, m.cost_report())
             }
             Backend::Native => self.run_native(n, seed, None),
+            Backend::Bsp => self.run_bsp(n, seed, None),
         }
     }
 
@@ -389,6 +403,18 @@ impl Algorithm {
         };
         let (valid, elapsed) = self.run_on(&mut m, n);
         self.package(Backend::Native, n, seed, valid, elapsed, m.cost_report())
+    }
+
+    /// Runs this algorithm on a fresh [`BspMachine`], optionally with an
+    /// explicit compute-phase thread count (components come from
+    /// `QRQW_BSP_COMPONENTS` / the crate default either way).
+    pub fn run_bsp(self, n: usize, seed: u64, threads: Option<usize>) -> BackendRun {
+        let mut m = match threads {
+            Some(t) => BspMachine::with_threads(16, seed, t),
+            None => BspMachine::with_seed(16, seed),
+        };
+        let (valid, elapsed) = self.run_on(&mut m, n);
+        self.package(Backend::Bsp, n, seed, valid, elapsed, m.cost_report())
     }
 
     fn package(
@@ -516,7 +542,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn every_algorithm_runs_on_both_backends() {
+    fn every_algorithm_runs_on_every_backend() {
         for algo in Algorithm::ALL {
             for backend in Backend::ALL {
                 let run = algo.run(backend, 128, 5);
@@ -535,6 +561,39 @@ mod tests {
             assert_eq!(Backend::parse(backend.name()), Some(backend));
         }
         assert_eq!(Algorithm::parse("nope"), None);
+        assert_eq!(Backend::parse("nope"), None);
+    }
+
+    #[test]
+    fn backend_sets_parse_names_all_and_the_historical_both() {
+        assert_eq!(Backend::parse_set("all"), Some(Backend::ALL.to_vec()));
+        assert_eq!(Backend::parse_set("both"), Some(Backend::ALL.to_vec()));
+        assert_eq!(
+            Backend::parse_set("bsp,sim"),
+            Some(vec![Backend::Bsp, Backend::Sim])
+        );
+        assert_eq!(Backend::parse_set("nope"), None);
+        assert_eq!(Backend::parse_set(""), None);
+    }
+
+    #[test]
+    fn bsp_runs_carry_measured_and_predicted_costs() {
+        let run = Algorithm::PermutationQrqw.run(Backend::Bsp, 256, 3);
+        assert!(run.valid);
+        let bsp = run.report.bsp.expect("bsp run must fill the BSP section");
+        assert!(bsp.measured_cost > 0);
+        assert!(
+            bsp.measured_cost <= bsp.predicted_cost,
+            "measured {} exceeded the Theorem 1.1 bound {}",
+            bsp.measured_cost,
+            bsp.predicted_cost
+        );
+        // The sim and bsp runs of one seed are the same trajectory, so the
+        // claim counters must agree exactly.
+        let sim = Algorithm::PermutationQrqw.run(Backend::Sim, 256, 3);
+        assert_eq!(run.report.claim_attempts, sim.report.claim_attempts);
+        assert_eq!(run.report.contended_claims, sim.report.contended_claims);
+        assert_eq!(run.report.steps, sim.report.steps);
     }
 
     #[test]

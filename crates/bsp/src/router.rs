@@ -1,0 +1,191 @@
+//! The batch-message router: the communication phase of a BSP superstep.
+//!
+//! Processors do not touch shared cells directly on a BSP machine — they
+//! emit read/write *requests* during the local-computation phase, and a
+//! routing phase delivers them in batches keyed by destination cell.  This
+//! module is that phase: it combines duplicate same-processor requests
+//! (the standard first move of a PRAM-on-BSP emulation — each component
+//! sorts its own requests and merges duplicates before injecting them into
+//! the network), sorts the combined traffic by destination address, and
+//! *measures* what the delivery actually cost:
+//!
+//! * the longest per-cell message queue (the realized contention `k` of
+//!   Theorem 1.1 — a queue of length `k` drains in `k` delivery cycles),
+//! * the heaviest per-component load (the `h` of the realized h-relation,
+//!   with cells distributed cyclically over components), and
+//! * the message count itself.
+//!
+//! Delivery is deterministic: messages arrive at a cell in processor-id
+//! order, so the first message of a write batch wins the cell — exactly the
+//! simulator's lowest-processor-id write arbitration.  Batching order
+//! therefore never affects results, which is what lets the BSP backend keep
+//! bit-identical parity with the simulator at any thread count.
+
+/// One step's routed traffic and the measurements taken while routing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedStep {
+    /// Winning write per destination cell (first message of each batch,
+    /// i.e. lowest processor id), in ascending address order.
+    pub winners: Vec<(usize, u64)>,
+    /// Read requests routed, after same-processor combining.
+    pub read_msgs: u64,
+    /// Write messages routed, after same-processor combining.
+    pub write_msgs: u64,
+    /// Longest realized per-cell read queue.
+    pub read_queue: u64,
+    /// Longest realized per-cell write queue.
+    pub write_queue: u64,
+    /// Largest number of messages handled by one component (read requests
+    /// count twice — request plus reply — write messages once).
+    pub max_h: u64,
+}
+
+impl RoutedStep {
+    /// The realized contention of the step: the longest message queue any
+    /// single cell accumulated, reads or writes.
+    pub fn max_queue(&self) -> u64 {
+        self.read_queue.max(self.write_queue)
+    }
+
+    /// Total messages this step put on the network (reads are
+    /// request + reply).
+    pub fn messages(&self) -> u64 {
+        2 * self.read_msgs + self.write_msgs
+    }
+}
+
+/// Routes one superstep's buffered requests.
+///
+/// `reads` holds `(addr, proc)` read requests, `writes` holds
+/// `(addr, proc, value)` write messages; `components` is the number of BSP
+/// components cells are distributed over (cyclically: `addr % components`).
+/// Duplicate same-processor reads of one cell are combined into a single
+/// request; a processor writing one cell more than once in a step (already
+/// outside the backend contract) has its smallest value delivered.
+pub fn route(
+    mut reads: Vec<(usize, u64)>,
+    mut writes: Vec<(usize, u64, u64)>,
+    components: usize,
+) -> RoutedStep {
+    // Local combining: one request per (cell, processor).
+    reads.sort_unstable();
+    reads.dedup();
+    let read_queue = max_run(reads.iter().map(|&(a, _)| a));
+
+    writes.sort_unstable();
+    writes.dedup_by_key(|&mut (a, p, _)| (a, p));
+    let write_queue = max_run(writes.iter().map(|&(a, _, _)| a));
+
+    // Delivery: batches are grouped by destination cell and arrive in
+    // processor order, so the first message of each batch takes the cell.
+    let mut winners: Vec<(usize, u64)> = Vec::new();
+    let mut last_addr = usize::MAX;
+    for &(a, _, v) in &writes {
+        if a != last_addr {
+            winners.push((a, v));
+            last_addr = a;
+        }
+    }
+
+    // The realized h-relation over the component-distributed cells.
+    let mut per_component = vec![0u64; components.max(1)];
+    for &(a, _) in &reads {
+        per_component[a % components.max(1)] += 2;
+    }
+    for &(a, _, _) in &writes {
+        per_component[a % components.max(1)] += 1;
+    }
+    let max_h = per_component.iter().copied().max().unwrap_or(0);
+
+    RoutedStep {
+        winners,
+        read_msgs: reads.len() as u64,
+        write_msgs: writes.len() as u64,
+        read_queue,
+        write_queue,
+        max_h,
+    }
+}
+
+/// Longest run of equal addresses in an address-sorted sequence (0 when
+/// empty) — the length of the fullest delivery queue.
+fn max_run<I: Iterator<Item = usize>>(addrs: I) -> u64 {
+    let mut best = 0u64;
+    let mut cur = 0u64;
+    let mut last = usize::MAX;
+    for a in addrs {
+        if a == last {
+            cur += 1;
+        } else {
+            cur = 1;
+            last = a;
+        }
+        best = best.max(cur);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_processor_id_wins_each_cell() {
+        let routed = route(
+            Vec::new(),
+            vec![(4, 2, 22), (4, 0, 20), (4, 1, 21), (9, 5, 95)],
+            8,
+        );
+        assert_eq!(routed.winners, vec![(4, 20), (9, 95)]);
+        assert_eq!(routed.write_queue, 3);
+        assert_eq!(routed.write_msgs, 4);
+    }
+
+    #[test]
+    fn same_processor_duplicate_reads_are_combined() {
+        // Processor 7 reads cell 3 three times: one routed request.
+        let routed = route(vec![(3, 7), (3, 7), (3, 7), (3, 8)], Vec::new(), 4);
+        assert_eq!(routed.read_msgs, 2);
+        assert_eq!(routed.read_queue, 2);
+        assert_eq!(routed.messages(), 4, "a read costs request + reply");
+    }
+
+    #[test]
+    fn queue_lengths_count_distinct_processors_per_cell() {
+        let reads = vec![(0, 1), (0, 2), (0, 3), (1, 4)];
+        let writes = vec![(5, 1, 10), (5, 2, 11)];
+        let routed = route(reads, writes, 4);
+        assert_eq!(routed.read_queue, 3);
+        assert_eq!(routed.write_queue, 2);
+        assert_eq!(routed.max_queue(), 3);
+    }
+
+    #[test]
+    fn h_relation_counts_traffic_per_component() {
+        // Cells 0 and 4 share component 0 of 4: 2 reads (×2) + 1 write = 5.
+        let routed = route(vec![(0, 1), (4, 2)], vec![(4, 3, 1)], 4);
+        assert_eq!(routed.max_h, 5);
+    }
+
+    #[test]
+    fn routing_is_independent_of_request_order() {
+        let reads = vec![(2, 9), (0, 1), (2, 3), (0, 7), (2, 9)];
+        let writes = vec![(6, 4, 40), (6, 1, 10), (3, 2, 20)];
+        let a = route(reads.clone(), writes.clone(), 8);
+        let mut shuffled_reads = reads;
+        shuffled_reads.reverse();
+        let mut shuffled_writes = writes;
+        shuffled_writes.swap(0, 2);
+        let b = route(shuffled_reads, shuffled_writes, 8);
+        assert_eq!(a, b, "routing must not depend on buffer order");
+    }
+
+    #[test]
+    fn empty_step_routes_nothing() {
+        let routed = route(Vec::new(), Vec::new(), 16);
+        assert_eq!(routed.max_queue(), 0);
+        assert_eq!(routed.messages(), 0);
+        assert_eq!(routed.max_h, 0);
+        assert!(routed.winners.is_empty());
+    }
+}

@@ -740,6 +740,7 @@ impl Machine for NativeMachine {
             work: None,
             max_contention: None,
             time_qrqw: None,
+            bsp: None,
         }
     }
 }

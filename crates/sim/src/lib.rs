@@ -82,7 +82,7 @@ pub mod schedule;
 pub mod stats;
 pub mod step;
 
-pub use machine::{ClaimMode, CostReport, Machine, MachineProc};
+pub use machine::{BspCost, ClaimMode, CostReport, Machine, MachineProc};
 pub use memory::{SharedMemory, EMPTY};
 pub use model::CostModel;
 pub use pram::{ExecMode, Pram};

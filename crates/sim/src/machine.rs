@@ -1,15 +1,18 @@
-//! The `Machine` backend API: one algorithm source, two machines.
+//! The `Machine` backend API: one algorithm source, three machines.
 //!
 //! The paper evaluates its algorithms twice — analytically on the QRQW PRAM
 //! cost model and empirically on a real machine (the MasPar Table II
 //! experiment).  This module captures the *work–time presentation* those two
 //! evaluations share as a trait, so an algorithm is written once and executed
-//! on either substrate:
+//! on any substrate:
 //!
 //! * [`crate::Pram`] — the simulator: exact per-step traces, every cost
 //!   model, deterministic write arbitration.
 //! * `NativeMachine` (crate `qrqw-exec`) — real threads and atomics:
 //!   wall-clock time and contended-CAS counts.
+//! * `BspMachine` (crate `qrqw-bsp`) — batch-message BSP supersteps:
+//!   requests routed by destination cell, contention measured as realized
+//!   queue lengths next to the Theorem 1.1 predicted bound ([`BspCost`]).
 //!
 //! A [`Machine`] exposes synchronous data-parallel steps ([`Machine::par_map`]
 //! / [`Machine::par_for`]), per-processor shared-memory access through
@@ -122,15 +125,60 @@ impl MachineProc for ProcCtx<'_> {
     }
 }
 
+/// BSP-side measurements of a run, filled only by a batch-message BSP
+/// backend (crate `qrqw-bsp`).
+///
+/// Theorem 1.1 of the paper bounds the cost of emulating a QRQW PRAM
+/// algorithm of time `t` on a standard BSP machine by `O(t · lg p)` — the
+/// repository's formula charge is [`crate::bsp_emulation_time`].  A BSP
+/// backend *realizes* that emulation: every step becomes supersteps whose
+/// read/write requests travel as messages, routed in batches keyed by
+/// destination cell, and the contention actually paid is the longest
+/// realized per-cell message queue — measured, not charged.  This struct
+/// carries both sides so harnesses can print measured-vs-predicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BspCost {
+    /// Number of BSP components (`p` in the Theorem 1.1 bound).
+    pub components: u64,
+    /// Supersteps executed (each ends in a barrier; a step with reads costs
+    /// a request and a reply superstep, one with writes a delivery
+    /// superstep, and the built-in scan/OR primitives one per tree level).
+    pub supersteps: u64,
+    /// Messages routed (read requests count twice: request + reply).
+    pub messages: u64,
+    /// Longest realized per-cell message queue in any superstep.
+    pub max_queue: u64,
+    /// Largest number of messages routed through one component in any
+    /// superstep — the `h` of the costliest realized h-relation.
+    pub max_h_relation: u64,
+    /// Realized emulation cost: the sum over supersteps of
+    /// `max(local ops, realized max queue)` in h-relation units (barrier
+    /// latency is visible in `supersteps`, not folded in here).
+    pub measured_cost: u64,
+    /// The Theorem 1.1 formula bound for the same run:
+    /// `charged QRQW time · ⌈lg components⌉`.
+    pub predicted_cost: u64,
+}
+
+impl BspCost {
+    /// `predicted / measured` — how far the realized emulation stays below
+    /// the worst-case formula charge (`None` when nothing was measured).
+    pub fn headroom(&self) -> Option<f64> {
+        (self.measured_cost > 0).then(|| self.predicted_cost as f64 / self.measured_cost as f64)
+    }
+}
+
 /// What an execution cost on whichever backend ran it.
 ///
 /// The simulator fills the model-side fields from its exact trace and leaves
 /// wall-clock as host time; a native backend has no trace, so the model-side
 /// fields are `None` and the measured fields are wall-clock time and
-/// contended claims (its CAS-failure analogue of queue contention).
+/// contended claims (its CAS-failure analogue of queue contention).  The
+/// BSP backend additionally fills [`CostReport::bsp`] with its realized
+/// superstep/message/queue measurements.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostReport {
-    /// Short backend name (`"sim"`, `"native"`).
+    /// Short backend name (`"sim"`, `"native"`, `"bsp"`).
     pub backend: &'static str,
     /// Synchronous steps executed (identical across backends for the same
     /// algorithm, seed and input — see the backend contract).
@@ -149,6 +197,8 @@ pub struct CostReport {
     pub max_contention: Option<u64>,
     /// Running time under the QRQW metric (simulator only).
     pub time_qrqw: Option<u64>,
+    /// Measured BSP emulation quantities (BSP backend only).
+    pub bsp: Option<BspCost>,
 }
 
 impl std::fmt::Display for CostReport {
@@ -164,6 +214,18 @@ impl std::fmt::Display for CostReport {
         )?;
         if let (Some(w), Some(k), Some(t)) = (self.work, self.max_contention, self.time_qrqw) {
             write!(f, " work={w} max_cont={k} t_qrqw={t}")?;
+        }
+        if let Some(b) = &self.bsp {
+            write!(
+                f,
+                " supersteps={} msgs={} max_q={} max_h={} measured={} predicted={}",
+                b.supersteps,
+                b.messages,
+                b.max_queue,
+                b.max_h_relation,
+                b.measured_cost,
+                b.predicted_cost,
+            )?;
         }
         Ok(())
     }
@@ -482,6 +544,7 @@ impl Machine for Pram {
             work: Some(self.trace().work()),
             max_contention: Some(self.trace().max_contention()),
             time_qrqw: Some(self.trace().time(crate::CostModel::Qrqw)),
+            bsp: None,
         }
     }
 }

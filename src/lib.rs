@@ -14,8 +14,11 @@
 //!   random (cyclic) permutation, hashing, the three sorts, Fetch&Add
 //!   emulation, the fat-tree,
 //! * [`exec`] — the native rayon/atomics backend ([`exec::NativeMachine`])
-//!   for wall-clock Table II runs.
+//!   for wall-clock Table II runs,
+//! * [`bsp`] — the batch-message BSP backend ([`bsp::BspMachine`]) that
+//!   measures the Theorem 1.1 emulation instead of formula-charging it.
 
+pub use qrqw_bsp as bsp;
 pub use qrqw_core as algos;
 pub use qrqw_exec as exec;
 pub use qrqw_prims as prims;

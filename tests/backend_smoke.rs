@@ -1,15 +1,19 @@
 //! Registry/backend drift guard: every [`Algorithm::ALL`] variant must run
-//! and validate once on *both* backends at small problem sizes.
+//! and validate once on *every* [`Backend::ALL`] backend at small problem
+//! sizes — both lists are enumerated programmatically, so adding a variant
+//! without porting it, porting one without registering it, or registering
+//! a backend that breaks any single variant fails this build with the
+//! offending (variant, backend) pair in the message.
 //!
-//! This is the tier-1 twin of the CI `backend_bench` smoke step: adding an
-//! algorithm to the registry without porting it (or porting one without
-//! registering it in a runnable state) fails this build immediately, and a
-//! backend regression that breaks any single variant is pinned to its name.
+//! This is the tier-1 twin of the CI `backend_bench` smoke step; the
+//! companion guard in `tests/backends.rs`
+//! (`parity_suite_covers_every_registered_backend`) additionally fails the
+//! build when a registered backend lacks a parity-suite instantiation.
 
 use qrqw_bench::{Algorithm, Backend};
 
 #[test]
-fn every_registry_variant_runs_and_validates_on_both_backends() {
+fn every_registry_variant_runs_and_validates_on_every_backend() {
     for n in [64usize, 257] {
         for algo in Algorithm::ALL {
             for backend in Backend::ALL {
@@ -31,16 +35,30 @@ fn registry_names_are_stable_and_parse_round_trips() {
     for algo in Algorithm::ALL {
         assert_eq!(Algorithm::parse(algo.name()), Some(algo), "{}", algo.name());
     }
+    for backend in Backend::ALL {
+        assert_eq!(
+            Backend::parse(backend.name()),
+            Some(backend),
+            "{}",
+            backend.name()
+        );
+    }
     assert!(
         Algorithm::ALL.len() >= 13,
         "the port promised ≥ 13 variants"
     );
+    assert!(
+        Backend::ALL.len() >= 3,
+        "sim, native and bsp must stay registered"
+    );
 }
 
 #[test]
-fn exclusive_claim_algorithms_report_identical_cost_counters_across_backends() {
-    // For the claim-deterministic variants the two backends must agree not
-    // just on output but on the step and claim counters the harness prints.
+fn exclusive_claim_algorithms_report_identical_cost_counters_on_every_backend() {
+    // For the claim-deterministic variants all backends must agree not
+    // just on output but on the step and claim counters the harness
+    // prints — enumerated over Backend::ALL so a fourth backend is
+    // covered the moment it is registered.
     for algo in [
         Algorithm::PermutationQrqw,
         Algorithm::PermutationDartScan,
@@ -49,26 +67,45 @@ fn exclusive_claim_algorithms_report_identical_cost_counters_across_backends() {
         Algorithm::ListRank,
         Algorithm::FetchAdd,
     ] {
-        let sim = algo.run(Backend::Sim, 200, 7);
-        let native = algo.run(Backend::Native, 200, 7);
-        assert!(sim.valid && native.valid, "{}", algo.name());
+        let reference = algo.run(Backend::Sim, 200, 7);
+        assert!(reference.valid, "{}", algo.name());
+        for backend in Backend::ALL {
+            let run = algo.run(backend, 200, 7);
+            assert!(run.valid, "{} on {}", algo.name(), backend.name());
+            assert_eq!(
+                reference.report.steps,
+                run.report.steps,
+                "{} on {}: step counters out of lockstep",
+                algo.name(),
+                backend.name()
+            );
+            assert_eq!(
+                reference.report.claim_attempts,
+                run.report.claim_attempts,
+                "{} on {}: claim counters diverged",
+                algo.name(),
+                backend.name()
+            );
+            assert_eq!(
+                reference.report.contended_claims,
+                run.report.contended_claims,
+                "{} on {}: contention counters diverged",
+                algo.name(),
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn only_the_bsp_backend_fills_the_bsp_cost_section() {
+    for backend in Backend::ALL {
+        let run = Algorithm::ListRank.run(backend, 64, 1);
         assert_eq!(
-            sim.report.steps,
-            native.report.steps,
-            "{}: step counters out of lockstep",
-            algo.name()
-        );
-        assert_eq!(
-            sim.report.claim_attempts,
-            native.report.claim_attempts,
-            "{}: claim counters diverged",
-            algo.name()
-        );
-        assert_eq!(
-            sim.report.contended_claims,
-            native.report.contended_claims,
-            "{}: contention counters diverged",
-            algo.name()
+            run.report.bsp.is_some(),
+            backend == Backend::Bsp,
+            "{} report has the wrong BSP-section shape",
+            backend.name()
         );
     }
 }

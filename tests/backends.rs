@@ -1,502 +1,65 @@
 //! Cross-backend parity and determinism tests for the `Machine` API.
 //!
-//! The backend contract (see `qrqw_sim::machine`) promises that both
-//! backends draw identical per-`(seed, step, proc)` random streams and that
-//! exclusive claims resolve deterministically.  Algorithms built only on
-//! those facilities — the random-permutation dart throwers, the cyclic
-//! permutations, and every deterministic routine (list ranking, the stable
-//! sorts, Fetch&Add emulation) — must therefore produce *bit-identical*
-//! outputs on the simulator and the native machine, not merely outputs that
-//! are both valid.  Occupy-mode claims hand cells to an arbitrary CAS
-//! winner, so occupy-based algorithms (linear compaction, load balancing,
-//! multiple compaction, hashing builds, the sample/integer/distributive
-//! sorts' placement phases) are checked for semantic validity on both
-//! backends instead — for the sorts that still means the *output* is
-//! bit-identical, because a multiset has one sorted order.
+//! The backend contract (see `qrqw_sim::machine`) promises that every
+//! backend draws identical per-`(seed, step, proc)` random streams and that
+//! exclusive claims resolve deterministically, so algorithms built only on
+//! those facilities must produce *bit-identical* outputs everywhere, while
+//! occupy-based algorithms promise semantic validity.  Those two test
+//! patterns live as generic functions in `tests/common/parity.rs`; this
+//! file instantiates the whole battery once per backend — the simulator
+//! (self-parity: the suite's reference is the simulator itself), the native
+//! machine, and the batch-message BSP machine.  Adding a backend is one
+//! `parity_suite!` line plus its name in [`PARITY_SUITE_BACKENDS`].
 
-use qrqw_suite::algos::{
-    emulate_fetch_add_step, integer_sort_crqw, is_cyclic, is_permutation, load_balance_erew,
-    load_balance_qrqw, multiple_compaction, random_cyclic_permutation_efficient,
-    random_cyclic_permutation_fast, random_permutation_dart_scan, random_permutation_qrqw,
-    random_permutation_sorting_erew, sample_sort_crqw, sample_sort_qrqw, sort_uniform_keys,
-    QrqwHashTable,
-};
-use qrqw_suite::exec::NativeMachine;
-use qrqw_suite::prims::listrank::NIL;
-use qrqw_suite::prims::{linear_compaction, list_rank, pack, radix_sort_packed, unpack_key};
-use qrqw_suite::sim::{ClaimMode, Machine, Pram, EMPTY};
-use std::collections::HashSet;
+mod common;
 
-/// Deterministic distinct keys below `2^31 − 1` — the same generator the
-/// `backend_bench` registry validators use, so the parity tests and the
-/// harness exercise identical workloads.
-fn scattered_keys(n: usize, offset: usize) -> Vec<u64> {
-    qrqw_bench::Algorithm::scattered_keys(n, offset)
-}
+use common::parity::parity_suite;
+
+/// Backends the parity suite is instantiated for below.  The drift-guard
+/// test pins this list to `qrqw_bench::Backend::ALL`, so registering a
+/// backend in the bench registry without giving it a `parity_suite!`
+/// instantiation fails the build.
+pub const PARITY_SUITE_BACKENDS: &[&str] = &["sim", "native", "bsp"];
+
+parity_suite!(sim, qrqw_suite::sim::Pram);
+parity_suite!(native, qrqw_suite::exec::NativeMachine);
+parity_suite!(bsp, qrqw_suite::bsp::BspMachine);
 
 #[test]
-fn all_three_permutation_algorithms_match_across_backends() {
-    for n in [1usize, 2, 77, 500] {
-        for seed in [0u64, 7, 41] {
-            let mut sim = Pram::with_seed(16, seed);
-            let mut native = NativeMachine::with_seed(16, seed);
-            let a = random_permutation_qrqw(&mut sim, n);
-            let b = random_permutation_qrqw(&mut native, n);
-            assert!(is_permutation(&a.order));
-            assert_eq!(
-                a.order, b.order,
-                "qrqw dart thrower diverged (n={n}, seed={seed})"
-            );
-            assert_eq!(a.rounds, b.rounds);
-
-            let mut sim = Pram::with_seed(16, seed);
-            let mut native = NativeMachine::with_seed(16, seed);
-            let a = random_permutation_dart_scan(&mut sim, n);
-            let b = random_permutation_dart_scan(&mut native, n);
-            assert!(is_permutation(&a.order));
-            assert_eq!(a.order, b.order, "dart+scan diverged (n={n}, seed={seed})");
-
-            let mut sim = Pram::with_seed(16, seed);
-            let mut native = NativeMachine::with_seed(16, seed);
-            let a = random_permutation_sorting_erew(&mut sim, n);
-            let b = random_permutation_sorting_erew(&mut native, n);
-            assert!(is_permutation(&a.order));
-            assert_eq!(
-                a.order, b.order,
-                "sorting baseline diverged (n={n}, seed={seed})"
-            );
-        }
-    }
-}
-
-#[test]
-fn contended_claim_counts_agree_across_backends() {
-    // Exclusive-claim contention is deterministic, so the simulator's
-    // collision count and the native CAS-failure count must be equal.
-    let n = 2048usize;
-    let mut sim = Pram::with_seed(16, 3);
-    let mut native = NativeMachine::with_seed(16, 3);
-    let _ = random_permutation_qrqw(&mut sim, n);
-    let _ = random_permutation_qrqw(&mut native, n);
-    let rs = sim.cost_report();
-    let rn = native.cost_report();
-    assert_eq!(rs.claim_attempts, rn.claim_attempts);
-    assert_eq!(rs.contended_claims, rn.contended_claims);
-    assert_eq!(rs.steps, rn.steps, "step counters must advance in lockstep");
-}
-
-#[test]
-fn qrqw_dart_sees_less_contention_than_scan_variant_natively() {
-    // The paper's core empirical effect, observed on the native backend:
-    // throwing into geometrically shrinking *fresh* subarrays (≥ 2·active
-    // cells) collides less than re-throwing into the same n-cell arena.
-    let n = 16_384;
-    let mut qrqw = NativeMachine::with_seed(16, 7);
-    let _ = random_permutation_qrqw(&mut qrqw, n);
-    let mut scan = NativeMachine::with_seed(16, 7);
-    let _ = random_permutation_dart_scan(&mut scan, n);
-    let q = qrqw.cost_report().contended_claims;
-    let s = scan.cost_report().contended_claims;
-    assert!(
-        q < s,
-        "larger fresh subarrays must reduce claim contention ({q} vs {s})"
-    );
-}
-
-#[test]
-fn native_permutation_is_seed_stable() {
-    // Exclusive claims make the native run deterministic: same seed, same
-    // permutation, run after run, regardless of thread scheduling.
-    for n in [256usize, 3000] {
-        let run = |seed: u64| {
-            let mut m = NativeMachine::with_seed(16, seed);
-            random_permutation_qrqw(&mut m, n).order
-        };
-        assert_eq!(run(5), run(5));
-        assert_ne!(run(5), run(6));
-    }
-}
-
-#[test]
-fn linear_compaction_is_valid_on_both_backends() {
-    // Occupy-mode arbitration is backend-defined, so the placements may
-    // differ — but on either backend every item must land injectively.
-    let n = 1024usize;
-    let k = n / 2;
-    let check = |placements: &[(usize, usize)]| {
-        assert_eq!(placements.len(), k);
-        let sources: HashSet<usize> = placements.iter().map(|&(s, _)| s).collect();
-        assert_eq!(sources, (0..n).step_by(2).collect::<HashSet<_>>());
-        let dests: HashSet<usize> = placements.iter().map(|&(_, d)| d).collect();
-        assert_eq!(dests.len(), k, "destinations must be distinct");
-    };
-
-    let mut sim = Pram::with_seed(16, 11);
-    let src = Machine::alloc(&mut sim, n);
-    for i in (0..n).step_by(2) {
-        Machine::poke(&mut sim, src + i, i as u64 + 1);
-    }
-    let dst = Machine::alloc(&mut sim, 4 * k);
-    check(&linear_compaction(&mut sim, src, n, dst, 4 * k).placements);
-
-    let mut native = NativeMachine::with_seed(16, 11);
-    let src = native.alloc(n);
-    for i in (0..n).step_by(2) {
-        native.poke(src + i, i as u64 + 1);
-    }
-    let dst = native.alloc(4 * k);
-    check(&linear_compaction(&mut native, src, n, dst, 4 * k).placements);
-}
-
-#[test]
-fn load_balancing_is_valid_on_both_backends() {
-    let n = 512usize;
-    let loads: Vec<u64> = (0..n)
-        .map(|i| if i % 64 == 0 { 128 } else { (i % 2) as u64 })
-        .collect();
-    let total: u64 = loads.iter().sum();
-    let bound = 64 * (1 + total / n as u64);
-
-    let mut sim = Pram::with_seed(16, 4);
-    let rs = load_balance_qrqw(&mut sim, &loads);
-    assert!(rs.covers_exactly(&loads));
-    assert!(rs.max_final_load <= bound, "sim load {}", rs.max_final_load);
-
-    let mut native = NativeMachine::with_seed(16, 4);
-    let rn = load_balance_qrqw(&mut native, &loads);
-    assert!(rn.covers_exactly(&loads));
-    assert!(
-        rn.max_final_load <= bound,
-        "native load {}",
-        rn.max_final_load
-    );
-
-    let mut native = NativeMachine::with_seed(16, 5);
-    let re = load_balance_erew(&mut native, &loads);
-    assert!(re.covers_exactly(&loads));
-}
-
-#[test]
-fn exclusive_claims_agree_cell_by_cell() {
-    // Direct trait-level parity: same attempts, same outcome, same memory.
-    let attempts: Vec<(u64, usize)> = (0..200u64)
-        .map(|i| (i + 1, (i as usize * 7) % 64))
-        .collect();
-    let mut sim = Pram::with_seed(16, 0);
-    let mut native = NativeMachine::with_seed(16, 0);
-    let a = Machine::claim(&mut sim, &attempts, ClaimMode::Exclusive);
-    let b = native.claim(&attempts, ClaimMode::Exclusive);
-    assert_eq!(a, b);
-    for addr in 0..64 {
-        assert_eq!(Machine::peek(&sim, addr), native.peek(addr), "cell {addr}");
-    }
-    // contested cells really are restored on both
-    assert!((0..64).any(|addr| native.peek(addr) == EMPTY));
-}
-
-#[test]
-fn cyclic_permutations_match_bit_for_bit_across_backends() {
-    // Both cyclic generators place items with *exclusive* claims and link
-    // successors deterministically, so sim and native must agree exactly —
-    // including the round count and the step/claim counters.
-    for n in [2usize, 5, 120, 700] {
-        for seed in [0u64, 9, 23] {
-            let mut sim = Pram::with_seed(16, seed);
-            let mut native = NativeMachine::with_seed(16, seed);
-            let a = random_cyclic_permutation_fast(&mut sim, n);
-            let b = random_cyclic_permutation_fast(&mut native, n);
-            assert!(is_permutation(&a.successor) && is_cyclic(&a.successor));
-            assert_eq!(
-                a.successor, b.successor,
-                "fast diverged (n={n}, seed={seed})"
-            );
-            assert_eq!(a.rounds, b.rounds);
-            let (rs, rn) = (sim.cost_report(), native.cost_report());
-            assert_eq!(rs.steps, rn.steps, "step counters out of lockstep");
-            assert_eq!(rs.claim_attempts, rn.claim_attempts);
-            assert_eq!(rs.contended_claims, rn.contended_claims);
-
-            let mut sim = Pram::with_seed(16, seed);
-            let mut native = NativeMachine::with_seed(16, seed);
-            let a = random_cyclic_permutation_efficient(&mut sim, n);
-            let b = random_cyclic_permutation_efficient(&mut native, n);
-            assert!(is_cyclic(&a.successor));
-            assert_eq!(
-                a.successor, b.successor,
-                "efficient diverged (n={n}, seed={seed})"
-            );
-            assert_eq!(sim.cost_report().steps, native.cost_report().steps);
-        }
-    }
-}
-
-#[test]
-fn hashing_answers_membership_exactly_on_both_backends() {
-    // The build uses occupy-mode block claims, so the two backends may lay
-    // the table out differently — each backend is therefore checked
-    // independently against the membership predicate (all inserted keys
-    // found, all probes rejected); with the same machine seed both builds
-    // draw the same hash functions.
-    for (n, seed) in [(40usize, 3u64), (300, 7), (900, 1)] {
-        let keys = scattered_keys(n, 0);
-        let probes = scattered_keys(n, n);
-
-        let mut sim = Pram::with_seed(16, seed);
-        let table = QrqwHashTable::build(&mut sim, &keys);
-        assert!(table.lookup_batch(&mut sim, &keys).iter().all(|&h| h));
-        assert!(table.lookup_batch(&mut sim, &probes).iter().all(|&h| !h));
-
-        let mut native = NativeMachine::with_seed(16, seed);
-        let table = QrqwHashTable::build(&mut native, &keys);
-        assert!(table.lookup_batch(&mut native, &keys).iter().all(|&h| h));
-        assert!(table.lookup_batch(&mut native, &probes).iter().all(|&h| !h));
-    }
-}
-
-#[test]
-fn multiple_compaction_is_valid_on_both_backends() {
-    // Occupy-mode dart throwing: placements are backend-defined, so check
-    // the semantic contract on each backend — every item in a private cell
-    // of its own label's subarray.
-    let n = 900usize;
-    let num_labels = 24usize;
-    let labels: Vec<u64> = (0..n)
-        .map(|i| {
-            if i % 3 == 0 {
-                0
-            } else {
-                (i % num_labels) as u64
-            }
-        })
-        .collect();
-    let mut counts = vec![0u64; num_labels];
-    for &l in &labels {
-        counts[l as usize] += 1;
-    }
-
-    fn check(res: &qrqw_suite::algos::McResult, labels: &[u64], backend: &str) {
-        assert!(!res.failed, "{backend}: run reported failure");
-        let mut seen = HashSet::new();
-        for (item, &pos) in res.positions.iter().enumerate() {
-            assert_ne!(pos, usize::MAX, "{backend}: item {item} unplaced");
-            assert!(seen.insert(pos), "{backend}: position {pos} reused");
-            let label = labels[item] as usize;
-            let lo = res.layout.b_base + res.layout.subarray_offset[label];
-            let hi = lo + res.layout.subarray_len[label];
-            assert!(
-                pos >= lo && pos < hi,
-                "{backend}: item {item} outside its subarray"
-            );
-        }
-    }
-
-    let mut sim = Pram::with_seed(16, 5);
-    check(
-        &multiple_compaction(&mut sim, &labels, &counts),
-        &labels,
-        "sim",
-    );
-    let mut native = NativeMachine::with_seed(16, 5);
-    check(
-        &multiple_compaction(&mut native, &labels, &counts),
-        &labels,
-        "native",
-    );
-}
-
-#[test]
-fn ported_sorts_produce_identical_sorted_output_on_both_backends() {
-    // The placement phases use occupy claims, but a multiset has exactly one
-    // sorted order, so the *outputs* must be bit-identical across backends
-    // (and equal to the std reference).
-    let n = 1200usize;
-    let keys = scattered_keys(n, 0);
-    let mut expect = keys.clone();
-    expect.sort_unstable();
-
-    let mut sim = Pram::with_seed(16, 2);
-    let mut native = NativeMachine::with_seed(16, 2);
-    assert_eq!(sample_sort_qrqw(&mut sim, &keys), expect);
-    assert_eq!(sample_sort_qrqw(&mut native, &keys), expect);
-
-    let mut sim = Pram::with_seed(16, 3);
-    let mut native = NativeMachine::with_seed(16, 3);
-    assert_eq!(sample_sort_crqw(&mut sim, &keys), expect);
-    assert_eq!(sample_sort_crqw(&mut native, &keys), expect);
-
-    let mut sim = Pram::with_seed(16, 4);
-    let mut native = NativeMachine::with_seed(16, 4);
-    assert_eq!(sort_uniform_keys(&mut sim, &keys), expect);
-    assert_eq!(sort_uniform_keys(&mut native, &keys), expect);
-
-    let max_key = (n as u64) * 8;
-    let small: Vec<u64> = keys.iter().map(|&k| k % max_key).collect();
-    let mut expect_small = small.clone();
-    expect_small.sort_unstable();
-    let mut sim = Pram::with_seed(16, 5);
-    let mut native = NativeMachine::with_seed(16, 5);
-    assert_eq!(integer_sort_crqw(&mut sim, &small, max_key), expect_small);
+fn parity_suite_covers_every_registered_backend() {
+    let registered: Vec<&str> = qrqw_bench::Backend::ALL.iter().map(|b| b.name()).collect();
     assert_eq!(
-        integer_sort_crqw(&mut native, &small, max_key),
-        expect_small
+        PARITY_SUITE_BACKENDS, registered,
+        "backend registry and parity-suite instantiations drifted apart — \
+         add a parity_suite!(name, MachineType) line for the new backend"
     );
 }
 
 #[test]
-fn stable_radix_sort_matches_bit_for_bit_across_backends() {
-    // Fully deterministic primitive: identical memory images afterwards.
-    let n = 700usize;
-    let words: Vec<u64> = (0..n as u64).map(|i| pack((i * 131) % 257, i)).collect();
+fn contention_totals_agree_across_all_three_backends() {
+    // Exclusive-claim contention is deterministic, and occupy totals are
+    // too (each contested cell has exactly one winner), so the three
+    // backends' counters must coincide for the same seed even where the
+    // occupy winners differ.
+    use qrqw_suite::algos::random_permutation_qrqw;
+    use qrqw_suite::sim::Machine;
 
-    let mut sim = Pram::with_seed(16, 0);
-    let base = Machine::alloc(&mut sim, n);
-    Machine::load(&mut sim, base, &words);
-    radix_sort_packed(&mut sim, base, n, 16);
-    let a = Machine::dump(&sim, base, n);
-
-    let mut native = NativeMachine::with_seed(16, 0);
-    let base = native.alloc(n);
-    native.load(base, &words);
-    radix_sort_packed(&mut native, base, n, 16);
-    let b = native.dump(base, n);
-
-    assert_eq!(a, b);
-    // ...and both are the stable sort of the input.
-    let mut expect = words;
-    expect.sort_by_key(|&w| unpack_key(w));
-    assert_eq!(a, expect);
-    assert_eq!(sim.steps_executed(), Machine::steps_executed(&native));
-}
-
-#[test]
-fn list_rank_matches_bit_for_bit_across_backends() {
-    let n = 513usize;
-    // One chain visiting nodes in a scrambled order.
-    let order: Vec<usize> = {
-        let mut v: Vec<usize> = (0..n).collect();
-        for i in 1..n {
-            v.swap(i, (i * 7919) % (i + 1));
-        }
-        v
-    };
-    let mut succ = vec![NIL; n];
-    for w in order.windows(2) {
-        succ[w[0]] = w[1] as u64;
+    fn totals<M: Machine>() -> (u64, u64, u64) {
+        let mut m = M::with_seed(16, 3);
+        let _ = random_permutation_qrqw(&mut m, 2048);
+        let r = m.cost_report();
+        (r.claim_attempts, r.contended_claims, r.steps)
     }
 
-    let mut sim = Pram::with_seed(16, 0);
-    let sb = Machine::alloc(&mut sim, n);
-    let rb = Machine::alloc(&mut sim, n);
-    Machine::load(&mut sim, sb, &succ);
-    list_rank(&mut sim, sb, n, rb);
-    let a = Machine::dump(&sim, rb, n);
-
-    let mut native = NativeMachine::with_seed(16, 0);
-    let sb = native.alloc(n);
-    let rb = native.alloc(n);
-    native.load(sb, &succ);
-    list_rank(&mut native, sb, n, rb);
-    let b = native.dump(rb, n);
-
-    assert_eq!(a, b);
-    for (j, &node) in order.iter().enumerate() {
-        assert_eq!(a[node], (n - 1 - j) as u64);
-    }
-}
-
-#[test]
-fn fetch_add_returns_identical_old_values_across_backends() {
-    // The reduction serialises requests through a deterministic stable sort,
-    // so even the per-request old values must agree exactly.
-    let requests: Vec<(usize, u64)> = (0..200)
-        .map(|i| ((i * i) % 13, (i % 7) as u64 + 1))
-        .collect();
-
-    let mut sim = Pram::with_seed(64, 1);
-    let a = emulate_fetch_add_step(&mut sim, &requests);
-    let mut native = NativeMachine::with_seed(64, 1);
-    let b = emulate_fetch_add_step(&mut native, &requests);
-    assert_eq!(a, b);
-    for addr in 0..13 {
-        assert_eq!(Machine::peek(&sim, addr), native.peek(addr), "cell {addr}");
-    }
-    assert_eq!(sim.cost_report().steps, native.cost_report().steps);
-}
-
-#[test]
-fn forced_las_vegas_fallback_is_bit_identical_across_backends() {
-    // Regression test for the sequential-step primitive: an adversarial
-    // seed drives the QRQW dart thrower into its sequential clean-up at a
-    // tiny n (every dart of every round collides).  Before `seq_step`, the
-    // clean-up ran as a 1-processor parallel step whose snapshot reads
-    // diverged from a native thread's fresh reads; now both backends must
-    // walk the identical path and emit the identical permutation.
-    let n = 4usize;
-    let seed = (0..3000u64)
-        .find(|&seed| {
-            let mut pram = Pram::with_seed(16, seed);
-            random_permutation_qrqw(&mut pram, n).fallback_used
-        })
-        .expect(
-            "an adversarial seed below 3000 forces the fallback (2974 did at the time of writing)",
-        );
-
-    let mut sim = Pram::with_seed(16, seed);
-    let mut native = NativeMachine::with_seed(16, seed);
-    let a = random_permutation_qrqw(&mut sim, n);
-    let b = random_permutation_qrqw(&mut native, n);
-    assert!(
-        a.fallback_used && b.fallback_used,
-        "both must take the clean-up path"
-    );
-    assert!(is_permutation(&a.order));
-    assert_eq!(a.order, b.order, "fallback output diverged (seed={seed})");
-    assert_eq!(sim.cost_report().steps, native.cost_report().steps);
-}
-
-#[test]
-fn seq_step_sees_same_step_writes_on_both_backends() {
-    // The primitive's contract, exercised through the trait on both
-    // backends: read-after-own-write returns the fresh value, the step
-    // index advances by one, and the random stream matches processor 0's.
-    fn drive<M: Machine>(m: &mut M) -> (u64, u64, usize) {
-        let base = m.alloc(4);
-        let observed = m.seq_step(|ctx| {
-            ctx.write(base, 1);
-            let v = ctx.read(base);
-            ctx.write(base + 1, v + 1);
-            ctx.read(base + 1)
-        });
-        let draw = m.seq_step(|ctx| ctx.random_index(1 << 20));
-        (observed, m.steps_executed(), draw)
-    }
-    let mut sim = Pram::with_seed(16, 44);
-    let mut native = NativeMachine::with_seed(16, 44);
-    let a = drive(&mut sim);
-    let b = drive(&mut native);
-    assert_eq!(a.0, 2, "sim seq_step must see its own writes");
-    assert_eq!(a, b);
-}
-
-#[test]
-fn native_scan_and_global_or_match_simulator() {
-    let vals: Vec<u64> = (0..10_000u64).map(|i| (i * i) % 5).collect();
-    let mut sim = Pram::with_seed(16, 0);
-    let mut native = NativeMachine::with_seed(16, 0);
-    Machine::ensure_memory(&mut sim, vals.len());
-    native.ensure_memory(vals.len());
-    Machine::load(&mut sim, 0, &vals);
-    native.load(0, &vals);
+    let sim = totals::<qrqw_suite::sim::Pram>();
     assert_eq!(
-        Machine::scan_step(&mut sim, 0, vals.len()),
-        native.scan_step(0, vals.len())
+        sim,
+        totals::<qrqw_suite::exec::NativeMachine>(),
+        "sim vs native counters diverged"
     );
     assert_eq!(
-        Machine::dump(&sim, 0, vals.len()),
-        native.dump(0, vals.len())
-    );
-    assert_eq!(
-        Machine::global_or_step(&mut sim, 0, vals.len()),
-        native.global_or_step(0, vals.len())
+        sim,
+        totals::<qrqw_suite::bsp::BspMachine>(),
+        "sim vs bsp counters diverged"
     );
 }

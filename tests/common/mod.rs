@@ -1,0 +1,4 @@
+//! Shared helpers for the integration-test crates that declare
+//! `mod common;` — currently the backend-generic parity harness.
+
+pub mod parity;

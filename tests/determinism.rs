@@ -1,47 +1,69 @@
-//! Thread-count invariance for the native backend.
+//! Thread-count invariance for the native and BSP backends.
 //!
-//! The pooled native machine dispatches every step as contiguous chunks,
-//! and the chunk layout changes with the thread count (builder override or
+//! Both pooled machines dispatch every step as contiguous chunks, and the
+//! chunk layout changes with the thread count (builder override or
 //! `QRQW_THREADS`).  The backend contract says the layout must be
 //! *unobservable*: per-`(seed, step, proc)` RNG streams and deterministic
 //! exclusive-claim outcomes do not depend on which thread computed which
-//! index.  These tests pin that down by running every
-//! deterministic/exclusive-claim registry algorithm at several thread
-//! counts — including oversubscribed ones, so chunked pool dispatch is
-//! exercised even on a single-core host — and requiring bit-identical
-//! outputs, plus agreement with the simulator as the reference.
+//! index — and for the BSP machine, neither may the order in which chunk
+//! buffers hand their messages to the router.  These tests pin that down
+//! by running every deterministic/exclusive-claim registry algorithm at
+//! several thread counts — including oversubscribed ones, so chunked pool
+//! dispatch is exercised even on a single-core host — and requiring
+//! bit-identical outputs (plus, for BSP, identical measured queue
+//! profiles), with the simulator as the reference.
 
 use qrqw_suite::algos::{
     emulate_fetch_add_step, random_cyclic_permutation_efficient, random_cyclic_permutation_fast,
     random_permutation_dart_scan, random_permutation_qrqw, random_permutation_sorting_erew,
     sample_sort_qrqw, sort_uniform_keys,
 };
+use qrqw_suite::bsp::BspMachine;
 use qrqw_suite::exec::NativeMachine;
 use qrqw_suite::prims::{list_rank, pack, radix_sort_packed, unpack_key};
-use qrqw_suite::sim::{Machine, Pram, EMPTY};
+use qrqw_suite::sim::{CostModel, Machine, Pram, EMPTY};
 
 /// The thread counts every invariance test sweeps: sequential, the
 /// smallest genuinely chunked count, an odd oversubscribed count, and the
 /// process default (`QRQW_THREADS` / host parallelism).
 const THREAD_COUNTS: [Option<usize>; 4] = [Some(1), Some(2), Some(5), None];
 
-fn machine(seed: u64, threads: Option<usize>) -> NativeMachine {
-    match threads {
-        Some(t) => NativeMachine::with_threads(16, seed, t),
-        None => NativeMachine::with_seed(16, seed),
+/// Machines that can be built with an explicit thread count — the hook the
+/// generic thread-sweep helper needs.  A new pooled backend joins the
+/// sweeps with one impl plus a thin `*_invariant_under_threads` wrapper.
+trait ThreadSweepMachine: Machine {
+    fn with_thread_count(seed: u64, threads: Option<usize>) -> Self;
+}
+
+impl ThreadSweepMachine for NativeMachine {
+    fn with_thread_count(seed: u64, threads: Option<usize>) -> Self {
+        match threads {
+            Some(t) => NativeMachine::with_threads(16, seed, t),
+            None => Machine::with_seed(16, seed),
+        }
     }
 }
 
-/// Runs `f` on a fresh native machine at every thread count and asserts
-/// all runs return the same value; returns that value.
-fn invariant_under_threads<T, F>(seed: u64, label: &str, f: F) -> T
+impl ThreadSweepMachine for BspMachine {
+    fn with_thread_count(seed: u64, threads: Option<usize>) -> Self {
+        match threads {
+            Some(t) => BspMachine::with_threads(16, seed, t),
+            None => Machine::with_seed(16, seed),
+        }
+    }
+}
+
+/// Runs `f` on a fresh machine at every thread count and asserts all runs
+/// return the same value; returns that value.
+fn sweep_invariant<M, T, F>(seed: u64, label: &str, f: F) -> T
 where
+    M: ThreadSweepMachine,
     T: PartialEq + std::fmt::Debug,
-    F: Fn(&mut NativeMachine) -> T,
+    F: Fn(&mut M) -> T,
 {
     let mut baseline: Option<T> = None;
     for threads in THREAD_COUNTS {
-        let mut m = machine(seed, threads);
+        let mut m = M::with_thread_count(seed, threads);
         let out = f(&mut m);
         match &baseline {
             None => baseline = Some(out),
@@ -52,6 +74,16 @@ where
         }
     }
     baseline.unwrap()
+}
+
+/// [`sweep_invariant`] pinned to the native backend, so call sites keep
+/// closure-parameter inference.
+fn invariant_under_threads<T, F>(seed: u64, label: &str, f: F) -> T
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn(&mut NativeMachine) -> T,
+{
+    sweep_invariant::<NativeMachine, T, F>(seed, label, f)
 }
 
 #[test]
@@ -199,6 +231,110 @@ fn scan_and_global_or_are_invariant_across_thread_counts() {
         assert!(!empty && hit_last && hit_first);
         (empty, hit_last, hit_first)
     });
+}
+
+/// [`sweep_invariant`] pinned to the BSP backend, so call sites keep
+/// closure-parameter inference.
+fn bsp_invariant_under_threads<T, F>(seed: u64, label: &str, f: F) -> T
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn(&mut BspMachine) -> T,
+{
+    sweep_invariant::<BspMachine, T, F>(seed, label, f)
+}
+
+#[test]
+fn bsp_outputs_are_bit_identical_at_every_thread_count() {
+    for (n, seed) in [(3000usize, 7u64), (777, 41)] {
+        let bsp = bsp_invariant_under_threads(seed, "bsp permutation-qrqw", |m| {
+            random_permutation_qrqw(m, n).order
+        });
+        let mut sim = Pram::with_seed(16, seed);
+        assert_eq!(
+            bsp,
+            random_permutation_qrqw(&mut sim, n).order,
+            "bsp must agree with the simulator reference"
+        );
+    }
+    let keys = qrqw_bench::Algorithm::scattered_keys(3000, 0);
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    let got =
+        bsp_invariant_under_threads(2, "bsp sample-sort-qrqw", |m| sample_sort_qrqw(m, &keys));
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn bsp_contention_totals_and_measured_profile_are_thread_count_invariant() {
+    // The realized queues are a *measurement* of the routed traffic, so
+    // they must not depend on how the compute phase was chunked — neither
+    // the per-step profile nor any aggregate of the BSP cost section.
+    let n = 8192usize;
+    let (attempts, failures, steps, profile, bsp_cost) =
+        bsp_invariant_under_threads(11, "bsp contention-totals", |m| {
+            let _ = random_permutation_qrqw(m, n);
+            let report = m.cost_report();
+            (
+                report.claim_attempts,
+                report.contended_claims,
+                report.steps,
+                m.queue_profile().to_vec(),
+                report.bsp.unwrap(),
+            )
+        });
+    let mut sim = Pram::with_seed(16, 11);
+    let _ = random_permutation_qrqw(&mut sim, n);
+    let rs = sim.cost_report();
+    assert_eq!(
+        (attempts, failures, steps),
+        (rs.claim_attempts, rs.contended_claims, rs.steps),
+        "bsp contention totals must match the simulator's collision counts"
+    );
+    assert_eq!(profile.len() as u64, steps);
+    assert_eq!(
+        bsp_cost.measured_cost,
+        sim.trace().time(CostModel::Qrqw),
+        "the measured emulation cost must equal the simulator's exact QRQW time"
+    );
+}
+
+#[test]
+fn bsp_routing_order_never_affects_results() {
+    // A raw step with heavy deliberate collisions: 6000 processors write
+    // into 97 cells and read from 13.  Different thread counts hand the
+    // router its message buffers in different chunkings and orders; the
+    // delivered memory image, the realized queue profile, and the message
+    // totals must all be identical — and the image must equal the
+    // simulator's, whose write arbitration (lowest processor id) the
+    // router's processor-order batches realize.
+    let procs = 6000usize;
+    let body = |p: usize, ctx: &mut dyn qrqw_suite::sim::MachineProc| {
+        let v = ctx.read(p % 13);
+        let v = if v == EMPTY { 0 } else { v };
+        ctx.write(100 + p % 97, p as u64 + v);
+    };
+    let (image, profile, messages) = bsp_invariant_under_threads(0, "bsp routing-order", |m| {
+        m.ensure_memory(256);
+        m.par_for(procs, body);
+        (
+            m.dump(0, 256),
+            m.queue_profile().to_vec(),
+            m.cost_report().bsp.unwrap().messages,
+        )
+    });
+    let mut sim = Pram::with_seed(256, 0);
+    Machine::ensure_memory(&mut sim, 256);
+    Machine::par_for(&mut sim, procs, body);
+    assert_eq!(image, Machine::dump(&sim, 0, 256));
+    // 6000 write messages + 6000 reads (request + reply)
+    assert_eq!(messages, 6000 + 2 * 6000);
+    // realized queues: ⌈6000/13⌉ readers on cell 0 beats ⌈6000/97⌉ writers
+    assert_eq!(profile, vec![6000u64.div_ceil(13)]);
+    assert_eq!(
+        sim.trace().step_stats()[0].max_read_contention,
+        6000u64.div_ceil(13),
+        "the realized queue is exactly the contention the simulator charged"
+    );
 }
 
 /// Probe used by [`qrqw_threads_env_var_controls_the_default_thread_count`]:

@@ -1,0 +1,134 @@
+//! Theorem 1.1 conformance: the BSP backend's *measured* emulation never
+//! exceeds what the cost model *charged* for the same execution.
+//!
+//! Theorem 1.1 is the paper's portability claim — a QRQW PRAM step whose
+//! maximum contention is `k` costs a BSP-style emulation only an additive
+//! `k` (the realized per-cell message queues drain one message per cycle),
+//! so a whole algorithm of QRQW time `t` emulates in `O(t · lg p)` on
+//! `p/lg p` components.  The simulator charges that by formula; the
+//! `BspMachine` routes real message batches and measures their queues.
+//! These tests run every registry variant on both machines with the same
+//! seed (the router's processor-order arbitration makes the two runs the
+//! same trajectory) and assert, step for step:
+//!
+//! * the realized max queue never exceeds the contention the simulator's
+//!   trace charged for that step (measured ≤ charged), and
+//! * the accumulated measured cost lands exactly on the simulator's QRQW
+//!   time and therefore under the `t · ⌈lg p⌉` predicted bound.
+
+use qrqw_bench::Algorithm;
+use qrqw_suite::bsp::BspMachine;
+use qrqw_suite::sim::{bsp_emulation_time, CostModel, Machine, Pram};
+
+/// Runs one registry variant on both machines and returns
+/// `(sim, bsp)` after the run, so each assertion site can interrogate the
+/// trace and the measured profile.
+fn run_pair(algo: Algorithm, n: usize, seed: u64) -> (Pram, BspMachine) {
+    let mut sim = Pram::with_seed(16, seed);
+    let (sim_valid, _) = algo.run_on(&mut sim, n);
+    let mut bsp = BspMachine::with_seed(16, seed);
+    let (bsp_valid, _) = algo.run_on(&mut bsp, n);
+    assert!(sim_valid, "{} invalid on sim at n={n}", algo.name());
+    assert!(bsp_valid, "{} invalid on bsp at n={n}", algo.name());
+    (sim, bsp)
+}
+
+#[test]
+fn measured_per_step_contention_never_exceeds_the_charged_contention() {
+    for n in [64usize, 257] {
+        for algo in Algorithm::ALL {
+            let (sim, bsp) = run_pair(algo, n, 11);
+            let charged = sim.trace().contention_profile();
+            let measured = bsp.queue_profile();
+            assert_eq!(
+                measured.len(),
+                charged.len(),
+                "{}: step counts diverged at n={n}",
+                algo.name()
+            );
+            for (i, (&q, &k)) in measured.iter().zip(&charged).enumerate() {
+                assert!(
+                    q <= k,
+                    "{}: step {i} realized queue {q} > charged contention {k} (n={n})",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn measured_total_cost_equals_the_charged_qrqw_time_and_respects_the_bound() {
+    // The conformance is tight, not just one-sided: the router's combining
+    // makes the realized queue coincide with the Definition 2.1 contention,
+    // so the measured emulation cost must land *exactly* on the simulator's
+    // QRQW time — and hence a factor ⌈lg p⌉ under the Theorem 1.1 bound.
+    for algo in Algorithm::ALL {
+        let (sim, bsp) = run_pair(algo, 257, 11);
+        let t_qrqw = sim.trace().time(CostModel::Qrqw);
+        let cost = bsp.cost_report().bsp.expect("bsp cost section");
+        assert_eq!(
+            cost.measured_cost,
+            t_qrqw,
+            "{}: measured emulation cost diverged from the charged QRQW time",
+            algo.name()
+        );
+        assert_eq!(
+            cost.predicted_cost,
+            bsp_emulation_time(t_qrqw, cost.components),
+            "{}: predicted bound must be the Theorem 1.1 formula",
+            algo.name()
+        );
+        assert!(
+            cost.measured_cost <= cost.predicted_cost,
+            "{}: measured {} exceeded the predicted bound {}",
+            algo.name(),
+            cost.measured_cost,
+            cost.predicted_cost
+        );
+    }
+}
+
+#[test]
+fn claim_and_step_counters_stay_in_lockstep_with_the_simulator() {
+    // The emulation must not skip or add protocol steps: step indices and
+    // claim counters agree for every variant, occupy-based ones included
+    // (the router's lowest-id arbitration is the simulator's).
+    for algo in Algorithm::ALL {
+        let (sim, bsp) = run_pair(algo, 128, 7);
+        let (rs, rb) = (sim.cost_report(), bsp.cost_report());
+        assert_eq!(rs.steps, rb.steps, "{}: steps diverged", algo.name());
+        assert_eq!(
+            rs.claim_attempts,
+            rb.claim_attempts,
+            "{}: claim attempts diverged",
+            algo.name()
+        );
+        assert_eq!(
+            rs.contended_claims,
+            rb.contended_claims,
+            "{}: contended claims diverged",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn the_additive_claim_shows_up_in_the_profile_of_a_contended_step() {
+    // Direct illustration of "additive in k": a single step in which k
+    // processors write one cell is measured as one queue of length k — not
+    // k supersteps, not a k-fold message blow-up.
+    let k = 500usize;
+    let mut bsp = BspMachine::with_seed(16, 0);
+    bsp.ensure_memory(8);
+    bsp.par_for(k, |p, ctx| ctx.write(0, p as u64));
+    assert_eq!(bsp.queue_profile(), &[k as u64]);
+    let cost = bsp.cost_report().bsp.unwrap();
+    assert_eq!(cost.measured_cost, k as u64, "one step costs max(m, k) = k");
+    assert_eq!(
+        cost.messages, k as u64,
+        "k writers send exactly k messages — the queue is additive, \
+         not multiplicative"
+    );
+    assert_eq!(cost.supersteps, 1);
+}
