@@ -11,8 +11,10 @@
 //!
 //! `algorithm` is one of the names printed by the sweep (e.g.
 //! `permutation-qrqw`, `linear-compaction`, `load-balance-qrqw`) or `all`;
-//! `backend` is a backend name (`sim`, `native`, `bsp`), a comma-separated
-//! list, or `all` (aka the historical `both`).
+//! `backend` is a backend name (`sim`, `native`, `native-steal`, `bsp`), a
+//! comma-separated list, or `all` (aka the historical `both`).  The plain
+//! `native` backend additionally honours `QRQW_SCHEDULE=stealing`;
+//! `native-steal` is pinned to work-stealing dispatch regardless.
 
 use qrqw_bench::{Algorithm, Backend, BackendRun};
 
@@ -61,7 +63,10 @@ fn main() {
         })]
     };
     let backends: Vec<Backend> = Backend::parse_set(backend_arg).unwrap_or_else(|| {
-        eprintln!("unknown backend set `{backend_arg}` (sim | native | bsp | name,name | all)");
+        eprintln!(
+            "unknown backend set `{backend_arg}` \
+             (sim | native | native-steal | bsp | name,name | all)"
+        );
         std::process::exit(2);
     });
 

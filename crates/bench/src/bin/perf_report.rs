@@ -12,13 +12,18 @@
 //! ```text
 //! cargo run -p qrqw-bench --release --bin perf_report            # full sweep
 //! cargo run -p qrqw-bench --release --bin perf_report -- \
-//!     [--backend sim,native,bsp|all] [--sizes 65536,1048576] \
-//!     [--algos all|name,name] [--seed 1] [--threads N] \
+//!     [--backend sim,native,native-steal,bsp|all] [--schedule chunked,stealing|all] \
+//!     [--sizes 65536,1048576] [--algos all|name,name] [--seed 1] [--threads N] \
 //!     [--sim-cap N] [--bsp-cap N] [--out BENCH_native.json]
 //! ```
 //!
 //! * `--backend` (alias `--backends`) selects which backends run
 //!   (default: all);
+//! * `--schedule` (alias `--schedules`) selects which *native* schedules
+//!   run, mirroring `--backend`: `chunked` keeps only the `native` column,
+//!   `stealing` only `native-steal`, `chunked,stealing` / `all` both —
+//!   so one invocation compares the two scheduler configurations and the
+//!   JSON carries their ratio, instead of two invocations plus hand-diffing;
 //! * `--threads` forces the native/BSP thread count (otherwise
 //!   `QRQW_THREADS` / host parallelism decides);
 //! * `--sim-cap` / `--bsp-cap` skip simulator / BSP runs above that size
@@ -39,16 +44,21 @@
 //! {"algorithm": "permutation-qrqw", "n": 1048576,
 //!  "native": {"wall_ms": …, "steps": …, "claim_attempts": …,
 //!             "contended_claims": …, "valid": true},
+//!  "native_steal": {… same fields, work-stealing schedule},
 //!  "sim":    {… same fields, plus "work", "max_contention", "time_qrqw"},
 //!  "bsp":    {… same fields, plus "supersteps", "messages", "max_queue",
 //!             "max_h_relation", "measured_cost", "predicted_cost",
 //!             "components"},
-//!  "sim_over_native": 68.9}
+//!  "sim_over_native": 68.9, "chunked_over_stealing": 1.04}
 //! ```
+//!
+//! `chunked_over_stealing` > 1 means the work-stealing schedule was
+//! faster on that run.
 
 use std::io::Write as _;
 
 use qrqw_bench::{Algorithm, Backend, BackendRun};
+use qrqw_exec::Schedule;
 
 struct Config {
     backends: Vec<Backend>,
@@ -64,11 +74,51 @@ struct Config {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: perf_report [--backend sim,native,bsp|all] [--sizes N,N] \
+        "usage: perf_report [--backend sim,native,native-steal,bsp|all] \
+         [--schedule chunked,stealing|all] [--sizes N,N] \
          [--algos all|name,name] [--seed S] [--threads T] [--sim-cap N] \
          [--bsp-cap N] [--out PATH]"
     );
     std::process::exit(2);
+}
+
+/// Applies a `--schedule` spec: keeps the non-native backends of `backends`
+/// and replaces its native entries with the selected schedules' backends
+/// (`chunked` → `native`, `stealing` → `native-steal`), preserving registry
+/// order.
+fn apply_schedule_spec(backends: &mut Vec<Backend>, spec: &str) -> Result<(), ()> {
+    let schedules: Vec<Schedule> = if spec == "all" || spec == "both" {
+        Schedule::ALL.to_vec()
+    } else {
+        spec.split(',')
+            .map(|s| Schedule::parse(s.trim()).ok_or(()))
+            .collect::<Result<Vec<_>, ()>>()?
+    };
+    if schedules.is_empty() {
+        return Err(());
+    }
+    let keep_backend = |b: Backend| match b {
+        Backend::Native => schedules.contains(&Schedule::Chunked),
+        Backend::NativeSteal => schedules.contains(&Schedule::Stealing),
+        _ => true,
+    };
+    // Selected schedules run even if --backend dropped their column, that
+    // is the point of the flag; insert in registry order.
+    for want in Backend::ALL {
+        let selected = match want {
+            Backend::Native => schedules.contains(&Schedule::Chunked),
+            Backend::NativeSteal => schedules.contains(&Schedule::Stealing),
+            _ => false,
+        };
+        if selected && !backends.contains(&want) {
+            backends.push(want);
+        }
+    }
+    backends.retain(|&b| keep_backend(b));
+    let order = |b: &Backend| Backend::ALL.iter().position(|a| a == b).unwrap();
+    backends.sort_by_key(order);
+    backends.dedup();
+    Ok(())
 }
 
 fn parse_args() -> Config {
@@ -82,6 +132,7 @@ fn parse_args() -> Config {
         bsp_cap: 1 << 17,
         out: "BENCH_native.json".to_string(),
     };
+    let mut schedule_spec: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -94,6 +145,10 @@ fn parse_args() -> Config {
                 cfg.backends = Backend::parse_set(&spec)
                     .unwrap_or_else(|| usage(&format!("bad backend set {spec:?}")));
             }
+            // Recorded here, applied after the whole command line is
+            // parsed — so `--schedule stealing --backend sim,native` and
+            // the reverse order mean the same thing.
+            "--schedule" | "--schedules" => schedule_spec = Some(value()),
             "--sizes" => {
                 cfg.sizes = value()
                     .split(',')
@@ -125,6 +180,10 @@ fn parse_args() -> Config {
             "--out" => cfg.out = value(),
             other => usage(&format!("unknown flag {other:?}")),
         }
+    }
+    if let Some(spec) = schedule_spec {
+        apply_schedule_spec(&mut cfg.backends, &spec)
+            .unwrap_or_else(|()| usage(&format!("bad schedule set {spec:?}")));
     }
     if cfg.sizes.is_empty() || cfg.algos.is_empty() {
         usage("need at least one size and one algorithm");
@@ -208,7 +267,15 @@ fn main() {
             // than only the later ones.
             let sim = (wants(Backend::Sim) && n <= cfg.sim_cap)
                 .then(|| algo.run(Backend::Sim, n, cfg.seed));
-            let native = wants(Backend::Native).then(|| algo.run_native(n, cfg.seed, cfg.threads));
+            // Both native columns pin their schedule explicitly: the
+            // report's chunked-vs-stealing ratio must stay meaningful even
+            // when QRQW_SCHEDULE=stealing is set in the environment (the
+            // env-following run_native would then run stolen chunks in the
+            // "native" column too).
+            let native = wants(Backend::Native)
+                .then(|| algo.run_native_with(n, cfg.seed, cfg.threads, Schedule::Chunked));
+            let steal = wants(Backend::NativeSteal)
+                .then(|| algo.run_native_steal(n, cfg.seed, cfg.threads));
             let bsp = (wants(Backend::Bsp) && n <= cfg.bsp_cap)
                 .then(|| algo.run_bsp(n, cfg.seed, cfg.threads));
             if wants(Backend::Bsp) && n > cfg.bsp_cap {
@@ -245,8 +312,9 @@ fn main() {
             };
             let sim_ok = sim.as_ref().is_none_or(|r| r.valid);
             let native_ok = native.as_ref().is_none_or(|r| r.valid);
+            let steal_ok = steal.as_ref().is_none_or(|r| r.valid);
             let bsp_ok = bsp.as_ref().is_none_or(|r| r.valid) && cross_ok;
-            all_valid &= sim_ok && native_ok && bsp_ok;
+            all_valid &= sim_ok && native_ok && steal_ok && bsp_ok;
             let ratio = match (&sim, &native) {
                 (Some(s), Some(nat)) => {
                     Some(s.elapsed.as_secs_f64() / nat.elapsed.as_secs_f64().max(f64::EPSILON))
@@ -254,6 +322,16 @@ fn main() {
                 _ => None,
             };
             let ratio_str = ratio.map_or(format!("{:>8}", "-"), |r| format!("{r:>7.1}x"));
+            // The scheduler comparison the --schedule flag exists for:
+            // chunked wall over stealing wall (> 1 ⇒ stealing won).
+            let sched_ratio = match (&native, &steal) {
+                (Some(c), Some(s)) => {
+                    Some(c.elapsed.as_secs_f64() / s.elapsed.as_secs_f64().max(f64::EPSILON))
+                }
+                _ => None,
+            };
+            let sched_ratio_str =
+                sched_ratio.map_or(format!("{:>8}", "-"), |r| format!("{r:>7.2}x"));
             let bsp_str = match &bsp {
                 Some(r) => {
                     let b = r.report.bsp.expect("bsp run carries its cost section");
@@ -266,29 +344,34 @@ fn main() {
                 }
                 None => "-".to_string(),
             };
-            let valid = sim_ok && native_ok && bsp_ok;
+            let valid = sim_ok && native_ok && steal_ok && bsp_ok;
             println!(
-                "{:<26} n={:<8} native {} ms  sim {} ms  sim/native {}  bsp {}  valid={}",
+                "{:<26} n={:<8} native {} ms  steal {} ms  chunked/steal {}  sim {} ms  sim/native {}  bsp {}  valid={}",
                 algo.name(),
                 n,
                 ms(&native),
+                ms(&steal),
+                sched_ratio_str,
                 ms(&sim),
                 ratio_str,
                 bsp_str,
                 valid,
             );
             let ratio_json = ratio.map_or("null".to_string(), |r| format!("{r:.2}"));
+            let sched_ratio_json = sched_ratio.map_or("null".to_string(), |r| format!("{r:.3}"));
             let opt_json = |r: &Option<BackendRun>, ok: bool| {
                 r.as_ref().map_or("null".to_string(), |r| json_run(r, ok))
             };
             entries.push(format!(
-                "    {{\"algorithm\": \"{}\", \"n\": {}, \"native\": {}, \"sim\": {}, \"bsp\": {}, \"sim_over_native\": {}}}",
+                "    {{\"algorithm\": \"{}\", \"n\": {}, \"native\": {}, \"native_steal\": {}, \"sim\": {}, \"bsp\": {}, \"sim_over_native\": {}, \"chunked_over_stealing\": {}}}",
                 algo.name(),
                 n,
                 opt_json(&native, native_ok),
+                opt_json(&steal, steal_ok),
                 opt_json(&sim, sim_ok),
                 opt_json(&bsp, bsp_ok),
                 ratio_json,
+                sched_ratio_json,
             ));
         }
     }

@@ -17,7 +17,7 @@
 //!
 //! Criterion benches (`cargo bench -p qrqw-bench`) time the same workloads.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::time::{Duration, Instant};
 
@@ -39,8 +39,13 @@ use qrqw_sim::{CostModel, CostReport, Machine, Pram, TraceSummary, EMPTY};
 pub enum Backend {
     /// The exact-cost QRQW PRAM simulator ([`Pram`]).
     Sim,
-    /// The native rayon/atomics machine ([`NativeMachine`]).
+    /// The native rayon/atomics machine ([`NativeMachine`]) with its
+    /// default chunk schedule (chunked unless `QRQW_SCHEDULE` overrides).
     Native,
+    /// The native machine pinned to work-stealing chunk dispatch
+    /// ([`qrqw_exec::StealingMachine`]) — bit-identical to [`Backend::Native`] in
+    /// every observable; only wall-clock under skew differs.
+    NativeSteal,
     /// The batch-message BSP machine ([`BspMachine`]) measuring the
     /// Theorem 1.1 emulation.
     Bsp,
@@ -48,13 +53,19 @@ pub enum Backend {
 
 impl Backend {
     /// Every backend, simulator first.
-    pub const ALL: [Backend; 3] = [Backend::Sim, Backend::Native, Backend::Bsp];
+    pub const ALL: [Backend; 4] = [
+        Backend::Sim,
+        Backend::Native,
+        Backend::NativeSteal,
+        Backend::Bsp,
+    ];
 
-    /// Short name (`"sim"` / `"native"` / `"bsp"`).
+    /// Short name (`"sim"` / `"native"` / `"native-steal"` / `"bsp"`).
     pub fn name(self) -> &'static str {
         match self {
             Backend::Sim => "sim",
             Backend::Native => "native",
+            Backend::NativeSteal => "native-steal",
             Backend::Bsp => "bsp",
         }
     }
@@ -79,6 +90,22 @@ impl Backend {
 
 /// An algorithm ported to the [`Machine`] backend API, runnable (and timed)
 /// on any backend from this one entry point.
+///
+/// ```
+/// use qrqw_bench::{Algorithm, Backend};
+///
+/// // Parse a registry name, run it on a backend, check its validator.
+/// let algo = Algorithm::parse("permutation-qrqw").unwrap();
+/// let sim = algo.run(Backend::Sim, 256, 1);
+/// assert!(sim.valid);
+///
+/// // The same seed on the native work-stealing backend is the same
+/// // trajectory: lockstep step counters, identical contention totals.
+/// let steal = algo.run(Backend::NativeSteal, 256, 1);
+/// assert!(steal.valid);
+/// assert_eq!(sim.report.steps, steal.report.steps);
+/// assert_eq!(sim.report.contended_claims, steal.report.contended_claims);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
     /// §5.1.1 QRQW dart-throwing random permutation (Theorem 5.1).
@@ -389,13 +416,16 @@ impl Algorithm {
                 self.package(backend, n, seed, valid, elapsed, m.cost_report())
             }
             Backend::Native => self.run_native(n, seed, None),
+            Backend::NativeSteal => self.run_native_steal(n, seed, None),
             Backend::Bsp => self.run_bsp(n, seed, None),
         }
     }
 
     /// Runs this algorithm on a fresh [`NativeMachine`], optionally with an
     /// explicit thread count (otherwise `QRQW_THREADS` / host parallelism,
-    /// as [`qrqw_sim::Machine::with_seed`] resolves it).
+    /// as [`qrqw_sim::Machine::with_seed`] resolves it).  The chunk
+    /// schedule follows `QRQW_SCHEDULE` (default chunked); use
+    /// [`Algorithm::run_native_steal`] to force work-stealing.
     pub fn run_native(self, n: usize, seed: u64, threads: Option<usize>) -> BackendRun {
         let mut m = match threads {
             Some(t) => NativeMachine::with_threads(16, seed, t),
@@ -403,6 +433,41 @@ impl Algorithm {
         };
         let (valid, elapsed) = self.run_on(&mut m, n);
         self.package(Backend::Native, n, seed, valid, elapsed, m.cost_report())
+    }
+
+    /// Runs this algorithm with work-stealing chunk dispatch regardless of
+    /// `QRQW_SCHEDULE` (the machine behind [`Backend::NativeSteal`];
+    /// equivalent to a [`qrqw_exec::StealingMachine`] — pinned by the
+    /// wrapper-equals-builder test in `tests/schedule_skew.rs`), optionally
+    /// with an explicit thread count.
+    pub fn run_native_steal(self, n: usize, seed: u64, threads: Option<usize>) -> BackendRun {
+        self.run_native_with(n, seed, threads, qrqw_exec::Schedule::Stealing)
+    }
+
+    /// Runs this algorithm on a fresh native machine with an *explicit*
+    /// chunk schedule, ignoring `QRQW_SCHEDULE` entirely.  This is what a
+    /// scheduler-comparison harness must use: with the env-following
+    /// [`Algorithm::run_native`], `QRQW_SCHEDULE=stealing` would silently
+    /// turn a chunked-vs-stealing comparison into stealing-vs-stealing.
+    pub fn run_native_with(
+        self,
+        n: usize,
+        seed: u64,
+        threads: Option<usize>,
+        schedule: qrqw_exec::Schedule,
+    ) -> BackendRun {
+        let pool = match threads {
+            Some(t) => qrqw_exec::StepPool::with_threads(t),
+            None => qrqw_exec::StepPool::from_env(),
+        }
+        .with_schedule(schedule);
+        let mut m = NativeMachine::with_pool(16, seed, pool);
+        let (valid, elapsed) = self.run_on(&mut m, n);
+        // The machine's schedule decides its backend identity; parse its
+        // own reported name instead of keeping a second mapping here.
+        let backend = Backend::parse(m.backend())
+            .expect("every native backend name is registered in Backend::ALL");
+        self.package(backend, n, seed, valid, elapsed, m.cost_report())
     }
 
     /// Runs this algorithm on a fresh [`BspMachine`], optionally with an

@@ -26,7 +26,7 @@
 //! contention (`tests/theorem11.rs` pins measured ≤ charged for the whole
 //! registry).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod machine;
 pub mod router;

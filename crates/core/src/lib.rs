@@ -10,7 +10,7 @@
 //! |---|---|
 //! | §3 load balancing (+ EREW prefix-sums baseline) | [`load_balancing`] |
 //! | §3.3 L-spawning automatic processor allocation | [`spawning`] |
-//! | §4 multiple compaction (heavy / light / relaxed) | [`multiple_compaction`] |
+//! | §4 multiple compaction (heavy / light / relaxed) | [`multiple_compaction()`] |
 //! | §5.1.1 random permutation + §5.2 experiment algorithms | [`permutation`] |
 //! | §5.1.2–5.1.3 random *cyclic* permutation, Fig. 1 utilities | [`cyclic`] |
 //! | §6 parallel hashing (R-class functions, two-level table) | [`hashing`] |
@@ -29,7 +29,7 @@
 //! algorithm keeps (bit-identical output for exclusive-claim and
 //! deterministic routines, semantic validity for occupy-based ones).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cyclic;
 pub mod distributive;

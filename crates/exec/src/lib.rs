@@ -22,13 +22,25 @@
 //! scratch for its claim bitsets and scan offsets — see the module docs of
 //! [`machine`].  Thread count comes from [`NativeMachine::with_threads`] or
 //! the `QRQW_THREADS` environment variable.
+//!
+//! Chunks reach threads under one of two [`pool::Schedule`]s — `Chunked`
+//! (one shared claim counter) or `Stealing` (per-worker ranges with
+//! work-assisting steal-half splits, for skewed per-chunk costs) — chosen
+//! per machine ([`NativeMachine::with_schedule`]) or per process
+//! (`QRQW_SCHEDULE`).  [`StealingMachine`] is the backend pinned to the
+//! stealing schedule, registered as `native-steal` in the bench registry.
+//! Both schedules run identical chunk boundaries, so they are
+//! bit-identical in every observable (see `ARCHITECTURE.md`, "The
+//! determinism contract").
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod contention;
 pub mod machine;
 pub mod pool;
+pub mod steal;
 
 pub use contention::ContentionCounter;
 pub use machine::NativeMachine;
-pub use pool::StepPool;
+pub use pool::{Schedule, StepPool};
+pub use steal::StealingMachine;

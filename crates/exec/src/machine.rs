@@ -28,7 +28,7 @@
 //! * dispatch goes through [`StepPool`] to the process-wide persistent
 //!   worker pool — parked threads, one wake per step, contiguous chunks
 //!   claimed dynamically;
-//! * each chunk runs one [`NativeProc`] context with one lazily re-seeded
+//! * each chunk runs one `NativeProc` context with one lazily re-seeded
 //!   RNG slot, re-pointed per virtual processor, instead of constructing a
 //!   context per processor;
 //! * `claim` keeps its `live` / `cas_won` pass state in reusable
@@ -63,7 +63,7 @@ use qrqw_sim::proc_rng;
 use qrqw_sim::{ClaimMode, CostReport, Machine, MachineProc, EMPTY};
 
 use crate::contention::ContentionCounter;
-use crate::pool::{SendPtr, StepPool};
+use crate::pool::{Schedule, SendPtr, StepPool};
 
 /// Sentinel written by exclusive-claim losers so the CAS winner can detect
 /// that its cell was contested.  Claim tags must stay below this value
@@ -140,14 +140,45 @@ impl NativeMachine {
 
     /// Creates a machine with an explicit thread count, overriding both the
     /// host parallelism default and the `QRQW_THREADS` environment variable
-    /// (see [`crate::pool::THREADS_ENV`]).
+    /// (see [`crate::pool::THREADS_ENV`]).  The schedule still follows
+    /// `QRQW_SCHEDULE`.
     pub fn with_threads(mem_size: usize, seed: u64, threads: usize) -> Self {
         Self::build(mem_size, seed, StepPool::with_threads(threads))
+    }
+
+    /// Creates a machine with an explicit chunk [`Schedule`], overriding
+    /// the `QRQW_SCHEDULE` environment selection (threads still resolve
+    /// from `QRQW_THREADS` / host parallelism).
+    pub fn with_schedule(mem_size: usize, seed: u64, schedule: Schedule) -> Self {
+        Self::build(mem_size, seed, StepPool::from_env().with_schedule(schedule))
+    }
+
+    /// Creates a machine with a fully explicit dispatch policy — thread
+    /// count *and* schedule (e.g.
+    /// `StepPool::with_threads(4).with_schedule(Schedule::Stealing)`).
+    pub fn with_pool(mem_size: usize, seed: u64, pool: StepPool) -> Self {
+        Self::build(mem_size, seed, pool)
     }
 
     /// Number of threads (including the caller) this machine's steps use.
     pub fn threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// The chunk→thread assignment discipline this machine's steps use.
+    pub fn schedule(&self) -> Schedule {
+        self.pool.schedule()
+    }
+
+    /// The backend name this machine reports: the schedule is part of the
+    /// identity (`"native"` for chunked dispatch, `"native-steal"` for
+    /// work-stealing), so harness rows and parity drift guards distinguish
+    /// the two execution modes.
+    fn backend_name(&self) -> &'static str {
+        match self.pool.schedule() {
+            Schedule::Chunked => "native",
+            Schedule::Stealing => "native-steal",
+        }
     }
 
     /// The contention instrumentation of this machine.
@@ -214,6 +245,7 @@ impl std::fmt::Debug for NativeMachine {
             .field("steps_executed", &self.steps_executed)
             .field("heap_top", &self.heap_top)
             .field("threads", &self.pool.threads())
+            .field("schedule", &self.pool.schedule())
             .finish()
     }
 }
@@ -271,7 +303,7 @@ impl Machine for NativeMachine {
     }
 
     fn backend(&self) -> &'static str {
-        "native"
+        self.backend_name()
     }
 
     fn seed(&self) -> u64 {
@@ -732,7 +764,7 @@ impl Machine for NativeMachine {
 
     fn cost_report(&self) -> CostReport {
         CostReport {
-            backend: "native",
+            backend: self.backend_name(),
             steps: self.steps_executed,
             wall: self.created.elapsed(),
             claim_attempts: self.counter.attempts(),

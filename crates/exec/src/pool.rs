@@ -1,19 +1,27 @@
 //! Step dispatch policy for the native backend.
 //!
 //! [`StepPool`] decides *how* a machine step fans out over the persistent
-//! worker pool (`rayon::pool`): how many threads participate, how the index
-//! space is chunked, and when a step is small enough to run inline on the
-//! calling thread.  The pool threads themselves are process-wide and parked
-//! between steps — a `NativeMachine` never spawns threads on the step path.
+//! worker pool (`rayon::pool`): how many threads participate, which
+//! [`Schedule`] assigns chunks to them, how the index space is chunked, and
+//! when a step is small enough to run inline on the calling thread.  The
+//! pool threads themselves are process-wide and parked between steps — a
+//! `NativeMachine` never spawns threads on the step path.
 //!
 //! The thread count is configurable per machine (builder) and per process
 //! (the `QRQW_THREADS` environment variable), mirroring how the Section 5.2
-//! MasPar experiment swept machine sizes.  Determinism does not depend on
-//! the choice: chunk boundaries only decide which thread computes an index,
-//! never what is computed for it.
+//! MasPar experiment swept machine sizes; the schedule likewise comes from
+//! [`StepPool::with_schedule`] or `QRQW_SCHEDULE`.  Determinism depends on
+//! neither choice: chunk boundaries are a pure function of the dispatch
+//! shape under both schedules, and boundaries only decide which thread
+//! computes an index, never what is computed for it.
 
 /// Environment variable overriding the native backend's thread count.
 pub const THREADS_ENV: &str = "QRQW_THREADS";
+
+/// Environment variable selecting the native backend's default
+/// [`Schedule`] (`chunked` or `stealing`; anything else falls back to
+/// chunked).
+pub const SCHEDULE_ENV: &str = "QRQW_SCHEDULE";
 
 /// Below this many items a step runs inline: pool dispatch costs more than
 /// it saves on tiny steps.
@@ -29,24 +37,79 @@ const CHUNKS_PER_THREAD: usize = 4;
 
 pub(crate) use rayon::pool::SendPtr;
 
+/// How a dispatched step's chunks are assigned to pool threads.
+///
+/// Either schedule produces **bit-identical machine behaviour**: chunk
+/// boundaries are a pure function of the dispatch shape, every write is
+/// keyed by index, and per-processor RNG streams are keyed by
+/// `(seed, step, proc)` — so the assignment of chunks to threads is
+/// unobservable (pinned by `tests/determinism.rs` and the skew-adversarial
+/// suite in `tests/schedule_skew.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// One shared chunk counter; every idle thread claims the next chunk
+    /// with a `fetch_add` (`rayon::pool::run`).
+    #[default]
+    Chunked,
+    /// Work-stealing in the work-assisting style: chunks are
+    /// pre-partitioned into one contiguous range per thread (an atomic
+    /// `(lo, hi)` split index each), and threads whose range drains assist
+    /// on others' remaining chunks by CAS-splitting the victim's range in
+    /// half (`rayon::pool::run_stealing`).  Wins when per-chunk costs are
+    /// skewed — e.g. a claim round whose collisions all land in one range.
+    Stealing,
+}
+
+impl Schedule {
+    /// Every schedule, in the order the harnesses report them.
+    pub const ALL: [Schedule; 2] = [Schedule::Chunked, Schedule::Stealing];
+
+    /// Stable lowercase name (`"chunked"` / `"stealing"`), also accepted by
+    /// [`Schedule::parse`] and the `QRQW_SCHEDULE` environment variable.
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::Chunked => "chunked",
+            Schedule::Stealing => "stealing",
+        }
+    }
+
+    /// Parses a schedule name as printed by [`Schedule::name`].
+    pub fn parse(s: &str) -> Option<Schedule> {
+        Schedule::ALL.into_iter().find(|c| c.name() == s)
+    }
+
+    /// The schedule `QRQW_SCHEDULE` selects, defaulting to
+    /// [`Schedule::Chunked`] when unset or unparseable.
+    pub fn from_env() -> Schedule {
+        std::env::var(SCHEDULE_ENV)
+            .ok()
+            .and_then(|v| Schedule::parse(v.trim()))
+            .unwrap_or_default()
+    }
+}
+
 /// Per-machine dispatch policy over the process-wide worker pool.
 #[derive(Debug, Clone)]
 pub struct StepPool {
     threads: usize,
+    schedule: Schedule,
 }
 
 impl StepPool {
     /// Policy with an explicit thread count (clamped to at least 1; the
     /// process-wide pool additionally clamps to
-    /// [`rayon::pool::MAX_POOL_THREADS`]).
+    /// [`rayon::pool::MAX_POOL_THREADS`]).  The schedule defaults to the
+    /// `QRQW_SCHEDULE` environment selection.
     pub fn with_threads(threads: usize) -> Self {
         StepPool {
             threads: threads.clamp(1, rayon::pool::MAX_POOL_THREADS),
+            schedule: Schedule::from_env(),
         }
     }
 
     /// Default policy: `QRQW_THREADS` if set and parseable as a positive
-    /// integer, otherwise the host's available parallelism.
+    /// integer, otherwise the host's available parallelism; schedule from
+    /// `QRQW_SCHEDULE`.
     pub fn from_env() -> Self {
         let threads = std::env::var(THREADS_ENV)
             .ok()
@@ -56,15 +119,28 @@ impl StepPool {
         StepPool::with_threads(threads)
     }
 
+    /// This policy with an explicit [`Schedule`], overriding the
+    /// environment selection.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
     /// Number of threads (including the caller) a dispatched step uses.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
+    /// The chunk→thread assignment discipline this policy dispatches with.
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
     /// Runs `f(lo, hi)` over `[0, len)` in contiguous chunks whose
     /// boundaries are multiples of `align` (last chunk excepted), on the
-    /// worker pool.  Blocks until all chunks finish.  Small or
-    /// single-threaded dispatches run inline as one chunk.
+    /// worker pool under this policy's [`Schedule`].  Blocks until all
+    /// chunks finish.  Small or single-threaded dispatches run inline as
+    /// one chunk.
     pub fn dispatch<F>(&self, len: usize, align: usize, f: F)
     where
         F: Fn(usize, usize) + Sync,
@@ -80,7 +156,10 @@ impl StepPool {
             .div_ceil(self.threads * CHUNKS_PER_THREAD)
             .max(MIN_CHUNK);
         let chunk = raw.div_ceil(align) * align;
-        rayon::pool::run(len, chunk, self.threads, f);
+        match self.schedule {
+            Schedule::Chunked => rayon::pool::run(len, chunk, self.threads, f),
+            Schedule::Stealing => rayon::pool::run_stealing(len, chunk, self.threads, f),
+        }
     }
 }
 
@@ -102,30 +181,62 @@ mod tests {
     }
 
     #[test]
-    fn dispatch_respects_alignment() {
-        let pool = StepPool::with_threads(4);
-        let ranges = Mutex::new(Vec::new());
-        let len = 100_000;
-        pool.dispatch(len, 64, |lo, hi| {
-            ranges.lock().unwrap().push((lo, hi));
-        });
-        let mut ranges = ranges.into_inner().unwrap();
-        ranges.sort_unstable();
-        let mut expect = 0;
-        for &(lo, hi) in &ranges {
-            assert_eq!(lo % 64, 0, "chunk start {lo} not 64-aligned");
-            assert_eq!(lo, expect);
-            expect = hi;
+    fn dispatch_respects_alignment_under_both_schedules() {
+        for schedule in Schedule::ALL {
+            let pool = StepPool::with_threads(4).with_schedule(schedule);
+            let ranges = Mutex::new(Vec::new());
+            let len = 100_000;
+            pool.dispatch(len, 64, |lo, hi| {
+                ranges.lock().unwrap().push((lo, hi));
+            });
+            let mut ranges = ranges.into_inner().unwrap();
+            ranges.sort_unstable();
+            let mut expect = 0;
+            for &(lo, hi) in &ranges {
+                assert_eq!(lo % 64, 0, "[{schedule:?}] chunk start {lo} not 64-aligned");
+                assert_eq!(lo, expect, "[{schedule:?}]");
+                expect = hi;
+            }
+            assert_eq!(expect, len);
+            assert!(
+                ranges.len() > 1,
+                "[{schedule:?}] a 100k dispatch on 4 threads must chunk"
+            );
         }
-        assert_eq!(expect, len);
-        assert!(ranges.len() > 1, "a 100k dispatch on 4 threads must chunk");
+    }
+
+    #[test]
+    fn both_schedules_produce_identical_chunk_boundaries() {
+        let boundaries = |schedule: Schedule| {
+            let pool = StepPool::with_threads(5).with_schedule(schedule);
+            let ranges = Mutex::new(Vec::new());
+            pool.dispatch(250_000, 8, |lo, hi| ranges.lock().unwrap().push((lo, hi)));
+            let mut ranges = ranges.into_inner().unwrap();
+            ranges.sort_unstable();
+            ranges
+        };
+        assert_eq!(
+            boundaries(Schedule::Chunked),
+            boundaries(Schedule::Stealing)
+        );
     }
 
     #[test]
     fn small_dispatch_runs_inline_as_one_chunk() {
-        let pool = StepPool::with_threads(8);
-        let ranges = Mutex::new(Vec::new());
-        pool.dispatch(100, 1, |lo, hi| ranges.lock().unwrap().push((lo, hi)));
-        assert_eq!(*ranges.lock().unwrap(), vec![(0, 100)]);
+        for schedule in Schedule::ALL {
+            let pool = StepPool::with_threads(8).with_schedule(schedule);
+            let ranges = Mutex::new(Vec::new());
+            pool.dispatch(100, 1, |lo, hi| ranges.lock().unwrap().push((lo, hi)));
+            assert_eq!(*ranges.lock().unwrap(), vec![(0, 100)]);
+        }
+    }
+
+    #[test]
+    fn schedule_names_round_trip_and_unknown_names_are_rejected() {
+        for schedule in Schedule::ALL {
+            assert_eq!(Schedule::parse(schedule.name()), Some(schedule));
+        }
+        assert_eq!(Schedule::parse("fifo"), None);
+        assert_eq!(Schedule::default(), Schedule::Chunked);
     }
 }

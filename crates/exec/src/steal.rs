@@ -1,0 +1,205 @@
+//! [`StealingMachine`]: the native backend pinned to work-stealing
+//! dispatch.
+//!
+//! A [`NativeMachine`] picks its chunk [`Schedule`] from the builder or the
+//! `QRQW_SCHEDULE` environment variable, which is right for interactive
+//! use but wrong for anything that needs a *type* whose
+//! [`Machine::with_seed`] constructor is guaranteed to be work-stealing —
+//! the backend registry's `native-steal` entry, the `parity_suite!`
+//! instantiation, and the thread-sweep harnesses all construct machines
+//! through the trait.  This newtype is that type: a plain delegation shell
+//! around [`NativeMachine`] whose every constructor forces
+//! [`Schedule::Stealing`], reporting itself as backend `"native-steal"`.
+//!
+//! There is deliberately no stealing-specific execution code here: both
+//! schedules run the *same* `NativeMachine` step implementations over the
+//! same chunk boundaries, so the two backends are bit-identical by
+//! construction and differ only in which pool thread executes a chunk
+//! (`tests/schedule_skew.rs` pins this under adversarial skew).
+
+use qrqw_sim::{ClaimMode, CostReport, Machine, MachineProc};
+
+use crate::contention::ContentionCounter;
+use crate::machine::NativeMachine;
+use crate::pool::{Schedule, StepPool};
+
+/// The native [`Machine`] backend with work-stealing chunk dispatch.
+pub struct StealingMachine(NativeMachine);
+
+impl StealingMachine {
+    /// Creates a machine with `mem_size` cells (all [`qrqw_sim::EMPTY`])
+    /// and seed 0.
+    pub fn new(mem_size: usize) -> Self {
+        Machine::with_seed(mem_size, 0)
+    }
+
+    /// Creates a machine with an explicit thread count (stealing dispatch,
+    /// regardless of `QRQW_SCHEDULE`).
+    pub fn with_threads(mem_size: usize, seed: u64, threads: usize) -> Self {
+        StealingMachine(NativeMachine::with_pool(
+            mem_size,
+            seed,
+            StepPool::with_threads(threads).with_schedule(Schedule::Stealing),
+        ))
+    }
+
+    /// Number of threads (including the caller) this machine's steps use.
+    pub fn threads(&self) -> usize {
+        self.0.threads()
+    }
+
+    /// The contention instrumentation of this machine.
+    pub fn contention(&self) -> &ContentionCounter {
+        self.0.contention()
+    }
+}
+
+impl std::fmt::Debug for StealingMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl Machine for StealingMachine {
+    fn with_seed(mem_size: usize, seed: u64) -> Self {
+        StealingMachine(NativeMachine::with_pool(
+            mem_size,
+            seed,
+            StepPool::from_env().with_schedule(Schedule::Stealing),
+        ))
+    }
+
+    fn backend(&self) -> &'static str {
+        self.0.backend()
+    }
+
+    fn seed(&self) -> u64 {
+        self.0.seed()
+    }
+
+    fn steps_executed(&self) -> u64 {
+        self.0.steps_executed()
+    }
+
+    fn ensure_memory(&mut self, size: usize) {
+        self.0.ensure_memory(size)
+    }
+
+    fn alloc(&mut self, len: usize) -> usize {
+        self.0.alloc(len)
+    }
+
+    fn release_to(&mut self, base: usize) {
+        self.0.release_to(base)
+    }
+
+    fn heap_top(&self) -> usize {
+        self.0.heap_top()
+    }
+
+    fn load(&mut self, base: usize, values: &[u64]) {
+        self.0.load(base, values)
+    }
+
+    fn dump(&self, base: usize, len: usize) -> Vec<u64> {
+        self.0.dump(base, len)
+    }
+
+    fn peek(&self, addr: usize) -> u64 {
+        self.0.peek(addr)
+    }
+
+    fn poke(&mut self, addr: usize, value: u64) {
+        self.0.poke(addr, value)
+    }
+
+    fn clear_region(&mut self, base: usize, len: usize) {
+        self.0.clear_region(base, len)
+    }
+
+    fn par_map<T, F>(&mut self, procs: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut dyn MachineProc) -> T + Sync,
+    {
+        self.0.par_map(procs, f)
+    }
+
+    fn seq_step<T, F>(&mut self, f: F) -> T
+    where
+        F: FnOnce(&mut dyn MachineProc) -> T,
+    {
+        self.0.seq_step(f)
+    }
+
+    fn scan_step(&mut self, base: usize, len: usize) -> u64 {
+        self.0.scan_step(base, len)
+    }
+
+    fn global_or_step(&mut self, base: usize, len: usize) -> bool {
+        self.0.global_or_step(base, len)
+    }
+
+    // Delegate to the native override (fused two-pass block compaction),
+    // not the trait default — same observable behaviour, no step-count or
+    // heap-top drift between the two native schedules.
+    fn compact_step(&mut self, src: usize, len: usize, dst: usize) -> u64 {
+        self.0.compact_step(src, len, dst)
+    }
+
+    fn claim(&mut self, attempts: &[(u64, usize)], mode: ClaimMode) -> Vec<bool> {
+        self.0.claim(attempts, mode)
+    }
+
+    fn cost_report(&self) -> CostReport {
+        self.0.cost_report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrqw_sim::EMPTY;
+
+    #[test]
+    fn every_constructor_is_pinned_to_stealing() {
+        assert_eq!(StealingMachine::new(8).0.schedule(), Schedule::Stealing);
+        let m: StealingMachine = Machine::with_seed(8, 3);
+        assert_eq!(m.0.schedule(), Schedule::Stealing);
+        assert_eq!(m.backend(), "native-steal");
+        assert_eq!(m.cost_report().backend, "native-steal");
+        let m = StealingMachine::with_threads(8, 3, 5);
+        assert_eq!(m.0.schedule(), Schedule::Stealing);
+        assert_eq!(m.threads(), 5);
+    }
+
+    #[test]
+    fn steps_claims_and_memory_behave_like_the_chunked_native_machine() {
+        let attempts: Vec<(u64, usize)> = (0..5000u64)
+            .map(|i| (i + 1, (i as usize * 7) % 2048))
+            .collect();
+        let mut chunked = NativeMachine::with_threads(2048, 0, 4);
+        let mut stealing = StealingMachine::with_threads(2048, 0, 4);
+        let a = chunked.claim(&attempts, ClaimMode::Exclusive);
+        let b = stealing.claim(&attempts, ClaimMode::Exclusive);
+        assert_eq!(a, b);
+        assert_eq!(
+            chunked.contention().failures(),
+            stealing.contention().failures()
+        );
+        assert_eq!(Machine::steps_executed(&chunked), stealing.steps_executed());
+        for addr in 0..2048 {
+            assert_eq!(Machine::peek(&chunked, addr), stealing.peek(addr));
+        }
+        assert!((0..2048).any(|a| stealing.peek(a) == EMPTY));
+    }
+
+    #[test]
+    fn random_streams_match_the_chunked_machine() {
+        let mut chunked = NativeMachine::with_threads(4, 77, 3);
+        let mut stealing = StealingMachine::with_threads(4, 77, 3);
+        let a = chunked.par_map(5000, |_p, ctx| ctx.random_index(1 << 30));
+        let b = stealing.par_map(5000, |_p, ctx| ctx.random_index(1 << 30));
+        assert_eq!(a, b);
+    }
+}

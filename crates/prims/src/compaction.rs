@@ -19,7 +19,7 @@
 //!   clean-up for the (w.h.p. empty) tail.
 //!
 //!   **Substitution note.**  The paper invokes the `O(√lg n)`-time linear
-//!   compaction of its companion paper [GMR96a], whose internals are not
+//!   compaction of its companion paper GMR96a, whose internals are not
 //!   reproduced in the present text.  Our routine attains
 //!   `O(lg*n · lg n / lg lg n)` QRQW time with linear work — the same
 //!   w.h.p. contention bound per round (Observation 2.6) and the same

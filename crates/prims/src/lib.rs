@@ -28,7 +28,7 @@
 //!   algorithm (the MasPar system sort used by the sorting-based
 //!   random-permutation baseline of Section 5.2).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bitonic;
 pub mod broadcast;

@@ -71,7 +71,7 @@
 //! * [`schedule`] — Brent scheduling, BSP emulation cost, geometric-decaying
 //!   and L-spawning processor-allocation bounds (Theorems 2.3, 2.4, 3.6).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod machine;
 pub mod memory;

@@ -178,7 +178,8 @@ impl BspCost {
 /// superstep/message/queue measurements.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostReport {
-    /// Short backend name (`"sim"`, `"native"`, `"bsp"`).
+    /// Short backend name (`"sim"`, `"native"`, `"native-steal"`,
+    /// `"bsp"`).
     pub backend: &'static str,
     /// Synchronous steps executed (identical across backends for the same
     /// algorithm, seed and input — see the backend contract).
@@ -241,7 +242,8 @@ pub trait Machine {
     where
         Self: Sized;
 
-    /// Short backend name (`"sim"`, `"native"`).
+    /// Short backend name (`"sim"`, `"native"`, `"native-steal"`,
+    /// `"bsp"`).
     fn backend(&self) -> &'static str;
 
     /// The master random seed of this run.
@@ -338,6 +340,19 @@ pub trait Machine {
     /// draws no randomness, and any override must do the same (the native
     /// backend fuses the passes into two block sweeps over reused scratch,
     /// with identical observable results).
+    ///
+    /// ```
+    /// use qrqw_sim::{Machine, Pram, EMPTY};
+    ///
+    /// let mut m = Pram::with_seed(16, 0);
+    /// // A sparse region: survivors 5 and 9 amid EMPTY cells.
+    /// m.poke(1, 5);
+    /// m.poke(3, 9);
+    /// let count = m.compact_step(0, 8, 8);
+    /// assert_eq!(count, 2);
+    /// assert_eq!(m.dump(8, 2), vec![5, 9]); // original order preserved
+    /// assert_eq!(m.steps_executed(), 3);    // the charged 3-step route
+    /// ```
     fn compact_step(&mut self, src: usize, len: usize, dst: usize) -> u64 {
         if len == 0 {
             return 0;
@@ -376,6 +391,24 @@ pub trait Machine {
     /// [`ClaimMode::Exclusive`] contested cells are restored to empty, in
     /// [`ClaimMode::Occupy`] exactly one contender keeps the cell.
     /// Advances the step index by 6 (Exclusive) or 3 (Occupy).
+    ///
+    /// ```
+    /// use qrqw_sim::{ClaimMode, Machine, Pram, EMPTY};
+    ///
+    /// let mut m = Pram::with_seed(16, 0);
+    /// // Two darts collide on cell 4; a third claims cell 6 alone.
+    /// let ok = m.claim(&[(1, 4), (2, 4), (3, 6)], ClaimMode::Exclusive);
+    /// assert_eq!(ok, vec![false, false, true]);
+    /// assert_eq!(m.peek(4), EMPTY); // contested cell restored
+    /// assert_eq!(m.peek(6), 3);     // uncontested tag sticks
+    /// assert_eq!(m.steps_executed(), 6);
+    ///
+    /// // Occupy mode instead hands the contested cell to exactly one winner.
+    /// let mut m = Pram::with_seed(16, 0);
+    /// let ok = m.claim(&[(1, 4), (2, 4)], ClaimMode::Occupy);
+    /// assert_eq!(ok.iter().filter(|&&won| won).count(), 1);
+    /// assert_ne!(m.peek(4), EMPTY);
+    /// ```
     fn claim(&mut self, attempts: &[(u64, usize)], mode: ClaimMode) -> Vec<bool>;
 
     /// Whatever this backend can measure about the run so far.

@@ -8,8 +8,9 @@
 //! patterns live as generic functions in `tests/common/parity.rs`; this
 //! file instantiates the whole battery once per backend — the simulator
 //! (self-parity: the suite's reference is the simulator itself), the native
-//! machine, and the batch-message BSP machine.  Adding a backend is one
-//! `parity_suite!` line plus its name in [`PARITY_SUITE_BACKENDS`].
+//! machine under both chunk schedules (chunked and work-stealing), and the
+//! batch-message BSP machine.  Adding a backend is one `parity_suite!`
+//! line plus its name in [`PARITY_SUITE_BACKENDS`].
 
 mod common;
 
@@ -19,10 +20,11 @@ use common::parity::parity_suite;
 /// test pins this list to `qrqw_bench::Backend::ALL`, so registering a
 /// backend in the bench registry without giving it a `parity_suite!`
 /// instantiation fails the build.
-pub const PARITY_SUITE_BACKENDS: &[&str] = &["sim", "native", "bsp"];
+pub const PARITY_SUITE_BACKENDS: &[&str] = &["sim", "native", "native-steal", "bsp"];
 
 parity_suite!(sim, qrqw_suite::sim::Pram);
 parity_suite!(native, qrqw_suite::exec::NativeMachine);
+parity_suite!(native_steal, qrqw_suite::exec::StealingMachine);
 parity_suite!(bsp, qrqw_suite::bsp::BspMachine);
 
 #[test]
@@ -36,11 +38,11 @@ fn parity_suite_covers_every_registered_backend() {
 }
 
 #[test]
-fn contention_totals_agree_across_all_three_backends() {
+fn contention_totals_agree_across_all_backends() {
     // Exclusive-claim contention is deterministic, and occupy totals are
-    // too (each contested cell has exactly one winner), so the three
-    // backends' counters must coincide for the same seed even where the
-    // occupy winners differ.
+    // too (each contested cell has exactly one winner), so every backend's
+    // counters must coincide for the same seed even where the occupy
+    // winners differ.
     use qrqw_suite::algos::random_permutation_qrqw;
     use qrqw_suite::sim::Machine;
 
@@ -56,6 +58,11 @@ fn contention_totals_agree_across_all_three_backends() {
         sim,
         totals::<qrqw_suite::exec::NativeMachine>(),
         "sim vs native counters diverged"
+    );
+    assert_eq!(
+        sim,
+        totals::<qrqw_suite::exec::StealingMachine>(),
+        "sim vs native-steal counters diverged"
     );
     assert_eq!(
         sim,

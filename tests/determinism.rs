@@ -1,17 +1,22 @@
-//! Thread-count invariance for the native and BSP backends.
+//! Thread-count invariance for the native (both schedules) and BSP
+//! backends.
 //!
-//! Both pooled machines dispatch every step as contiguous chunks, and the
+//! All pooled machines dispatch every step as contiguous chunks, and the
 //! chunk layout changes with the thread count (builder override or
-//! `QRQW_THREADS`).  The backend contract says the layout must be
-//! *unobservable*: per-`(seed, step, proc)` RNG streams and deterministic
-//! exclusive-claim outcomes do not depend on which thread computed which
-//! index — and for the BSP machine, neither may the order in which chunk
-//! buffers hand their messages to the router.  These tests pin that down
-//! by running every deterministic/exclusive-claim registry algorithm at
-//! several thread counts — including oversubscribed ones, so chunked pool
-//! dispatch is exercised even on a single-core host — and requiring
-//! bit-identical outputs (plus, for BSP, identical measured queue
-//! profiles), with the simulator as the reference.
+//! `QRQW_THREADS`) while the chunk→thread assignment changes with the
+//! schedule (`QRQW_SCHEDULE` / `Schedule::Stealing`).  The backend
+//! contract says both must be *unobservable*: per-`(seed, step, proc)` RNG
+//! streams and deterministic exclusive-claim outcomes do not depend on
+//! which thread computed which index — and for the BSP machine, neither
+//! may the order in which chunk buffers hand their messages to the router.
+//! These tests pin that down by running every deterministic/
+//! exclusive-claim registry algorithm at several thread counts — including
+//! oversubscribed ones, so chunked pool dispatch is exercised even on a
+//! single-core host — and requiring bit-identical outputs (plus, for BSP,
+//! identical measured queue profiles), with the simulator as the
+//! reference.  The chunked-vs-stealing comparison at *matched* thread
+//! counts lives here too; the skew-adversarial instances are in
+//! `tests/schedule_skew.rs`.
 
 use qrqw_suite::algos::{
     emulate_fetch_add_step, random_cyclic_permutation_efficient, random_cyclic_permutation_fast,
@@ -19,7 +24,7 @@ use qrqw_suite::algos::{
     sample_sort_qrqw, sort_uniform_keys,
 };
 use qrqw_suite::bsp::BspMachine;
-use qrqw_suite::exec::NativeMachine;
+use qrqw_suite::exec::{NativeMachine, Schedule, StealingMachine};
 use qrqw_suite::prims::{list_rank, pack, radix_sort_packed, unpack_key};
 use qrqw_suite::sim::{CostModel, Machine, Pram, EMPTY};
 
@@ -48,6 +53,15 @@ impl ThreadSweepMachine for BspMachine {
     fn with_thread_count(seed: u64, threads: Option<usize>) -> Self {
         match threads {
             Some(t) => BspMachine::with_threads(16, seed, t),
+            None => Machine::with_seed(16, seed),
+        }
+    }
+}
+
+impl ThreadSweepMachine for StealingMachine {
+    fn with_thread_count(seed: u64, threads: Option<usize>) -> Self {
+        match threads {
+            Some(t) => StealingMachine::with_threads(16, seed, t),
             None => Machine::with_seed(16, seed),
         }
     }
@@ -337,6 +351,81 @@ fn bsp_routing_order_never_affects_results() {
     );
 }
 
+/// [`sweep_invariant`] pinned to the work-stealing native backend, so call
+/// sites keep closure-parameter inference.
+fn steal_invariant_under_threads<T, F>(seed: u64, label: &str, f: F) -> T
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn(&mut StealingMachine) -> T,
+{
+    sweep_invariant::<StealingMachine, T, F>(seed, label, f)
+}
+
+#[test]
+fn stealing_outputs_are_bit_identical_at_every_thread_count() {
+    // The stealing sweep and the chunked sweep of the same seed must agree
+    // with each other (and with the simulator) at 1/2/5/default threads —
+    // the chunk→thread assignment is the only thing the schedule changes.
+    for (n, seed) in [(3000usize, 7u64), (777, 41)] {
+        let stealing = steal_invariant_under_threads(seed, "steal permutation-qrqw", |m| {
+            random_permutation_qrqw(m, n).order
+        });
+        let chunked = invariant_under_threads(seed, "permutation-qrqw", |m| {
+            random_permutation_qrqw(m, n).order
+        });
+        assert_eq!(stealing, chunked, "chunked vs stealing diverged");
+        let mut sim = Pram::with_seed(16, seed);
+        assert_eq!(
+            stealing,
+            random_permutation_qrqw(&mut sim, n).order,
+            "stealing must agree with the simulator reference"
+        );
+
+        let stealing = steal_invariant_under_threads(seed, "steal cyclic-fast", |m| {
+            random_cyclic_permutation_fast(m, n).successor
+        });
+        let mut sim = Pram::with_seed(16, seed);
+        assert_eq!(
+            stealing,
+            random_cyclic_permutation_fast(&mut sim, n).successor
+        );
+    }
+    let keys = qrqw_bench::Algorithm::scattered_keys(3000, 0);
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    let got =
+        steal_invariant_under_threads(2, "steal sample-sort-qrqw", |m| sample_sort_qrqw(m, &keys));
+    assert_eq!(got, expect);
+    let got = steal_invariant_under_threads(2, "steal distributive-sort", |m| {
+        sort_uniform_keys(m, &keys)
+    });
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn stealing_contention_totals_match_chunked_and_the_simulator() {
+    let n = 8192usize;
+    let stealing = steal_invariant_under_threads(11, "steal contention-totals", |m| {
+        let _ = random_permutation_qrqw(m, n);
+        let report = m.cost_report();
+        (report.claim_attempts, report.contended_claims, report.steps)
+    });
+    let chunked = invariant_under_threads(11, "contention-totals", |m| {
+        let _ = random_permutation_qrqw(m, n);
+        let report = m.cost_report();
+        (report.claim_attempts, report.contended_claims, report.steps)
+    });
+    assert_eq!(stealing, chunked, "chunked vs stealing counters diverged");
+    let mut sim = Pram::with_seed(16, 11);
+    let _ = random_permutation_qrqw(&mut sim, n);
+    let rs = sim.cost_report();
+    assert_eq!(
+        stealing,
+        (rs.claim_attempts, rs.contended_claims, rs.steps),
+        "stealing contention totals must match the simulator's collision counts"
+    );
+}
+
 /// Probe used by [`qrqw_threads_env_var_controls_the_default_thread_count`]:
 /// when re-executed in a child process with `QRQW_THREADS` set, it checks
 /// that machine construction honours (or safely ignores) the variable.
@@ -380,6 +469,68 @@ fn qrqw_threads_env_var_controls_the_default_thread_count() {
         assert!(
             output.status.success(),
             "env probe failed for QRQW_THREADS={spec}:\n{}\n{}",
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}
+
+/// Probe used by [`qrqw_schedule_env_var_controls_the_default_schedule`]:
+/// when re-executed in a child process with `QRQW_SCHEDULE` set, it checks
+/// that machine construction honours (or safely ignores) the variable.
+/// Without the variable it trivially passes, so a normal run is unaffected.
+#[test]
+fn helper_qrqw_schedule_env_probe() {
+    let Ok(spec) = std::env::var("QRQW_SCHEDULE") else {
+        return;
+    };
+    let m = NativeMachine::with_seed(16, 0);
+    match Schedule::parse(spec.trim()) {
+        Some(want) => {
+            assert_eq!(
+                m.schedule(),
+                want,
+                "QRQW_SCHEDULE={spec} must set the schedule"
+            );
+            let expect_backend = match want {
+                Schedule::Chunked => "native",
+                Schedule::Stealing => "native-steal",
+            };
+            assert_eq!(m.backend(), expect_backend);
+        }
+        None => assert_eq!(
+            m.schedule(),
+            Schedule::Chunked,
+            "unparseable QRQW_SCHEDULE={spec} must fall back to chunked"
+        ),
+    }
+    // The builder must override the environment in both directions.
+    assert_eq!(
+        NativeMachine::with_schedule(16, 0, Schedule::Stealing).schedule(),
+        Schedule::Stealing
+    );
+    assert_eq!(
+        NativeMachine::with_schedule(16, 0, Schedule::Chunked).schedule(),
+        Schedule::Chunked
+    );
+    // And the pinned stealing backend ignores the variable entirely.
+    assert_eq!(StealingMachine::with_seed(16, 0).backend(), "native-steal");
+}
+
+#[test]
+fn qrqw_schedule_env_var_controls_the_default_schedule() {
+    // Same child-process pattern as the QRQW_THREADS test above, for the
+    // same POSIX `setenv` reason.
+    let exe = std::env::current_exe().expect("test binary path");
+    for spec in ["stealing", "chunked", "not-a-schedule"] {
+        let output = std::process::Command::new(&exe)
+            .args(["--exact", "helper_qrqw_schedule_env_probe"])
+            .env("QRQW_SCHEDULE", spec)
+            .output()
+            .expect("re-exec test binary");
+        assert!(
+            output.status.success(),
+            "env probe failed for QRQW_SCHEDULE={spec}:\n{}\n{}",
             String::from_utf8_lossy(&output.stdout),
             String::from_utf8_lossy(&output.stderr),
         );

@@ -20,7 +20,9 @@
 //!
 //! Lower-level chunked dispatch — used by the native machine backend to
 //! run one context per chunk instead of one per item — is exposed as
-//! [`pool::run`].
+//! [`pool::run`] (shared-counter chunk claiming) and [`pool::run_stealing`]
+//! (pre-partitioned per-worker ranges with work-assisting steal-half
+//! splits; identical chunk boundaries, different chunk→thread assignment).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;

@@ -5,23 +5,42 @@
 //! the hot path of every single machine step.  This module replaces that
 //! with rayon's actual runtime shape: a process-wide set of worker threads
 //! spawned once and parked on a condvar between jobs.  Dispatching a job is
-//! a mutex lock plus a `notify_all`; workers and the caller then race to
-//! claim contiguous chunks of the index space with one `fetch_add` per
-//! chunk, so load balancing is dynamic but results stay index-addressed
-//! (and therefore deterministic).
+//! a mutex lock plus a `notify_all`; workers and the caller then claim
+//! contiguous chunks of the index space, so load balancing is dynamic but
+//! results stay index-addressed (and therefore deterministic).
 //!
-//! Safety model: a [`run`] call publishes a lifetime-erased pointer to a
+//! Two chunk-claiming disciplines share the publish/complete machinery:
+//!
+//! * [`run`] — **chunked**: one shared counter, one `fetch_add` per chunk.
+//!   Every idle participant contends on the same cache line, but the code
+//!   path is minimal.
+//! * [`run_stealing`] — **work-stealing** in the *work-assisting* style
+//!   (one atomic split index per worker instead of a task deque): the chunk
+//!   space is pre-partitioned into one contiguous range per participant,
+//!   each range packed `(lo, hi)` into a single `AtomicU64`.  An owner pops
+//!   chunks from the front of its own range with a CAS; a participant whose
+//!   range drains *assists* on someone else's remaining iterations by
+//!   CAS-splitting the victim's range in half and publishing the stolen
+//!   upper half as its own.  No task objects, no deques, no allocation —
+//!   the whole scheduler state is a fixed array of split indexes on the
+//!   dispatching caller's stack.
+//!
+//! Chunk *boundaries* are a pure function of `(len, chunk_len)` under both
+//! disciplines; only the chunk→thread assignment differs.  Any computation
+//! whose writes are keyed by index is therefore bit-identical under either.
+//!
+//! Safety model: a dispatch publishes a lifetime-erased pointer to a
 //! stack-allocated job record.  The pointer is only handed to workers under
-//! the pool mutex while the job is published, and [`run`] does not return
-//! (or unwind) until it has unpublished the job *and* observed every active
-//! worker finish — so the record, and the borrowed closure inside it,
-//! strictly outlive all worker access.  Worker panics are caught per chunk
-//! and re-thrown on the calling thread.
+//! the pool mutex while the job is published, and the dispatch does not
+//! return (or unwind) until it has unpublished the job *and* observed every
+//! active worker finish — so the record, and the borrowed closure inside
+//! it, strictly outlive all worker access.  Worker panics are caught per
+//! chunk and re-thrown on the calling thread.
 
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread;
 
@@ -40,14 +59,60 @@ pub struct SendPtr<T>(pub *mut T);
 unsafe impl<T> Send for SendPtr<T> {}
 unsafe impl<T> Sync for SendPtr<T> {}
 
+/// Scheduler slots for a stealing dispatch: every pool worker plus the
+/// dispatching caller can hold a range (the pool never exceeds
+/// [`MAX_POOL_THREADS`] − 1 workers).
+const STEAL_SLOTS: usize = MAX_POOL_THREADS;
+
+/// Packs a chunk-index range `[lo, hi)` into one atomic word (`lo` in the
+/// high half).  Chunk counts stay far below `2³²`: chunks are at least one
+/// item and item counts are bounded by addressable memory cells.
+#[inline]
+fn pack(lo: u32, hi: u32) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+/// Inverse of [`pack`].
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// How a job's chunks are handed to participants.
+// The size difference is intentional: one Queue lives per dispatch, on the
+// dispatching caller's stack, and boxing the stealing ranges would put an
+// allocation on the step hot path — the thing this scheduler exists to
+// avoid.
+#[allow(clippy::large_enum_variant)]
+enum Queue {
+    /// One shared counter; claiming a chunk is one `fetch_add`.
+    Shared {
+        /// Next unclaimed chunk index.
+        next: AtomicUsize,
+        /// Total number of chunks.
+        n_chunks: usize,
+    },
+    /// One packed `(lo, hi)` range of unclaimed chunks per participant
+    /// slot.  Owners pop from the front of their own range; idle
+    /// participants steal the upper half of a victim's remainder.
+    Stealing {
+        /// The per-slot split indexes.  Slots past the initial partition
+        /// start empty and are filled by steals.
+        ranges: [AtomicU64; STEAL_SLOTS],
+        /// Next unassigned participant slot.
+        slots: AtomicUsize,
+        /// Slots the initial partition populated; together with `slots`
+        /// this bounds the victim scan to slots that can hold work.
+        n_slots: usize,
+    },
+}
+
 /// One published job: a lifetime-erased chunk runner plus claim/completion
 /// bookkeeping.  Lives on the dispatching caller's stack for the duration
-/// of the [`run`] call.
+/// of the dispatch call.
 struct JobCore {
-    /// Next unclaimed chunk index (`fetch_add` to claim).
-    next: AtomicUsize,
-    /// Total number of chunks.
-    n_chunks: usize,
+    /// How participants claim chunks.
+    queue: Queue,
     /// Items per chunk (the last chunk may be shorter).
     chunk_len: usize,
     /// Total number of items.
@@ -115,22 +180,141 @@ thread_local! {
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
 }
 
-/// Claims and runs chunks of `job` until none remain.  Panics from the
-/// chunk body are caught and stashed in the job record.
-fn drain_chunks(job: &JobCore) {
+/// Runs chunk `c` of `job`.  Panics from the chunk body are caught and
+/// stashed in the job record.
+fn run_chunk(job: &JobCore, c: usize) {
     let task = unsafe { &*job.task };
-    loop {
-        let c = job.next.fetch_add(1, Ordering::Relaxed);
-        if c >= job.n_chunks {
-            return;
+    let lo = c * job.chunk_len;
+    let hi = ((c + 1) * job.chunk_len).min(job.len);
+    if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| task(lo, hi))) {
+        let mut slot = job.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
         }
-        let lo = c * job.chunk_len;
-        let hi = ((c + 1) * job.chunk_len).min(job.len);
-        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| task(lo, hi))) {
-            let mut slot = job.panic.lock().unwrap();
-            if slot.is_none() {
-                *slot = Some(payload);
+    }
+}
+
+/// Claims and runs chunks of `job` until this participant finds none left
+/// to claim.
+fn drain_chunks(job: &JobCore) {
+    match &job.queue {
+        Queue::Shared { next, n_chunks } => loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= *n_chunks {
+                return;
             }
+            run_chunk(job, c);
+        },
+        Queue::Stealing {
+            ranges,
+            slots,
+            n_slots,
+        } => drain_stealing(job, ranges, slots, *n_slots),
+    }
+}
+
+/// Steals the upper half of some other slot's remaining range.  A CAS
+/// failure means the victim's range just changed — reload and retry on the
+/// spot (lock-free: failure implies someone else made progress).  Returns
+/// `None` after one full cycle with nothing left to steal; a range stolen
+/// concurrently but not yet re-published is invisible here, which only
+/// makes this participant retire early — the thief holding it still runs
+/// every chunk before the dispatch completes.
+///
+/// Only the first `live` slots can hold work (the initial partition plus
+/// every claimed participant slot), so the scan stops there instead of
+/// walking all [`STEAL_SLOTS`] entries.
+fn steal_half(ranges: &[AtomicU64; STEAL_SLOTS], me: usize, live: usize) -> Option<(u32, u32)> {
+    for off in 1..=live {
+        let v = (me + off) % live;
+        if v == me {
+            continue;
+        }
+        let mut cur = ranges[v].load(Ordering::Relaxed);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                break;
+            }
+            // The victim keeps the front half it is working towards; the
+            // thief takes [mid, hi).  When one chunk remains, mid == lo and
+            // the thief takes it whole — the victim has already popped the
+            // chunk it is currently executing, so nothing is run twice.
+            let mid = lo + (hi - lo) / 2;
+            match ranges[v].compare_exchange_weak(
+                cur,
+                pack(lo, mid),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some((mid, hi)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+    None
+}
+
+/// The work-assisting participant loop: pop chunks off the front of the
+/// own range; when it drains, steal half of a victim's remainder, publish
+/// it as the own range (so further thieves can split it again), and keep
+/// popping.  Retires when a full victim scan finds nothing stealable.
+fn drain_stealing(
+    job: &JobCore,
+    ranges: &[AtomicU64; STEAL_SLOTS],
+    slots: &AtomicUsize,
+    n_slots: usize,
+) {
+    let slot = slots.fetch_add(1, Ordering::Relaxed);
+    // Slots that may hold work: the initial partition plus every claimed
+    // participant slot (a thief republishes stolen ranges into its own
+    // slot).  Re-read per scan below, since later participants may claim
+    // slots after this one starts.
+    let live = |slots: &AtomicUsize| {
+        (slots.load(Ordering::Relaxed))
+            .clamp(n_slots, STEAL_SLOTS)
+            .max(1)
+    };
+    if slot >= STEAL_SLOTS {
+        // More participants than slots — unreachable while the pool caps
+        // workers at STEAL_SLOTS − 1, but degrade gracefully: act as a
+        // pure thief, draining each stolen range privately.
+        while let Some((lo, hi)) = steal_half(ranges, STEAL_SLOTS, live(slots)) {
+            for c in lo..hi {
+                run_chunk(job, c as usize);
+            }
+        }
+        return;
+    }
+    loop {
+        // Pop the lowest unclaimed chunk of the own range.  The CAS races
+        // only with thieves halving this range's tail; either side retries
+        // on failure, and every transition preserves "the range holds
+        // exactly the unclaimed chunks of this slot".
+        let mut cur = ranges[slot].load(Ordering::Relaxed);
+        let claimed = loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                break None;
+            }
+            match ranges[slot].compare_exchange_weak(
+                cur,
+                pack(lo + 1, hi),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break Some(lo),
+                Err(now) => cur = now,
+            }
+        };
+        match claimed {
+            Some(c) => run_chunk(job, c as usize),
+            None => match steal_half(ranges, slot, live(slots)) {
+                // Publish the stolen range before draining it, so other
+                // idle participants can assist on it in turn.
+                Some((lo, hi)) => ranges[slot].store(pack(lo, hi), Ordering::Relaxed),
+                None => return,
+            },
         }
     }
 }
@@ -200,6 +384,26 @@ pub fn run<F>(len: usize, chunk_len: usize, max_threads: usize, f: F)
 where
     F: Fn(usize, usize) + Sync,
 {
+    dispatch(len, chunk_len, max_threads, false, f)
+}
+
+/// [`run`] with the work-stealing chunk discipline: identical chunk
+/// boundaries and completion guarantees, but chunks are pre-partitioned
+/// into one contiguous range per participating thread and idle threads
+/// steal-half from the busiest survivors instead of contending on one
+/// shared counter.  Pays off when per-chunk costs are skewed (one hot
+/// range) or the shared counter itself becomes the bottleneck.
+pub fn run_stealing<F>(len: usize, chunk_len: usize, max_threads: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    dispatch(len, chunk_len, max_threads, true, f)
+}
+
+fn dispatch<F>(len: usize, chunk_len: usize, max_threads: usize, stealing: bool, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
     if len == 0 {
         return;
     }
@@ -211,10 +415,38 @@ where
         return;
     }
 
+    // The stealing ranges pack chunk indexes into u32 halves; a dispatch
+    // past that (> 4 G chunks) falls back to the shared counter, which
+    // handles any usize — correctness over the scheduling nicety.
+    let queue = if stealing && n_chunks <= u32::MAX as usize {
+        // Initial partition: `threads` contiguous chunk ranges of (near)
+        // equal size; the remaining slots start empty and are populated by
+        // steals.  The whole scheduler state lives in this stack array.
+        let per = n_chunks.div_ceil(threads);
+        let ranges = std::array::from_fn(|s| {
+            let lo = (s * per).min(n_chunks);
+            let hi = ((s + 1) * per).min(n_chunks);
+            AtomicU64::new(if s < threads {
+                pack(lo as u32, hi as u32)
+            } else {
+                0
+            })
+        });
+        Queue::Stealing {
+            ranges,
+            slots: AtomicUsize::new(0),
+            n_slots: threads,
+        }
+    } else {
+        Queue::Shared {
+            next: AtomicUsize::new(0),
+            n_chunks,
+        }
+    };
+
     let shared = shared();
     let job = JobCore {
-        next: AtomicUsize::new(0),
-        n_chunks,
+        queue,
         chunk_len,
         len,
         // Lifetime erasure: the completion guard below keeps `f` (and this
@@ -379,6 +611,135 @@ mod tests {
             }
         });
         assert_eq!(total.load(Ordering::Relaxed), 80);
+    }
+
+    #[test]
+    fn stealing_covers_every_index_exactly_once() {
+        let n = 100_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        run_stealing(n, 1024, 4, |lo, hi| {
+            for h in &hits[lo..hi] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn stealing_chunk_boundaries_match_the_chunked_discipline() {
+        // The determinism contract: chunk boundaries are a pure function of
+        // (len, chunk_len), identical under both disciplines — only the
+        // chunk→thread assignment may differ.
+        let collect = |steal: bool| {
+            let seen = Mutex::new(Vec::new());
+            let body = |lo: usize, hi: usize| {
+                seen.lock().unwrap().push((lo, hi));
+            };
+            if steal {
+                run_stealing(100_000, 1 << 9, 5, body);
+            } else {
+                run(100_000, 1 << 9, 5, body);
+            }
+            let mut ranges = seen.into_inner().unwrap();
+            ranges.sort_unstable();
+            ranges
+        };
+        let stolen = collect(true);
+        assert_eq!(stolen, collect(false));
+        let mut expect = 0;
+        for (lo, hi) in stolen {
+            assert_eq!(lo, expect);
+            assert_eq!(lo % (1 << 9), 0);
+            expect = hi;
+        }
+        assert_eq!(expect, 100_000);
+    }
+
+    #[test]
+    fn stealing_redistributes_a_skewed_range() {
+        // All the work sits in the first slot's initial range.  With the
+        // pre-partitioned ranges and no stealing the other threads would
+        // retire instantly; the steal-half loop must let them run chunks
+        // from the hot range (observable as > 1 distinct draining thread)
+        // while still covering every index once.
+        let n = 1 << 16;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let drainers = Mutex::new(std::collections::HashSet::new());
+        run_stealing(n, 64, 8, |lo, hi| {
+            drainers.lock().unwrap().insert(thread::current().id());
+            for (i, hit) in hits.iter().enumerate().take(hi).skip(lo) {
+                // Skew: early indices are ~1000× heavier.
+                let spins = if i < n / 8 { 1000 } else { 1 };
+                for s in 0..spins {
+                    std::hint::black_box(s);
+                }
+                hit.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        // On any host this pool can run on, at least the caller plus one
+        // worker participate in a 1024-chunk job.
+        assert!(
+            drainers.lock().unwrap().len() >= 2,
+            "stealing dispatch must involve more than one thread"
+        );
+    }
+
+    #[test]
+    fn stealing_worker_panic_propagates_to_caller() {
+        let caught = panic::catch_unwind(|| {
+            run_stealing(50_000, 128, 4, |lo, _hi| {
+                if lo >= 25_000 {
+                    panic!("steal boom at {lo}");
+                }
+            });
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.starts_with("steal boom"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn stealing_nested_inside_a_pool_job_degrades_to_inline() {
+        let outer = AtomicUsize::new(0);
+        let inner = AtomicUsize::new(0);
+        run(8192, 1024, 4, |lo, hi| {
+            outer.fetch_add(hi - lo, Ordering::Relaxed);
+            run_stealing(10, 1, 4, |l, h| {
+                inner.fetch_add(h - l, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 8192);
+        assert_eq!(inner.load(Ordering::Relaxed), 80);
+    }
+
+    #[test]
+    fn stealing_with_more_threads_than_chunks_still_covers_everything() {
+        // 3 chunks, 8 requested threads: participants beyond the partition
+        // start with empty ranges and must steal (or retire) cleanly.
+        let total = AtomicUsize::new(0);
+        run_stealing(3000, 1024, 8, |lo, hi| {
+            total.fetch_add(hi - lo, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 3000);
+    }
+
+    #[test]
+    fn steal_half_takes_the_upper_half_and_the_last_chunk_whole() {
+        let ranges: [AtomicU64; STEAL_SLOTS] = std::array::from_fn(|_| AtomicU64::new(0));
+        ranges[0].store(pack(2, 10), Ordering::Relaxed);
+        // Victim keeps [2, 6), thief gets [6, 10).
+        assert_eq!(steal_half(&ranges, 1, 2), Some((6, 10)));
+        assert_eq!(unpack(ranges[0].load(Ordering::Relaxed)), (2, 6));
+        ranges[0].store(pack(7, 8), Ordering::Relaxed);
+        // A single remaining chunk is stolen whole.
+        assert_eq!(steal_half(&ranges, 1, 2), Some((7, 8)));
+        assert_eq!(unpack(ranges[0].load(Ordering::Relaxed)), (7, 7));
+        assert_eq!(steal_half(&ranges, 1, 2), None, "nothing left to steal");
+        // A live bound below a populated slot's index hides it — the bound
+        // must always cover the initial partition (drain_stealing clamps).
+        ranges[3].store(pack(0, 4), Ordering::Relaxed);
+        assert_eq!(steal_half(&ranges, 1, 4), Some((2, 4)));
     }
 
     #[test]
