@@ -55,8 +55,7 @@
 //! `chunked_over_stealing` > 1 means the work-stealing schedule was
 //! faster on that run.
 
-use std::io::Write as _;
-
+use qrqw_bench::report::{write_json_file, Json};
 use qrqw_bench::{Algorithm, Backend, BackendRun};
 use qrqw_exec::Schedule;
 
@@ -77,7 +76,7 @@ fn usage(msg: &str) -> ! {
         "usage: perf_report [--backend sim,native,native-steal,bsp|all] \
          [--schedule chunked,stealing|all] [--sizes N,N] \
          [--algos all|name,name] [--seed S] [--threads T] [--sim-cap N] \
-         [--bsp-cap N] [--out PATH]"
+         [--bsp-cap N] [--json-out PATH]"
     );
     std::process::exit(2);
 }
@@ -177,7 +176,7 @@ fn parse_args() -> Config {
             }
             "--sim-cap" => cfg.sim_cap = value().parse().unwrap_or_else(|_| usage("bad --sim-cap")),
             "--bsp-cap" => cfg.bsp_cap = value().parse().unwrap_or_else(|_| usage("bad --bsp-cap")),
-            "--out" => cfg.out = value(),
+            "--out" | "--json-out" => cfg.out = value(),
             other => usage(&format!("unknown flag {other:?}")),
         }
     }
@@ -195,33 +194,42 @@ fn parse_args() -> Config {
 /// the run's own output validator, *and* (for BSP runs that had a
 /// simulator twin) the Theorem 1.1 cross-check — so a JSON consumer
 /// filtering on `"valid"` sees conformance failures on the offending run.
-fn json_run(run: &BackendRun, valid: bool) -> String {
+fn json_run(run: &BackendRun, valid: bool) -> Json {
     let mut fields = vec![
-        format!("\"wall_ms\": {:.3}", run.elapsed.as_secs_f64() * 1e3),
-        format!("\"steps\": {}", run.report.steps),
-        format!("\"claim_attempts\": {}", run.report.claim_attempts),
-        format!("\"contended_claims\": {}", run.report.contended_claims),
-        format!("\"valid\": {valid}"),
+        (
+            "wall_ms".to_string(),
+            Json::float(run.elapsed.as_secs_f64() * 1e3, 3),
+        ),
+        ("steps".to_string(), Json::Int(run.report.steps)),
+        (
+            "claim_attempts".to_string(),
+            Json::Int(run.report.claim_attempts),
+        ),
+        (
+            "contended_claims".to_string(),
+            Json::Int(run.report.contended_claims),
+        ),
+        ("valid".to_string(), Json::Bool(valid)),
     ];
     if let Some(work) = run.report.work {
-        fields.push(format!("\"work\": {work}"));
+        fields.push(("work".to_string(), Json::Int(work)));
     }
     if let Some(mc) = run.report.max_contention {
-        fields.push(format!("\"max_contention\": {mc}"));
+        fields.push(("max_contention".to_string(), Json::Int(mc)));
     }
     if let Some(t) = run.report.time_qrqw {
-        fields.push(format!("\"time_qrqw\": {t}"));
+        fields.push(("time_qrqw".to_string(), Json::Int(t)));
     }
     if let Some(b) = run.report.bsp {
-        fields.push(format!("\"supersteps\": {}", b.supersteps));
-        fields.push(format!("\"messages\": {}", b.messages));
-        fields.push(format!("\"max_queue\": {}", b.max_queue));
-        fields.push(format!("\"max_h_relation\": {}", b.max_h_relation));
-        fields.push(format!("\"measured_cost\": {}", b.measured_cost));
-        fields.push(format!("\"predicted_cost\": {}", b.predicted_cost));
-        fields.push(format!("\"components\": {}", b.components));
+        fields.push(("supersteps".to_string(), Json::Int(b.supersteps)));
+        fields.push(("messages".to_string(), Json::Int(b.messages)));
+        fields.push(("max_queue".to_string(), Json::Int(b.max_queue)));
+        fields.push(("max_h_relation".to_string(), Json::Int(b.max_h_relation)));
+        fields.push(("measured_cost".to_string(), Json::Int(b.measured_cost)));
+        fields.push(("predicted_cost".to_string(), Json::Int(b.predicted_cost)));
+        fields.push(("components".to_string(), Json::Int(b.components)));
     }
-    format!("{{{}}}", fields.join(", "))
+    Json::Obj(fields)
 }
 
 fn ms(run: &Option<BackendRun>) -> String {
@@ -258,7 +266,7 @@ fn main() {
     );
 
     let wants = |b: Backend| cfg.backends.contains(&b);
-    let mut entries: Vec<String> = Vec::new();
+    let mut entries: Vec<Json> = Vec::new();
     let mut all_valid = true;
     for &n in &cfg.sizes {
         for &algo in &cfg.algos {
@@ -357,44 +365,45 @@ fn main() {
                 bsp_str,
                 valid,
             );
-            let ratio_json = ratio.map_or("null".to_string(), |r| format!("{r:.2}"));
-            let sched_ratio_json = sched_ratio.map_or("null".to_string(), |r| format!("{r:.3}"));
             let opt_json = |r: &Option<BackendRun>, ok: bool| {
-                r.as_ref().map_or("null".to_string(), |r| json_run(r, ok))
+                r.as_ref().map_or(Json::Null, |r| json_run(r, ok))
             };
-            entries.push(format!(
-                "    {{\"algorithm\": \"{}\", \"n\": {}, \"native\": {}, \"native_steal\": {}, \"sim\": {}, \"bsp\": {}, \"sim_over_native\": {}, \"chunked_over_stealing\": {}}}",
-                algo.name(),
-                n,
-                opt_json(&native, native_ok),
-                opt_json(&steal, steal_ok),
-                opt_json(&sim, sim_ok),
-                opt_json(&bsp, bsp_ok),
-                ratio_json,
-                sched_ratio_json,
-            ));
+            entries.push(Json::obj(vec![
+                ("algorithm", Json::str(algo.name())),
+                ("n", Json::Int(n as u64)),
+                ("native", opt_json(&native, native_ok)),
+                ("native_steal", opt_json(&steal, steal_ok)),
+                ("sim", opt_json(&sim, sim_ok)),
+                ("bsp", opt_json(&bsp, bsp_ok)),
+                (
+                    "sim_over_native",
+                    ratio.map_or(Json::Null, |r| Json::float(r, 2)),
+                ),
+                (
+                    "chunked_over_stealing",
+                    sched_ratio.map_or(Json::Null, |r| Json::float(r, 3)),
+                ),
+            ]));
         }
     }
 
-    let json = format!(
-        "{{\n  \"generated_by\": \"perf_report\",\n  \"backends\": [{}],\n  \"seed\": {},\n  \
-         \"threads\": {},\n  \"host_cores\": {},\n  \"sizes\": {:?},\n  \"all_valid\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
-        backend_names
-            .iter()
-            .map(|n| format!("\"{n}\""))
-            .collect::<Vec<_>>()
-            .join(", "),
-        cfg.seed,
-        threads_used,
-        rayon::current_num_threads(),
-        cfg.sizes,
-        all_valid,
-        entries.join(",\n"),
-    );
-    let mut file = std::fs::File::create(&cfg.out)
-        .unwrap_or_else(|e| panic!("cannot create {}: {e}", cfg.out));
-    file.write_all(json.as_bytes())
-        .unwrap_or_else(|e| panic!("cannot write {}: {e}", cfg.out));
+    let doc = Json::obj(vec![
+        ("generated_by", Json::str("perf_report")),
+        (
+            "backends",
+            Json::Arr(backend_names.iter().map(|n| Json::str(n)).collect()),
+        ),
+        ("seed", Json::Int(cfg.seed)),
+        ("threads", Json::Int(threads_used as u64)),
+        ("host_cores", Json::Int(rayon::current_num_threads() as u64)),
+        (
+            "sizes",
+            Json::Arr(cfg.sizes.iter().map(|&n| Json::Int(n as u64)).collect()),
+        ),
+        ("all_valid", Json::Bool(all_valid)),
+        ("runs", Json::Arr(entries)),
+    ]);
+    write_json_file(&cfg.out, &doc);
     println!("wrote {}", cfg.out);
 
     if !all_valid {

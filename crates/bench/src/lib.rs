@@ -34,6 +34,9 @@ use qrqw_exec::NativeMachine;
 use qrqw_prims::{linear_compaction, list_rank};
 use qrqw_sim::{CostModel, CostReport, Machine, Pram, TraceSummary, EMPTY};
 
+pub mod report;
+pub mod service;
+
 /// Which [`Machine`] backend a harness run executes on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {

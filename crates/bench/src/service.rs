@@ -1,0 +1,486 @@
+//! Load generation and reporting for the `qrqw-serve` service layer.
+//!
+//! This module is the shared engine of the `service_bench` (interactive
+//! load generator) and `service_report` (committed `BENCH_service.json`
+//! sweep) binaries: it spawns a [`Server`], drives it with N concurrent
+//! closed-loop client threads (optionally rate-paced, optionally with a
+//! pipelining window so large batch caps can actually fill), folds every
+//! client's latency histogram and reply bookkeeping together, validates
+//! the final [`StateDigest`] against interleaving-invariant invariants,
+//! and renders one [`Json`] summary per run through the same writer
+//! `perf_report` uses.
+//!
+//! # The validator
+//!
+//! Client interleaving through the submission queue is nondeterministic,
+//! so the validator checks exactly the properties that hold for *every*
+//! interleaving (the service's trace-determinism makes them exact):
+//!
+//! * the machine hash table holds exactly the keys whose insert was
+//!   answered `Inserted(true)` — those answers are unique per key by
+//!   trace-determinism, so the multiset union is a set;
+//! * the counter region sums to the total of acknowledged deltas;
+//! * `next_seq` equals the number of acknowledged submits, and the
+//!   pending-task count equals submits minus successful steals.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qrqw_serve::{
+    BatchPolicy, Histogram, Reply, Request, Server, ServiceConfig, ServiceStats, StateDigest,
+    Ticket,
+};
+use qrqw_sim::EMPTY;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::Json;
+
+/// Which request mix the generator produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceWorkload {
+    /// Hash-set traffic: 40% insert, 40% lookup, 20% contains.
+    Hash,
+    /// Counter traffic: 80% fetch-add (delta 1–15), 20% read.
+    Counter,
+    /// Task-pool traffic: 55% submit, 45% steal.
+    Task,
+    /// Uniform mix of the three above.
+    Mix,
+}
+
+impl ServiceWorkload {
+    /// The sweep set of the committed report (the mix is a smoke-only
+    /// convenience, not a reported workload).
+    pub const ALL: [ServiceWorkload; 3] = [
+        ServiceWorkload::Hash,
+        ServiceWorkload::Counter,
+        ServiceWorkload::Task,
+    ];
+
+    /// Short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceWorkload::Hash => "hash",
+            ServiceWorkload::Counter => "counter",
+            ServiceWorkload::Task => "task",
+            ServiceWorkload::Mix => "mix",
+        }
+    }
+
+    /// Parses a workload name.
+    pub fn parse(s: &str) -> Option<ServiceWorkload> {
+        match s {
+            "hash" => Some(ServiceWorkload::Hash),
+            "counter" => Some(ServiceWorkload::Counter),
+            "task" => Some(ServiceWorkload::Task),
+            "mix" => Some(ServiceWorkload::Mix),
+            _ => None,
+        }
+    }
+}
+
+/// Key distribution of the generated traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDist {
+    /// Uniform over the keyspace.
+    Uniform,
+    /// Zipf(s = 1) over the keyspace: rank-`i` key has weight `1/(i+1)`,
+    /// so a few hot keys absorb most of the traffic — the high-contention
+    /// regime the QRQW model charges for.
+    Zipf,
+}
+
+impl KeyDist {
+    /// Parses a distribution name.
+    pub fn parse(s: &str) -> Option<KeyDist> {
+        match s {
+            "uniform" => Some(KeyDist::Uniform),
+            "zipf" => Some(KeyDist::Zipf),
+            _ => None,
+        }
+    }
+
+    /// Short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KeyDist::Uniform => "uniform",
+            KeyDist::Zipf => "zipf",
+        }
+    }
+}
+
+/// Precomputed sampler over `[0, n)` for a [`KeyDist`].
+struct KeySampler {
+    /// Zipf CDF; empty for the uniform distribution.
+    cdf: Vec<f64>,
+    n: u64,
+}
+
+impl KeySampler {
+    fn new(dist: KeyDist, n: usize) -> Self {
+        let n = n.max(1);
+        let cdf = match dist {
+            KeyDist::Uniform => Vec::new(),
+            KeyDist::Zipf => {
+                let mut cdf = Vec::with_capacity(n);
+                let mut acc = 0.0;
+                for i in 0..n {
+                    acc += 1.0 / (i + 1) as f64;
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for v in &mut cdf {
+                    *v /= total;
+                }
+                cdf
+            }
+        };
+        KeySampler { cdf, n: n as u64 }
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> u64 {
+        if self.cdf.is_empty() {
+            rng.gen_range(0..self.n)
+        } else {
+            let u: f64 = rng.gen();
+            self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1) as u64
+        }
+    }
+}
+
+/// One load-generation run's shape.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSpec {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client submits.
+    pub requests_per_client: usize,
+    /// Outstanding requests a client keeps in flight (1 = strict
+    /// closed-loop; larger windows let big batch caps fill up).
+    pub window: usize,
+    /// Target aggregate submission rate in requests/second (0 = as fast
+    /// as possible).
+    pub rate: f64,
+    /// Request mix.
+    pub workload: ServiceWorkload,
+    /// Key distribution.
+    pub key_dist: KeyDist,
+    /// Distinct keys / counters / payload values the generator draws from.
+    pub keyspace: usize,
+    /// Generator seed (each client derives its own stream from it).
+    pub seed: u64,
+}
+
+/// Folded client-side bookkeeping of one run.
+#[derive(Debug, Default)]
+struct ClientOutcome {
+    inserted: Vec<u64>,
+    delta_sum: u64,
+    submits: u64,
+    steals: u64,
+    completed: u64,
+    errors: u64,
+    hist: Histogram,
+}
+
+impl ClientOutcome {
+    fn absorb(&mut self, other: ClientOutcome) {
+        self.inserted.extend(other.inserted);
+        self.delta_sum += other.delta_sum;
+        self.submits += other.submits;
+        self.steals += other.steals;
+        self.completed += other.completed;
+        self.errors += other.errors;
+        self.hist.merge(&other.hist);
+    }
+
+    fn settle(&mut self, request: Request, submitted: Instant, ticket: Ticket) {
+        let response = ticket.wait();
+        self.hist.record_duration(submitted.elapsed());
+        self.completed += 1;
+        match (request, response) {
+            (Request::HashInsert { key }, Ok(Reply::Inserted(true))) => self.inserted.push(key),
+            (Request::CounterAdd { delta, .. }, Ok(Reply::Counter(_))) => {
+                self.delta_sum += delta;
+            }
+            (Request::TaskSubmit { .. }, Ok(Reply::TaskQueued(_))) => self.submits += 1,
+            (Request::TaskSteal, Ok(Reply::TaskStolen(Some(_)))) => self.steals += 1,
+            (_, Ok(_)) => {}
+            (_, Err(_)) => self.errors += 1,
+        }
+    }
+}
+
+fn generate(
+    workload: ServiceWorkload,
+    sampler: &KeySampler,
+    num_counters: usize,
+    rng: &mut SmallRng,
+) -> Request {
+    let workload = match workload {
+        ServiceWorkload::Mix => {
+            ServiceWorkload::ALL[rng.gen_range(0..ServiceWorkload::ALL.len() as u64) as usize]
+        }
+        w => w,
+    };
+    match workload {
+        ServiceWorkload::Hash => {
+            let key = sampler.sample(rng);
+            match rng.gen_range(0..10u64) {
+                0..=3 => Request::HashInsert { key },
+                4..=7 => Request::HashLookup { key },
+                _ => Request::HashContains { key },
+            }
+        }
+        ServiceWorkload::Counter => {
+            let counter = (sampler.sample(rng) % num_counters.max(1) as u64) as usize;
+            if rng.gen_range(0..5u64) == 0 {
+                Request::CounterRead { counter }
+            } else {
+                Request::CounterAdd {
+                    counter,
+                    delta: rng.gen_range(1..16u64),
+                }
+            }
+        }
+        ServiceWorkload::Task => {
+            if rng.gen_range(0..20u64) < 11 {
+                Request::TaskSubmit {
+                    payload: sampler.sample(rng),
+                }
+            } else {
+                Request::TaskSteal
+            }
+        }
+        ServiceWorkload::Mix => unreachable!("resolved above"),
+    }
+}
+
+/// Everything one measured run produced, ready for reporting.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Key-distribution name.
+    pub key_dist: &'static str,
+    /// Batch cap the server ran under.
+    pub batch_max: usize,
+    /// Client threads.
+    pub clients: usize,
+    /// Requests completed (every submitted request resolves).
+    pub completed: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Wall time of the whole run (first submit to last response).
+    pub wall: Duration,
+    /// Folded submit→response latency histogram (nanoseconds).
+    pub latency: Histogram,
+    /// The server's cumulative stats.
+    pub stats: ServiceStats,
+    /// Validator findings (empty = clean).
+    pub validation_errors: Vec<String>,
+}
+
+impl RunSummary {
+    /// Sustained throughput over the run's wall time.
+    pub fn req_per_s(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// True when the validator found nothing.
+    pub fn valid(&self) -> bool {
+        self.validation_errors.is_empty()
+    }
+
+    /// The run as one `BENCH_service.json` entry.
+    pub fn to_json(&self) -> Json {
+        let us = |q: f64| Json::float(self.latency.value_at_quantile(q) as f64 / 1e3, 3);
+        Json::obj(vec![
+            ("workload", Json::str(self.workload)),
+            ("key_dist", Json::str(self.key_dist)),
+            ("batch_max", Json::Int(self.batch_max as u64)),
+            ("clients", Json::Int(self.clients as u64)),
+            ("requests", Json::Int(self.completed)),
+            ("errors", Json::Int(self.errors)),
+            ("wall_ms", Json::float(self.wall.as_secs_f64() * 1e3, 3)),
+            ("req_per_s", Json::float(self.req_per_s(), 1)),
+            ("p50_us", us(0.50)),
+            ("p99_us", us(0.99)),
+            ("p999_us", us(0.999)),
+            ("mean_us", Json::float(self.latency.mean() / 1e3, 3)),
+            ("batches", Json::Int(self.stats.batches)),
+            ("mean_batch", Json::float(self.stats.mean_batch(), 2)),
+            ("max_batch", Json::Int(self.stats.max_batch)),
+            ("steps", Json::Int(self.stats.steps)),
+            ("claim_attempts", Json::Int(self.stats.claim_attempts)),
+            ("contended_claims", Json::Int(self.stats.contended_claims)),
+            (
+                "contention_per_batch",
+                Json::float(self.stats.contention_per_batch(), 3),
+            ),
+            ("panicked_batches", Json::Int(self.stats.panicked_batches)),
+            ("valid", Json::Bool(self.valid())),
+        ])
+    }
+
+    /// One human-readable summary line.
+    pub fn print_row(&self) {
+        println!(
+            "{:<8} {:<8} batch_max {:<6} {:>9.0} req/s  p50 {:>8.1}us  p99 {:>8.1}us  \
+             p999 {:>8.1}us  mean batch {:>7.1}  contention/batch {:>7.2}  valid={}",
+            self.workload,
+            self.key_dist,
+            self.batch_max,
+            self.req_per_s(),
+            self.latency.value_at_quantile(0.50) as f64 / 1e3,
+            self.latency.value_at_quantile(0.99) as f64 / 1e3,
+            self.latency.value_at_quantile(0.999) as f64 / 1e3,
+            self.stats.mean_batch(),
+            self.stats.contention_per_batch(),
+            self.valid(),
+        );
+    }
+}
+
+/// Checks the final digest against the run's acknowledged replies (see the
+/// module docs for why exactly these properties are interleaving-proof).
+fn validate_digest(digest: &StateDigest, agg: &ClientOutcome) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut acked: Vec<u64> = agg.inserted.clone();
+    acked.sort_unstable();
+    let deduped = {
+        let mut v = acked.clone();
+        v.dedup();
+        v
+    };
+    if deduped.len() != acked.len() {
+        errors.push("two clients were both told Inserted(true) for one key".to_string());
+    }
+    if digest.hash_keys != deduped {
+        errors.push(format!(
+            "hash table holds {} keys but {} inserts were acknowledged",
+            digest.hash_keys.len(),
+            deduped.len()
+        ));
+    }
+    let counter_sum: u64 = digest.counters.iter().filter(|&&v| v != EMPTY).sum();
+    if counter_sum != agg.delta_sum {
+        errors.push(format!(
+            "counters sum to {counter_sum} but clients were acknowledged {} of delta",
+            agg.delta_sum
+        ));
+    }
+    if digest.next_seq != agg.submits {
+        errors.push(format!(
+            "next task seq is {} but {} submits were acknowledged",
+            digest.next_seq, agg.submits
+        ));
+    }
+    let expect_pending = agg.submits.saturating_sub(agg.steals);
+    if digest.pending_tasks.len() as u64 != expect_pending {
+        errors.push(format!(
+            "{} tasks pending but submits-steals = {expect_pending}",
+            digest.pending_tasks.len()
+        ));
+    }
+    errors
+}
+
+/// Spawns a server, drives it with `spec`'s client fleet, shuts it down,
+/// validates the final state, and returns the folded summary.
+pub fn run_service_load(
+    config: ServiceConfig,
+    policy: BatchPolicy,
+    threads: Option<usize>,
+    spec: &LoadSpec,
+) -> RunSummary {
+    let server = match threads {
+        Some(t) => Server::spawn_with_pool(config, policy, qrqw_exec::StepPool::with_threads(t)),
+        None => Server::spawn(config, policy),
+    };
+    let sampler = Arc::new(KeySampler::new(spec.key_dist, spec.keyspace));
+    let window = spec.window.max(1);
+    let per_client_interval = if spec.rate > 0.0 {
+        Duration::from_secs_f64(spec.clients.max(1) as f64 / spec.rate)
+    } else {
+        Duration::ZERO
+    };
+    let started = Instant::now();
+    let workers: Vec<_> = (0..spec.clients.max(1))
+        .map(|client| {
+            let handle = server.handle();
+            let sampler = Arc::clone(&sampler);
+            let spec = *spec;
+            let num_counters = config.num_counters;
+            std::thread::spawn(move || {
+                let mut rng =
+                    SmallRng::seed_from_u64(spec.seed ^ (client as u64).wrapping_mul(0x9E37));
+                let mut outcome = ClientOutcome::default();
+                let mut inflight: VecDeque<(Request, Instant, Ticket)> = VecDeque::new();
+                let client_started = Instant::now();
+                for i in 0..spec.requests_per_client {
+                    if !per_client_interval.is_zero() {
+                        let due = client_started + per_client_interval * i as u32;
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                    }
+                    let request = generate(spec.workload, &sampler, num_counters, &mut rng);
+                    inflight.push_back((request, Instant::now(), handle.submit(request)));
+                    if inflight.len() >= window {
+                        let (req, at, ticket) = inflight.pop_front().unwrap();
+                        outcome.settle(req, at, ticket);
+                    }
+                }
+                for (req, at, ticket) in inflight {
+                    outcome.settle(req, at, ticket);
+                }
+                outcome
+            })
+        })
+        .collect();
+    let mut agg = ClientOutcome::default();
+    for worker in workers {
+        agg.absorb(worker.join().expect("client thread panicked"));
+    }
+    let wall = started.elapsed();
+    let (state, stats) = server.shutdown();
+    let validation_errors = validate_digest(&state.digest(), &agg);
+    RunSummary {
+        workload: spec.workload.name(),
+        key_dist: spec.key_dist.name(),
+        batch_max: policy.max_batch,
+        clients: spec.clients.max(1),
+        completed: agg.completed,
+        errors: agg.errors,
+        wall,
+        latency: agg.hist,
+        stats,
+        validation_errors,
+    }
+}
+
+/// Assembles the top-level `BENCH_service.json` document from a sweep of
+/// run summaries (shared by `service_report` and the schema round-trip
+/// test).
+pub fn service_report_json(
+    generated_by: &str,
+    seed: u64,
+    threads: usize,
+    runs: &[RunSummary],
+) -> Json {
+    let all_valid = runs.iter().all(|r| r.valid() && r.errors == 0);
+    Json::obj(vec![
+        ("generated_by", Json::str(generated_by)),
+        ("seed", Json::Int(seed)),
+        ("threads", Json::Int(threads as u64)),
+        ("host_cores", Json::Int(rayon::current_num_threads() as u64)),
+        ("all_valid", Json::Bool(all_valid)),
+        (
+            "runs",
+            Json::Arr(runs.iter().map(RunSummary::to_json).collect()),
+        ),
+    ])
+}

@@ -1,0 +1,149 @@
+//! [`PersistentMachine`]: a long-lived [`NativeMachine`] owner for batch
+//! servers.
+//!
+//! The one-shot harnesses construct a machine, run one algorithm, and read
+//! one cumulative [`Machine::cost_report`].  A request server is different:
+//! it keeps a single machine alive across thousands of batches and needs
+//! *per-batch* cost attribution — how many steps, claim attempts and
+//! contended claims *this* batch added, and how long it took — because the
+//! batch is the service's unit of work (the h-relation of the QRQW story).
+//! [`PersistentMachine`] wraps the machine together with the counter marks
+//! needed to turn the cumulative counters into per-batch deltas, so callers
+//! get a [`BatchCost`] per [`PersistentMachine::batch`] scope without
+//! re-deriving deltas by hand (and without a second contention counter).
+
+use std::time::{Duration, Instant};
+
+use qrqw_sim::Machine;
+
+use crate::{NativeMachine, StepPool};
+
+/// What one batch scope cost: the deltas of the machine's cumulative
+/// counters across a [`PersistentMachine::batch`] call, plus its wall time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchCost {
+    /// Machine steps the batch executed.
+    pub steps: u64,
+    /// Claim attempts the batch issued.
+    pub claim_attempts: u64,
+    /// Claim attempts that lost their cell to a same-step collision — the
+    /// realized contention of the batch.
+    pub contended_claims: u64,
+    /// Wall-clock time of the batch scope.
+    pub wall: Duration,
+}
+
+/// A [`NativeMachine`] that lives across many batches, with per-batch cost
+/// attribution.
+///
+/// ```
+/// use qrqw_exec::PersistentMachine;
+/// use qrqw_sim::Machine;
+///
+/// let mut pm = PersistentMachine::from_env(64, 1);
+/// let (base, cost) = pm.batch(|m| m.alloc(16));
+/// assert_eq!(base, 64);
+/// assert_eq!(cost.steps, 0); // alloc is not a step
+/// let ((), cost) = pm.batch(|m| m.par_for(16, |p, ctx| ctx.write(base + p, 7)));
+/// assert_eq!(cost.steps, 1);
+/// ```
+#[derive(Debug)]
+pub struct PersistentMachine {
+    machine: NativeMachine,
+    steps_mark: u64,
+    attempts_mark: u64,
+    failures_mark: u64,
+}
+
+impl PersistentMachine {
+    /// Wraps an already-constructed machine.
+    pub fn new(machine: NativeMachine) -> Self {
+        let steps_mark = machine.steps_executed();
+        let attempts_mark = machine.contention().attempts();
+        let failures_mark = machine.contention().failures();
+        PersistentMachine {
+            machine,
+            steps_mark,
+            attempts_mark,
+            failures_mark,
+        }
+    }
+
+    /// Creates a machine with `mem_size` cells and the given seed, resolving
+    /// thread count and schedule from the environment (`QRQW_THREADS`,
+    /// `QRQW_SCHEDULE`) exactly like [`Machine::with_seed`] does.
+    pub fn from_env(mem_size: usize, seed: u64) -> Self {
+        Self::new(NativeMachine::with_seed(mem_size, seed))
+    }
+
+    /// Creates a machine with a fully explicit dispatch policy.
+    pub fn with_pool(mem_size: usize, seed: u64, pool: StepPool) -> Self {
+        Self::new(NativeMachine::with_pool(mem_size, seed, pool))
+    }
+
+    /// The wrapped machine, for direct (un-attributed) access.
+    pub fn machine(&mut self) -> &mut NativeMachine {
+        &mut self.machine
+    }
+
+    /// Read-only access to the wrapped machine.
+    pub fn machine_ref(&self) -> &NativeMachine {
+        &self.machine
+    }
+
+    /// Runs `f` against the machine and reports what it cost: the deltas of
+    /// the step and contention counters across the call, plus wall time.
+    pub fn batch<T>(&mut self, f: impl FnOnce(&mut NativeMachine) -> T) -> (T, BatchCost) {
+        let start = Instant::now();
+        let out = f(&mut self.machine);
+        let wall = start.elapsed();
+        let steps = self.machine.steps_executed();
+        let attempts = self.machine.contention().attempts();
+        let failures = self.machine.contention().failures();
+        let cost = BatchCost {
+            steps: steps - self.steps_mark,
+            claim_attempts: attempts - self.attempts_mark,
+            contended_claims: failures - self.failures_mark,
+            wall,
+        };
+        self.steps_mark = steps;
+        self.attempts_mark = attempts;
+        self.failures_mark = failures;
+        (out, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrqw_sim::ClaimMode;
+
+    #[test]
+    fn batch_costs_are_deltas_not_cumulative_totals() {
+        let mut pm = PersistentMachine::with_pool(64, 0, StepPool::with_threads(2));
+        let (_, first) = pm.batch(|m| {
+            m.claim(&[(1, 4), (2, 4), (3, 9)], ClaimMode::Exclusive);
+        });
+        assert_eq!(first.steps, 6);
+        assert_eq!(first.claim_attempts, 3);
+        assert_eq!(first.contended_claims, 2);
+        // A second batch reports only its own cost, not the running totals.
+        let (_, second) = pm.batch(|m| {
+            m.claim(&[(5, 20)], ClaimMode::Occupy);
+        });
+        assert_eq!(second.steps, 3);
+        assert_eq!(second.claim_attempts, 1);
+        assert_eq!(second.contended_claims, 0);
+        // The machine's own cumulative counters kept counting.
+        assert_eq!(pm.machine_ref().contention().attempts(), 4);
+    }
+
+    #[test]
+    fn state_persists_across_batches() {
+        let mut pm = PersistentMachine::from_env(8, 3);
+        let ((), _) = pm.batch(|m| m.poke(3, 41));
+        let (v, cost) = pm.batch(|m| m.peek(3));
+        assert_eq!(v, 41);
+        assert_eq!(cost.steps, 0);
+    }
+}

@@ -36,11 +36,13 @@
 #![deny(missing_docs)]
 
 pub mod contention;
+pub mod handle;
 pub mod machine;
 pub mod pool;
 pub mod steal;
 
 pub use contention::ContentionCounter;
+pub use handle::{BatchCost, PersistentMachine};
 pub use machine::NativeMachine;
 pub use pool::{Schedule, StepPool};
 pub use steal::StealingMachine;

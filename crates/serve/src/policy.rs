@@ -1,0 +1,125 @@
+//! The batching policy: when does the batcher close a batch?
+//!
+//! Two knobs, the classic throughput/latency trade:
+//!
+//! * **max batch size** — close as soon as this many requests have been
+//!   collected.  Bigger batches amortize the per-step protocol (and, per
+//!   the QRQW thesis, spread contention over more parallel slots) at the
+//!   price of queueing latency.
+//! * **max linger** — close an under-full batch this long after its first
+//!   request arrived, so a trickle of traffic still gets served promptly.
+//!
+//! Both have environment overrides (`QRQW_BATCH_MAX`, `QRQW_LINGER_US`),
+//! documented alongside `QRQW_THREADS` / `QRQW_SCHEDULE` in
+//! `ARCHITECTURE.md`.
+
+use std::time::Duration;
+
+/// Environment variable overriding [`BatchPolicy::max_batch`].
+pub const BATCH_MAX_ENV: &str = "QRQW_BATCH_MAX";
+
+/// Environment variable overriding [`BatchPolicy::linger`] (microseconds).
+pub const LINGER_US_ENV: &str = "QRQW_LINGER_US";
+
+/// Default [`BatchPolicy::max_batch`].
+pub const DEFAULT_BATCH_MAX: usize = 256;
+
+/// Default [`BatchPolicy::linger`].
+pub const DEFAULT_LINGER: Duration = Duration::from_micros(200);
+
+/// When the batcher closes a batch: at `max_batch` requests, or `linger`
+/// after the batch's first request arrived, whichever comes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum requests per batch (≥ 1; 0 is clamped to 1).
+    pub max_batch: usize,
+    /// Maximum time an under-full batch waits for more requests.  Zero
+    /// means "never wait": a batch is whatever is already queued.
+    pub linger: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: DEFAULT_BATCH_MAX,
+            linger: DEFAULT_LINGER,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// A policy with the given batch cap and the default linger.
+    pub fn with_max_batch(max_batch: usize) -> Self {
+        BatchPolicy {
+            max_batch: max_batch.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Builder: sets the linger time.
+    pub fn linger(mut self, linger: Duration) -> Self {
+        self.linger = linger;
+        self
+    }
+
+    /// Resolves the policy from the environment: `QRQW_BATCH_MAX` (requests)
+    /// and `QRQW_LINGER_US` (microseconds), falling back to the defaults.
+    /// Unparsable values are ignored, matching how the executor treats
+    /// `QRQW_THREADS`.
+    pub fn from_env() -> Self {
+        let mut policy = BatchPolicy::default();
+        if let Some(v) = read_env_usize(BATCH_MAX_ENV) {
+            policy.max_batch = v.max(1);
+        }
+        if let Some(v) = read_env_usize(LINGER_US_ENV) {
+            policy.linger = Duration::from_micros(v as u64);
+        }
+        policy
+    }
+
+    /// The policy with `max_batch` clamped to at least 1, as the batcher
+    /// uses it.
+    pub fn normalized(self) -> Self {
+        BatchPolicy {
+            max_batch: self.max_batch.max(1),
+            linger: self.linger,
+        }
+    }
+}
+
+fn read_env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = BatchPolicy::default();
+        assert!(p.max_batch >= 1);
+        assert!(p.linger > Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_max_batch_is_clamped() {
+        assert_eq!(BatchPolicy::with_max_batch(0).max_batch, 1);
+        assert_eq!(
+            BatchPolicy {
+                max_batch: 0,
+                linger: Duration::ZERO
+            }
+            .normalized()
+            .max_batch,
+            1
+        );
+    }
+
+    #[test]
+    fn builder_sets_linger() {
+        let p = BatchPolicy::with_max_batch(8).linger(Duration::from_millis(5));
+        assert_eq!(p.max_batch, 8);
+        assert_eq!(p.linger, Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,177 @@
+//! The service's request/response vocabulary.
+//!
+//! Three workloads, each backed by a paper algorithm running on the shared
+//! persistent machine:
+//!
+//! * **hash** — set membership over 31-bit keys (§6 hashing: inserts are
+//!   occupy-mode cell claims along a per-key probe sequence, lookups are
+//!   one parallel probe step);
+//! * **counter** — named counters (§7.3: a batch of adds/reads is one
+//!   emulated Fetch&Add step, Lemma 7.5);
+//! * **task** — a FIFO task pool (§3: every batch rebalances the pending
+//!   tasks with the QRQW load-balancing algorithm).
+//!
+//! Every request receives exactly one [`Response`].  The reply semantics
+//! are **trace-deterministic**: what a request observes depends only on
+//! the requests that preceded it in submission order, never on how the
+//! batcher happened to cut batches (see `crates/serve/tests/parity.rs`,
+//! which pins this).
+
+/// Upper bound (exclusive) for hash-workload keys: the field size of the
+/// §6 hash functions.  Re-exported from `qrqw_core::hashing::HASH_PRIME`.
+pub const MAX_KEY: u64 = qrqw_core::hashing::HASH_PRIME;
+
+/// One client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Insert `key` into the hash set.  Replies [`Reply::Inserted`] with
+    /// `true` iff no earlier request had inserted the key.
+    HashInsert {
+        /// The key to insert; must be `< MAX_KEY`.
+        key: u64,
+    },
+    /// Membership query.  Replies [`Reply::Found`]: `true` iff some earlier
+    /// request inserted the key.
+    HashLookup {
+        /// The key to look up; must be `< MAX_KEY`.
+        key: u64,
+    },
+    /// Alias of [`Request::HashLookup`] kept as a distinct wire operation
+    /// (some clients phrase membership as `contains`); identical semantics.
+    HashContains {
+        /// The key to test; must be `< MAX_KEY`.
+        key: u64,
+    },
+    /// Atomically add `delta` to counter `counter`.  Replies
+    /// [`Reply::Counter`] with the value the counter held just before this
+    /// request's addition (Fetch&Add semantics).
+    CounterAdd {
+        /// Counter index; must be below the service's counter count.
+        counter: usize,
+        /// Amount to add.
+        delta: u64,
+    },
+    /// Read counter `counter` (a zero-delta Fetch&Add).  Replies
+    /// [`Reply::Counter`] with the sum of all earlier adds.
+    CounterRead {
+        /// Counter index; must be below the service's counter count.
+        counter: usize,
+    },
+    /// Submit a task.  Replies [`Reply::TaskQueued`] with the task's
+    /// globally unique FIFO sequence number.
+    TaskSubmit {
+        /// Opaque task payload.
+        payload: u64,
+    },
+    /// Steal (pop) the oldest pending task.  Replies [`Reply::TaskStolen`]
+    /// with `Some((seq, payload))`, or `None` if no task submitted by an
+    /// earlier request is still pending.
+    TaskSteal,
+    /// Fault injection, for the error-path tests: the service must survive
+    /// these without wedging the batcher thread.
+    Fault(Fault),
+}
+
+/// Kinds of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The request itself fails with [`ServiceError::Injected`]; the rest
+    /// of its batch is unaffected.
+    Error,
+    /// The batch application panics while this request is being decoded
+    /// (before any machine state is touched).  The batcher catches the
+    /// unwind and fails the whole batch with [`ServiceError::BatchPanicked`].
+    Panic,
+}
+
+impl Request {
+    /// The workload this request belongs to (`"hash"` / `"counter"` /
+    /// `"task"` / `"fault"`), for metrics labelling.
+    pub fn workload(&self) -> &'static str {
+        match self {
+            Request::HashInsert { .. }
+            | Request::HashLookup { .. }
+            | Request::HashContains { .. } => "hash",
+            Request::CounterAdd { .. } | Request::CounterRead { .. } => "counter",
+            Request::TaskSubmit { .. } | Request::TaskSteal => "task",
+            Request::Fault(_) => "fault",
+        }
+    }
+}
+
+/// The payload of a successful response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reply {
+    /// Hash insert: `true` iff the key was newly inserted.
+    Inserted(bool),
+    /// Hash lookup / contains verdict.
+    Found(bool),
+    /// Counter value observed just before this request's (possibly zero)
+    /// addition.
+    Counter(u64),
+    /// Task submitted; carries its FIFO sequence number.
+    TaskQueued(u64),
+    /// Steal outcome: the oldest pending `(seq, payload)`, if any.
+    TaskStolen(Option<(u64, u64)>),
+}
+
+/// Why a request failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Hash key is `>= MAX_KEY`.
+    KeyOutOfRange(u64),
+    /// Counter index is out of range for the service's configuration.
+    UnknownCounter(usize),
+    /// The request was a [`Fault::Error`] injection.
+    Injected,
+    /// The batch this request rode in panicked mid-application; the
+    /// request may or may not have taken effect.
+    BatchPanicked,
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::KeyOutOfRange(k) => write!(f, "key {k} is >= 2^31 - 1"),
+            ServiceError::UnknownCounter(c) => write!(f, "counter {c} does not exist"),
+            ServiceError::Injected => write!(f, "injected fault"),
+            ServiceError::BatchPanicked => write!(f, "batch panicked mid-application"),
+            ServiceError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// What a client gets back for one request.
+pub type Response = Result<Reply, ServiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_labels_cover_every_variant() {
+        assert_eq!(Request::HashInsert { key: 1 }.workload(), "hash");
+        assert_eq!(Request::HashContains { key: 1 }.workload(), "hash");
+        assert_eq!(
+            Request::CounterAdd {
+                counter: 0,
+                delta: 1
+            }
+            .workload(),
+            "counter"
+        );
+        assert_eq!(Request::TaskSteal.workload(), "task");
+        assert_eq!(Request::Fault(Fault::Error).workload(), "fault");
+    }
+
+    #[test]
+    fn errors_render_a_reason() {
+        let s = ServiceError::KeyOutOfRange(7).to_string();
+        assert!(s.contains('7'));
+        assert!(!ServiceError::ShuttingDown.to_string().is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! The serving runtime: submission queue, batcher loop, oneshot slots.
+//!
+//! No async runtime exists in this workspace (and none may be added), so
+//! the service is built from `std` threads and channels:
+//!
+//! * clients submit over a shared [`std::sync::mpsc`] channel (the
+//!   **submission queue**);
+//! * a single **batcher thread** owns the [`ServiceState`] and loops:
+//!   block for the first request, keep pulling until the
+//!   [`BatchPolicy`] closes the batch (size cap hit, or linger expired
+//!   since the batch's first request), apply the batch, complete every
+//!   request's slot;
+//! * each request carries an `Arc`'d **oneshot slot** (mutex + condvar);
+//!   the client half is a [`Ticket`] that blocks on [`Ticket::wait`].
+//!
+//! # Failure containment
+//!
+//! The batcher applies each batch under [`std::panic::catch_unwind`].  A
+//! panicking batch ([`crate::request::Fault::Panic`], or any future bug in
+//! decode) answers *every* request in the batch with
+//! [`ServiceError::BatchPanicked`] and the loop keeps serving.  The
+//! `AssertUnwindSafe` is justified by construction: [`ServiceState`] only
+//! panics during the host-side decode walk, *before* any machine step
+//! runs, so the machine arena is never torn mid-step (host-side task
+//! bookkeeping from earlier requests in the panicked batch may persist —
+//! exactly what `BatchPanicked`'s "may or may not have taken effect"
+//! contract says).
+//!
+//! A client that drops its [`Ticket`] (disconnects mid-batch) is harmless:
+//! completion writes into the shared slot and nobody reads it; the batcher
+//! never blocks on clients.
+//!
+//! # Shutdown
+//!
+//! A shutdown message (`Msg::Shutdown`) makes the batcher drain the queue
+//! — every request
+//! already submitted is applied (in policy-sized batches) and answered —
+//! then exit, returning the final state and cumulative stats to whoever
+//! joins it (see `server.rs`).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::metrics::ServiceStats;
+use crate::policy::BatchPolicy;
+use crate::request::{Request, Response, ServiceError};
+use crate::state::ServiceState;
+
+/// One-shot completion slot shared between a request's [`Ticket`] and the
+/// batcher.
+#[derive(Debug, Default)]
+pub(crate) struct ResponseSlot {
+    inner: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    pub(crate) fn complete(&self, response: Response) {
+        let mut slot = self.inner.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(response);
+        }
+        self.ready.notify_all();
+    }
+}
+
+/// The client half of a submitted request: blocks until the batcher
+/// completes the request's slot.  Dropping a ticket abandons the response
+/// without affecting the server.
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    pub(crate) fn new(slot: Arc<ResponseSlot>) -> Self {
+        Ticket { slot }
+    }
+
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Response {
+        let mut guard = self.slot.inner.lock().unwrap();
+        loop {
+            if let Some(resp) = guard.take() {
+                return resp;
+            }
+            guard = self.slot.ready.wait(guard).unwrap();
+        }
+    }
+
+    /// Non-blocking poll; `Some` once the batch carrying this request has
+    /// been applied.
+    pub fn try_wait(&self) -> Option<Response> {
+        self.slot.inner.lock().unwrap().take()
+    }
+}
+
+/// A request travelling the submission queue with its completion slot.
+#[derive(Debug)]
+pub(crate) struct Envelope {
+    pub(crate) request: Request,
+    pub(crate) slot: Arc<ResponseSlot>,
+}
+
+/// Submission-queue message.
+#[derive(Debug)]
+pub(crate) enum Msg {
+    /// A client request.
+    Submit(Envelope),
+    /// Drain the queue, answer everything, and exit.
+    Shutdown,
+}
+
+/// Runs the batcher loop to completion.  Returns the final state and the
+/// cumulative stats; called on the dedicated batcher thread.
+pub(crate) fn run_batcher(
+    mut state: ServiceState,
+    policy: BatchPolicy,
+    rx: Receiver<Msg>,
+) -> (ServiceState, ServiceStats) {
+    let policy = policy.normalized();
+    let mut stats = ServiceStats::default();
+    'serve: loop {
+        // Block for the batch's first request.
+        let first = match rx.recv() {
+            Ok(Msg::Submit(env)) => env,
+            Ok(Msg::Shutdown) | Err(_) => break 'serve,
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + policy.linger;
+        // Fill until the policy closes the batch.
+        let mut shutting_down = false;
+        while batch.len() < policy.max_batch {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(left) {
+                Ok(Msg::Submit(env)) => batch.push(env),
+                Ok(Msg::Shutdown) => {
+                    shutting_down = true;
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    shutting_down = true;
+                    break;
+                }
+            }
+        }
+        apply_and_complete(&mut state, &mut stats, batch);
+        if shutting_down {
+            break 'serve;
+        }
+    }
+    // Drain: answer everything already in the queue, then exit.
+    let mut leftover = Vec::new();
+    loop {
+        match rx.try_recv() {
+            Ok(Msg::Submit(env)) => {
+                leftover.push(env);
+                if leftover.len() == policy.max_batch {
+                    apply_and_complete(&mut state, &mut stats, std::mem::take(&mut leftover));
+                }
+            }
+            Ok(Msg::Shutdown) => {}
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+        }
+    }
+    if !leftover.is_empty() {
+        apply_and_complete(&mut state, &mut stats, leftover);
+    }
+    (state, stats)
+}
+
+/// Applies one batch under panic containment and completes every slot.
+fn apply_and_complete(state: &mut ServiceState, stats: &mut ServiceStats, batch: Vec<Envelope>) {
+    let requests: Vec<Request> = batch.iter().map(|env| env.request).collect();
+    match catch_unwind(AssertUnwindSafe(|| state.apply_batch(&requests))) {
+        Ok((responses, cost)) => {
+            stats.record_batch(batch.len(), cost);
+            debug_assert_eq!(responses.len(), batch.len());
+            for (env, resp) in batch.into_iter().zip(responses) {
+                env.slot.complete(resp);
+            }
+        }
+        Err(_) => {
+            stats.panicked_batches += 1;
+            stats.batches += 1;
+            stats.requests += batch.len() as u64;
+            for env in batch {
+                env.slot.complete(Err(ServiceError::BatchPanicked));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_returns_a_completed_response() {
+        let slot = Arc::new(ResponseSlot::default());
+        let ticket = Ticket::new(Arc::clone(&slot));
+        assert!(ticket.try_wait().is_none());
+        slot.complete(Err(ServiceError::Injected));
+        assert_eq!(ticket.wait(), Err(ServiceError::Injected));
+    }
+
+    #[test]
+    fn first_completion_wins() {
+        let slot = Arc::new(ResponseSlot::default());
+        let ticket = Ticket::new(Arc::clone(&slot));
+        slot.complete(Err(ServiceError::Injected));
+        slot.complete(Err(ServiceError::ShuttingDown));
+        assert_eq!(ticket.wait(), Err(ServiceError::Injected));
+    }
+
+    #[test]
+    fn ticket_wait_blocks_until_completion() {
+        let slot = Arc::new(ResponseSlot::default());
+        let ticket = Ticket::new(Arc::clone(&slot));
+        let completer = Arc::clone(&slot);
+        let t = std::thread::spawn(move || ticket.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        completer.complete(Err(ServiceError::Injected));
+        assert_eq!(t.join().unwrap(), Err(ServiceError::Injected));
+    }
+}

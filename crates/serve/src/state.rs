@@ -1,0 +1,583 @@
+//! The service's live state and the batch-application step.
+//!
+//! [`ServiceState`] owns a persistent native machine plus the three
+//! workload states living in (or mirrored against) its shared memory:
+//!
+//! * a machine-resident **hash set** (open addressing, double-hash probe
+//!   sequences; inserts are occupy-mode [`Machine::claim`]s, so a batch of
+//!   inserts is exactly the paper's low-contention cell-claiming step);
+//! * a machine-resident **counter bank** (a batch of adds/reads is one
+//!   emulated Fetch&Add step, Lemma 7.5);
+//! * a **task pool** (host-side FIFO index; every batch with task traffic
+//!   rebalances the pending tasks across virtual processors with the §3
+//!   QRQW load-balancing algorithm).
+//!
+//! [`ServiceState::apply_batch`] is the *only* way state advances, and it
+//! is shared verbatim by the live server and by the one-shot reference of
+//! the parity tests: running a request trace through the batcher under any
+//! batching policy must leave the same observable state as applying the
+//! whole trace as one batch.
+//!
+//! # Batch semantics (the partition-invariance contract)
+//!
+//! Replies are **trace-deterministic**: each request observes exactly the
+//! requests that precede it in submission order, regardless of where batch
+//! boundaries fall.  Concretely, within a batch:
+//!
+//! * a hash lookup answers `true` iff the key was inserted by an earlier
+//!   request (earlier batch, or earlier position in this batch);
+//! * a counter add/read observes the sum of all earlier deltas on its
+//!   counter (the Fetch&Add serialization order within a batch is the
+//!   batch order, because the emulation's radix sort is stable);
+//! * a steal pops the globally oldest task that an earlier request
+//!   submitted and no earlier request stole.
+//!
+//! The machine-visible *placement* of hash keys (which probe cell a key
+//! won) is the one observable that may differ across batch partitions and
+//! thread counts — occupy-claim winners are backend-defined — so
+//! [`StateDigest`] canonicalizes the hash region to its sorted key set,
+//! while the counter region is compared raw (bit-identical) and the task
+//! pool by exact `(seq, payload)` content.
+
+use std::collections::{BTreeMap, HashSet};
+
+use qrqw_core::{emulate_fetch_add_step, load_balance_qrqw};
+use qrqw_exec::{BatchCost, NativeMachine, PersistentMachine, StepPool};
+use qrqw_sim::{ClaimMode, Machine, EMPTY};
+
+use crate::request::{Fault, Reply, Request, Response, ServiceError, MAX_KEY};
+
+/// Sizing and seeding of a [`ServiceState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Machine seed (all host-side structures are deterministic; the seed
+    /// only feeds the machine's RNG contract).
+    pub seed: u64,
+    /// Number of counters in the bank.
+    pub num_counters: usize,
+    /// Virtual processors the task pool balances over.
+    pub task_procs: usize,
+    /// Initial hash-table capacity (rounded up to a power of two; the
+    /// table grows whenever it would exceed half full).
+    pub hash_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            seed: 0,
+            num_counters: 1024,
+            task_procs: 256,
+            hash_capacity: 4096,
+        }
+    }
+}
+
+/// Canonical observable state, for batch-vs-oneshot parity comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDigest {
+    /// Sorted keys present in the machine-resident hash set.
+    pub hash_keys: Vec<u64>,
+    /// Raw dump of the counter region (untouched counters stay [`EMPTY`]).
+    pub counters: Vec<u64>,
+    /// Pending tasks, oldest first.
+    pub pending_tasks: Vec<(u64, u64)>,
+    /// Next task sequence number to be assigned.
+    pub next_seq: u64,
+}
+
+/// Machine-resident open-addressing hash set.
+#[derive(Debug)]
+struct HashSetState {
+    base: usize,
+    cap: usize,
+    len: usize,
+    /// Host mirror of the present keys (bookkeeping only; the machine
+    /// region is the measured artifact and the digest's source of truth).
+    mirror: HashSet<u64>,
+}
+
+/// First probe cell of `key` in a table of `cap` (power-of-two) cells.
+fn probe_home(key: u64, cap: usize) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - cap.trailing_zeros())
+}
+
+/// Odd probe stride of `key` (coprime to the power-of-two capacity, so the
+/// probe sequence visits every cell).
+fn probe_stride(key: u64) -> u64 {
+    (key.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 33) | 1
+}
+
+/// The `r`-th probe cell of `key`.
+fn probe_cell(key: u64, r: u64, cap: usize) -> usize {
+    (probe_home(key, cap).wrapping_add(r.wrapping_mul(probe_stride(key))) & (cap as u64 - 1))
+        as usize
+}
+
+impl HashSetState {
+    fn new(m: &mut NativeMachine, capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(64);
+        HashSetState {
+            base: m.alloc(cap),
+            cap,
+            len: 0,
+            mirror: HashSet::new(),
+        }
+    }
+
+    /// One parallel probe step answering membership for `keys` against the
+    /// current table (pre-batch state).
+    fn lookup(&self, m: &mut NativeMachine, keys: &[u64]) -> Vec<bool> {
+        let (base, cap) = (self.base, self.cap);
+        m.par_map(keys.len(), |i, ctx| {
+            let key = keys[i];
+            for r in 0..cap as u64 {
+                let v = ctx.read(base + probe_cell(key, r, cap));
+                if v == EMPTY {
+                    return false;
+                }
+                if v == key + 1 {
+                    return true;
+                }
+            }
+            false
+        })
+    }
+
+    /// Inserts `keys` (distinct, and absent from the table) by rounds of
+    /// occupy-mode claims: every still-unplaced key claims the next cell of
+    /// its probe sequence; losers and keys probing occupied cells advance.
+    /// A key placed at probe index `r` saw every earlier probe cell
+    /// occupied, and nothing is ever deleted, so lookups walking the same
+    /// sequence terminate correctly wherever the claims landed.
+    fn insert_new(&mut self, m: &mut NativeMachine, keys: &[u64]) {
+        if keys.is_empty() {
+            return;
+        }
+        self.reserve(m, keys.len());
+        self.insert_rounds(m, keys);
+        self.len += keys.len();
+        self.mirror.extend(keys.iter().copied());
+    }
+
+    fn insert_rounds(&self, m: &mut NativeMachine, keys: &[u64]) {
+        let (base, cap) = (self.base, self.cap);
+        // (key, current probe index) of every still-unplaced key.
+        let mut pending: Vec<(u64, u64)> = keys.iter().map(|&k| (k, 0)).collect();
+        let mut rounds = 0usize;
+        while !pending.is_empty() {
+            rounds += 1;
+            assert!(
+                rounds <= 2 * cap,
+                "hash insert failed to place {} keys in {rounds} rounds (cap {cap})",
+                pending.len()
+            );
+            let attempts: Vec<(u64, usize)> = pending
+                .iter()
+                .map(|&(k, r)| (k + 1, base + probe_cell(k, r, cap)))
+                .collect();
+            let won = m.claim(&attempts, ClaimMode::Occupy);
+            let mut still = Vec::new();
+            for (i, &(k, r)) in pending.iter().enumerate() {
+                if !won[i] {
+                    // Cell occupied (earlier key, or a same-round rival that
+                    // won the claim): advance the probe sequence.
+                    still.push((k, r + 1));
+                }
+            }
+            pending = still;
+        }
+    }
+
+    /// Grows the table (doubling) until `additional` more keys fit at ≤ ½
+    /// load, re-inserting the existing keys into a fresh region.  The old
+    /// region is abandoned — the machine allocator is a stack, so a live
+    /// long-running region cannot be released from the middle.
+    fn reserve(&mut self, m: &mut NativeMachine, additional: usize) {
+        if 2 * (self.len + additional) <= self.cap {
+            return;
+        }
+        let mut new_cap = self.cap;
+        while 2 * (self.len + additional) > new_cap {
+            new_cap *= 2;
+        }
+        let existing = self.machine_keys(m);
+        self.base = m.alloc(new_cap);
+        self.cap = new_cap;
+        self.insert_rounds(m, &existing);
+    }
+
+    /// The keys present in the machine region (unsorted).
+    fn machine_keys(&self, m: &NativeMachine) -> Vec<u64> {
+        m.dump(self.base, self.cap)
+            .into_iter()
+            .filter(|&v| v != EMPTY)
+            .map(|v| v - 1)
+            .collect()
+    }
+}
+
+/// Host-side FIFO index of the task pool.
+#[derive(Debug, Default)]
+struct TaskPool {
+    pending: BTreeMap<u64, u64>,
+    next_seq: u64,
+}
+
+/// The live service state: persistent machine + workload structures.
+#[derive(Debug)]
+pub struct ServiceState {
+    pm: PersistentMachine,
+    config: ServiceConfig,
+    counter_base: usize,
+    hash: HashSetState,
+    tasks: TaskPool,
+}
+
+/// Decoded per-request routing, produced by the in-order decode walk.
+enum Routed {
+    /// Response fully determined at decode time.
+    Done(Response),
+    /// Hash lookup: answer is `pre_batch_present || earlier_in_batch`.
+    Lookup {
+        /// Index into the batch's lookup-key vector.
+        idx: usize,
+        /// Key inserted earlier in this same batch.
+        earlier: bool,
+        /// Expected pre-batch presence (host mirror), cross-checked against
+        /// the machine's probe step.
+        pre_present: bool,
+    },
+    /// Counter op: index into the batch's Fetch&Add request vector.
+    Counter(usize),
+}
+
+impl ServiceState {
+    /// Builds a fresh state on a machine resolved from the environment
+    /// (`QRQW_THREADS`, `QRQW_SCHEDULE`).
+    pub fn new(config: ServiceConfig) -> Self {
+        Self::with_pool(config, StepPool::from_env())
+    }
+
+    /// Builds a fresh state with an explicit dispatch policy.
+    pub fn with_pool(config: ServiceConfig, pool: StepPool) -> Self {
+        let mut pm = PersistentMachine::with_pool(16, config.seed, pool);
+        let counter_base = pm.machine().alloc(config.num_counters.max(1));
+        let hash = HashSetState::new(pm.machine(), config.hash_capacity);
+        ServiceState {
+            pm,
+            config,
+            counter_base,
+            hash,
+            tasks: TaskPool::default(),
+        }
+    }
+
+    /// The configuration this state was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Number of keys in the hash set.
+    pub fn hash_len(&self) -> usize {
+        self.hash.len
+    }
+
+    /// Number of pending tasks.
+    pub fn pending_tasks(&self) -> usize {
+        self.tasks.pending.len()
+    }
+
+    /// Applies one batch in submission order and returns one response per
+    /// request plus what the batch cost on the machine.
+    ///
+    /// Panics if the batch contains a [`Fault::Panic`] request (the server
+    /// catches the unwind; direct callers see the panic).
+    pub fn apply_batch(&mut self, batch: &[Request]) -> (Vec<Response>, BatchCost) {
+        // ---- Decode walk (host-side, strictly in batch order). ----
+        let mut routed: Vec<Routed> = Vec::with_capacity(batch.len());
+        let mut lookup_keys: Vec<u64> = Vec::new();
+        let mut new_keys: Vec<u64> = Vec::new();
+        let mut batch_inserted: HashSet<u64> = HashSet::new();
+        let mut fadd_reqs: Vec<(usize, u64)> = Vec::new();
+        let mut task_ops = 0usize;
+        for req in batch {
+            let r = match *req {
+                Request::HashInsert { key } => {
+                    if key >= MAX_KEY {
+                        Routed::Done(Err(ServiceError::KeyOutOfRange(key)))
+                    } else {
+                        let newly = !self.hash.mirror.contains(&key) && batch_inserted.insert(key);
+                        if newly {
+                            new_keys.push(key);
+                        }
+                        Routed::Done(Ok(Reply::Inserted(newly)))
+                    }
+                }
+                Request::HashLookup { key } | Request::HashContains { key } => {
+                    if key >= MAX_KEY {
+                        Routed::Done(Err(ServiceError::KeyOutOfRange(key)))
+                    } else {
+                        lookup_keys.push(key);
+                        Routed::Lookup {
+                            idx: lookup_keys.len() - 1,
+                            earlier: batch_inserted.contains(&key),
+                            pre_present: self.hash.mirror.contains(&key),
+                        }
+                    }
+                }
+                Request::CounterAdd { counter, delta } => {
+                    if counter >= self.config.num_counters {
+                        Routed::Done(Err(ServiceError::UnknownCounter(counter)))
+                    } else {
+                        fadd_reqs.push((self.counter_base + counter, delta));
+                        Routed::Counter(fadd_reqs.len() - 1)
+                    }
+                }
+                Request::CounterRead { counter } => {
+                    if counter >= self.config.num_counters {
+                        Routed::Done(Err(ServiceError::UnknownCounter(counter)))
+                    } else {
+                        // A read is a zero-delta Fetch&Add: it serializes
+                        // with the batch's adds at its own batch position.
+                        fadd_reqs.push((self.counter_base + counter, 0));
+                        Routed::Counter(fadd_reqs.len() - 1)
+                    }
+                }
+                Request::TaskSubmit { payload } => {
+                    task_ops += 1;
+                    let seq = self.tasks.next_seq;
+                    self.tasks.next_seq += 1;
+                    self.tasks.pending.insert(seq, payload);
+                    Routed::Done(Ok(Reply::TaskQueued(seq)))
+                }
+                Request::TaskSteal => {
+                    task_ops += 1;
+                    let stolen = self.tasks.pending.pop_first();
+                    Routed::Done(Ok(Reply::TaskStolen(stolen)))
+                }
+                Request::Fault(Fault::Error) => Routed::Done(Err(ServiceError::Injected)),
+                Request::Fault(Fault::Panic) => {
+                    panic!("qrqw-serve: injected panic while decoding a batch")
+                }
+            };
+            routed.push(r);
+        }
+
+        // ---- Machine stage (fixed order: lookups against the pre-batch
+        // table, then inserts, then the Fetch&Add step, then rebalancing).
+        let task_procs = self.config.task_procs.max(1);
+        let ServiceState {
+            pm, hash, tasks, ..
+        } = self;
+        let run_balance = task_ops > 0 && !tasks.pending.is_empty();
+        let ((lookup_found, olds), cost) = pm.batch(|m| {
+            let found = if lookup_keys.is_empty() {
+                Vec::new()
+            } else {
+                hash.lookup(m, &lookup_keys)
+            };
+            hash.insert_new(m, &new_keys);
+            let olds = if fadd_reqs.is_empty() {
+                Vec::new()
+            } else {
+                emulate_fetch_add_step(m, &fadd_reqs)
+            };
+            if run_balance {
+                // Rebalance the pending tasks across the virtual
+                // processors (§3); the balanced assignment is the machine
+                // work — FIFO steal order is decided by sequence number.
+                let mut loads = vec![0u64; task_procs];
+                for &seq in tasks.pending.keys() {
+                    loads[(seq % task_procs as u64) as usize] += 1;
+                }
+                let res = load_balance_qrqw(m, &loads);
+                debug_assert!(res.covers_exactly(&loads));
+            }
+            (found, olds)
+        });
+
+        // ---- Assemble responses in batch order. ----
+        let responses: Vec<Response> = routed
+            .into_iter()
+            .map(|r| match r {
+                Routed::Done(resp) => resp,
+                Routed::Lookup {
+                    idx,
+                    earlier,
+                    pre_present,
+                } => {
+                    debug_assert_eq!(
+                        lookup_found[idx], pre_present,
+                        "machine probe diverged from the host mirror"
+                    );
+                    Ok(Reply::Found(lookup_found[idx] || earlier))
+                }
+                Routed::Counter(idx) => Ok(Reply::Counter(olds[idx])),
+            })
+            .collect();
+        (responses, cost)
+    }
+
+    /// The canonical observable state (see the module docs for what is
+    /// compared bit-exactly vs. canonically).
+    pub fn digest(&self) -> StateDigest {
+        let m = self.pm.machine_ref();
+        let mut hash_keys = self.hash.machine_keys(m);
+        hash_keys.sort_unstable();
+        debug_assert_eq!(hash_keys.len(), self.hash.len);
+        StateDigest {
+            hash_keys,
+            counters: m.dump(self.counter_base, self.config.num_counters.max(1)),
+            pending_tasks: self.tasks.pending.iter().map(|(&s, &p)| (s, p)).collect(),
+            next_seq: self.tasks.next_seq,
+        }
+    }
+
+    /// Thread count of the underlying machine.
+    pub fn threads(&self) -> usize {
+        self.pm.machine_ref().threads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ServiceState {
+        ServiceState::with_pool(
+            ServiceConfig {
+                num_counters: 8,
+                task_procs: 4,
+                hash_capacity: 64,
+                seed: 1,
+            },
+            StepPool::with_threads(2),
+        )
+    }
+
+    #[test]
+    fn hash_insert_lookup_contains_round_trip() {
+        let mut s = state();
+        let (resp, cost) = s.apply_batch(&[
+            Request::HashLookup { key: 10 },
+            Request::HashInsert { key: 10 },
+            Request::HashInsert { key: 10 },
+            Request::HashLookup { key: 10 },
+            Request::HashContains { key: 11 },
+        ]);
+        assert_eq!(resp[0], Ok(Reply::Found(false)), "lookup before insert");
+        assert_eq!(resp[1], Ok(Reply::Inserted(true)));
+        assert_eq!(resp[2], Ok(Reply::Inserted(false)), "duplicate in batch");
+        assert_eq!(resp[3], Ok(Reply::Found(true)), "lookup after insert");
+        assert_eq!(resp[4], Ok(Reply::Found(false)));
+        assert!(cost.claim_attempts >= 1, "insert must issue a claim");
+        // A later batch sees the key via the machine table.
+        let (resp, _) = s.apply_batch(&[Request::HashContains { key: 10 }]);
+        assert_eq!(resp[0], Ok(Reply::Found(true)));
+        assert_eq!(s.digest().hash_keys, vec![10]);
+    }
+
+    #[test]
+    fn hash_table_grows_past_initial_capacity() {
+        let mut s = state(); // cap 64 → grows beyond 32 keys
+        let inserts: Vec<Request> = (0..200).map(|k| Request::HashInsert { key: k }).collect();
+        let (resp, _) = s.apply_batch(&inserts);
+        assert!(resp.iter().all(|r| *r == Ok(Reply::Inserted(true))));
+        assert_eq!(s.hash_len(), 200);
+        let digest = s.digest();
+        assert_eq!(digest.hash_keys, (0..200).collect::<Vec<u64>>());
+        // Lookups after growth still find everything.
+        let lookups: Vec<Request> = (0..200).map(|k| Request::HashLookup { key: k }).collect();
+        let (resp, _) = s.apply_batch(&lookups);
+        assert!(resp.iter().all(|r| *r == Ok(Reply::Found(true))));
+    }
+
+    #[test]
+    fn counters_serialize_in_batch_order() {
+        let mut s = state();
+        let (resp, _) = s.apply_batch(&[
+            Request::CounterAdd {
+                counter: 3,
+                delta: 5,
+            },
+            Request::CounterRead { counter: 3 },
+            Request::CounterAdd {
+                counter: 3,
+                delta: 2,
+            },
+            Request::CounterRead { counter: 3 },
+            Request::CounterRead { counter: 7 },
+        ]);
+        assert_eq!(resp[0], Ok(Reply::Counter(0)));
+        assert_eq!(resp[1], Ok(Reply::Counter(5)));
+        assert_eq!(resp[2], Ok(Reply::Counter(5)));
+        assert_eq!(resp[3], Ok(Reply::Counter(7)));
+        assert_eq!(resp[4], Ok(Reply::Counter(0)));
+        let d = s.digest();
+        assert_eq!(d.counters[3], 7);
+        // Counter 0 was never touched: still EMPTY in the raw region.
+        assert_eq!(d.counters[0], EMPTY);
+        assert_eq!(d.counters[7], 0, "a pure read materializes the cell");
+    }
+
+    #[test]
+    fn tasks_are_fifo_across_batches() {
+        let mut s = state();
+        let (resp, _) = s.apply_batch(&[
+            Request::TaskSteal,
+            Request::TaskSubmit { payload: 70 },
+            Request::TaskSubmit { payload: 71 },
+        ]);
+        assert_eq!(resp[0], Ok(Reply::TaskStolen(None)), "steal before submit");
+        assert_eq!(resp[1], Ok(Reply::TaskQueued(0)));
+        assert_eq!(resp[2], Ok(Reply::TaskQueued(1)));
+        let (resp, _) = s.apply_batch(&[
+            Request::TaskSubmit { payload: 72 },
+            Request::TaskSteal,
+            Request::TaskSteal,
+        ]);
+        assert_eq!(
+            resp[1],
+            Ok(Reply::TaskStolen(Some((0, 70)))),
+            "oldest first"
+        );
+        assert_eq!(resp[2], Ok(Reply::TaskStolen(Some((1, 71)))));
+        assert_eq!(s.digest().pending_tasks, vec![(2, 72)]);
+        assert_eq!(s.pending_tasks(), 1);
+    }
+
+    #[test]
+    fn invalid_requests_fail_without_poisoning_the_batch() {
+        let mut s = state();
+        let (resp, _) = s.apply_batch(&[
+            Request::HashInsert { key: MAX_KEY },
+            Request::CounterAdd {
+                counter: 99,
+                delta: 1,
+            },
+            Request::Fault(Fault::Error),
+            Request::HashInsert { key: 1 },
+        ]);
+        assert_eq!(resp[0], Err(ServiceError::KeyOutOfRange(MAX_KEY)));
+        assert_eq!(resp[1], Err(ServiceError::UnknownCounter(99)));
+        assert_eq!(resp[2], Err(ServiceError::Injected));
+        assert_eq!(resp[3], Ok(Reply::Inserted(true)));
+        assert_eq!(s.digest().hash_keys, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected panic")]
+    fn fault_panic_unwinds_before_machine_state_changes() {
+        let mut s = state();
+        let _ = s.apply_batch(&[Request::HashInsert { key: 5 }, Request::Fault(Fault::Panic)]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut s = state();
+        let (resp, cost) = s.apply_batch(&[]);
+        assert!(resp.is_empty());
+        assert_eq!(cost.steps, 0);
+    }
+}

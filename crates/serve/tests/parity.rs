@@ -1,0 +1,149 @@
+//! Batch-vs-oneshot parity: the satellite that pins the service's
+//! partition-invariance contract.
+//!
+//! A fixed request trace is (a) applied as **one** [`ServiceState`] batch
+//! and (b) drained through a live [`Server`] under several batching
+//! policies and machine thread counts.  Because replies are
+//! trace-deterministic (see `qrqw_serve::state`), every configuration must
+//! produce the identical response sequence, and the final [`StateDigest`]s
+//! must be equal — which compares the counter region **bit-identically**
+//! (raw dump, untouched cells still `EMPTY`), the task pool exactly, and
+//! the hash table as its canonical sorted key set.  Hash *placement* cells
+//! are the one observable allowed to differ (occupy-claim winners are
+//! backend-defined), which is exactly why the digest canonicalizes them.
+
+use std::time::Duration;
+
+use qrqw_exec::StepPool;
+use qrqw_serve::{
+    BatchPolicy, Fault, Request, Response, Server, ServiceConfig, ServiceState, StateDigest,
+    MAX_KEY,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        seed: 11,
+        num_counters: 8,
+        task_procs: 4,
+        hash_capacity: 64, // small: the trace forces growth mid-stream
+    }
+}
+
+/// A deterministic mixed trace: duplicate-heavy hash traffic, hot
+/// counters, submit/steal churn, invalid requests and injected (non-panic)
+/// faults.
+fn trace(len: usize, seed: u64) -> Vec<Request> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| match rng.gen_range(0..12u64) {
+            0..=2 => Request::HashInsert {
+                key: rng.gen_range(0..300u64),
+            },
+            3..=4 => Request::HashLookup {
+                key: rng.gen_range(0..300u64),
+            },
+            5 => Request::HashContains {
+                key: rng.gen_range(0..300u64),
+            },
+            6..=7 => Request::CounterAdd {
+                counter: rng.gen_range(0..8u64) as usize,
+                delta: rng.gen_range(1..10u64),
+            },
+            8 => Request::CounterRead {
+                counter: rng.gen_range(0..8u64) as usize,
+            },
+            9 => Request::TaskSubmit {
+                payload: rng.gen_range(0..1000u64),
+            },
+            10 => Request::TaskSteal,
+            _ => match rng.gen_range(0..3u64) {
+                0 => Request::HashInsert { key: MAX_KEY + 17 }, // out of range
+                1 => Request::CounterAdd {
+                    counter: 99,
+                    delta: 1,
+                },
+                _ => Request::Fault(Fault::Error),
+            },
+        })
+        .collect()
+}
+
+/// The whole trace as one batch on a directly-owned state.
+fn oneshot(requests: &[Request], threads: usize) -> (Vec<Response>, StateDigest) {
+    let mut state = ServiceState::with_pool(config(), StepPool::with_threads(threads));
+    let (responses, _) = state.apply_batch(requests);
+    (responses, state.digest())
+}
+
+/// The same trace drained through a live server: one submitter thread
+/// preserves trace order in the queue, batch boundaries fall wherever the
+/// policy cuts them.
+fn served(requests: &[Request], batch_max: usize, threads: usize) -> (Vec<Response>, StateDigest) {
+    let server = Server::spawn_with_pool(
+        config(),
+        BatchPolicy::with_max_batch(batch_max).linger(Duration::from_micros(50)),
+        StepPool::with_threads(threads),
+    );
+    let handle = server.handle();
+    let tickets: Vec<_> = requests.iter().map(|&r| handle.submit(r)).collect();
+    let responses: Vec<Response> = tickets.into_iter().map(|t| t.wait()).collect();
+    let (state, stats) = server.shutdown();
+    assert_eq!(stats.requests, requests.len() as u64);
+    assert!(stats.max_batch <= batch_max as u64, "policy cap violated");
+    (responses, state.digest())
+}
+
+#[test]
+fn every_batching_policy_matches_the_oneshot_reference() {
+    let requests = trace(600, 42);
+    let (want_resp, want_digest) = oneshot(&requests, 2);
+    for batch_max in [1usize, 7, 64, 600] {
+        let (resp, digest) = served(&requests, batch_max, 2);
+        assert_eq!(
+            resp, want_resp,
+            "responses diverged at batch_max={batch_max}"
+        );
+        assert_eq!(
+            digest, want_digest,
+            "digest diverged at batch_max={batch_max}"
+        );
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_observables() {
+    let requests = trace(400, 7);
+    let (resp_1t, digest_1t) = oneshot(&requests, 1);
+    let (resp_2t, digest_2t) = oneshot(&requests, 2);
+    assert_eq!(resp_1t, resp_2t);
+    assert_eq!(digest_1t, digest_2t);
+    let (resp_srv, digest_srv) = served(&requests, 32, 1);
+    assert_eq!(resp_srv, resp_1t);
+    assert_eq!(digest_srv, digest_1t);
+}
+
+#[test]
+fn counter_region_is_bit_identical_including_untouched_cells() {
+    // Only counters 0 and 2 are touched: 1 and 3..8 must still read as the
+    // machine's EMPTY in *both* digests — the raw-dump comparison is what
+    // makes the parity claim about machine memory, not just about replies.
+    let requests = vec![
+        Request::CounterAdd {
+            counter: 0,
+            delta: 3,
+        },
+        Request::CounterRead { counter: 2 },
+        Request::CounterAdd {
+            counter: 0,
+            delta: 4,
+        },
+    ];
+    let (_, want) = oneshot(&requests, 2);
+    let (_, got) = served(&requests, 1, 2);
+    assert_eq!(got.counters, want.counters);
+    assert_eq!(got.counters[0], 7);
+    assert_eq!(got.counters[2], 0, "a read materializes its cell");
+    assert_eq!(got.counters[1], qrqw_sim::EMPTY);
+}

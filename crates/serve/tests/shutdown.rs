@@ -1,0 +1,149 @@
+//! Graceful shutdown and error-path behaviour: the batcher must survive
+//! client disconnects and poisoned requests, and a draining shutdown must
+//! answer everything already submitted.
+
+use std::time::Duration;
+
+use qrqw_exec::StepPool;
+use qrqw_serve::{BatchPolicy, Fault, Reply, Request, Server, ServiceConfig, ServiceError};
+
+fn spawn(batch_max: usize, linger: Duration) -> Server {
+    Server::spawn_with_pool(
+        ServiceConfig {
+            seed: 3,
+            num_counters: 8,
+            task_procs: 4,
+            hash_capacity: 64,
+        },
+        BatchPolicy::with_max_batch(batch_max).linger(linger),
+        StepPool::with_threads(2),
+    )
+}
+
+#[test]
+fn dropped_tickets_do_not_wedge_the_batcher() {
+    let server = spawn(4, Duration::from_micros(50));
+    let handle = server.handle();
+    // Clients that disconnect mid-batch: submit and immediately drop the
+    // ticket.  The batcher completes into the abandoned slots harmlessly.
+    for key in 0..20u64 {
+        drop(handle.submit(Request::HashInsert { key }));
+    }
+    // The server is still serving.
+    assert_eq!(
+        handle.call(Request::HashLookup { key: 5 }),
+        Ok(Reply::Found(true))
+    );
+    let (state, stats) = server.shutdown();
+    assert_eq!(stats.requests, 21);
+    assert_eq!(stats.panicked_batches, 0);
+    assert_eq!(state.digest().hash_keys, (0..20).collect::<Vec<u64>>());
+}
+
+#[test]
+fn an_injected_error_fails_only_its_own_request() {
+    let server = spawn(8, Duration::from_millis(20));
+    let handle = server.handle();
+    // All three land in one batch (the linger is generous): the fault must
+    // not leak into its batch-mates.
+    let a = handle.submit(Request::HashInsert { key: 1 });
+    let b = handle.submit(Request::Fault(Fault::Error));
+    let c = handle.submit(Request::HashInsert { key: 2 });
+    assert_eq!(a.wait(), Ok(Reply::Inserted(true)));
+    assert_eq!(b.wait(), Err(ServiceError::Injected));
+    assert_eq!(c.wait(), Ok(Reply::Inserted(true)));
+    let (state, stats) = server.shutdown();
+    assert_eq!(stats.panicked_batches, 0);
+    assert_eq!(state.digest().hash_keys, vec![1, 2]);
+}
+
+#[test]
+fn a_poisoned_batch_fails_whole_but_the_server_keeps_serving() {
+    let server = spawn(8, Duration::from_millis(20));
+    let handle = server.handle();
+    let a = handle.submit(Request::HashInsert { key: 5 });
+    let b = handle.submit(Request::Fault(Fault::Panic));
+    let c = handle.submit(Request::CounterAdd {
+        counter: 0,
+        delta: 1,
+    });
+    // The whole batch is answered with the explicit panic error...
+    assert_eq!(a.wait(), Err(ServiceError::BatchPanicked));
+    assert_eq!(b.wait(), Err(ServiceError::BatchPanicked));
+    assert_eq!(c.wait(), Err(ServiceError::BatchPanicked));
+    // ...and the batcher is alive and consistent afterwards.
+    assert_eq!(
+        handle.call(Request::HashInsert { key: 7 }),
+        Ok(Reply::Inserted(true))
+    );
+    let (state, stats) = server.shutdown();
+    assert_eq!(stats.panicked_batches, 1);
+    let digest = state.digest();
+    // The panic fired during decode, before any machine mutation: key 5
+    // never reached the table, and the counter was never touched.
+    assert_eq!(digest.hash_keys, vec![7]);
+    assert_eq!(digest.counters[0], qrqw_sim::EMPTY);
+}
+
+#[test]
+fn shutdown_drains_and_answers_everything_already_submitted() {
+    // A tiny batch cap and a long linger: the queue backs up far beyond
+    // what the batcher has started working on, then shutdown must drain
+    // and answer all of it.
+    let server = spawn(2, Duration::from_millis(200));
+    let handle = server.handle();
+    let tickets: Vec<_> = (0..30u64)
+        .map(|key| handle.submit(Request::HashInsert { key }))
+        .collect();
+    let (state, stats) = server.shutdown();
+    for (key, ticket) in tickets.into_iter().enumerate() {
+        assert_eq!(
+            ticket.wait(),
+            Ok(Reply::Inserted(true)),
+            "request {key} was not answered by the drain"
+        );
+    }
+    assert_eq!(stats.requests, 30);
+    assert_eq!(state.digest().hash_keys, (0..30).collect::<Vec<u64>>());
+    // New submissions after shutdown resolve immediately with the error.
+    assert_eq!(
+        handle.call(Request::TaskSteal),
+        Err(ServiceError::ShuttingDown)
+    );
+}
+
+#[test]
+fn a_panic_during_the_drain_does_not_stop_the_drain() {
+    let server = spawn(3, Duration::from_millis(200));
+    let handle = server.handle();
+    let mut tickets = Vec::new();
+    for key in 0..5u64 {
+        tickets.push(handle.submit(Request::HashInsert { key }));
+    }
+    tickets.push(handle.submit(Request::Fault(Fault::Panic)));
+    for key in 5..10u64 {
+        tickets.push(handle.submit(Request::HashInsert { key }));
+    }
+    let (_, stats) = server.shutdown();
+    let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    // Every ticket resolved: the drain survived the poisoned batch.
+    assert_eq!(responses.len(), 11);
+    assert!(stats.panicked_batches >= 1);
+    let ok = responses
+        .iter()
+        .filter(|r| **r == Ok(Reply::Inserted(true)))
+        .count();
+    let poisoned = responses
+        .iter()
+        .filter(|r| **r == Err(ServiceError::BatchPanicked))
+        .count();
+    assert_eq!(
+        ok + poisoned,
+        11,
+        "unexpected response kinds: {responses:?}"
+    );
+    assert!(poisoned >= 1, "the poison batch must have failed");
+    // The poisoned batch holds at most 3 requests, one of them the fault
+    // itself, so at most 2 of the 10 inserts can have been lost to it.
+    assert!(ok >= 8, "too many inserts failed: {responses:?}");
+}
