@@ -14,7 +14,7 @@
 //! cargo run -p qrqw-bench --release --bin perf_report -- \
 //!     [--backend sim,native,native-steal,bsp|all] [--schedule chunked,stealing|all] \
 //!     [--sizes 65536,1048576] [--algos all|name,name] [--seed 1] [--threads N] \
-//!     [--sim-cap N] [--bsp-cap N] [--out BENCH_native.json]
+//!     [--sim-cap N] [--bsp-cap N] [--out BENCH_native.json] [--append]
 //! ```
 //!
 //! * `--backend` (alias `--backends`) selects which backends run
@@ -29,6 +29,13 @@
 //! * `--sim-cap` / `--bsp-cap` skip simulator / BSP runs above that size
 //!   (both are O(work)-per-step machines; the BSP cap defaults to 2¹⁷),
 //!   recorded as `"sim": null` / `"bsp": null` in the JSON;
+//! * `--append` merges this invocation into an existing `--out` file
+//!   instead of overwriting it: a new run replaces the old run with the
+//!   same (algorithm, n), other old runs are kept, and the header's
+//!   `sizes` / `backends` become the union (with `all_valid` the AND of
+//!   old and new).  That is what makes a huge-n sweep affordable on a
+//!   small box — the expensive sizes are added column by column across
+//!   invocations, and the committed artifact stays one file;
 //! * the exit code is non-zero if **any** run fails its validator — for
 //!   BSP runs that includes the Theorem 1.1 conformance check
 //!   `measured_cost ≤ the simulator's independently traced QRQW time`,
@@ -68,6 +75,7 @@ struct Config {
     sim_cap: usize,
     bsp_cap: usize,
     out: String,
+    append: bool,
 }
 
 fn usage(msg: &str) -> ! {
@@ -76,7 +84,7 @@ fn usage(msg: &str) -> ! {
         "usage: perf_report [--backend sim,native,native-steal,bsp|all] \
          [--schedule chunked,stealing|all] [--sizes N,N] \
          [--algos all|name,name] [--seed S] [--threads T] [--sim-cap N] \
-         [--bsp-cap N] [--json-out PATH]"
+         [--bsp-cap N] [--json-out PATH] [--append]"
     );
     std::process::exit(2);
 }
@@ -130,6 +138,7 @@ fn parse_args() -> Config {
         sim_cap: usize::MAX,
         bsp_cap: 1 << 17,
         out: "BENCH_native.json".to_string(),
+        append: false,
     };
     let mut schedule_spec: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -177,6 +186,7 @@ fn parse_args() -> Config {
             "--sim-cap" => cfg.sim_cap = value().parse().unwrap_or_else(|_| usage("bad --sim-cap")),
             "--bsp-cap" => cfg.bsp_cap = value().parse().unwrap_or_else(|_| usage("bad --bsp-cap")),
             "--out" | "--json-out" => cfg.out = value(),
+            "--append" => cfg.append = true,
             other => usage(&format!("unknown flag {other:?}")),
         }
     }
@@ -230,6 +240,81 @@ fn json_run(run: &BackendRun, valid: bool) -> Json {
         fields.push(("components".to_string(), Json::Int(b.components)));
     }
     Json::Obj(fields)
+}
+
+/// The (algorithm, n) identity of a run entry, for `--append` replacement.
+fn run_key(entry: &Json) -> Option<(String, u64)> {
+    let algo = entry.get("algorithm")?.as_str()?.to_string();
+    let n = entry.get("n")?.as_u64()?;
+    Some((algo, n))
+}
+
+/// Merges this invocation into a previously written report: new runs
+/// replace old runs with the same (algorithm, n), everything else from the
+/// old file is kept, headers become unions, `all_valid` the AND.  Returns
+/// (merged runs, merged backend names, merged sizes, old all_valid).
+fn merge_previous(
+    old: &Json,
+    new_entries: Vec<Json>,
+    backend_names: &[&str],
+    sizes: &[usize],
+) -> (Vec<Json>, Vec<String>, Vec<u64>, bool) {
+    let new_keys: Vec<Option<(String, u64)>> = new_entries.iter().map(run_key).collect();
+    let mut runs: Vec<Json> = old
+        .get("runs")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter(|e| {
+            let k = run_key(e);
+            k.is_none() || !new_keys.contains(&k)
+        })
+        .cloned()
+        .collect();
+    runs.extend(new_entries);
+    // Stable presentation order, matching a single full invocation: by
+    // size, then registry order (unknown algorithm names sort last).
+    let algo_rank = |e: &Json| {
+        e.get("algorithm")
+            .and_then(Json::as_str)
+            .and_then(|name| Algorithm::ALL.iter().position(|a| a.name() == name))
+            .unwrap_or(usize::MAX)
+    };
+    runs.sort_by_key(|e| (e.get("n").and_then(Json::as_u64).unwrap_or(0), algo_rank(e)));
+
+    let mut backends: Vec<String> = old
+        .get("backends")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|b| b.as_str().map(str::to_string))
+        .collect();
+    for name in backend_names {
+        if !backends.iter().any(|b| b == name) {
+            backends.push(name.to_string());
+        }
+    }
+    let rank = |name: &str| {
+        Backend::ALL
+            .iter()
+            .position(|b| b.name() == name)
+            .unwrap_or(usize::MAX)
+    };
+    backends.sort_by_key(|b| rank(b));
+
+    let mut merged_sizes: Vec<u64> = old
+        .get("sizes")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(Json::as_u64)
+        .chain(sizes.iter().map(|&n| n as u64))
+        .collect();
+    merged_sizes.sort_unstable();
+    merged_sizes.dedup();
+
+    let old_valid = old.get("all_valid").and_then(Json::as_bool).unwrap_or(true);
+    (runs, backends, merged_sizes, old_valid)
 }
 
 fn ms(run: &Option<BackendRun>) -> String {
@@ -387,24 +472,55 @@ fn main() {
         }
     }
 
+    let previous = cfg
+        .append
+        .then(|| std::fs::read_to_string(&cfg.out).ok())
+        .flatten()
+        .map(|text| {
+            Json::parse(&text).unwrap_or_else(|e| {
+                eprintln!("perf_report: cannot --append to {}: {e}", cfg.out);
+                std::process::exit(2);
+            })
+        });
+    let (runs, backends, sizes, doc_valid) = match &previous {
+        Some(old) => {
+            let (runs, backends, sizes, old_valid) =
+                merge_previous(old, entries, &backend_names, &cfg.sizes);
+            (runs, backends, sizes, old_valid && all_valid)
+        }
+        None => (
+            entries,
+            backend_names.iter().map(|n| n.to_string()).collect(),
+            cfg.sizes.iter().map(|&n| n as u64).collect(),
+            all_valid,
+        ),
+    };
     let doc = Json::obj(vec![
         ("generated_by", Json::str("perf_report")),
         (
             "backends",
-            Json::Arr(backend_names.iter().map(|n| Json::str(n)).collect()),
+            Json::Arr(backends.iter().map(|n| Json::str(n)).collect()),
         ),
         ("seed", Json::Int(cfg.seed)),
         ("threads", Json::Int(threads_used as u64)),
         ("host_cores", Json::Int(rayon::current_num_threads() as u64)),
         (
             "sizes",
-            Json::Arr(cfg.sizes.iter().map(|&n| Json::Int(n as u64)).collect()),
+            Json::Arr(sizes.iter().map(|&n| Json::Int(n)).collect()),
         ),
-        ("all_valid", Json::Bool(all_valid)),
-        ("runs", Json::Arr(entries)),
+        ("all_valid", Json::Bool(doc_valid)),
+        ("runs", Json::Arr(runs)),
     ]);
     write_json_file(&cfg.out, &doc);
-    println!("wrote {}", cfg.out);
+    println!(
+        "wrote {}{}",
+        cfg.out,
+        if previous.is_some() {
+            " (merged into previous report)"
+        } else {
+            ""
+        }
+    );
 
     if !all_valid {
         eprintln!("perf_report: at least one run failed its validator or the Theorem 1.1 bound");

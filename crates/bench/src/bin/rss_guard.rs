@@ -1,0 +1,152 @@
+//! `rss_guard` — asserts that arena growth does not spike resident memory.
+//!
+//! The sharded arena's whole point is that `NativeMachine::grow` appends
+//! shards without copying live cells, so peak RSS during a staged growth
+//! stays at the steady-state footprint.  The old monolithic `Vec` realloc
+//! briefly held old + new copies: a doubling growth showed a peak around
+//! 1.5× the final footprint.  This probe measures exactly that, from the
+//! kernel's own accounting:
+//!
+//! 1. read `VmRSS` / `VmHWM` from `/proc/self/status` before any arena
+//!    exists;
+//! 2. grow a [`NativeMachine`] to `--cells` in `--stages` doublings (every
+//!    fresh cell is written — the EMPTY fill — so pages are committed);
+//! 3. re-read, and compare the growth's peak delta against its steady
+//!    delta.  A ratio above `--max-ratio` (default 1.10) fails the run.
+//!
+//! Usage (CI runs the default 2^24 cells = 128 MiB):
+//!
+//! ```text
+//! cargo run --release -p qrqw-bench --bin rss_guard -- \
+//!     [--cells 16777216] [--stages 8] [--max-ratio 1.10] [--threads N]
+//! ```
+//!
+//! On systems without `/proc/self/status` (or without the fields) the
+//! probe prints a note and exits 0 — it guards Linux CI, not every host.
+
+use qrqw_exec::NativeMachine;
+use qrqw_sim::Machine;
+
+struct Config {
+    cells: usize,
+    stages: u32,
+    max_ratio: f64,
+    threads: Option<usize>,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: rss_guard [--cells N] [--stages K] [--max-ratio R] [--threads T]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        cells: 1 << 24,
+        stages: 8,
+        max_ratio: 1.10,
+        threads: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--cells" => cfg.cells = value().parse().unwrap_or_else(|_| usage("bad --cells")),
+            "--stages" => cfg.stages = value().parse().unwrap_or_else(|_| usage("bad --stages")),
+            "--max-ratio" => {
+                cfg.max_ratio = value().parse().unwrap_or_else(|_| usage("bad --max-ratio"))
+            }
+            "--threads" => {
+                cfg.threads = Some(value().parse().unwrap_or_else(|_| usage("bad --threads")))
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if cfg.cells == 0 || cfg.stages == 0 {
+        usage("--cells and --stages must be positive");
+    }
+    cfg
+}
+
+/// Reads one `kB` field (e.g. `VmHWM`) from `/proc/self/status`.
+fn status_kb(text: &str, field: &str) -> Option<u64> {
+    text.lines()
+        .find(|l| l.starts_with(field))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+fn snapshot() -> Option<(u64, u64)> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    Some((status_kb(&text, "VmRSS:")?, status_kb(&text, "VmHWM:")?))
+}
+
+fn main() {
+    let cfg = parse_args();
+    let Some((rss0, hwm0)) = snapshot() else {
+        println!("rss_guard: /proc/self/status unavailable; skipping");
+        return;
+    };
+    if hwm0 > rss0 + (rss0 / 4) {
+        // Startup already spiked well above the current footprint; the
+        // growth peak would hide under it and the guard would pass
+        // vacuously.  This process does nothing before the probe, so
+        // treat it as a broken measurement rather than a green one.
+        eprintln!(
+            "rss_guard: pre-growth high-water {hwm0} kB dwarfs RSS {rss0} kB; cannot measure"
+        );
+        std::process::exit(2);
+    }
+
+    // Staged doubling growth: the worst case for a realloc-based arena
+    // (every stage copies everything so far), a no-op pattern for the
+    // sharded one.
+    let first = (cfg.cells >> cfg.stages).max(1);
+    let mut m = match cfg.threads {
+        Some(t) => NativeMachine::with_threads(first, 0, t),
+        None => NativeMachine::with_seed(first, 0),
+    };
+    let mut size = first;
+    while size < cfg.cells {
+        size = (size * 2).min(cfg.cells);
+        m.ensure_memory(size);
+    }
+    assert_eq!(m.arena_stats().cells, cfg.cells);
+
+    let Some((rss1, hwm1)) = snapshot() else {
+        println!("rss_guard: /proc/self/status vanished mid-run; skipping");
+        return;
+    };
+    let steady = rss1.saturating_sub(rss0);
+    let peak = hwm1.saturating_sub(rss0).max(steady);
+    if steady == 0 {
+        eprintln!(
+            "rss_guard: growth of {} cells left RSS unchanged; cannot measure",
+            cfg.cells
+        );
+        std::process::exit(2);
+    }
+    let ratio = peak as f64 / steady as f64;
+    println!(
+        "rss_guard: {} cells in {} stages ({} shards): steady +{steady} kB, peak +{peak} kB, \
+         peak/steady {ratio:.3} (limit {:.3})",
+        cfg.cells,
+        cfg.stages,
+        m.arena_stats().shards,
+        cfg.max_ratio,
+    );
+    if ratio > cfg.max_ratio {
+        eprintln!(
+            "rss_guard: FAIL — growth transiently used {ratio:.3}x its steady footprint \
+             (limit {:.3}); the arena is copying live cells again",
+            cfg.max_ratio
+        );
+        std::process::exit(1);
+    }
+    println!("rss_guard: OK — growth appends without copying");
+}

@@ -91,6 +91,14 @@ impl PersistentMachine {
         &self.machine
     }
 
+    /// The shape of the wrapped machine's sharded arena — how many cells
+    /// are live and how many shards back them.  Growth across batches
+    /// appends shards without moving cells, so callers can watch this to
+    /// confirm a long-lived machine scales without realloc cliffs.
+    pub fn arena_stats(&self) -> crate::arena::ArenaStats {
+        self.machine.arena_stats()
+    }
+
     /// Runs `f` against the machine and reports what it cost: the deltas of
     /// the step and contention counters across the call, plus wall time.
     pub fn batch<T>(&mut self, f: impl FnOnce(&mut NativeMachine) -> T) -> (T, BatchCost) {

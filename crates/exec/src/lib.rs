@@ -23,6 +23,12 @@
 //! [`machine`].  Thread count comes from [`NativeMachine::with_threads`] or
 //! the `QRQW_THREADS` environment variable.
 //!
+//! Shared memory itself is a sharded arena ([`arena`]): independently
+//! allocated, cache-line-aligned segments of [`arena::SHARD_CELLS`] cells
+//! each, mapped by shift+mask.  Growth appends shards without moving
+//! existing cells, so huge-n runs (2^27 cells and beyond) never pay a
+//! realloc copy or a transient 2× memory footprint.
+//!
 //! Chunks reach threads under one of two [`pool::Schedule`]s — `Chunked`
 //! (one shared claim counter) or `Stealing` (per-worker ranges with
 //! work-assisting steal-half splits, for skewed per-chunk costs) — chosen
@@ -35,12 +41,14 @@
 
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod contention;
 pub mod handle;
 pub mod machine;
 pub mod pool;
 pub mod steal;
 
+pub use arena::{ArenaStats, SHARD_CELLS};
 pub use contention::ContentionCounter;
 pub use handle::{BatchCost, PersistentMachine};
 pub use machine::NativeMachine;

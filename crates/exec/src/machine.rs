@@ -25,6 +25,10 @@
 //! Steps never spawn threads and (after warm-up) never touch the heap for
 //! scratch state:
 //!
+//! * shared memory is a sharded [`Arena`] (see [`crate::arena`]):
+//!   cache-line-aligned [`SHARD_CELLS`]-cell shards behind a flat pointer
+//!   table, addressed by shift+mask — growth *appends* shards, it never
+//!   moves existing cells (no realloc copy, no transient 2× footprint);
 //! * dispatch goes through [`StepPool`] to the process-wide persistent
 //!   worker pool — parked threads, one wake per step, contiguous chunks
 //!   claimed dynamically;
@@ -62,6 +66,7 @@ use rand::Rng;
 use qrqw_sim::proc_rng;
 use qrqw_sim::{ClaimMode, CostReport, Machine, MachineProc, EMPTY};
 
+use crate::arena::{Arena, ArenaStats};
 use crate::contention::ContentionCounter;
 use crate::pool::{Schedule, SendPtr, StepPool};
 
@@ -69,11 +74,6 @@ use crate::pool::{Schedule, SendPtr, StepPool};
 /// that its cell was contested.  Claim tags must stay below this value
 /// (every tag in the repository is an index-derived value far below it).
 const POISON: u64 = u64::MAX - 1;
-
-/// [`EMPTY`] is all-ones, so bulk EMPTY fills can be byte fills
-/// (`write_bytes(…, EMPTY_BYTE, …)`) instead of per-cell store loops.
-const EMPTY_BYTE: u8 = 0xFF;
-const _: () = assert!(EMPTY == u64::MAX, "EMPTY_BYTE fill requires all-ones EMPTY");
 
 /// Cells per block of the two-pass parallel prefix in
 /// [`Machine::scan_step`]; also the chunk alignment of its dispatches, so
@@ -86,21 +86,6 @@ const OR_POLL_MASK: usize = 0x1FF;
 /// How far ahead the claim passes prefetch their (randomly scattered)
 /// target cells — the passes are memory-latency-bound, not compute-bound.
 const PREFETCH_DIST: usize = 16;
-
-/// Hints the cache that `cells[addr]` is about to be accessed.
-#[inline(always)]
-fn prefetch(cells: &[AtomicU64], addr: usize) {
-    #[cfg(target_arch = "x86_64")]
-    // Safety: prefetch is a pure hint; `addr` is in bounds by construction
-    // (claim targets were bounds-checked by `ensure_memory`).
-    unsafe {
-        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
-            cells.as_ptr().add(addr).cast::<i8>(),
-        );
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    let _ = (cells, addr);
-}
 
 /// Reusable step-pass scratch: grown on demand, never shrunk, so steady
 /// workloads stop allocating after their first step of each shape.
@@ -122,7 +107,7 @@ fn ensure_words(buf: &mut Vec<AtomicU64>, words: usize) {
 
 /// The native pooled-threads/atomics [`Machine`] backend.
 pub struct NativeMachine {
-    cells: Vec<AtomicU64>,
+    arena: Arena,
     seed: u64,
     steps_executed: u64,
     heap_top: usize,
@@ -188,7 +173,7 @@ impl NativeMachine {
 
     fn build(mem_size: usize, seed: u64, pool: StepPool) -> Self {
         let mut machine = NativeMachine {
-            cells: Vec::new(),
+            arena: Arena::default(),
             seed,
             steps_executed: 0,
             heap_top: mem_size,
@@ -202,27 +187,29 @@ impl NativeMachine {
     }
 
     fn grow(&mut self, size: usize) {
-        let old = self.cells.len();
-        if old >= size {
+        if size <= self.arena.len() {
             return;
         }
-        let add = size - old;
-        self.cells.reserve(add);
-        let pool = &self.pool;
-        let spare = self.cells.spare_capacity_mut();
-        let slots = SendPtr(spare.as_mut_ptr() as *mut AtomicU64);
-        let slots = &slots;
-        pool.dispatch(add, 1, |lo, hi| {
-            // An all-ones byte fill of the reserved spare capacity is a
-            // valid EMPTY initialization (`AtomicU64` has `u64` layout);
-            // disjoint chunks touch disjoint slots.
-            unsafe {
-                std::ptr::write_bytes(slots.0.add(lo).cast::<u8>(), EMPTY_BYTE, (hi - lo) * 8)
-            };
-        });
-        // All chunks completed (dispatch is a barrier), so cells
-        // old..size are initialized.
-        unsafe { self.cells.set_len(size) };
+        // Append whole shards (existing cells never move — see the
+        // grow-without-move invariant in `crate::arena`) and EMPTY-fill
+        // only the fresh ones, parallelized over the step pool.
+        let fresh = self.arena.reserve_shards(size);
+        if !fresh.is_empty() {
+            let arena = &self.arena;
+            let base = fresh.start;
+            self.pool.dispatch(fresh.len(), 1, |lo, hi| {
+                // Safety: disjoint chunks fill disjoint cell ranges of
+                // still-unpublished shards; `&mut self` rules out any
+                // concurrent access to the arena.
+                unsafe { arena.fill_empty(base + lo, hi - lo) };
+            });
+        }
+        self.arena.set_len(size);
+    }
+
+    /// The shape of the sharded arena (logical cells, allocated shards).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
     }
 
     /// Raw scratch-buffer addresses, for the allocation-stability tests: a
@@ -235,12 +222,20 @@ impl NativeMachine {
             self.scratch.offsets.as_ptr() as usize,
         )
     }
+
+    /// Raw address of the cell backing `addr`, for the no-move and
+    /// alignment assertions of the test suite.
+    #[doc(hidden)]
+    pub fn cell_addr(&self, addr: usize) -> usize {
+        self.arena.cell_addr(addr)
+    }
 }
 
 impl std::fmt::Debug for NativeMachine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NativeMachine")
-            .field("cells", &self.cells.len())
+            .field("cells", &self.arena.len())
+            .field("shards", &self.arena.stats().shards)
             .field("seed", &self.seed)
             .field("steps_executed", &self.steps_executed)
             .field("heap_top", &self.heap_top)
@@ -256,7 +251,7 @@ impl std::fmt::Debug for NativeMachine {
 /// processor, so the observable behaviour is identical to a context per
 /// processor without the per-processor setup.
 struct NativeProc<'a> {
-    cells: &'a [AtomicU64],
+    arena: &'a Arena,
     seed: u64,
     step_idx: u64,
     proc: u64,
@@ -270,20 +265,20 @@ impl MachineProc for NativeProc<'_> {
 
     fn read(&mut self, addr: usize) -> u64 {
         assert!(
-            addr < self.cells.len(),
+            addr < self.arena.len(),
             "read of address {addr} outside shared memory of size {}",
-            self.cells.len()
+            self.arena.len()
         );
-        self.cells[addr].load(Ordering::Relaxed)
+        self.arena.cell(addr).load(Ordering::Relaxed)
     }
 
     fn write(&mut self, addr: usize, value: u64) {
         assert!(
-            addr < self.cells.len(),
+            addr < self.arena.len(),
             "write of address {addr} outside shared memory of size {}",
-            self.cells.len()
+            self.arena.len()
         );
-        self.cells[addr].store(value, Ordering::Relaxed);
+        self.arena.cell(addr).store(value, Ordering::Relaxed);
     }
 
     fn compute(&mut self, _ops: u64) {}
@@ -321,8 +316,13 @@ impl Machine for NativeMachine {
 
     fn alloc(&mut self, len: usize) -> usize {
         let base = self.heap_top;
-        self.heap_top += len;
-        let fresh_from = self.cells.len();
+        self.heap_top = base.checked_add(len).unwrap_or_else(|| {
+            panic!(
+                "out of memory: allocating {len} cells above allocation top {base} \
+                 overflows the cell address space"
+            )
+        });
+        let fresh_from = self.arena.len();
         self.grow(self.heap_top);
         // `grow` initializes everything past the old arena end to EMPTY;
         // only the reused prefix (released and re-allocated cells) needs an
@@ -344,66 +344,49 @@ impl Machine for NativeMachine {
 
     fn load(&mut self, base: usize, values: &[u64]) {
         self.grow(base + values.len());
-        let dst = SendPtr(self.cells.as_mut_ptr());
-        let dst = &dst;
+        let arena = &self.arena;
         self.pool.dispatch(values.len(), 1, |lo, hi| {
-            // Bulk copy: `u64` and `AtomicU64` share layout, `&mut self`
-            // rules out concurrent cell access, chunks are disjoint.
-            unsafe {
-                std::ptr::copy_nonoverlapping(
-                    values.as_ptr().add(lo),
-                    dst.0.add(base + lo).cast::<u64>(),
-                    hi - lo,
-                )
-            };
+            // Safety: shard-segment bulk copy; `&mut self` rules out
+            // concurrent cell access, chunks are disjoint.
+            unsafe { arena.copy_in(base + lo, &values[lo..hi]) };
         });
     }
 
     fn dump(&self, base: usize, len: usize) -> Vec<u64> {
         assert!(
-            base + len <= self.cells.len(),
+            base + len <= self.arena.len(),
             "dump of {base}..{} outside shared memory of size {}",
             base + len,
-            self.cells.len()
+            self.arena.len()
         );
         let mut out: Vec<u64> = Vec::with_capacity(len);
-        let src = SendPtr(self.cells.as_ptr().cast_mut());
-        let src = &src;
+        let arena = &self.arena;
         let slots = SendPtr(out.as_mut_ptr());
         let slots = &slots;
         self.pool.dispatch(len, 1, |lo, hi| {
-            // Bulk copy out of the (quiescent: no step is running, every
-            // writer needs `&mut self`) atomic arena.
-            unsafe {
-                std::ptr::copy_nonoverlapping(
-                    src.0.add(base + lo).cast::<u64>().cast_const(),
-                    slots.0.add(lo),
-                    hi - lo,
-                )
-            };
+            // Safety: bulk copy out of the (quiescent: no step is running,
+            // every writer needs `&mut self`) arena into disjoint slots.
+            unsafe { arena.copy_out(base + lo, slots.0.add(lo), hi - lo) };
         });
         unsafe { out.set_len(len) };
         out
     }
 
     fn peek(&self, addr: usize) -> u64 {
-        self.cells[addr].load(Ordering::Relaxed)
+        self.arena.cell(addr).load(Ordering::Relaxed)
     }
 
     fn poke(&mut self, addr: usize, value: u64) {
-        self.cells[addr].store(value, Ordering::Relaxed);
+        self.arena.cell(addr).store(value, Ordering::Relaxed);
     }
 
     fn clear_region(&mut self, base: usize, len: usize) {
         self.grow(base + len);
-        let dst = SendPtr(self.cells.as_mut_ptr());
-        let dst = &dst;
+        let arena = &self.arena;
         self.pool.dispatch(len, 1, |lo, hi| {
-            // All-ones byte fill == EMPTY fill; `&mut self` rules out
-            // concurrent cell access, chunks are disjoint.
-            unsafe {
-                std::ptr::write_bytes(dst.0.add(base + lo).cast::<u8>(), EMPTY_BYTE, (hi - lo) * 8)
-            };
+            // Safety: all-ones byte fill == EMPTY fill; `&mut self` rules
+            // out concurrent cell access, chunks are disjoint.
+            unsafe { arena.fill_empty(base + lo, hi - lo) };
         });
     }
 
@@ -414,13 +397,13 @@ impl Machine for NativeMachine {
     {
         let step_idx = self.steps_executed;
         let seed = self.seed;
-        let cells = &self.cells[..];
+        let arena = &self.arena;
         let mut out: Vec<T> = Vec::with_capacity(procs);
         let slots = SendPtr(out.as_mut_ptr());
         let slots = &slots;
         self.pool.dispatch(procs, 1, |lo, hi| {
             let mut ctx = NativeProc {
-                cells,
+                arena,
                 seed,
                 step_idx,
                 proc: 0,
@@ -448,7 +431,7 @@ impl Machine for NativeMachine {
         // same as for a one-processor parallel step.
         let step_idx = self.steps_executed;
         let mut ctx = NativeProc {
-            cells: &self.cells[..],
+            arena: &self.arena,
             seed: self.seed,
             step_idx,
             proc: 0,
@@ -467,10 +450,10 @@ impl Machine for NativeMachine {
         }
         let nblocks = len.div_ceil(SCAN_BLOCK);
         ensure_words(&mut self.scratch.offsets, nblocks);
-        let cells = &self.cells[..];
+        let arena = &self.arena;
         let offsets = &self.scratch.offsets[..];
         let val = |i: usize| {
-            let v = cells[base + i].load(Ordering::Relaxed);
+            let v = arena.cell(base + i).load(Ordering::Relaxed);
             if v == EMPTY {
                 0
             } else {
@@ -501,7 +484,7 @@ impl Machine for NativeMachine {
                 let mut run = offsets[i / SCAN_BLOCK].load(Ordering::Relaxed);
                 for j in i..end {
                     run += val(j);
-                    cells[base + j].store(run, Ordering::Relaxed);
+                    arena.cell(base + j).store(run, Ordering::Relaxed);
                 }
                 i = end;
             }
@@ -512,7 +495,7 @@ impl Machine for NativeMachine {
 
     fn global_or_step(&mut self, base: usize, len: usize) -> bool {
         self.grow(base + len);
-        let cells = &self.cells[..];
+        let arena = &self.arena;
         let found = AtomicBool::new(false);
         // Chunked early exit: a hit raises the flag, which later chunks
         // observe on entry and running chunks poll every few hundred cells.
@@ -524,7 +507,7 @@ impl Machine for NativeMachine {
                 if i & OR_POLL_MASK == 0 && found.load(Ordering::Relaxed) {
                     return;
                 }
-                let v = cells[base + i].load(Ordering::Relaxed);
+                let v = arena.cell(base + i).load(Ordering::Relaxed);
                 if v != 0 && v != EMPTY {
                     found.store(true, Ordering::Relaxed);
                     return;
@@ -553,14 +536,14 @@ impl Machine for NativeMachine {
         let nblocks = len.div_ceil(SCAN_BLOCK);
         ensure_words(&mut self.scratch.offsets, nblocks);
         {
-            let cells = &self.cells[..];
+            let arena = &self.arena;
             let offsets = &self.scratch.offsets[..];
             self.pool.dispatch(len, SCAN_BLOCK, |lo, hi| {
                 let mut i = lo;
                 while i < hi {
                     let end = (i + SCAN_BLOCK).min(hi);
                     let survivors = (i..end)
-                        .filter(|&j| cells[src + j].load(Ordering::Relaxed) != EMPTY)
+                        .filter(|&j| arena.cell(src + j).load(Ordering::Relaxed) != EMPTY)
                         .count() as u64;
                     offsets[i / SCAN_BLOCK].store(survivors, Ordering::Relaxed);
                     i = end;
@@ -574,7 +557,7 @@ impl Machine for NativeMachine {
             count += total;
         }
         self.ensure_memory(dst + count as usize);
-        let cells = &self.cells[..];
+        let arena = &self.arena;
         let offsets = &self.scratch.offsets[..];
         self.pool.dispatch(len, SCAN_BLOCK, |lo, hi| {
             let mut i = lo;
@@ -582,11 +565,11 @@ impl Machine for NativeMachine {
                 let end = (i + SCAN_BLOCK).min(hi);
                 let mut rank = offsets[i / SCAN_BLOCK].load(Ordering::Relaxed) as usize;
                 for j in i..end {
-                    let v = cells[src + j].load(Ordering::Relaxed);
+                    let v = arena.cell(src + j).load(Ordering::Relaxed);
                     if v != EMPTY {
                         // Global ranks are disjoint across blocks, so every
                         // destination cell has exactly one writer.
-                        cells[dst + rank].store(v, Ordering::Relaxed);
+                        arena.cell(dst + rank).store(v, Ordering::Relaxed);
                         rank += 1;
                     }
                 }
@@ -615,7 +598,7 @@ impl Machine for NativeMachine {
         let words = k.div_ceil(64);
         ensure_words(&mut self.scratch.live, words);
         ensure_words(&mut self.scratch.cas_won, words);
-        let cells = &self.cells[..];
+        let arena = &self.arena;
         let live = &self.scratch.live[..];
         let cas_won = &self.scratch.cas_won[..];
         let counter = &self.counter;
@@ -637,9 +620,9 @@ impl Machine for NativeMachine {
                 let mut bits = 0u64;
                 for j in i..end {
                     if j + PREFETCH_DIST < hi {
-                        prefetch(cells, attempts[j + PREFETCH_DIST].1);
+                        arena.prefetch(attempts[j + PREFETCH_DIST].1);
                     }
-                    if cells[attempts[j].1].load(Ordering::Acquire) == EMPTY {
+                    if arena.cell(attempts[j].1).load(Ordering::Acquire) == EMPTY {
                         bits |= 1u64 << (j - i);
                     }
                 }
@@ -662,11 +645,12 @@ impl Machine for NativeMachine {
                         let lw = live[i / 64].load(Ordering::Relaxed);
                         for j in i..end {
                             if j + PREFETCH_DIST < hi {
-                                prefetch(cells, attempts[j + PREFETCH_DIST].1);
+                                arena.prefetch(attempts[j + PREFETCH_DIST].1);
                             }
                             let mut won = false;
                             if lw & (1u64 << (j - i)) != 0 {
-                                won = cells[attempts[j].1]
+                                won = arena
+                                    .cell(attempts[j].1)
                                     .compare_exchange(
                                         EMPTY,
                                         attempts[j].0,
@@ -704,19 +688,21 @@ impl Machine for NativeMachine {
                         let mut bits = 0u64;
                         for j in i..end {
                             if j + PREFETCH_DIST < hi {
-                                prefetch(cells, attempts[j + PREFETCH_DIST].1);
+                                arena.prefetch(attempts[j + PREFETCH_DIST].1);
                             }
                             if lw & (1u64 << (j - i)) == 0 {
                                 continue;
                             }
-                            match cells[attempts[j].1].compare_exchange(
+                            match arena.cell(attempts[j].1).compare_exchange(
                                 EMPTY,
                                 attempts[j].0,
                                 Ordering::AcqRel,
                                 Ordering::Acquire,
                             ) {
                                 Ok(_) => bits |= 1u64 << (j - i),
-                                Err(_) => cells[attempts[j].1].store(POISON, Ordering::Release),
+                                Err(_) => {
+                                    arena.cell(attempts[j].1).store(POISON, Ordering::Release)
+                                }
                             }
                         }
                         cas_won[i / 64].store(bits, Ordering::Relaxed);
@@ -738,14 +724,16 @@ impl Machine for NativeMachine {
                         let ww = cas_won[word].load(Ordering::Relaxed);
                         for j in i..end {
                             if j + PREFETCH_DIST < hi {
-                                prefetch(cells, attempts[j + PREFETCH_DIST].1);
+                                arena.prefetch(attempts[j + PREFETCH_DIST].1);
                             }
                             let mut ok = false;
                             if ww & (1u64 << (j - i)) != 0 {
-                                if cells[attempts[j].1].load(Ordering::Acquire) == attempts[j].0 {
+                                if arena.cell(attempts[j].1).load(Ordering::Acquire)
+                                    == attempts[j].0
+                                {
                                     ok = true;
                                 } else {
-                                    cells[attempts[j].1].store(EMPTY, Ordering::Release);
+                                    arena.cell(attempts[j].1).store(EMPTY, Ordering::Release);
                                 }
                             }
                             succeeded += ok as u64;
@@ -780,6 +768,7 @@ impl Machine for NativeMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::SHARD_CELLS;
 
     #[test]
     fn par_map_runs_all_processors_in_order() {
@@ -976,7 +965,7 @@ mod tests {
         let _ = m.scan_step(0, 4096);
         let warm = m.scratch_fingerprint();
         assert_ne!(warm, (0, 0, 0), "scratch must be materialized after use");
-        for _ in 0..10 {
+        for round in 0..10 {
             Machine::clear_region(&mut m, 0, 4096);
             let _ = m.claim(&attempts, ClaimMode::Occupy);
             let _ = m.claim(&attempts, ClaimMode::Exclusive);
@@ -986,7 +975,19 @@ mod tests {
                 warm,
                 "steady-state steps must reuse scratch buffers"
             );
+            // Arena growth appends shards; it must not disturb the pass
+            // scratch of a warm machine.
+            m.ensure_memory((round + 2) * SHARD_CELLS);
+            assert_eq!(
+                m.scratch_fingerprint(),
+                warm,
+                "arena growth must leave the warm scratch untouched"
+            );
         }
+        assert!(
+            m.arena_stats().shards >= 11,
+            "growth must have added shards"
+        );
     }
 
     #[test]
@@ -1008,6 +1009,73 @@ mod tests {
         let mut sim = qrqw_sim::Pram::with_seed(8, 0);
         assert_eq!(drive(&mut native), drive(&mut sim));
         assert_eq!(native.steps_executed, sim.steps_executed());
+    }
+
+    #[test]
+    fn growth_preserves_cell_addresses_and_contents() {
+        // The grow-without-move invariant, observed through the machine:
+        // growing by whole shards leaves every existing cell at the same
+        // physical address with the same contents, and fresh cells EMPTY.
+        let mut m = NativeMachine::with_seed(SHARD_CELLS, 1);
+        m.poke(0, 7);
+        m.poke(SHARD_CELLS - 1, 11);
+        let first = m.cell_addr(0);
+        let last = m.cell_addr(SHARD_CELLS - 1);
+        m.ensure_memory(4 * SHARD_CELLS + 5);
+        assert_eq!(m.cell_addr(0), first, "growth moved the first cell");
+        assert_eq!(m.cell_addr(SHARD_CELLS - 1), last, "growth moved a cell");
+        assert_eq!(m.peek(0), 7);
+        assert_eq!(m.peek(SHARD_CELLS - 1), 11);
+        assert_eq!(m.peek(SHARD_CELLS), EMPTY, "fresh cells must be EMPTY");
+        assert_eq!(m.peek(4 * SHARD_CELLS + 4), EMPTY);
+        assert_eq!(m.arena_stats().shards, 5);
+    }
+
+    #[test]
+    fn writes_straddling_a_shard_boundary_land_in_both_shards() {
+        // First/last cell of a shard: the shift+mask cell→shard map must
+        // agree with the flat address space across the seam.
+        let mut m = NativeMachine::with_seed(2 * SHARD_CELLS, 1);
+        let seam = SHARD_CELLS;
+        let values: Vec<u64> = (0..8).map(|i| 100 + i).collect();
+        m.load(seam - 4, &values);
+        assert_eq!(m.dump(seam - 4, 8), values);
+        assert_eq!(m.peek(seam - 1), 103, "last cell of shard 0");
+        assert_eq!(m.peek(seam), 104, "first cell of shard 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside shared memory")]
+    fn growth_mid_step_is_rejected() {
+        // Steps may not grow the machine: a processor touching an address
+        // beyond the logical length must panic, not silently allocate.
+        // One thread so the step closure runs inline and the panic
+        // propagates to the caller.
+        let mut m = NativeMachine::with_threads(64, 0, 1);
+        let _ = m.par_map(1, |_, ctx| ctx.write(64, 1));
+    }
+
+    #[test]
+    #[ignore = "huge-n smoke: ~1 GiB arena, run explicitly with --ignored"]
+    fn huge_n_smoke_at_2_pow_27() {
+        // The acceptance bar for the sharded arena: 2^27 cells come up,
+        // span 512 shards, and the step primitives work at the far end of
+        // the address space without the old realloc cliff.
+        let n = 1usize << 27;
+        let mut m = NativeMachine::with_seed(1, 1);
+        m.ensure_memory(n);
+        let stats = m.arena_stats();
+        assert_eq!(stats.cells, n);
+        assert_eq!(stats.shards, n / SHARD_CELLS);
+        let tail = n - 4096;
+        let values: Vec<u64> = (0..4096u64).map(|i| i + 1).collect();
+        m.load(tail, &values);
+        let total = m.scan_step(tail, 4096);
+        assert_eq!(total, 4096 * 4097 / 2);
+        let attempts: Vec<(u64, usize)> = (0..4096).map(|i| (i as u64 + 1, tail + i / 2)).collect();
+        Machine::clear_region(&mut m, tail, 4096);
+        let won = m.claim(&attempts, ClaimMode::Exclusive);
+        assert!(won.iter().all(|&b| !b), "every cell is contested by a pair");
     }
 
     #[test]

@@ -97,18 +97,17 @@ impl Histogram {
         self.total
     }
 
-    /// Smallest recorded sample (0 when empty).
-    pub fn min(&self) -> u64 {
-        if self.total == 0 {
-            0
-        } else {
-            self.min
-        }
+    /// Smallest recorded sample, or `None` when empty.  The internal
+    /// tracker starts at `u64::MAX`; exposing that (or a fake `0`) for an
+    /// empty histogram would be indistinguishable from a real extreme
+    /// sample, so emptiness is explicit.
+    pub fn min(&self) -> Option<u64> {
+        (self.total != 0).then_some(self.min)
     }
 
-    /// Largest recorded sample.
-    pub fn max(&self) -> u64 {
-        self.max
+    /// Largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.total != 0).then_some(self.max)
     }
 
     /// Mean of the recorded samples (0 when empty).
@@ -218,8 +217,8 @@ mod tests {
             h.record(v);
         }
         assert_eq!(h.count(), 1000);
-        assert_eq!(h.min(), 1);
-        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
         assert_eq!(h.value_at_quantile(0.50), 500);
         assert_eq!(h.value_at_quantile(0.99), 990);
         assert_eq!(h.value_at_quantile(0.999), 999);
@@ -283,12 +282,29 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_is_all_zeros() {
+    fn empty_histogram_reports_zero_percentiles_and_no_extremes() {
+        // The empty-snapshot satellite: before any sample, min is
+        // internally u64::MAX — none of that may leak.  Percentiles and
+        // the mean are defined as 0, min/max as None.
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.value_at_quantile(0.5), 0);
-        assert_eq!(h.min(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.value_at_quantile(q), 0);
+        }
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
         assert_eq!(h.mean(), 0.0);
+        // Merging an empty histogram into an empty histogram stays empty.
+        let mut a = Histogram::new();
+        a.merge(&h);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.max(), None);
+        // One sample flips all three in lockstep.
+        a.record(42);
+        assert_eq!(
+            (a.min(), a.max(), a.value_at_quantile(1.0)),
+            (Some(42), Some(42), 42)
+        );
     }
 
     #[test]

@@ -63,18 +63,56 @@ impl BatchPolicy {
     }
 
     /// Resolves the policy from the environment: `QRQW_BATCH_MAX` (requests)
-    /// and `QRQW_LINGER_US` (microseconds), falling back to the defaults.
-    /// Unparsable values are ignored, matching how the executor treats
-    /// `QRQW_THREADS`.
+    /// and `QRQW_LINGER_US` (microseconds), falling back to the defaults
+    /// when unset.
+    ///
+    /// A *set but invalid* value is a configuration error and panics with
+    /// the offending variable and value, rather than being silently
+    /// replaced — a typo'd `QRQW_BATCH_MAX` that falls back to the default
+    /// batch cap looks exactly like a perf regression, and nobody debugs
+    /// the environment first.  `QRQW_BATCH_MAX=0` is rejected too (the
+    /// batcher needs at least one request per batch); `QRQW_LINGER_US=0`
+    /// stays legal and means "never wait".
+    ///
+    /// # Panics
+    ///
+    /// If either variable is set to an unparseable value, or
+    /// `QRQW_BATCH_MAX` is set to `0`.
     pub fn from_env() -> Self {
+        match Self::from_env_values(
+            std::env::var(BATCH_MAX_ENV).ok().as_deref(),
+            std::env::var(LINGER_US_ENV).ok().as_deref(),
+        ) {
+            Ok(policy) => policy,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// The value-level core of [`BatchPolicy::from_env`]: `batch` and
+    /// `linger` are the raw values of `QRQW_BATCH_MAX` / `QRQW_LINGER_US`
+    /// (`None` = unset).  Split out so the rejection rules are testable
+    /// without racing on process-global environment state.
+    pub fn from_env_values(batch: Option<&str>, linger: Option<&str>) -> Result<Self, String> {
         let mut policy = BatchPolicy::default();
-        if let Some(v) = read_env_usize(BATCH_MAX_ENV) {
-            policy.max_batch = v.max(1);
+        if let Some(raw) = batch {
+            let v: usize = raw
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid {BATCH_MAX_ENV}={raw:?}: expected a positive integer (requests per batch)"))?;
+            if v == 0 {
+                return Err(format!(
+                    "invalid {BATCH_MAX_ENV}=0: a batch must hold at least one request"
+                ));
+            }
+            policy.max_batch = v;
         }
-        if let Some(v) = read_env_usize(LINGER_US_ENV) {
-            policy.linger = Duration::from_micros(v as u64);
+        if let Some(raw) = linger {
+            let v: u64 = raw.trim().parse().map_err(|_| {
+                format!("invalid {LINGER_US_ENV}={raw:?}: expected microseconds as a non-negative integer")
+            })?;
+            policy.linger = Duration::from_micros(v);
         }
-        policy
+        Ok(policy)
     }
 
     /// The policy with `max_batch` clamped to at least 1, as the batcher
@@ -85,10 +123,6 @@ impl BatchPolicy {
             linger: self.linger,
         }
     }
-}
-
-fn read_env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok()?.trim().parse().ok()
 }
 
 #[cfg(test)]
@@ -114,6 +148,30 @@ mod tests {
             .max_batch,
             1
         );
+    }
+
+    #[test]
+    fn env_values_resolve_or_reject_loudly() {
+        // Unset → defaults.
+        assert_eq!(
+            BatchPolicy::from_env_values(None, None).unwrap(),
+            BatchPolicy::default()
+        );
+        // Valid overrides (whitespace tolerated).
+        let p = BatchPolicy::from_env_values(Some(" 64 "), Some("500")).unwrap();
+        assert_eq!(p.max_batch, 64);
+        assert_eq!(p.linger, Duration::from_micros(500));
+        // Linger 0 is legal: "never wait".
+        let p = BatchPolicy::from_env_values(None, Some("0")).unwrap();
+        assert_eq!(p.linger, Duration::ZERO);
+        // Batch 0 and unparseable values are configuration errors, not
+        // silent fallbacks.
+        let err = BatchPolicy::from_env_values(Some("0"), None).unwrap_err();
+        assert!(err.contains("QRQW_BATCH_MAX=0"), "unhelpful error: {err}");
+        let err = BatchPolicy::from_env_values(Some("lots"), None).unwrap_err();
+        assert!(err.contains("QRQW_BATCH_MAX"), "unhelpful error: {err}");
+        let err = BatchPolicy::from_env_values(None, Some("-3")).unwrap_err();
+        assert!(err.contains("QRQW_LINGER_US"), "unhelpful error: {err}");
     }
 
     #[test]

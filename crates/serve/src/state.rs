@@ -438,6 +438,14 @@ impl ServiceState {
     pub fn threads(&self) -> usize {
         self.pm.machine_ref().threads()
     }
+
+    /// The shape of the machine's sharded arena.  A long-lived service
+    /// grows its hash table and allocator live across batches; the arena
+    /// appends shards without moving cells, so growth mid-service never
+    /// pays a realloc copy or a transient 2× footprint.
+    pub fn arena_stats(&self) -> qrqw_exec::ArenaStats {
+        self.pm.arena_stats()
+    }
 }
 
 #[cfg(test)]
@@ -545,6 +553,47 @@ mod tests {
         assert_eq!(resp[2], Ok(Reply::TaskStolen(Some((1, 71)))));
         assert_eq!(s.digest().pending_tasks, vec![(2, 72)]);
         assert_eq!(s.pending_tasks(), 1);
+    }
+
+    #[test]
+    fn growth_across_batches_spans_shards_and_keeps_oneshot_parity() {
+        // A multi-shard service: the counter bank alone crosses a shard
+        // boundary and ends just below the next one, so the hash table's
+        // doubling growth across batches appends a third shard live.  The
+        // digest must not care where batch boundaries fall even while the
+        // arena is growing underneath the batches.
+        let config = ServiceConfig {
+            num_counters: 2 * qrqw_exec::SHARD_CELLS - 1500,
+            task_procs: 4,
+            hash_capacity: 64,
+            seed: 1,
+        };
+        let trace: Vec<Request> = (0..300)
+            .flat_map(|k| {
+                [
+                    Request::HashInsert { key: k * 3 },
+                    Request::CounterAdd {
+                        counter: (k as usize * 911) % config.num_counters,
+                        delta: k + 1,
+                    },
+                ]
+            })
+            .collect();
+
+        let mut oneshot = ServiceState::with_pool(config, StepPool::with_threads(2));
+        let _ = oneshot.apply_batch(&trace);
+
+        let mut batched = ServiceState::with_pool(config, StepPool::with_threads(2));
+        let start_shards = batched.arena_stats().shards;
+        assert!(start_shards >= 2, "counter bank must already span shards");
+        for chunk in trace.chunks(37) {
+            let _ = batched.apply_batch(chunk);
+        }
+        assert!(
+            batched.arena_stats().shards > start_shards,
+            "hash growth across batches must have appended shards"
+        );
+        assert_eq!(batched.digest(), oneshot.digest());
     }
 
     #[test]
