@@ -1,0 +1,599 @@
+//! Deterministic chaos harness for the fault-tolerant service layer.
+//!
+//! This module is the engine of the `chaos_bench` binary (committed
+//! `BENCH_chaos.json`): it drives a live [`Server`] with a **single**
+//! submitter thread (so submission order — the thing trace determinism is
+//! defined over — is itself deterministic) while a seeded [`FaultPlan`]
+//! sprinkles injected panics, injected errors, and submitter stalls into
+//! the request stream, then checks the recovery machinery end to end:
+//!
+//! * **no wedged tickets** — every submission resolves within a generous
+//!   timeout, even though batches panicked along the way;
+//! * **exact poison isolation** — precisely the injected-panic positions
+//!   are answered [`ServiceError::RequestPanicked`] and
+//!   `stats.isolated_panics` agrees;
+//! * **recovery parity** — replaying only the *applied* requests (every
+//!   response that was not shed or rolled back) oneshot on a fresh
+//!   [`ServiceState`] reproduces the served response sequence and a
+//!   bit-identical [`StateDigest`](qrqw_serve::StateDigest) — a faulty
+//!   request is indistinguishable
+//!   from one never submitted.
+//!
+//! Alongside the validators it measures what fault tolerance costs:
+//! goodput (served requests per second), shed/failed counts, per-batch
+//! snapshot overhead, and mean recovery (rollback + bisection replay)
+//! latency per panicked batch.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use qrqw_exec::StepPool;
+use qrqw_serve::{
+    BatchPolicy, Fault, Histogram, Request, Response, Server, ServiceConfig, ServiceError,
+    ServiceState, ServiceStats,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::Json;
+use crate::service::{generate, KeyDist, KeySampler, ServiceWorkload};
+
+/// Environment variable overriding [`FaultPlan::panic_per_10k`].
+pub const FAULT_PANIC_ENV: &str = "QRQW_FAULT_PANIC";
+
+/// Environment variable overriding [`FaultPlan::error_per_10k`].
+pub const FAULT_ERROR_ENV: &str = "QRQW_FAULT_ERROR";
+
+/// Environment variable overriding [`FaultPlan::delay_per_10k`].
+pub const FAULT_DELAY_ENV: &str = "QRQW_FAULT_DELAY";
+
+/// Environment variable overriding [`FaultPlan::seed`].
+pub const FAULT_SEED_ENV: &str = "QRQW_FAULT_SEED";
+
+/// How long a ticket may take before the harness declares it wedged.  Far
+/// beyond any legitimate batch latency; a wait this long means a lost
+/// completion, which is exactly the bug class the exit guard exists to
+/// kill.
+const WEDGE: Duration = Duration::from_secs(30);
+
+/// A seeded fault-injection plan: per-10,000-request rates for each fault
+/// kind, drawn independently per submission from one RNG stream, so a plan
+/// plus a workload seed is a fully reproducible chaos run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Injected [`Fault::Panic`] requests per 10,000 submissions.
+    pub panic_per_10k: u32,
+    /// Injected [`Fault::Error`] requests per 10,000 submissions.
+    pub error_per_10k: u32,
+    /// Submitter stalls per 10,000 submissions (jitters batch boundaries,
+    /// which trace determinism says must not matter).
+    pub delay_per_10k: u32,
+    /// Length of one submitter stall.
+    pub delay: Duration,
+    /// Seed of the fault stream (independent of the workload seed).
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            panic_per_10k: 0,
+            error_per_10k: 0,
+            delay_per_10k: 0,
+            delay: Duration::from_micros(200),
+            seed: 0xFA17,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing (the fault-free baseline row).
+    pub fn is_quiet(&self) -> bool {
+        self.panic_per_10k == 0 && self.error_per_10k == 0 && self.delay_per_10k == 0
+    }
+
+    /// Resolves the plan from the environment: `QRQW_FAULT_PANIC`,
+    /// `QRQW_FAULT_ERROR`, `QRQW_FAULT_DELAY` (each a per-10,000 rate) and
+    /// `QRQW_FAULT_SEED`, falling back to `self`'s values when unset.
+    ///
+    /// # Panics
+    ///
+    /// If any variable is set but unparseable, or a rate exceeds 10,000 —
+    /// a typo'd rate silently clamped would make a chaos run look much
+    /// healthier than it was.
+    pub fn from_env(self) -> Self {
+        match self.from_env_values(
+            std::env::var(FAULT_PANIC_ENV).ok().as_deref(),
+            std::env::var(FAULT_ERROR_ENV).ok().as_deref(),
+            std::env::var(FAULT_DELAY_ENV).ok().as_deref(),
+            std::env::var(FAULT_SEED_ENV).ok().as_deref(),
+        ) {
+            Ok(plan) => plan,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// The value-level core of [`FaultPlan::from_env`], testable without
+    /// process-global environment state.
+    pub fn from_env_values(
+        mut self,
+        panic: Option<&str>,
+        error: Option<&str>,
+        delay: Option<&str>,
+        seed: Option<&str>,
+    ) -> Result<Self, String> {
+        let rate = |name: &str, raw: Option<&str>, into: &mut u32| -> Result<(), String> {
+            if let Some(raw) = raw {
+                let v: u32 = raw.trim().parse().map_err(|_| {
+                    format!("invalid {name}={raw:?}: expected a fault rate per 10,000 requests")
+                })?;
+                if v > 10_000 {
+                    return Err(format!(
+                        "invalid {name}={v}: a per-10,000 rate cannot exceed 10000"
+                    ));
+                }
+                *into = v;
+            }
+            Ok(())
+        };
+        rate(FAULT_PANIC_ENV, panic, &mut self.panic_per_10k)?;
+        rate(FAULT_ERROR_ENV, error, &mut self.error_per_10k)?;
+        rate(FAULT_DELAY_ENV, delay, &mut self.delay_per_10k)?;
+        if let Some(raw) = seed {
+            self.seed = raw.trim().parse().map_err(|_| {
+                format!("invalid {FAULT_SEED_ENV}={raw:?}: expected an unsigned integer seed")
+            })?;
+        }
+        Ok(self)
+    }
+}
+
+/// Shape of one chaos run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosSpec {
+    /// Request mix of the non-fault traffic.
+    pub workload: ServiceWorkload,
+    /// Total submissions (faults included).
+    pub requests: usize,
+    /// Pipelining window the single submitter keeps in flight.
+    pub window: usize,
+    /// Keyspace of the generated traffic.
+    pub keyspace: usize,
+    /// Workload-generator seed.
+    pub seed: u64,
+}
+
+/// Everything one chaos run produced.
+#[derive(Debug)]
+pub struct ChaosSummary {
+    /// Workload name.
+    pub workload: &'static str,
+    /// The plan that drove the run.
+    pub plan: FaultPlan,
+    /// Batch cap the server ran under.
+    pub batch_max: usize,
+    /// Total submissions.
+    pub requests: u64,
+    /// Requests that got a real reply.
+    pub served: u64,
+    /// Requests refused at the admission edge.
+    pub shed: u64,
+    /// Requests that reached application and failed (injected errors,
+    /// isolated panics).
+    pub failed: u64,
+    /// Tickets that did not resolve within the wedge timeout (must be 0).
+    pub wedged: u64,
+    /// `Fault::Panic` requests the plan injected.
+    pub injected_panics: u64,
+    /// Submitter stalls the plan injected.
+    pub injected_delays: u64,
+    /// Wall time, first submit to last response.
+    pub wall: Duration,
+    /// Submit→response latencies (nanoseconds).
+    pub latency: Histogram,
+    /// The server's cumulative stats.
+    pub stats: ServiceStats,
+    /// Validator findings (empty = clean).
+    pub validation_errors: Vec<String>,
+}
+
+impl ChaosSummary {
+    /// Served requests per second of wall time — throughput net of
+    /// shedding and faults, the availability headline.
+    pub fn goodput_per_s(&self) -> f64 {
+        self.served as f64 / self.wall.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// True when every validator passed.
+    pub fn valid(&self) -> bool {
+        self.validation_errors.is_empty()
+    }
+
+    /// The run as one `BENCH_chaos.json` entry.
+    pub fn to_json(&self) -> Json {
+        let us = |d: Duration| Json::float(d.as_secs_f64() * 1e6, 3);
+        Json::obj(vec![
+            ("workload", Json::str(self.workload)),
+            ("panic_per_10k", Json::Int(self.plan.panic_per_10k as u64)),
+            ("error_per_10k", Json::Int(self.plan.error_per_10k as u64)),
+            ("delay_per_10k", Json::Int(self.plan.delay_per_10k as u64)),
+            ("batch_max", Json::Int(self.batch_max as u64)),
+            ("requests", Json::Int(self.requests)),
+            ("served", Json::Int(self.served)),
+            ("shed", Json::Int(self.shed)),
+            ("failed", Json::Int(self.failed)),
+            ("wedged", Json::Int(self.wedged)),
+            ("injected_panics", Json::Int(self.injected_panics)),
+            ("isolated_panics", Json::Int(self.stats.isolated_panics)),
+            ("panicked_batches", Json::Int(self.stats.panicked_batches)),
+            ("batches", Json::Int(self.stats.batches)),
+            ("snapshots", Json::Int(self.stats.snapshots)),
+            ("snapshot_us_per_batch", us(self.stats.mean_snapshot())),
+            ("mean_recovery_us", us(self.stats.mean_recovery())),
+            ("goodput_per_s", Json::float(self.goodput_per_s(), 1)),
+            (
+                "p99_us",
+                Json::float(self.latency.value_at_quantile(0.99) as f64 / 1e3, 3),
+            ),
+            ("wall_ms", Json::float(self.wall.as_secs_f64() * 1e3, 3)),
+            ("valid", Json::Bool(self.valid())),
+        ])
+    }
+
+    /// One human-readable summary line.
+    pub fn print_row(&self) {
+        println!(
+            "{:<8} panic {:>4}/10k  {:>9.0} goodput/s  served {:<6} shed {:<4} failed {:<5} \
+             wedged {:<2} recovery {:>8.1}us  snapshot {:>7.1}us/batch  valid={}",
+            self.workload,
+            self.plan.panic_per_10k,
+            self.goodput_per_s(),
+            self.served,
+            self.shed,
+            self.failed,
+            self.wedged,
+            self.stats.mean_recovery().as_secs_f64() * 1e6,
+            self.stats.mean_snapshot().as_secs_f64() * 1e6,
+            self.valid(),
+        );
+    }
+}
+
+/// What the fault stream decided for one submission slot.
+enum Slot {
+    Normal,
+    Panic,
+    Error,
+    Delay,
+}
+
+fn draw(plan: &FaultPlan, rng: &mut SmallRng) -> Slot {
+    let roll = rng.gen_range(0..10_000u64) as u32;
+    if roll < plan.panic_per_10k {
+        Slot::Panic
+    } else if roll < plan.panic_per_10k + plan.error_per_10k {
+        Slot::Error
+    } else if roll < plan.panic_per_10k + plan.error_per_10k + plan.delay_per_10k {
+        Slot::Delay
+    } else {
+        Slot::Normal
+    }
+}
+
+/// Was this response produced by *applying* the request (as opposed to
+/// shedding it or rolling it back)?  Applied responses — including injected
+/// errors and invalid-input rejections, which are deterministic parts of
+/// the trace — are what the oneshot replay must reproduce.
+fn was_applied(response: &Response) -> bool {
+    !matches!(
+        response,
+        Err(ServiceError::RequestPanicked
+            | ServiceError::Overloaded
+            | ServiceError::DeadlineExceeded
+            | ServiceError::ServerGone
+            | ServiceError::ShuttingDown)
+    )
+}
+
+/// Drives one chaos run and validates it (see the module docs for the
+/// three validated properties).
+pub fn run_chaos(
+    config: ServiceConfig,
+    policy: BatchPolicy,
+    threads: usize,
+    plan: FaultPlan,
+    spec: &ChaosSpec,
+) -> ChaosSummary {
+    let server = Server::spawn_with_pool(config, policy, StepPool::with_threads(threads));
+    let handle = server.handle();
+    let sampler = KeySampler::new(KeyDist::Zipf, spec.keyspace);
+    let mut workload_rng = SmallRng::seed_from_u64(spec.seed);
+    let mut fault_rng = SmallRng::seed_from_u64(plan.seed);
+    let window = spec.window.max(1);
+
+    let mut requests: Vec<Request> = Vec::with_capacity(spec.requests);
+    let mut responses: Vec<Option<Response>> = Vec::with_capacity(spec.requests);
+    let mut latency = Histogram::default();
+    let mut wedged = 0u64;
+    let mut injected_panics = 0u64;
+    let mut injected_delays = 0u64;
+    let mut inflight: VecDeque<(usize, Instant, qrqw_serve::Ticket)> = VecDeque::new();
+    responses.resize_with(spec.requests, || None);
+
+    let mut settle = |idx: usize,
+                      at: Instant,
+                      ticket: qrqw_serve::Ticket,
+                      responses: &mut Vec<Option<Response>>,
+                      wedged: &mut u64| {
+        match ticket.wait_timeout(WEDGE) {
+            Some(resp) => {
+                latency.record_duration(at.elapsed());
+                responses[idx] = Some(resp);
+            }
+            None => *wedged += 1,
+        }
+    };
+
+    let started = Instant::now();
+    for i in 0..spec.requests {
+        let request = match draw(&plan, &mut fault_rng) {
+            Slot::Panic => {
+                injected_panics += 1;
+                Request::Fault(Fault::Panic)
+            }
+            Slot::Error => Request::Fault(Fault::Error),
+            Slot::Delay => {
+                injected_delays += 1;
+                std::thread::sleep(plan.delay);
+                generate(
+                    spec.workload,
+                    &sampler,
+                    config.num_counters,
+                    &mut workload_rng,
+                )
+            }
+            Slot::Normal => generate(
+                spec.workload,
+                &sampler,
+                config.num_counters,
+                &mut workload_rng,
+            ),
+        };
+        requests.push(request);
+        inflight.push_back((i, Instant::now(), handle.submit(request)));
+        if inflight.len() >= window {
+            let (idx, at, ticket) = inflight.pop_front().unwrap();
+            settle(idx, at, ticket, &mut responses, &mut wedged);
+        }
+    }
+    for (idx, at, ticket) in inflight {
+        settle(idx, at, ticket, &mut responses, &mut wedged);
+    }
+    let wall = started.elapsed();
+    let (state, stats) = server.shutdown();
+
+    // --- Validators -----------------------------------------------------
+    let mut errors = Vec::new();
+    if wedged > 0 {
+        errors.push(format!("{wedged} tickets never resolved (wedge timeout)"));
+    }
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    let mut failed = 0u64;
+    let mut applied = Vec::with_capacity(spec.requests);
+    let mut applied_responses = Vec::with_capacity(spec.requests);
+    for (i, (request, response)) in requests.iter().zip(&responses).enumerate() {
+        let Some(response) = response else { continue };
+        match response {
+            Ok(_) => served += 1,
+            Err(
+                ServiceError::Overloaded
+                | ServiceError::DeadlineExceeded
+                | ServiceError::ShuttingDown
+                | ServiceError::ServerGone,
+            ) => shed += 1,
+            Err(_) => failed += 1,
+        }
+        let is_panic_request = *request == Request::Fault(Fault::Panic);
+        let is_panic_reply = *response == Err(ServiceError::RequestPanicked);
+        if is_panic_request && !is_panic_reply {
+            errors.push(format!(
+                "injected panic at position {i} was answered {response:?}, \
+                 not RequestPanicked"
+            ));
+        }
+        if is_panic_reply && !is_panic_request {
+            errors.push(format!(
+                "innocent request at position {i} ({request:?}) was answered RequestPanicked"
+            ));
+        }
+        if was_applied(response) {
+            applied.push(*request);
+            applied_responses.push(*response);
+        }
+    }
+    if stats.isolated_panics != injected_panics {
+        errors.push(format!(
+            "{} panics were injected but {} were isolated",
+            injected_panics, stats.isolated_panics
+        ));
+    }
+    // Recovery parity: the applied subset, replayed oneshot, must
+    // reproduce both the served replies and the machine state bit for bit.
+    let mut reference = ServiceState::with_pool(config, StepPool::with_threads(threads));
+    let (want_responses, _) = reference.apply_batch(&applied);
+    if want_responses != applied_responses {
+        let diverged = want_responses
+            .iter()
+            .zip(&applied_responses)
+            .position(|(a, b)| a != b);
+        errors.push(format!(
+            "served replies diverge from the oneshot replay of the applied \
+             subset (first divergence at applied index {diverged:?})"
+        ));
+    }
+    if reference.digest() != state.digest() {
+        errors
+            .push("final digest differs from the oneshot replay of the applied subset".to_string());
+    }
+
+    ChaosSummary {
+        workload: spec.workload.name(),
+        plan,
+        batch_max: policy.max_batch,
+        requests: spec.requests as u64,
+        served,
+        shed,
+        failed,
+        wedged,
+        injected_panics,
+        injected_delays,
+        wall,
+        latency,
+        stats,
+        validation_errors: errors,
+    }
+}
+
+/// Assembles the top-level `BENCH_chaos.json` document from a sweep of
+/// chaos summaries (shared by `chaos_bench` and the schema test).
+pub fn chaos_report_json(
+    generated_by: &str,
+    seed: u64,
+    threads: usize,
+    runs: &[ChaosSummary],
+) -> Json {
+    let all_valid = runs.iter().all(ChaosSummary::valid);
+    Json::obj(vec![
+        ("generated_by", Json::str(generated_by)),
+        ("seed", Json::Int(seed)),
+        ("threads", Json::Int(threads as u64)),
+        ("host_cores", Json::Int(rayon::current_num_threads() as u64)),
+        ("all_valid", Json::Bool(all_valid)),
+        (
+            "runs",
+            Json::Arr(runs.iter().map(ChaosSummary::to_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_env_values_resolve_or_reject_loudly() {
+        let base = FaultPlan::default();
+        assert_eq!(base.from_env_values(None, None, None, None), Ok(base));
+        let plan = base
+            .from_env_values(Some(" 25 "), Some("100"), Some("4"), Some("99"))
+            .unwrap();
+        assert_eq!(plan.panic_per_10k, 25);
+        assert_eq!(plan.error_per_10k, 100);
+        assert_eq!(plan.delay_per_10k, 4);
+        assert_eq!(plan.seed, 99);
+        assert!(!plan.is_quiet());
+        let err = base
+            .from_env_values(Some("10001"), None, None, None)
+            .unwrap_err();
+        assert!(err.contains("QRQW_FAULT_PANIC"), "unhelpful error: {err}");
+        let err = base
+            .from_env_values(None, Some("lots"), None, None)
+            .unwrap_err();
+        assert!(err.contains("QRQW_FAULT_ERROR"), "unhelpful error: {err}");
+        let err = base
+            .from_env_values(None, None, None, Some("x"))
+            .unwrap_err();
+        assert!(err.contains("QRQW_FAULT_SEED"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn a_quiet_plan_validates_and_serves_everything() {
+        let summary = run_chaos(
+            ServiceConfig {
+                seed: 5,
+                num_counters: 8,
+                task_procs: 4,
+                hash_capacity: 64,
+            },
+            BatchPolicy::with_max_batch(16).linger(Duration::from_micros(50)),
+            2,
+            FaultPlan::default(),
+            &ChaosSpec {
+                workload: ServiceWorkload::Mix,
+                requests: 200,
+                window: 16,
+                keyspace: 64,
+                seed: 5,
+            },
+        );
+        assert!(summary.valid(), "{:?}", summary.validation_errors);
+        assert_eq!(summary.served, 200);
+        assert_eq!(summary.wedged, 0);
+        assert_eq!(summary.stats.panicked_batches, 0);
+    }
+
+    #[test]
+    fn a_hostile_plan_still_validates_with_exact_isolation() {
+        let plan = FaultPlan {
+            panic_per_10k: 500,
+            error_per_10k: 200,
+            delay_per_10k: 0,
+            ..FaultPlan::default()
+        };
+        let summary = run_chaos(
+            ServiceConfig {
+                seed: 9,
+                num_counters: 8,
+                task_procs: 4,
+                hash_capacity: 64,
+            },
+            BatchPolicy::with_max_batch(32).linger(Duration::from_micros(50)),
+            2,
+            plan,
+            &ChaosSpec {
+                workload: ServiceWorkload::Hash,
+                requests: 400,
+                window: 32,
+                keyspace: 64,
+                seed: 9,
+            },
+        );
+        assert!(summary.valid(), "{:?}", summary.validation_errors);
+        assert!(summary.injected_panics > 0, "the plan must actually fire");
+        assert_eq!(summary.stats.isolated_panics, summary.injected_panics);
+        assert_eq!(
+            summary.served + summary.failed,
+            summary.requests,
+            "nothing is shed without admission bounds"
+        );
+    }
+
+    #[test]
+    fn chaos_json_entry_round_trips() {
+        let summary = run_chaos(
+            ServiceConfig {
+                seed: 3,
+                num_counters: 4,
+                task_procs: 4,
+                hash_capacity: 64,
+            },
+            BatchPolicy::with_max_batch(8).linger(Duration::from_micros(50)),
+            1,
+            FaultPlan {
+                panic_per_10k: 300,
+                ..FaultPlan::default()
+            },
+            &ChaosSpec {
+                workload: ServiceWorkload::Counter,
+                requests: 120,
+                window: 8,
+                keyspace: 32,
+                seed: 3,
+            },
+        );
+        let doc = chaos_report_json("test", 3, 1, &[summary]);
+        let back = Json::parse(&doc.render()).expect("chaos report must parse");
+        assert_eq!(back, doc);
+    }
+}

@@ -14,6 +14,10 @@
 //!   cycle representations.
 //! * `ablation` — design-choice sweeps: dart-throwing subarray size,
 //!   fat-tree vs. concurrent binary search, linear-compaction output slack.
+//! * `chaos_bench` — seeded fault-injection sweep of the `qrqw-serve`
+//!   layer (committed `BENCH_chaos.json`): goodput, shed rate, snapshot
+//!   overhead and recovery latency vs. fault rate, with digest-parity and
+//!   no-wedged-ticket validators (see [`chaos`]).
 //!
 //! Criterion benches (`cargo bench -p qrqw-bench`) time the same workloads.
 
@@ -34,6 +38,7 @@ use qrqw_exec::NativeMachine;
 use qrqw_prims::{linear_compaction, list_rank};
 use qrqw_sim::{CostModel, CostReport, Machine, Pram, TraceSummary, EMPTY};
 
+pub mod chaos;
 pub mod report;
 pub mod service;
 

@@ -28,8 +28,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qrqw_serve::{
-    BatchPolicy, Histogram, Reply, Request, Server, ServiceConfig, ServiceStats, StateDigest,
-    Ticket,
+    BatchPolicy, Histogram, Reply, Request, Server, ServiceConfig, ServiceError, ServiceStats,
+    StateDigest, Ticket,
 };
 use qrqw_sim::EMPTY;
 use rand::rngs::SmallRng;
@@ -112,14 +112,14 @@ impl KeyDist {
 }
 
 /// Precomputed sampler over `[0, n)` for a [`KeyDist`].
-struct KeySampler {
+pub(crate) struct KeySampler {
     /// Zipf CDF; empty for the uniform distribution.
     cdf: Vec<f64>,
     n: u64,
 }
 
 impl KeySampler {
-    fn new(dist: KeyDist, n: usize) -> Self {
+    pub(crate) fn new(dist: KeyDist, n: usize) -> Self {
         let n = n.max(1);
         let cdf = match dist {
             KeyDist::Uniform => Vec::new(),
@@ -140,7 +140,7 @@ impl KeySampler {
         KeySampler { cdf, n: n as u64 }
     }
 
-    fn sample(&self, rng: &mut SmallRng) -> u64 {
+    pub(crate) fn sample(&self, rng: &mut SmallRng) -> u64 {
         if self.cdf.is_empty() {
             rng.gen_range(0..self.n)
         } else {
@@ -182,6 +182,9 @@ struct ClientOutcome {
     steals: u64,
     completed: u64,
     errors: u64,
+    served: u64,
+    shed: u64,
+    failed: u64,
     hist: Histogram,
 }
 
@@ -193,6 +196,9 @@ impl ClientOutcome {
         self.steals += other.steals;
         self.completed += other.completed;
         self.errors += other.errors;
+        self.served += other.served;
+        self.shed += other.shed;
+        self.failed += other.failed;
         self.hist.merge(&other.hist);
     }
 
@@ -200,6 +206,20 @@ impl ClientOutcome {
         let response = ticket.wait();
         self.hist.record_duration(submitted.elapsed());
         self.completed += 1;
+        // Availability triage: a reply is *served*; an admission-side
+        // refusal (queue bound, deadline, shutdown races, dead batcher) is
+        // *shed* — loud, bounded, and by design; anything else is a
+        // *failed* request (bad input, injected error, rolled-back panic).
+        match &response {
+            Ok(_) => self.served += 1,
+            Err(
+                ServiceError::Overloaded
+                | ServiceError::DeadlineExceeded
+                | ServiceError::ShuttingDown
+                | ServiceError::ServerGone,
+            ) => self.shed += 1,
+            Err(_) => self.failed += 1,
+        }
         match (request, response) {
             (Request::HashInsert { key }, Ok(Reply::Inserted(true))) => self.inserted.push(key),
             (Request::CounterAdd { delta, .. }, Ok(Reply::Counter(_))) => {
@@ -213,7 +233,7 @@ impl ClientOutcome {
     }
 }
 
-fn generate(
+pub(crate) fn generate(
     workload: ServiceWorkload,
     sampler: &KeySampler,
     num_counters: usize,
@@ -273,6 +293,14 @@ pub struct RunSummary {
     pub completed: u64,
     /// Requests answered with an error.
     pub errors: u64,
+    /// Requests that got a real reply (availability numerator).
+    pub served: u64,
+    /// Requests refused at the admission edge (queue bound, deadline,
+    /// shutdown race, dead batcher) — loud, bounded shedding by design.
+    pub shed: u64,
+    /// Requests that reached application and failed (bad input, injected
+    /// error, rolled-back panic).
+    pub failed: u64,
     /// Wall time of the whole run (first submit to last response).
     pub wall: Duration,
     /// Folded submit→response latency histogram (nanoseconds).
@@ -304,6 +332,9 @@ impl RunSummary {
             ("clients", Json::Int(self.clients as u64)),
             ("requests", Json::Int(self.completed)),
             ("errors", Json::Int(self.errors)),
+            ("served", Json::Int(self.served)),
+            ("shed", Json::Int(self.shed)),
+            ("failed", Json::Int(self.failed)),
             ("wall_ms", Json::float(self.wall.as_secs_f64() * 1e3, 3)),
             ("req_per_s", Json::float(self.req_per_s(), 1)),
             ("p50_us", us(0.50)),
@@ -455,6 +486,9 @@ pub fn run_service_load(
         clients: spec.clients.max(1),
         completed: agg.completed,
         errors: agg.errors,
+        served: agg.served,
+        shed: agg.shed,
+        failed: agg.failed,
         wall,
         latency: agg.hist,
         stats,

@@ -6,6 +6,7 @@
 
 use std::time::Duration;
 
+use qrqw_bench::chaos::{chaos_report_json, run_chaos, ChaosSpec, FaultPlan};
 use qrqw_bench::report::Json;
 use qrqw_bench::service::{
     run_service_load, service_report_json, KeyDist, LoadSpec, ServiceWorkload,
@@ -24,6 +25,9 @@ const RUN_FIELDS: &[(&str, FieldCheck)] = &[
     ("clients", |v| v.as_u64().is_some()),
     ("requests", |v| v.as_u64().is_some()),
     ("errors", |v| v.as_u64().is_some()),
+    ("served", |v| v.as_u64().is_some()),
+    ("shed", |v| v.as_u64().is_some()),
+    ("failed", |v| v.as_u64().is_some()),
     ("wall_ms", |v| v.as_f64().is_some()),
     ("req_per_s", |v| v.as_f64().is_some()),
     ("p50_us", |v| v.as_f64().is_some()),
@@ -115,6 +119,92 @@ fn bench_service_json_round_trips_and_matches_the_schema() {
             "2 clients x 40 requests"
         );
     }
+}
+
+/// Every field a `BENCH_chaos.json` run entry must carry, with a type
+/// predicate.
+const CHAOS_RUN_FIELDS: &[(&str, FieldCheck)] = &[
+    ("workload", |v| v.as_str().is_some()),
+    ("panic_per_10k", |v| v.as_u64().is_some()),
+    ("error_per_10k", |v| v.as_u64().is_some()),
+    ("delay_per_10k", |v| v.as_u64().is_some()),
+    ("batch_max", |v| v.as_u64().is_some()),
+    ("requests", |v| v.as_u64().is_some()),
+    ("served", |v| v.as_u64().is_some()),
+    ("shed", |v| v.as_u64().is_some()),
+    ("failed", |v| v.as_u64().is_some()),
+    ("wedged", |v| v.as_u64().is_some()),
+    ("injected_panics", |v| v.as_u64().is_some()),
+    ("isolated_panics", |v| v.as_u64().is_some()),
+    ("panicked_batches", |v| v.as_u64().is_some()),
+    ("batches", |v| v.as_u64().is_some()),
+    ("snapshots", |v| v.as_u64().is_some()),
+    ("snapshot_us_per_batch", |v| v.as_f64().is_some()),
+    ("mean_recovery_us", |v| v.as_f64().is_some()),
+    ("goodput_per_s", |v| v.as_f64().is_some()),
+    ("p99_us", |v| v.as_f64().is_some()),
+    ("wall_ms", |v| v.as_f64().is_some()),
+    ("valid", |v| v.as_bool().is_some()),
+];
+
+fn check_chaos_runs(doc: &Json) {
+    assert_eq!(doc.get("all_valid").and_then(Json::as_bool), Some(true));
+    let runs = doc.get("runs").and_then(Json::as_arr).expect("runs array");
+    assert!(!runs.is_empty());
+    for run in runs {
+        for (field, type_ok) in CHAOS_RUN_FIELDS {
+            let value = run
+                .get(field)
+                .unwrap_or_else(|| panic!("chaos run entry missing field {field:?}"));
+            assert!(
+                type_ok(value),
+                "chaos field {field:?} has the wrong type: {value:?}"
+            );
+        }
+        assert_eq!(run.get("wedged").and_then(Json::as_u64), Some(0));
+    }
+}
+
+#[test]
+fn bench_chaos_json_round_trips_and_matches_the_schema() {
+    let summary = run_chaos(
+        ServiceConfig {
+            seed: 7,
+            num_counters: 8,
+            task_procs: 4,
+            hash_capacity: 64,
+        },
+        BatchPolicy::with_max_batch(16).linger(Duration::from_micros(50)),
+        2,
+        FaultPlan {
+            panic_per_10k: 400,
+            error_per_10k: 25,
+            ..FaultPlan::default()
+        },
+        &ChaosSpec {
+            workload: ServiceWorkload::Mix,
+            requests: 250,
+            window: 16,
+            keyspace: 64,
+            seed: 7,
+        },
+    );
+    assert!(summary.valid(), "{:?}", summary.validation_errors);
+    let doc = chaos_report_json("chaos_bench", 7, 2, &[summary]);
+    let back = Json::parse(&doc.render()).expect("generated chaos report must parse");
+    assert_eq!(back, doc);
+    check_chaos_runs(&back);
+}
+
+#[test]
+fn committed_chaos_artifact_parses_with_the_same_schema() {
+    // The repository's committed BENCH_chaos.json must stay loadable and
+    // schema-conformant (it is regenerated by `chaos_bench`).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos.json");
+    let text = std::fs::read_to_string(path)
+        .expect("BENCH_chaos.json must be committed at the repository root");
+    let doc = Json::parse(&text).expect("committed BENCH_chaos.json must parse");
+    check_chaos_runs(&doc);
 }
 
 #[test]

@@ -7,7 +7,7 @@
 //! runs near 2²⁴ cells — far below the sizes where the paper's contention
 //! charging (and the "millions of users" service goals) get interesting.
 //!
-//! [`Arena`] stores cells in independently allocated, cache-line-aligned
+//! `Arena` stores cells in independently allocated, cache-line-aligned
 //! **shards** of [`SHARD_CELLS`] cells each (a power of two), indexed by a
 //! flat pointer table:
 //!
@@ -22,7 +22,7 @@
 //!           shard  shard  shard   (cells NEVER move once allocated)
 //! ```
 //!
-//! **The grow-without-move invariant**: [`Arena::reserve_shards`] only ever
+//! **The grow-without-move invariant**: `Arena::reserve_shards` only ever
 //! *appends* shards.  Existing cells keep their addresses for the lifetime
 //! of the machine, growth allocates exactly the new shards (no transient
 //! 2× footprint, no copy of live data), and the new shards' EMPTY fill
@@ -30,7 +30,7 @@
 //! The hot-path address computation stays a shift plus a mask into a
 //! pointer table that fits in cache (2³⁰ cells → 4096 shard pointers).
 //!
-//! Cells beyond [`Arena::len`] (the logical size) but within allocated
+//! Cells beyond `Arena::len` (the logical size) but within allocated
 //! shards are kept [`EMPTY`]: every write path is bounds-checked against
 //! the logical size, so the slack of the last shard can never hold stale
 //! data — which is what lets [`crate::NativeMachine`]'s `alloc` skip

@@ -50,6 +50,16 @@ impl ContentionCounter {
         self.failures.load(Ordering::Relaxed)
     }
 
+    /// Overwrites both totals.  Used by snapshot restore to roll the
+    /// instrumentation back in lockstep with the machine state; per-batch
+    /// delta attribution (see [`crate::PersistentMachine`]) only stays
+    /// coherent if the counters rewind together with `steps_executed`.
+    pub fn store(&self, attempts: u64, failures: u64) {
+        debug_assert!(failures <= attempts);
+        self.attempts.store(attempts, Ordering::Relaxed);
+        self.failures.store(failures, Ordering::Relaxed);
+    }
+
     /// Failure ratio (0 when nothing was recorded).
     pub fn failure_ratio(&self) -> f64 {
         let a = self.attempts();

@@ -11,6 +11,17 @@
 //! needed to turn the cumulative counters into per-batch deltas, so callers
 //! get a [`BatchCost`] per [`PersistentMachine::batch`] scope without
 //! re-deriving deltas by hand (and without a second contention counter).
+//!
+//! A batch server also needs *restartability*: a batch that panics
+//! mid-application must not leave the machine in a half-applied state.
+//! [`PersistentMachine::snapshot`] captures the machine's observable state
+//! — the live cell prefix `[0, heap_top)` of the sharded arena plus the
+//! heap/step/contention counters — and [`PersistentMachine::restore`] rolls
+//! back to it, counters, marks, and (because random draws are a pure
+//! function of `(seed, step_idx, proc)`) RNG streams included.  Snapshots
+//! reuse their buffer via [`PersistentMachine::snapshot_into`], so a
+//! per-batch checkpoint of a steady working set costs one bulk copy and no
+//! allocation.
 
 use std::time::{Duration, Instant};
 
@@ -31,6 +42,48 @@ pub struct BatchCost {
     pub contended_claims: u64,
     /// Wall-clock time of the batch scope.
     pub wall: Duration,
+}
+
+impl std::ops::AddAssign for BatchCost {
+    /// Folds another scope's cost into this one (durations and counters
+    /// add) — how a bisection replay accumulates the cost of its
+    /// sub-batches into one batch-level total.
+    fn add_assign(&mut self, other: BatchCost) {
+        self.steps += other.steps;
+        self.claim_attempts += other.claim_attempts;
+        self.contended_claims += other.contended_claims;
+        self.wall += other.wall;
+    }
+}
+
+/// A point-in-time copy of a [`NativeMachine`]'s observable state: the live
+/// cell prefix `[0, heap_top)`, the allocation top, the step counter (which
+/// pins the RNG streams), and the contention totals.
+///
+/// Produced by [`PersistentMachine::snapshot`] /
+/// [`PersistentMachine::snapshot_into`]; consumed by
+/// [`PersistentMachine::restore`].  `Default` is an empty snapshot suitable
+/// only as a reusable buffer for `snapshot_into`.
+#[derive(Debug, Clone, Default)]
+pub struct MachineSnapshot {
+    pub(crate) cells: Vec<u64>,
+    pub(crate) heap_top: usize,
+    pub(crate) steps_executed: u64,
+    pub(crate) attempts: u64,
+    pub(crate) failures: u64,
+}
+
+impl MachineSnapshot {
+    /// The allocation top at snapshot time — also the number of cells the
+    /// snapshot copied, i.e. its memory footprint in `u64`s.
+    pub fn heap_top(&self) -> usize {
+        self.heap_top
+    }
+
+    /// The machine step counter at snapshot time.
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
+    }
 }
 
 /// A [`NativeMachine`] that lives across many batches, with per-batch cost
@@ -119,6 +172,34 @@ impl PersistentMachine {
         self.failures_mark = failures;
         (out, cost)
     }
+
+    /// Captures a [`MachineSnapshot`] of the current machine state.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        let mut snap = MachineSnapshot::default();
+        self.snapshot_into(&mut snap);
+        snap
+    }
+
+    /// Captures a snapshot into `snap`, reusing its buffer — the
+    /// allocation-free path for a per-batch checkpoint.
+    pub fn snapshot_into(&self, snap: &mut MachineSnapshot) {
+        self.machine.snapshot_into(snap);
+    }
+
+    /// Rolls the machine back to `snap` and rewinds the batch marks to the
+    /// snapshot's counters, so the next [`PersistentMachine::batch`]
+    /// reports only post-restore work (a rolled-back batch costs nothing).
+    ///
+    /// # Panics
+    ///
+    /// If `snap` was not taken from this machine (see
+    /// [`NativeMachine::restore`]).
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        self.machine.restore(snap);
+        self.steps_mark = snap.steps_executed;
+        self.attempts_mark = snap.attempts;
+        self.failures_mark = snap.failures;
+    }
 }
 
 #[cfg(test)]
@@ -153,5 +234,93 @@ mod tests {
         let (v, cost) = pm.batch(|m| m.peek(3));
         assert_eq!(v, 41);
         assert_eq!(cost.steps, 0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_memory_counters_and_marks() {
+        let mut pm = PersistentMachine::with_pool(64, 0, StepPool::with_threads(2));
+        let ((), _) = pm.batch(|m| {
+            m.poke(5, 99);
+            m.claim(&[(1, 4), (2, 4)], ClaimMode::Exclusive);
+        });
+        let snap = pm.snapshot();
+        assert_eq!(snap.heap_top(), 64);
+        // Mutate heavily after the snapshot: memory, allocation, steps,
+        // contention.
+        let ((), _) = pm.batch(|m| {
+            m.poke(5, 1);
+            let base = m.alloc(32);
+            m.poke(base + 7, 123);
+            m.claim(&[(9, 10), (10, 10), (11, 10)], ClaimMode::Occupy);
+        });
+        pm.restore(&snap);
+        let m = pm.machine_ref();
+        assert_eq!(m.steps_executed(), snap.steps_executed());
+        assert_eq!(m.heap_top(), 64);
+        assert_eq!(m.peek(5), 99, "restored cell must hold the old value");
+        assert_eq!(m.contention().attempts(), 2);
+        assert_eq!(m.contention().failures(), 2);
+        // A cell allocated only after the snapshot reads EMPTY again.
+        let (v, cost) = pm.batch(|m| {
+            let base = m.alloc(32);
+            m.peek(base + 7)
+        });
+        assert_eq!(v, qrqw_sim::EMPTY, "post-snapshot writes must be gone");
+        // The marks rewound with the restore: the rolled-back batch's
+        // claims must not leak into the next delta.
+        assert_eq!(cost.claim_attempts, 0);
+        let (_, cost) = pm.batch(|m| {
+            m.claim(&[(5, 20)], ClaimMode::Occupy);
+        });
+        assert_eq!(cost.claim_attempts, 1);
+    }
+
+    #[test]
+    fn restore_rewinds_the_random_streams() {
+        // RNG draws are a pure function of (seed, step_idx, proc):
+        // restoring the step counter must replay the identical stream.
+        let mut pm = PersistentMachine::with_pool(8, 42, StepPool::with_threads(2));
+        let snap = pm.snapshot();
+        let (first, _) = pm.batch(|m| m.par_map(16, |_p, ctx| ctx.random_index(1 << 30)));
+        let (_, _) = pm.batch(|m| m.par_map(16, |_p, ctx| ctx.random_index(1 << 30)));
+        pm.restore(&snap);
+        let (replay, _) = pm.batch(|m| m.par_map(16, |_p, ctx| ctx.random_index(1 << 30)));
+        assert_eq!(first, replay);
+    }
+
+    #[test]
+    fn snapshot_into_reuses_the_buffer_when_warm() {
+        let mut pm = PersistentMachine::with_pool(4096, 0, StepPool::with_threads(2));
+        let mut snap = MachineSnapshot::default();
+        pm.snapshot_into(&mut snap);
+        let warm = snap.cells.as_ptr() as usize;
+        let ((), _) = pm.batch(|m| m.poke(100, 7));
+        pm.snapshot_into(&mut snap);
+        assert_eq!(
+            snap.cells.as_ptr() as usize,
+            warm,
+            "a steady working set must not reallocate the snapshot buffer"
+        );
+        assert_eq!(snap.cells[100], 7);
+    }
+
+    #[test]
+    fn batch_cost_add_assign_sums_every_field() {
+        let mut a = BatchCost {
+            steps: 1,
+            claim_attempts: 2,
+            contended_claims: 3,
+            wall: Duration::from_micros(5),
+        };
+        a += BatchCost {
+            steps: 10,
+            claim_attempts: 20,
+            contended_claims: 30,
+            wall: Duration::from_micros(50),
+        };
+        assert_eq!(a.steps, 11);
+        assert_eq!(a.claim_attempts, 22);
+        assert_eq!(a.contended_claims, 33);
+        assert_eq!(a.wall, Duration::from_micros(55));
     }
 }

@@ -50,7 +50,7 @@ pub mod steal;
 
 pub use arena::{ArenaStats, SHARD_CELLS};
 pub use contention::ContentionCounter;
-pub use handle::{BatchCost, PersistentMachine};
+pub use handle::{BatchCost, MachineSnapshot, PersistentMachine};
 pub use machine::NativeMachine;
 pub use pool::{Schedule, StepPool};
 pub use steal::StealingMachine;

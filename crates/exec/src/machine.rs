@@ -25,8 +25,8 @@
 //! Steps never spawn threads and (after warm-up) never touch the heap for
 //! scratch state:
 //!
-//! * shared memory is a sharded [`Arena`] (see [`crate::arena`]):
-//!   cache-line-aligned [`SHARD_CELLS`]-cell shards behind a flat pointer
+//! * shared memory is a sharded `Arena` (see [`crate::arena`]):
+//!   cache-line-aligned [`crate::arena::SHARD_CELLS`]-cell shards behind a flat pointer
 //!   table, addressed by shift+mask — growth *appends* shards, it never
 //!   moves existing cells (no realloc copy, no transient 2× footprint);
 //! * dispatch goes through [`StepPool`] to the process-wide persistent
@@ -210,6 +210,79 @@ impl NativeMachine {
     /// The shape of the sharded arena (logical cells, allocated shards).
     pub fn arena_stats(&self) -> ArenaStats {
         self.arena.stats()
+    }
+
+    /// Copies the machine's observable state — the live cell prefix
+    /// `[0, heap_top)` plus the step and contention counters — into `snap`,
+    /// reusing its buffer (a warm snapshot of a steady working set does not
+    /// allocate).  The copy is pool-parallel, walking shard segments like
+    /// [`Machine::dump`].
+    ///
+    /// The RNG needs no saving: random draws are a pure function of
+    /// `(seed, step_idx, proc)`, so restoring `steps_executed` restores
+    /// every random stream exactly.
+    pub fn snapshot_into(&self, snap: &mut crate::handle::MachineSnapshot) {
+        let len = self.heap_top;
+        debug_assert!(len <= self.arena.len(), "allocation top above the arena");
+        snap.cells.clear();
+        snap.cells.reserve(len);
+        let arena = &self.arena;
+        let slots = SendPtr(snap.cells.as_mut_ptr());
+        let slots = &slots;
+        self.pool.dispatch(len, 1, |lo, hi| {
+            // Safety: bulk copy out of the quiescent arena (no step is
+            // running; `&self` here, every writer needs `&mut self`) into
+            // disjoint slots of the reserved buffer.
+            unsafe { arena.copy_out(lo, slots.0.add(lo), hi - lo) };
+        });
+        unsafe { snap.cells.set_len(len) };
+        snap.heap_top = self.heap_top;
+        snap.steps_executed = self.steps_executed;
+        snap.attempts = self.counter.attempts();
+        snap.failures = self.counter.failures();
+    }
+
+    /// Rolls the machine back to `snap`: the cell prefix is copied back in,
+    /// every cell above the snapshot's allocation top reads [`EMPTY`] again,
+    /// and the step/contention counters rewind — so post-restore execution
+    /// (including its random draws) is indistinguishable from execution
+    /// that started at the snapshot point.
+    ///
+    /// The arena itself never shrinks (shards stay allocated); only the
+    /// logical contents roll back.
+    ///
+    /// # Panics
+    ///
+    /// If `snap` spans more cells than this machine's arena holds — i.e. it
+    /// was not taken from this machine.
+    pub fn restore(&mut self, snap: &crate::handle::MachineSnapshot) {
+        assert!(
+            snap.heap_top <= self.arena.len(),
+            "snapshot spans {} cells but the arena holds {}: not a snapshot of this machine",
+            snap.heap_top,
+            self.arena.len()
+        );
+        debug_assert_eq!(snap.cells.len(), snap.heap_top);
+        let arena = &self.arena;
+        let cells = &snap.cells[..];
+        self.pool.dispatch(cells.len(), 1, |lo, hi| {
+            // Safety: shard-segment bulk copy; `&mut self` rules out
+            // concurrent cell access, chunks are disjoint.
+            unsafe { arena.copy_in(lo, &cells[lo..hi]) };
+        });
+        // Cells the rolled-back execution allocated above the snapshot's
+        // top must read EMPTY again, exactly as a fresh allocation would
+        // find them.
+        let tail = self.arena.len() - snap.heap_top;
+        let base = snap.heap_top;
+        self.pool.dispatch(tail, 1, |lo, hi| {
+            // Safety: all-ones byte fill == EMPTY fill; same aliasing
+            // argument as above.
+            unsafe { arena.fill_empty(base + lo, hi - lo) };
+        });
+        self.heap_top = snap.heap_top;
+        self.steps_executed = snap.steps_executed;
+        self.counter.store(snap.attempts, snap.failures);
     }
 
     /// Raw scratch-buffer addresses, for the allocation-stability tests: a

@@ -26,6 +26,16 @@
 //! observes depends only on submission order, never on batch boundaries,
 //! so draining any trace through the server leaves the same observable
 //! state as applying it as one batch (`tests/parity.rs`).
+//!
+//! The service is **fault tolerant** (see [`runtime`]): every batch is
+//! applied against a pre-batch [`ServiceCheckpoint`], a panicking batch is
+//! rolled back and re-applied by bisection so only the poisoned request
+//! fails ([`ServiceError::RequestPanicked`]), admission control bounds the
+//! queue ([`BatchPolicy::queue_max`] / [`ServiceError::Overloaded`]) and
+//! enforces per-request deadlines, and an envelope exit guard guarantees
+//! no [`Ticket::wait`] ever wedges on a dead batcher
+//! ([`ServiceError::ServerGone`]).  `chaos_bench` in `crates/bench` drives
+//! all of this under a seeded fault plan and writes `BENCH_chaos.json`.
 
 #![deny(missing_docs)]
 
@@ -37,8 +47,8 @@ pub mod server;
 pub mod state;
 
 pub use metrics::{Histogram, ServiceStats};
-pub use policy::{BatchPolicy, BATCH_MAX_ENV, LINGER_US_ENV};
+pub use policy::{BatchPolicy, BATCH_MAX_ENV, DEADLINE_US_ENV, LINGER_US_ENV, QUEUE_MAX_ENV};
 pub use request::{Fault, Reply, Request, Response, ServiceError, MAX_KEY};
 pub use runtime::Ticket;
 pub use server::{Server, ServiceHandle};
-pub use state::{ServiceConfig, ServiceState, StateDigest};
+pub use state::{ServiceCheckpoint, ServiceConfig, ServiceState, StateDigest};

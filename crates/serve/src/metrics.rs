@@ -169,8 +169,27 @@ pub struct ServiceStats {
     pub contended_claims: u64,
     /// Total wall time spent inside batch application.
     pub apply_wall: Duration,
-    /// Batches that panicked mid-application (fault injection).
+    /// Batches that panicked mid-application, were rolled back to their
+    /// pre-batch checkpoint, and were re-applied by bisection.
     pub panicked_batches: u64,
+    /// Requests isolated by bisection replay and answered
+    /// [`crate::ServiceError::RequestPanicked`].
+    pub isolated_panics: u64,
+    /// Requests whose deadline expired in the queue, answered
+    /// [`crate::ServiceError::DeadlineExceeded`] without touching the
+    /// machine.
+    pub deadline_shed: u64,
+    /// Requests shed at admission with
+    /// [`crate::ServiceError::Overloaded`] (counted by the handles; folded
+    /// in at shutdown).
+    pub overload_shed: u64,
+    /// Pre-batch checkpoints taken (one per applied batch).
+    pub snapshots: u64,
+    /// Total wall time spent taking pre-batch checkpoints — the price of
+    /// the rollback guarantee, measured so `chaos_bench` can report it.
+    pub snapshot_wall: Duration,
+    /// Total wall time spent in rollback + bisection replay after panics.
+    pub recovery_wall: Duration,
 }
 
 impl ServiceStats {
@@ -190,6 +209,25 @@ impl ServiceStats {
             0.0
         } else {
             self.contended_claims as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean checkpoint cost per applied batch (zero when none were taken).
+    pub fn mean_snapshot(&self) -> Duration {
+        if self.snapshots == 0 {
+            Duration::ZERO
+        } else {
+            self.snapshot_wall.div_f64(self.snapshots as f64)
+        }
+    }
+
+    /// Mean recovery latency per rolled-back batch — restore plus bisection
+    /// replay (zero when nothing panicked).
+    pub fn mean_recovery(&self) -> Duration {
+        if self.panicked_batches == 0 {
+            Duration::ZERO
+        } else {
+            self.recovery_wall.div_f64(self.panicked_batches as f64)
         }
     }
 

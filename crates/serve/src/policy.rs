@@ -1,6 +1,7 @@
-//! The batching policy: when does the batcher close a batch?
+//! The batching policy: when does the batcher close a batch, and what may
+//! enter the queue at all?
 //!
-//! Two knobs, the classic throughput/latency trade:
+//! Two batching knobs, the classic throughput/latency trade:
 //!
 //! * **max batch size** — close as soon as this many requests have been
 //!   collected.  Bigger batches amortize the per-step protocol (and, per
@@ -9,9 +10,22 @@
 //! * **max linger** — close an under-full batch this long after its first
 //!   request arrived, so a trickle of traffic still gets served promptly.
 //!
-//! Both have environment overrides (`QRQW_BATCH_MAX`, `QRQW_LINGER_US`),
-//! documented alongside `QRQW_THREADS` / `QRQW_SCHEDULE` in
-//! `ARCHITECTURE.md`.
+//! Two admission knobs, the overload story:
+//!
+//! * **queue bound** — at most this many requests may be outstanding
+//!   (queued or riding the open batch) at once; a submit past the bound is
+//!   shed immediately with [`crate::ServiceError::Overloaded`] instead of
+//!   growing the queue without limit.
+//! * **deadline** — the default per-request deadline: a request the
+//!   batcher reaches after its deadline is answered
+//!   [`crate::ServiceError::DeadlineExceeded`] without touching the
+//!   machine ([`crate::ServiceHandle::submit_with_deadline`] overrides it
+//!   per request).
+//!
+//! All four have environment overrides (`QRQW_BATCH_MAX`,
+//! `QRQW_LINGER_US`, `QRQW_QUEUE_MAX`, `QRQW_DEADLINE_US`), documented
+//! alongside `QRQW_THREADS` / `QRQW_SCHEDULE` in `ARCHITECTURE.md` and the
+//! README knob table.
 
 use std::time::Duration;
 
@@ -21,6 +35,14 @@ pub const BATCH_MAX_ENV: &str = "QRQW_BATCH_MAX";
 /// Environment variable overriding [`BatchPolicy::linger`] (microseconds).
 pub const LINGER_US_ENV: &str = "QRQW_LINGER_US";
 
+/// Environment variable overriding [`BatchPolicy::queue_max`] (requests;
+/// unset means unbounded).
+pub const QUEUE_MAX_ENV: &str = "QRQW_QUEUE_MAX";
+
+/// Environment variable overriding [`BatchPolicy::deadline`] (microseconds;
+/// unset means no deadline).
+pub const DEADLINE_US_ENV: &str = "QRQW_DEADLINE_US";
+
 /// Default [`BatchPolicy::max_batch`].
 pub const DEFAULT_BATCH_MAX: usize = 256;
 
@@ -28,7 +50,8 @@ pub const DEFAULT_BATCH_MAX: usize = 256;
 pub const DEFAULT_LINGER: Duration = Duration::from_micros(200);
 
 /// When the batcher closes a batch: at `max_batch` requests, or `linger`
-/// after the batch's first request arrived, whichever comes first.
+/// after the batch's first request arrived, whichever comes first — plus
+/// the admission bounds the handles enforce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchPolicy {
     /// Maximum requests per batch (≥ 1; 0 is clamped to 1).
@@ -36,6 +59,13 @@ pub struct BatchPolicy {
     /// Maximum time an under-full batch waits for more requests.  Zero
     /// means "never wait": a batch is whatever is already queued.
     pub linger: Duration,
+    /// Maximum outstanding requests (queued or in the open batch) before
+    /// submits are shed with [`crate::ServiceError::Overloaded`].
+    /// `usize::MAX` (the default) means unbounded.
+    pub queue_max: usize,
+    /// Default per-request deadline, measured from submission.  `None`
+    /// (the default) means requests never expire in the queue.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for BatchPolicy {
@@ -43,6 +73,8 @@ impl Default for BatchPolicy {
         BatchPolicy {
             max_batch: DEFAULT_BATCH_MAX,
             linger: DEFAULT_LINGER,
+            queue_max: usize::MAX,
+            deadline: None,
         }
     }
 }
@@ -62,9 +94,22 @@ impl BatchPolicy {
         self
     }
 
-    /// Resolves the policy from the environment: `QRQW_BATCH_MAX` (requests)
-    /// and `QRQW_LINGER_US` (microseconds), falling back to the defaults
-    /// when unset.
+    /// Builder: bounds the outstanding-request count (admission control).
+    pub fn queue_max(mut self, queue_max: usize) -> Self {
+        self.queue_max = queue_max.max(1);
+        self
+    }
+
+    /// Builder: sets the default per-request deadline.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Resolves the policy from the environment: `QRQW_BATCH_MAX`
+    /// (requests), `QRQW_LINGER_US` (microseconds), `QRQW_QUEUE_MAX`
+    /// (outstanding requests) and `QRQW_DEADLINE_US` (microseconds),
+    /// falling back to the defaults when unset.
     ///
     /// A *set but invalid* value is a configuration error and panics with
     /// the offending variable and value, rather than being silently
@@ -72,27 +117,38 @@ impl BatchPolicy {
     /// batch cap looks exactly like a perf regression, and nobody debugs
     /// the environment first.  `QRQW_BATCH_MAX=0` is rejected too (the
     /// batcher needs at least one request per batch); `QRQW_LINGER_US=0`
-    /// stays legal and means "never wait".
+    /// stays legal and means "never wait".  `QRQW_QUEUE_MAX=0` is rejected
+    /// (a queue that admits nothing serves nothing — unset the variable
+    /// for an unbounded queue), as is `QRQW_DEADLINE_US=0` (it would
+    /// expire every request on arrival — unset it for no deadline).
     ///
     /// # Panics
     ///
-    /// If either variable is set to an unparseable value, or
-    /// `QRQW_BATCH_MAX` is set to `0`.
+    /// If any variable is set to an unparseable value, or `QRQW_BATCH_MAX`,
+    /// `QRQW_QUEUE_MAX`, or `QRQW_DEADLINE_US` is set to `0`.
     pub fn from_env() -> Self {
         match Self::from_env_values(
             std::env::var(BATCH_MAX_ENV).ok().as_deref(),
             std::env::var(LINGER_US_ENV).ok().as_deref(),
+            std::env::var(QUEUE_MAX_ENV).ok().as_deref(),
+            std::env::var(DEADLINE_US_ENV).ok().as_deref(),
         ) {
             Ok(policy) => policy,
             Err(msg) => panic!("{msg}"),
         }
     }
 
-    /// The value-level core of [`BatchPolicy::from_env`]: `batch` and
-    /// `linger` are the raw values of `QRQW_BATCH_MAX` / `QRQW_LINGER_US`
-    /// (`None` = unset).  Split out so the rejection rules are testable
-    /// without racing on process-global environment state.
-    pub fn from_env_values(batch: Option<&str>, linger: Option<&str>) -> Result<Self, String> {
+    /// The value-level core of [`BatchPolicy::from_env`]: the arguments are
+    /// the raw values of `QRQW_BATCH_MAX` / `QRQW_LINGER_US` /
+    /// `QRQW_QUEUE_MAX` / `QRQW_DEADLINE_US` (`None` = unset).  Split out
+    /// so the rejection rules are testable without racing on
+    /// process-global environment state.
+    pub fn from_env_values(
+        batch: Option<&str>,
+        linger: Option<&str>,
+        queue: Option<&str>,
+        deadline: Option<&str>,
+    ) -> Result<Self, String> {
         let mut policy = BatchPolicy::default();
         if let Some(raw) = batch {
             let v: usize = raw
@@ -112,15 +168,40 @@ impl BatchPolicy {
             })?;
             policy.linger = Duration::from_micros(v);
         }
+        if let Some(raw) = queue {
+            let v: usize = raw.trim().parse().map_err(|_| {
+                format!("invalid {QUEUE_MAX_ENV}={raw:?}: expected a positive integer (max outstanding requests)")
+            })?;
+            if v == 0 {
+                return Err(format!(
+                    "invalid {QUEUE_MAX_ENV}=0: a queue that admits nothing serves nothing; \
+                     unset the variable for an unbounded queue"
+                ));
+            }
+            policy.queue_max = v;
+        }
+        if let Some(raw) = deadline {
+            let v: u64 = raw.trim().parse().map_err(|_| {
+                format!("invalid {DEADLINE_US_ENV}={raw:?}: expected microseconds as a positive integer")
+            })?;
+            if v == 0 {
+                return Err(format!(
+                    "invalid {DEADLINE_US_ENV}=0: a zero deadline expires every request on \
+                     arrival; unset the variable for no deadline"
+                ));
+            }
+            policy.deadline = Some(Duration::from_micros(v));
+        }
         Ok(policy)
     }
 
-    /// The policy with `max_batch` clamped to at least 1, as the batcher
-    /// uses it.
+    /// The policy with `max_batch` and `queue_max` clamped to at least 1,
+    /// as the batcher uses it.
     pub fn normalized(self) -> Self {
         BatchPolicy {
             max_batch: self.max_batch.max(1),
-            linger: self.linger,
+            queue_max: self.queue_max.max(1),
+            ..self
         }
     }
 }
@@ -139,45 +220,61 @@ mod tests {
     #[test]
     fn zero_max_batch_is_clamped() {
         assert_eq!(BatchPolicy::with_max_batch(0).max_batch, 1);
-        assert_eq!(
-            BatchPolicy {
-                max_batch: 0,
-                linger: Duration::ZERO
-            }
-            .normalized()
-            .max_batch,
-            1
-        );
+        let p = BatchPolicy {
+            max_batch: 0,
+            queue_max: 0,
+            ..Default::default()
+        }
+        .normalized();
+        assert_eq!(p.max_batch, 1);
+        assert_eq!(p.queue_max, 1);
     }
 
     #[test]
     fn env_values_resolve_or_reject_loudly() {
         // Unset → defaults.
         assert_eq!(
-            BatchPolicy::from_env_values(None, None).unwrap(),
+            BatchPolicy::from_env_values(None, None, None, None).unwrap(),
             BatchPolicy::default()
         );
         // Valid overrides (whitespace tolerated).
-        let p = BatchPolicy::from_env_values(Some(" 64 "), Some("500")).unwrap();
+        let p = BatchPolicy::from_env_values(Some(" 64 "), Some("500"), Some("4096"), Some("2000"))
+            .unwrap();
         assert_eq!(p.max_batch, 64);
         assert_eq!(p.linger, Duration::from_micros(500));
+        assert_eq!(p.queue_max, 4096);
+        assert_eq!(p.deadline, Some(Duration::from_micros(2000)));
         // Linger 0 is legal: "never wait".
-        let p = BatchPolicy::from_env_values(None, Some("0")).unwrap();
+        let p = BatchPolicy::from_env_values(None, Some("0"), None, None).unwrap();
         assert_eq!(p.linger, Duration::ZERO);
-        // Batch 0 and unparseable values are configuration errors, not
+        // Zero bounds and unparseable values are configuration errors, not
         // silent fallbacks.
-        let err = BatchPolicy::from_env_values(Some("0"), None).unwrap_err();
+        let err = BatchPolicy::from_env_values(Some("0"), None, None, None).unwrap_err();
         assert!(err.contains("QRQW_BATCH_MAX=0"), "unhelpful error: {err}");
-        let err = BatchPolicy::from_env_values(Some("lots"), None).unwrap_err();
+        let err = BatchPolicy::from_env_values(Some("lots"), None, None, None).unwrap_err();
         assert!(err.contains("QRQW_BATCH_MAX"), "unhelpful error: {err}");
-        let err = BatchPolicy::from_env_values(None, Some("-3")).unwrap_err();
+        let err = BatchPolicy::from_env_values(None, Some("-3"), None, None).unwrap_err();
         assert!(err.contains("QRQW_LINGER_US"), "unhelpful error: {err}");
+        let err = BatchPolicy::from_env_values(None, None, Some("0"), None).unwrap_err();
+        assert!(err.contains("QRQW_QUEUE_MAX=0"), "unhelpful error: {err}");
+        let err = BatchPolicy::from_env_values(None, None, Some("many"), None).unwrap_err();
+        assert!(err.contains("QRQW_QUEUE_MAX"), "unhelpful error: {err}");
+        let err = BatchPolicy::from_env_values(None, None, None, Some("0")).unwrap_err();
+        assert!(err.contains("QRQW_DEADLINE_US=0"), "unhelpful error: {err}");
+        let err = BatchPolicy::from_env_values(None, None, None, Some("soon")).unwrap_err();
+        assert!(err.contains("QRQW_DEADLINE_US"), "unhelpful error: {err}");
     }
 
     #[test]
-    fn builder_sets_linger() {
-        let p = BatchPolicy::with_max_batch(8).linger(Duration::from_millis(5));
+    fn builder_sets_linger_queue_and_deadline() {
+        let p = BatchPolicy::with_max_batch(8)
+            .linger(Duration::from_millis(5))
+            .queue_max(128)
+            .deadline(Duration::from_millis(50));
         assert_eq!(p.max_batch, 8);
         assert_eq!(p.linger, Duration::from_millis(5));
+        assert_eq!(p.queue_max, 128);
+        assert_eq!(p.deadline, Some(Duration::from_millis(50)));
+        assert_eq!(BatchPolicy::default().queue_max(0).queue_max, 1);
     }
 }

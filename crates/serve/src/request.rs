@@ -78,10 +78,19 @@ pub enum Fault {
     /// The request itself fails with [`ServiceError::Injected`]; the rest
     /// of its batch is unaffected.
     Error,
-    /// The batch application panics while this request is being decoded
-    /// (before any machine state is touched).  The batcher catches the
-    /// unwind and fails the whole batch with [`ServiceError::BatchPanicked`].
+    /// Batch application panics while this request is being decoded.  The
+    /// batcher rolls the service back to its pre-batch checkpoint and
+    /// replays the batch by bisection, so *only this request* fails — with
+    /// [`ServiceError::RequestPanicked`] — every innocent request in the
+    /// batch gets its real answer, and no effect of the panicked attempt
+    /// survives.  (Direct `apply_batch` callers see the panic itself.)
     Panic,
+    /// The batcher thread dies abnormally — outside its panic containment,
+    /// with no rollback.  This simulates a crashed server rather than a
+    /// poisoned request: every outstanding request, including this one,
+    /// resolves to [`ServiceError::ServerGone`] via the envelope exit
+    /// guard instead of wedging its client.
+    Crash,
 }
 
 impl Request {
@@ -124,9 +133,23 @@ pub enum ServiceError {
     UnknownCounter(usize),
     /// The request was a [`Fault::Error`] injection.
     Injected,
-    /// The batch this request rode in panicked mid-application; the
-    /// request may or may not have taken effect.
-    BatchPanicked,
+    /// This request made batch application panic.  The batcher restored
+    /// the pre-batch checkpoint and replayed the batch by bisection, so
+    /// the request **definitely did not** take effect — and every other
+    /// request in its batch got its real answer.
+    RequestPanicked,
+    /// Shed at admission: the service already holds `queue_max`
+    /// outstanding requests (see `QRQW_QUEUE_MAX`).  The request was never
+    /// enqueued and definitely did not take effect.
+    Overloaded,
+    /// The request's deadline expired before its batch was applied; it was
+    /// answered without touching the machine and definitely did not take
+    /// effect.
+    DeadlineExceeded,
+    /// The batcher thread died before applying this request (abnormal
+    /// server death).  The request did not take effect; the envelope exit
+    /// guard resolves the ticket instead of wedging the client forever.
+    ServerGone,
     /// The server is shutting down and no longer accepts requests.
     ShuttingDown,
 }
@@ -137,7 +160,12 @@ impl std::fmt::Display for ServiceError {
             ServiceError::KeyOutOfRange(k) => write!(f, "key {k} is >= 2^31 - 1"),
             ServiceError::UnknownCounter(c) => write!(f, "counter {c} does not exist"),
             ServiceError::Injected => write!(f, "injected fault"),
-            ServiceError::BatchPanicked => write!(f, "batch panicked mid-application"),
+            ServiceError::RequestPanicked => {
+                write!(f, "request panicked mid-application and was rolled back")
+            }
+            ServiceError::Overloaded => write!(f, "submission queue is full, request shed"),
+            ServiceError::DeadlineExceeded => write!(f, "deadline expired before the batch ran"),
+            ServiceError::ServerGone => write!(f, "batcher thread died before answering"),
             ServiceError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }

@@ -4,31 +4,58 @@
 //! the service is built from `std` threads and channels:
 //!
 //! * clients submit over a shared [`std::sync::mpsc`] channel (the
-//!   **submission queue**);
+//!   **submission queue**), bounded by the admission control in
+//!   `server.rs` (see [`crate::BatchPolicy::queue_max`]);
 //! * a single **batcher thread** owns the [`ServiceState`] and loops:
 //!   block for the first request, keep pulling until the
 //!   [`BatchPolicy`] closes the batch (size cap hit, or linger expired
 //!   since the batch's first request), apply the batch, complete every
 //!   request's slot;
 //! * each request carries an `Arc`'d **oneshot slot** (mutex + condvar);
-//!   the client half is a [`Ticket`] that blocks on [`Ticket::wait`].
+//!   the client half is a [`Ticket`] that blocks on [`Ticket::wait`]
+//!   (or bounds its own latency with [`Ticket::wait_timeout`]).
 //!
 //! # Failure containment
 //!
-//! The batcher applies each batch under [`std::panic::catch_unwind`].  A
-//! panicking batch ([`crate::request::Fault::Panic`], or any future bug in
-//! decode) answers *every* request in the batch with
-//! [`ServiceError::BatchPanicked`] and the loop keeps serving.  The
-//! `AssertUnwindSafe` is justified by construction: [`ServiceState`] only
-//! panics during the host-side decode walk, *before* any machine step
-//! runs, so the machine arena is never torn mid-step (host-side task
-//! bookkeeping from earlier requests in the panicked batch may persist —
-//! exactly what `BatchPanicked`'s "may or may not have taken effect"
-//! contract says).
+//! Before applying a batch, the batcher takes a [`ServiceCheckpoint`] —
+//! a machine snapshot plus the host-side tables (see
+//! [`ServiceState::checkpoint_into`]).  The batch then runs under
+//! [`std::panic::catch_unwind`].  If it panics
+//! ([`crate::request::Fault::Panic`], or any future bug in decode), the
+//! batcher **rolls the state back** to the checkpoint and re-applies the
+//! batch by **bisection replay**: halves are re-applied in submission
+//! order (trace determinism makes sub-batch replies identical to the
+//! original batch's would-have-been replies), recursing on any half that
+//! panics until each poisoned request stands alone.  The poisoned
+//! request(s) are answered [`ServiceError::RequestPanicked`] — and
+//! *definitely did not* take effect — while every innocent request in the
+//! batch receives its real answer, exactly as if the poison had never been
+//! submitted.  The `AssertUnwindSafe` is justified by the rollback: a
+//! torn `&mut ServiceState` is never observed, because the only thing done
+//! with it after a panic is restoring the checkpoint.
 //!
 //! A client that drops its [`Ticket`] (disconnects mid-batch) is harmless:
 //! completion writes into the shared slot and nobody reads it; the batcher
 //! never blocks on clients.
+//!
+//! # Admission control
+//!
+//! A request whose deadline (see [`crate::BatchPolicy::deadline`] and
+//! `ServiceHandle::submit_with_deadline`) has already expired when the
+//! batcher reaches it is answered [`ServiceError::DeadlineExceeded`]
+//! without touching the machine — it is not part of the applied trace.
+//! Queue-bound shedding ([`ServiceError::Overloaded`]) happens earlier, at
+//! submit time, in `server.rs`.
+//!
+//! # The exit guard
+//!
+//! If the batcher dies *outside* the containment above (abnormal death —
+//! e.g. the injected [`crate::request::Fault::Crash`], which deliberately
+//! panics before the checkpoint), every `Envelope` still alive (in the
+//! dying batch, or queued behind it) is dropped during unwinding, and
+//! `Envelope`'s `Drop` completes its slot with
+//! [`ServiceError::ServerGone`].  No [`Ticket::wait`] ever wedges on a
+//! dead server.
 //!
 //! # Shutdown
 //!
@@ -39,30 +66,46 @@
 //! joins it (see `server.rs`).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use qrqw_exec::BatchCost;
 
 use crate::metrics::ServiceStats;
 use crate::policy::BatchPolicy;
-use crate::request::{Request, Response, ServiceError};
-use crate::state::ServiceState;
+use crate::request::{Fault, Request, Response, ServiceError};
+use crate::state::{ServiceCheckpoint, ServiceState};
+
+/// Completion state of a slot: the response (until the client takes it)
+/// and a latch recording that *some* completion happened, so late
+/// completers (e.g. the exit guard) can tell a consumed slot from a
+/// never-completed one.
+#[derive(Debug, Default)]
+struct SlotState {
+    response: Option<Response>,
+    completed: bool,
+}
 
 /// One-shot completion slot shared between a request's [`Ticket`] and the
 /// batcher.
 #[derive(Debug, Default)]
 pub(crate) struct ResponseSlot {
-    inner: Mutex<Option<Response>>,
+    inner: Mutex<SlotState>,
     ready: Condvar,
 }
 
 impl ResponseSlot {
+    /// First completion wins; later calls (including the exit guard's
+    /// `ServerGone`) are no-ops even after the client consumed the value.
     pub(crate) fn complete(&self, response: Response) {
         let mut slot = self.inner.lock().unwrap();
-        if slot.is_none() {
-            *slot = Some(response);
+        if !slot.completed {
+            slot.completed = true;
+            slot.response = Some(response);
+            self.ready.notify_all();
         }
-        self.ready.notify_all();
     }
 }
 
@@ -83,25 +126,98 @@ impl Ticket {
     pub fn wait(self) -> Response {
         let mut guard = self.slot.inner.lock().unwrap();
         loop {
-            if let Some(resp) = guard.take() {
+            if let Some(resp) = guard.response.take() {
                 return resp;
             }
             guard = self.slot.ready.wait(guard).unwrap();
         }
     }
 
+    /// Blocks for at most `timeout`: `Some` with the response if it
+    /// arrived in time, `None` on timeout.  The ticket stays live — a
+    /// client can time out, do something else, and wait again; the
+    /// response is not lost.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Response> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.slot.inner.lock().unwrap();
+        loop {
+            if let Some(resp) = guard.response.take() {
+                return Some(resp);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            guard = self.slot.ready.wait_timeout(guard, left).unwrap().0;
+        }
+    }
+
     /// Non-blocking poll; `Some` once the batch carrying this request has
     /// been applied.
     pub fn try_wait(&self) -> Option<Response> {
-        self.slot.inner.lock().unwrap().take()
+        self.slot.inner.lock().unwrap().response.take()
     }
 }
 
-/// A request travelling the submission queue with its completion slot.
+/// A request travelling the submission queue with its completion slot, its
+/// (optional) deadline, and its slot in the bounded queue.
+///
+/// The `Drop` impl is the **exit guard**: an envelope that dies unanswered
+/// — the batcher panicked outside containment and unwinding dropped the
+/// batch and the queue — resolves its client to
+/// [`ServiceError::ServerGone`] instead of wedging [`Ticket::wait`]
+/// forever.  On the normal path the slot was already completed, so the
+/// guard is a no-op; either way the envelope releases the admission slot
+/// it holds in the bounded queue.
 #[derive(Debug)]
 pub(crate) struct Envelope {
     pub(crate) request: Request,
-    pub(crate) slot: Arc<ResponseSlot>,
+    slot: Arc<ResponseSlot>,
+    deadline: Option<Instant>,
+    depth: Option<Arc<AtomicUsize>>,
+}
+
+impl Envelope {
+    #[cfg(test)]
+    pub(crate) fn new(request: Request, slot: Arc<ResponseSlot>) -> Self {
+        Envelope {
+            request,
+            slot,
+            deadline: None,
+            depth: None,
+        }
+    }
+
+    pub(crate) fn with_admission(
+        request: Request,
+        slot: Arc<ResponseSlot>,
+        deadline: Option<Instant>,
+        depth: Arc<AtomicUsize>,
+    ) -> Self {
+        Envelope {
+            request,
+            slot,
+            deadline,
+            depth: Some(depth),
+        }
+    }
+
+    pub(crate) fn complete(&self, response: Response) {
+        self.slot.complete(response);
+    }
+
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| d <= now)
+    }
+}
+
+impl Drop for Envelope {
+    fn drop(&mut self) {
+        self.slot.complete(Err(ServiceError::ServerGone));
+        if let Some(depth) = &self.depth {
+            depth.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
 }
 
 /// Submission-queue message.
@@ -122,6 +238,8 @@ pub(crate) fn run_batcher(
 ) -> (ServiceState, ServiceStats) {
     let policy = policy.normalized();
     let mut stats = ServiceStats::default();
+    // Reused across batches: the pre-batch checkpoint buffer.
+    let mut ckpt = ServiceCheckpoint::default();
     'serve: loop {
         // Block for the batch's first request.
         let first = match rx.recv() {
@@ -150,7 +268,7 @@ pub(crate) fn run_batcher(
                 }
             }
         }
-        apply_and_complete(&mut state, &mut stats, batch);
+        apply_and_complete(&mut state, &mut stats, &mut ckpt, batch);
         if shutting_down {
             break 'serve;
         }
@@ -162,7 +280,12 @@ pub(crate) fn run_batcher(
             Ok(Msg::Submit(env)) => {
                 leftover.push(env);
                 if leftover.len() == policy.max_batch {
-                    apply_and_complete(&mut state, &mut stats, std::mem::take(&mut leftover));
+                    apply_and_complete(
+                        &mut state,
+                        &mut stats,
+                        &mut ckpt,
+                        std::mem::take(&mut leftover),
+                    );
                 }
             }
             Ok(Msg::Shutdown) => {}
@@ -170,28 +293,107 @@ pub(crate) fn run_batcher(
         }
     }
     if !leftover.is_empty() {
-        apply_and_complete(&mut state, &mut stats, leftover);
+        apply_and_complete(&mut state, &mut stats, &mut ckpt, leftover);
     }
     (state, stats)
 }
 
-/// Applies one batch under panic containment and completes every slot.
-fn apply_and_complete(state: &mut ServiceState, stats: &mut ServiceStats, batch: Vec<Envelope>) {
-    let requests: Vec<Request> = batch.iter().map(|env| env.request).collect();
+/// Applies one batch — checkpoint, apply under panic containment, roll
+/// back and bisect on panic — and completes every slot.
+fn apply_and_complete(
+    state: &mut ServiceState,
+    stats: &mut ServiceStats,
+    ckpt: &mut ServiceCheckpoint,
+    batch: Vec<Envelope>,
+) {
+    // An injected crash kills the batcher thread *outside* the containment
+    // below: it simulates abnormal server death, not a poisoned batch.
+    // Unwinding drops this batch's envelopes and (when the thread closure
+    // unwinds) the queue's — every exit guard answers `ServerGone`.
+    if batch
+        .iter()
+        .any(|env| env.request == Request::Fault(Fault::Crash))
+    {
+        panic!("qrqw-serve: injected batcher crash");
+    }
+    // Deadline admission: expired requests are answered without touching
+    // the machine and are not part of the applied trace.
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for env in batch {
+        if env.expired(now) {
+            stats.deadline_shed += 1;
+            env.complete(Err(ServiceError::DeadlineExceeded));
+        } else {
+            live.push(env);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let requests: Vec<Request> = live.iter().map(|env| env.request).collect();
+    // Checkpoint first: the rollback substrate that turns "may or may not
+    // have taken effect" into "definitely not".
+    let snap_start = Instant::now();
+    state.checkpoint_into(ckpt);
+    stats.snapshots += 1;
+    stats.snapshot_wall += snap_start.elapsed();
     match catch_unwind(AssertUnwindSafe(|| state.apply_batch(&requests))) {
         Ok((responses, cost)) => {
-            stats.record_batch(batch.len(), cost);
-            debug_assert_eq!(responses.len(), batch.len());
-            for (env, resp) in batch.into_iter().zip(responses) {
-                env.slot.complete(resp);
+            stats.record_batch(live.len(), cost);
+            debug_assert_eq!(responses.len(), live.len());
+            for (env, resp) in live.iter().zip(responses) {
+                env.complete(resp);
             }
         }
         Err(_) => {
+            let recovery_start = Instant::now();
             stats.panicked_batches += 1;
-            stats.batches += 1;
-            stats.requests += batch.len() as u64;
-            for env in batch {
-                env.slot.complete(Err(ServiceError::BatchPanicked));
+            state.restore(ckpt);
+            let mut responses = Vec::with_capacity(requests.len());
+            let mut cost = BatchCost::default();
+            isolate(state, stats, &requests, &mut responses, &mut cost);
+            debug_assert_eq!(responses.len(), live.len());
+            stats.record_batch(live.len(), cost);
+            stats.recovery_wall += recovery_start.elapsed();
+            for (env, resp) in live.iter().zip(responses) {
+                env.complete(resp);
+            }
+        }
+    }
+}
+
+/// Bisection replay.  Precondition: applying `requests` as one batch
+/// panicked, and the state has been rolled back to just before that
+/// attempt.  Splits the batch in submission order — trace determinism
+/// makes sub-batch replies identical to the original batch's
+/// would-have-been replies — recursing on any half that panics, until each
+/// poisoned request stands alone and is answered
+/// [`ServiceError::RequestPanicked`].  Every innocent request's response
+/// and effect are exactly those of the trace with the poison removed.
+fn isolate(
+    state: &mut ServiceState,
+    stats: &mut ServiceStats,
+    requests: &[Request],
+    responses: &mut Vec<Response>,
+    cost: &mut BatchCost,
+) {
+    if requests.len() == 1 {
+        stats.isolated_panics += 1;
+        responses.push(Err(ServiceError::RequestPanicked));
+        return;
+    }
+    let mid = requests.len() / 2;
+    for half in [&requests[..mid], &requests[mid..]] {
+        let ckpt = state.checkpoint();
+        match catch_unwind(AssertUnwindSafe(|| state.apply_batch(half))) {
+            Ok((resp, c)) => {
+                *cost += c;
+                responses.extend(resp);
+            }
+            Err(_) => {
+                state.restore(&ckpt);
+                isolate(state, stats, half, responses, cost);
             }
         }
     }
@@ -228,5 +430,77 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         completer.complete(Err(ServiceError::Injected));
         assert_eq!(t.join().unwrap(), Err(ServiceError::Injected));
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_still_receives() {
+        // Timeout-then-complete ordering: an expired wait does not consume
+        // or poison the slot; a later completion still reaches the client.
+        let slot = Arc::new(ResponseSlot::default());
+        let ticket = Ticket::new(Arc::clone(&slot));
+        let started = Instant::now();
+        assert_eq!(ticket.wait_timeout(Duration::from_millis(20)), None);
+        assert!(started.elapsed() >= Duration::from_millis(20));
+        slot.complete(Err(ServiceError::Injected));
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_secs(5)),
+            Some(Err(ServiceError::Injected))
+        );
+    }
+
+    #[test]
+    fn wait_timeout_returns_immediately_when_already_complete() {
+        // Complete-then-wait ordering: no blocking, even with a zero
+        // timeout.
+        let slot = Arc::new(ResponseSlot::default());
+        let ticket = Ticket::new(Arc::clone(&slot));
+        slot.complete(Err(ServiceError::Injected));
+        assert_eq!(
+            ticket.wait_timeout(Duration::ZERO),
+            Some(Err(ServiceError::Injected))
+        );
+        // Consumed: a second wait times out rather than double-delivering.
+        assert_eq!(ticket.wait_timeout(Duration::ZERO), None);
+    }
+
+    #[test]
+    fn dropped_envelope_answers_server_gone() {
+        let slot = Arc::new(ResponseSlot::default());
+        let ticket = Ticket::new(Arc::clone(&slot));
+        let env = Envelope::new(Request::TaskSteal, Arc::clone(&slot));
+        drop(env);
+        assert_eq!(ticket.wait(), Err(ServiceError::ServerGone));
+    }
+
+    #[test]
+    fn exit_guard_does_not_override_a_real_completion() {
+        let slot = Arc::new(ResponseSlot::default());
+        let ticket = Ticket::new(Arc::clone(&slot));
+        let env = Envelope::new(Request::TaskSteal, Arc::clone(&slot));
+        env.complete(Ok(crate::request::Reply::TaskStolen(None)));
+        // The client consumed the response *before* the envelope drops:
+        // the completed latch (not the value's presence) must block the
+        // guard from writing ServerGone into the empty slot.
+        assert_eq!(
+            ticket.try_wait(),
+            Some(Ok(crate::request::Reply::TaskStolen(None)))
+        );
+        drop(env);
+        assert_eq!(ticket.try_wait(), None);
+    }
+
+    #[test]
+    fn envelope_drop_releases_its_admission_slot() {
+        let depth = Arc::new(AtomicUsize::new(1));
+        let slot = Arc::new(ResponseSlot::default());
+        let env = Envelope::with_admission(
+            Request::TaskSteal,
+            Arc::clone(&slot),
+            None,
+            Arc::clone(&depth),
+        );
+        env.complete(Err(ServiceError::Injected));
+        drop(env);
+        assert_eq!(depth.load(Ordering::Acquire), 0);
     }
 }

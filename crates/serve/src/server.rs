@@ -6,11 +6,21 @@
 //! every already-submitted request is applied and answered — and returns
 //! the final [`ServiceState`] (so tests can digest it) plus the cumulative
 //! [`ServiceStats`].
+//!
+//! Admission control lives here, at the submit edge: the handle counts
+//! outstanding requests (submitted, envelope not yet dropped) against
+//! [`BatchPolicy::queue_max`] and sheds over-bound submits immediately
+//! with [`ServiceError::Overloaded`] — the shed request is never enqueued
+//! and definitely did not take effect.  Per-request deadlines
+//! ([`BatchPolicy::deadline`], or [`ServiceHandle::submit_with_deadline`])
+//! are stamped here and enforced by the batcher when it reaches the
+//! request.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use qrqw_exec::StepPool;
 
@@ -25,25 +35,65 @@ use crate::state::{ServiceConfig, ServiceState};
 pub struct ServiceHandle {
     tx: Sender<Msg>,
     closed: Arc<AtomicBool>,
+    /// Outstanding requests: incremented at admission, decremented by the
+    /// envelope's drop (whether answered, shed, or orphaned).
+    depth: Arc<AtomicUsize>,
+    /// Submits shed with [`ServiceError::Overloaded`]; folded into
+    /// [`ServiceStats::overload_shed`] at shutdown.
+    shed: Arc<AtomicU64>,
+    queue_max: usize,
+    deadline: Option<Duration>,
 }
 
 impl ServiceHandle {
     /// Submits one request; returns immediately with a [`Ticket`] for the
-    /// response.  After shutdown the ticket resolves at once to
-    /// [`ServiceError::ShuttingDown`].
+    /// response.  The policy's default deadline (if any) applies.  After
+    /// shutdown the ticket resolves at once to
+    /// [`ServiceError::ShuttingDown`]; past the queue bound it resolves at
+    /// once to [`ServiceError::Overloaded`].
     pub fn submit(&self, request: Request) -> Ticket {
+        self.submit_inner(request, self.deadline)
+    }
+
+    /// Submits one request with an explicit deadline, overriding the
+    /// policy default.  If the batcher does not reach the request within
+    /// `timeout` of now, it is answered [`ServiceError::DeadlineExceeded`]
+    /// without touching the machine.
+    pub fn submit_with_deadline(&self, request: Request, timeout: Duration) -> Ticket {
+        self.submit_inner(request, Some(timeout))
+    }
+
+    fn submit_inner(&self, request: Request, timeout: Option<Duration>) -> Ticket {
         let slot = Arc::new(ResponseSlot::default());
         let ticket = Ticket::new(Arc::clone(&slot));
-        if self.closed.load(Ordering::Acquire)
-            || self
-                .tx
-                .send(Msg::Submit(Envelope {
-                    request,
-                    slot: Arc::clone(&slot),
-                }))
-                .is_err()
-        {
+        if self.closed.load(Ordering::Acquire) {
             slot.complete(Err(ServiceError::ShuttingDown));
+            return ticket;
+        }
+        // Claim an admission slot before enqueueing; the envelope's drop
+        // releases it, so "outstanding" spans queue + open batch +
+        // in-flight application.
+        if self.depth.fetch_add(1, Ordering::AcqRel) >= self.queue_max {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            slot.complete(Err(ServiceError::Overloaded));
+            return ticket;
+        }
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let env = Envelope::with_admission(
+            request,
+            Arc::clone(&slot),
+            deadline,
+            Arc::clone(&self.depth),
+        );
+        if let Err(send_err) = self.tx.send(Msg::Submit(env)) {
+            // Racing a shutdown: recover the envelope and answer
+            // ShuttingDown explicitly (its drop would otherwise claim
+            // ServerGone, which is for abnormal death).
+            let Msg::Submit(env) = send_err.0 else {
+                unreachable!("submit sent a non-Submit message")
+            };
+            env.complete(Err(ServiceError::ShuttingDown));
         }
         ticket
     }
@@ -51,6 +101,11 @@ impl ServiceHandle {
     /// Submits one request and blocks for its response.
     pub fn call(&self, request: Request) -> Response {
         self.submit(request).wait()
+    }
+
+    /// Requests currently outstanding (submitted, not yet resolved).
+    pub fn outstanding(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
     }
 }
 
@@ -71,6 +126,7 @@ impl Server {
 
     /// Spawns a server with an explicit machine dispatch policy.
     pub fn spawn_with_pool(config: ServiceConfig, policy: BatchPolicy, pool: StepPool) -> Server {
+        let policy = policy.normalized();
         let (tx, rx) = channel();
         let join = std::thread::Builder::new()
             .name("qrqw-serve-batcher".into())
@@ -80,6 +136,10 @@ impl Server {
             handle: ServiceHandle {
                 tx,
                 closed: Arc::new(AtomicBool::new(false)),
+                depth: Arc::new(AtomicUsize::new(0)),
+                shed: Arc::new(AtomicU64::new(0)),
+                queue_max: policy.queue_max,
+                deadline: policy.deadline,
             },
             join: Some(join),
         }
@@ -92,14 +152,23 @@ impl Server {
 
     /// Graceful shutdown: stop accepting, drain and answer everything
     /// already submitted, and return the final state and stats.
+    ///
+    /// # Panics
+    ///
+    /// If the batcher thread died abnormally (e.g. an injected
+    /// [`crate::request::Fault::Crash`]) — callers expecting that use
+    /// `drop` instead.
     pub fn shutdown(mut self) -> (ServiceState, ServiceStats) {
         self.handle.closed.store(true, Ordering::Release);
         let _ = self.handle.tx.send(Msg::Shutdown);
-        self.join
+        let (state, mut stats) = self
+            .join
             .take()
             .expect("server already shut down")
             .join()
-            .expect("batcher thread panicked outside a batch")
+            .expect("batcher thread panicked outside a batch");
+        stats.overload_shed = self.handle.shed.load(Ordering::Relaxed);
+        (state, stats)
     }
 }
 
@@ -150,9 +219,11 @@ mod tests {
             }),
             Ok(Reply::Counter(0))
         );
+        assert_eq!(h.outstanding(), 0);
         let (state, stats) = server.shutdown();
         assert_eq!(stats.requests, 3);
         assert!(stats.batches >= 1);
+        assert_eq!(stats.overload_shed, 0);
         assert_eq!(state.digest().hash_keys, vec![42]);
     }
 
@@ -206,5 +277,7 @@ mod tests {
             h.call(Request::HashInsert { key: 1 }),
             Err(ServiceError::ShuttingDown)
         );
+        // A post-shutdown submit holds no admission slot.
+        assert_eq!(h.outstanding(), 0);
     }
 }

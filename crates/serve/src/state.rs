@@ -42,7 +42,7 @@
 use std::collections::{BTreeMap, HashSet};
 
 use qrqw_core::{emulate_fetch_add_step, load_balance_qrqw};
-use qrqw_exec::{BatchCost, NativeMachine, PersistentMachine, StepPool};
+use qrqw_exec::{BatchCost, MachineSnapshot, NativeMachine, PersistentMachine, StepPool};
 use qrqw_sim::{ClaimMode, Machine, EMPTY};
 
 use crate::request::{Fault, Reply, Request, Response, ServiceError, MAX_KEY};
@@ -224,6 +224,26 @@ struct TaskPool {
     next_seq: u64,
 }
 
+/// A point-in-time checkpoint of a [`ServiceState`]: the machine snapshot
+/// plus every host-side table [`ServiceState::apply_batch`] mutates (hash
+/// geometry and mirror, task pool, sequence counter).
+///
+/// The batcher takes one before each batch; restoring it rolls the service
+/// back to exactly the pre-batch observable state (digest-identical), which
+/// is what lets a panicked batch be re-applied by bisection with no trace
+/// of the failed attempt.  `Default` is an empty checkpoint suitable only
+/// as a reusable buffer for [`ServiceState::checkpoint_into`].
+#[derive(Debug, Default)]
+pub struct ServiceCheckpoint {
+    machine: MachineSnapshot,
+    hash_base: usize,
+    hash_cap: usize,
+    hash_len: usize,
+    hash_mirror: HashSet<u64>,
+    pending: BTreeMap<u64, u64>,
+    next_seq: u64,
+}
+
 /// The live service state: persistent machine + workload structures.
 #[derive(Debug)]
 pub struct ServiceState {
@@ -360,6 +380,12 @@ impl ServiceState {
                 Request::Fault(Fault::Panic) => {
                     panic!("qrqw-serve: injected panic while decoding a batch")
                 }
+                Request::Fault(Fault::Crash) => {
+                    // The live batcher intercepts `Crash` before apply (it
+                    // kills the thread, not the batch); a direct caller
+                    // sees it as a decode panic like `Fault::Panic`.
+                    panic!("qrqw-serve: injected crash reached batch application")
+                }
             };
             routed.push(r);
         }
@@ -432,6 +458,41 @@ impl ServiceState {
             pending_tasks: self.tasks.pending.iter().map(|(&s, &p)| (s, p)).collect(),
             next_seq: self.tasks.next_seq,
         }
+    }
+
+    /// Captures a checkpoint into `ck`, reusing its buffers — the
+    /// allocation-light path the batcher uses before every batch.
+    pub fn checkpoint_into(&self, ck: &mut ServiceCheckpoint) {
+        self.pm.snapshot_into(&mut ck.machine);
+        ck.hash_base = self.hash.base;
+        ck.hash_cap = self.hash.cap;
+        ck.hash_len = self.hash.len;
+        ck.hash_mirror.clone_from(&self.hash.mirror);
+        ck.pending.clone_from(&self.tasks.pending);
+        ck.next_seq = self.tasks.next_seq;
+    }
+
+    /// Captures a fresh [`ServiceCheckpoint`] of the current state.
+    pub fn checkpoint(&self) -> ServiceCheckpoint {
+        let mut ck = ServiceCheckpoint::default();
+        self.checkpoint_into(&mut ck);
+        ck
+    }
+
+    /// Rolls the service back to `ck`: machine memory, allocator, step and
+    /// contention counters, hash geometry/mirror, and the task pool all
+    /// rewind, so the digest (and every subsequent reply) is exactly what
+    /// it was at checkpoint time.  Restoring a checkpoint taken from a
+    /// *different* service is a logic error (and panics if the machine
+    /// shapes disagree).
+    pub fn restore(&mut self, ck: &ServiceCheckpoint) {
+        self.pm.restore(&ck.machine);
+        self.hash.base = ck.hash_base;
+        self.hash.cap = ck.hash_cap;
+        self.hash.len = ck.hash_len;
+        self.hash.mirror.clone_from(&ck.hash_mirror);
+        self.tasks.pending.clone_from(&ck.pending);
+        self.tasks.next_seq = ck.next_seq;
     }
 
     /// Thread count of the underlying machine.
@@ -628,5 +689,79 @@ mod tests {
         let (resp, cost) = s.apply_batch(&[]);
         assert!(resp.is_empty());
         assert_eq!(cost.steps, 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_the_digest_across_hash_growth() {
+        let mut s = state(); // hash cap 64: 200 inserts force doubling
+        let _ = s.apply_batch(&[
+            Request::HashInsert { key: 3 },
+            Request::CounterAdd {
+                counter: 1,
+                delta: 4,
+            },
+            Request::TaskSubmit { payload: 9 },
+        ]);
+        let before = s.digest();
+        let ck = s.checkpoint();
+        // Mutate everything the checkpoint must cover, including a table
+        // reserve (base/cap move, old region abandoned) and task churn.
+        let mut churn: Vec<Request> = (100..300).map(|k| Request::HashInsert { key: k }).collect();
+        churn.push(Request::CounterAdd {
+            counter: 1,
+            delta: 11,
+        });
+        churn.push(Request::TaskSteal);
+        churn.push(Request::TaskSubmit { payload: 10 });
+        let _ = s.apply_batch(&churn);
+        assert_ne!(s.digest(), before);
+        s.restore(&ck);
+        assert_eq!(s.digest(), before, "restore must be digest-identical");
+        // The restored state still serves correctly: replay a subset and
+        // get the same replies a never-diverged state would give.
+        let (resp, _) = s.apply_batch(&[
+            Request::HashLookup { key: 3 },
+            Request::HashLookup { key: 100 },
+            Request::CounterRead { counter: 1 },
+            Request::TaskSteal,
+        ]);
+        assert_eq!(resp[0], Ok(Reply::Found(true)));
+        assert_eq!(resp[1], Ok(Reply::Found(false)), "rolled-back key is gone");
+        assert_eq!(resp[2], Ok(Reply::Counter(4)));
+        assert_eq!(resp[3], Ok(Reply::TaskStolen(Some((0, 9)))));
+    }
+
+    #[test]
+    fn restore_after_a_caught_panic_erases_partial_host_mutations() {
+        // Fault::Panic fires during the decode walk, *after* earlier
+        // requests in the batch have already mutated host-side task state —
+        // exactly the torn half-applied state the checkpoint must erase.
+        let mut s = state();
+        let ck = s.checkpoint();
+        let torn = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.apply_batch(&[
+                Request::TaskSubmit { payload: 5 },
+                Request::Fault(Fault::Panic),
+            ])
+        }));
+        assert!(torn.is_err());
+        assert_eq!(s.pending_tasks(), 1, "decode mutated before the panic");
+        s.restore(&ck);
+        assert_eq!(s.pending_tasks(), 0);
+        // Replaying only the innocent request now observes a clean trace.
+        let (resp, _) = s.apply_batch(&[Request::TaskSubmit { payload: 5 }]);
+        assert_eq!(resp[0], Ok(Reply::TaskQueued(0)), "seq counter rewound");
+    }
+
+    #[test]
+    fn checkpoint_into_reuses_buffers() {
+        let mut s = state();
+        let _ = s.apply_batch(&[Request::HashInsert { key: 1 }]);
+        let mut ck = ServiceCheckpoint::default();
+        s.checkpoint_into(&mut ck);
+        let _ = s.apply_batch(&[Request::HashInsert { key: 2 }]);
+        s.checkpoint_into(&mut ck);
+        s.restore(&ck);
+        assert_eq!(s.digest().hash_keys, vec![1, 2]);
     }
 }

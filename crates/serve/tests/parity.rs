@@ -125,6 +125,72 @@ fn thread_count_does_not_change_observables() {
 }
 
 #[test]
+fn recovery_parity_after_injected_panics_at_random_positions() {
+    // The recovery-parity property: sprinkle `Fault::Panic` requests into a
+    // mixed trace at seeded-random positions, drain it through live servers
+    // across batch caps × thread counts, and the observables must equal the
+    // oneshot application of the trace **with the panics removed** — bit
+    // for bit in the counter region.  Rollback + bisection replay must make
+    // a poisoned request literally indistinguishable from one that was
+    // never submitted (apart from its own `RequestPanicked` reply).
+    let mut requests = trace(500, 99);
+    let mut rng = SmallRng::seed_from_u64(1234);
+    let mut panic_at = std::collections::BTreeSet::new();
+    while panic_at.len() < 12 {
+        panic_at.insert(rng.gen_range(0..requests.len()));
+    }
+    for &i in &panic_at {
+        requests[i] = Request::Fault(Fault::Panic);
+    }
+    let innocent: Vec<Request> = requests
+        .iter()
+        .copied()
+        .filter(|r| *r != Request::Fault(Fault::Panic))
+        .collect();
+    let (want_resp, want_digest) = oneshot(&innocent, 2);
+    for threads in [1usize, 2] {
+        for batch_max in [1usize, 7, 64, 600] {
+            let server = Server::spawn_with_pool(
+                config(),
+                BatchPolicy::with_max_batch(batch_max).linger(Duration::from_micros(50)),
+                StepPool::with_threads(threads),
+            );
+            let handle = server.handle();
+            let tickets: Vec<_> = requests.iter().map(|&r| handle.submit(r)).collect();
+            let responses: Vec<Response> = tickets.into_iter().map(|t| t.wait()).collect();
+            let (state, stats) = server.shutdown();
+            // Exactly the injected panics were isolated; nothing else.
+            assert_eq!(
+                stats.isolated_panics,
+                panic_at.len() as u64,
+                "batch_max={batch_max} threads={threads}"
+            );
+            let mut innocent_resp = Vec::with_capacity(innocent.len());
+            for (i, resp) in responses.into_iter().enumerate() {
+                if panic_at.contains(&i) {
+                    assert_eq!(
+                        resp,
+                        Err(qrqw_serve::ServiceError::RequestPanicked),
+                        "panic at {i} got a non-panic reply (batch_max={batch_max})"
+                    );
+                } else {
+                    innocent_resp.push(resp);
+                }
+            }
+            assert_eq!(
+                innocent_resp, want_resp,
+                "innocent responses diverged at batch_max={batch_max} threads={threads}"
+            );
+            assert_eq!(
+                state.digest(),
+                want_digest,
+                "digest diverged at batch_max={batch_max} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
 fn counter_region_is_bit_identical_including_untouched_cells() {
     // Only counters 0 and 2 are touched: 1 and 3..8 must still read as the
     // machine's EMPTY in *both* digests — the raw-dump comparison is what

@@ -1,0 +1,199 @@
+//! Fault-tolerance integration tests: abnormal batcher death, admission
+//! control (queue bound + deadlines), and the ticket timeout API — the
+//! paths `tests/shutdown.rs` (graceful) and `tests/parity.rs`
+//! (determinism) do not cover.
+
+use std::time::Duration;
+
+use qrqw_exec::StepPool;
+use qrqw_serve::{BatchPolicy, Fault, Reply, Request, Server, ServiceConfig, ServiceError};
+
+fn spawn(policy: BatchPolicy) -> Server {
+    Server::spawn_with_pool(
+        ServiceConfig {
+            seed: 11,
+            num_counters: 4,
+            task_procs: 4,
+            hash_capacity: 64,
+        },
+        policy,
+        StepPool::with_threads(2),
+    )
+}
+
+/// Generous bound for waits that must complete: long enough for any CI
+/// machine, short enough that a wedged ticket fails the test rather than
+/// hanging it.
+const WEDGE: Duration = Duration::from_secs(30);
+
+#[test]
+fn a_crashed_batcher_answers_every_outstanding_ticket() {
+    // A large batch cap and a long linger: the crash request and all its
+    // companions ride one open batch, and more requests queue behind it,
+    // so the batcher dies holding as much outstanding work as possible.
+    let server = spawn(BatchPolicy::with_max_batch(64).linger(Duration::from_millis(300)));
+    let handle = server.handle();
+    let mut tickets = Vec::new();
+    for key in 0..10u64 {
+        tickets.push(handle.submit(Request::HashInsert { key }));
+    }
+    let crash = handle.submit(Request::Fault(Fault::Crash));
+    for key in 10..20u64 {
+        tickets.push(handle.submit(Request::HashInsert { key }));
+    }
+    // The thread dies abnormally; shutdown() would propagate the panic, so
+    // drop the server (its Drop ignores the join error).
+    drop(server);
+    // The crash request always rides the dying batch: it must resolve to
+    // the exit guard's answer, never wedge.
+    assert_eq!(
+        crash.wait_timeout(WEDGE),
+        Some(Err(ServiceError::ServerGone)),
+        "the crash ticket wedged or got a bogus reply"
+    );
+    // Every other ticket must resolve too — no client wedges on the dead
+    // server.  (A ticket whose batch raced ahead of the crash may hold a
+    // real reply; everything else is answered by an exit guard.)
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let resp = ticket
+            .wait_timeout(WEDGE)
+            .unwrap_or_else(|| panic!("ticket {i} wedged on the crashed batcher"));
+        assert!(
+            matches!(
+                resp,
+                Ok(Reply::Inserted(_))
+                    | Err(ServiceError::ServerGone)
+                    | Err(ServiceError::ShuttingDown)
+            ),
+            "ticket {i} got {resp:?} from a crashed server"
+        );
+    }
+    // Late submits resolve immediately too.
+    assert!(matches!(
+        handle.call(Request::TaskSteal),
+        Err(ServiceError::ServerGone) | Err(ServiceError::ShuttingDown)
+    ));
+}
+
+#[test]
+fn the_queue_bound_sheds_submits_past_the_limit() {
+    // queue_max 2 with a long linger: the batcher parks the first request
+    // in its open batch (still outstanding — the envelope lives until
+    // application), so the 3rd..6th submits all find the queue full.
+    let server = spawn(
+        BatchPolicy::with_max_batch(100)
+            .linger(Duration::from_millis(500))
+            .queue_max(2),
+    );
+    let handle = server.handle();
+    let admitted: Vec<_> = (0..2u64)
+        .map(|key| handle.submit(Request::HashInsert { key }))
+        .collect();
+    let mut shed = Vec::new();
+    for key in 2..6u64 {
+        shed.push(handle.submit(Request::HashInsert { key }));
+    }
+    for (i, ticket) in shed.into_iter().enumerate() {
+        assert_eq!(
+            ticket.wait_timeout(WEDGE),
+            Some(Err(ServiceError::Overloaded)),
+            "over-bound submit {i} was not shed"
+        );
+    }
+    for ticket in admitted {
+        assert_eq!(ticket.wait_timeout(WEDGE), Some(Ok(Reply::Inserted(true))));
+    }
+    let (state, stats) = server.shutdown();
+    assert_eq!(stats.overload_shed, 4);
+    assert_eq!(stats.requests, 2);
+    // Shed requests definitely did not take effect.
+    assert_eq!(state.digest().hash_keys, vec![0, 1]);
+}
+
+#[test]
+fn an_expired_deadline_is_answered_without_touching_the_machine() {
+    // A long linger so the deadline (zero) is guaranteed stale by the time
+    // the batcher applies the batch.
+    let server = spawn(BatchPolicy::with_max_batch(8).linger(Duration::from_millis(50)));
+    let handle = server.handle();
+    let expired = handle.submit_with_deadline(Request::HashInsert { key: 1 }, Duration::ZERO);
+    let fresh = handle.submit_with_deadline(Request::HashInsert { key: 2 }, WEDGE);
+    let unbounded = handle.submit(Request::HashInsert { key: 3 });
+    assert_eq!(
+        expired.wait_timeout(WEDGE),
+        Some(Err(ServiceError::DeadlineExceeded))
+    );
+    assert_eq!(fresh.wait_timeout(WEDGE), Some(Ok(Reply::Inserted(true))));
+    assert_eq!(
+        unbounded.wait_timeout(WEDGE),
+        Some(Ok(Reply::Inserted(true)))
+    );
+    let (state, stats) = server.shutdown();
+    assert_eq!(stats.deadline_shed, 1);
+    // Only the undecayed requests reached the machine: the expired
+    // insert's key is absent from the digest.
+    assert_eq!(state.digest().hash_keys, vec![2, 3]);
+    assert_eq!(stats.requests, 2);
+}
+
+#[test]
+fn a_default_deadline_from_the_policy_applies_to_plain_submits() {
+    // Policy-level deadline of zero microseconds is rejected by from_env,
+    // but the builder allows it — and it expires every plain submit, which
+    // is exactly what this test wants to observe deterministically.
+    let server = spawn(
+        BatchPolicy::with_max_batch(8)
+            .linger(Duration::from_millis(20))
+            .deadline(Duration::ZERO),
+    );
+    let handle = server.handle();
+    assert_eq!(
+        handle.call(Request::HashInsert { key: 9 }),
+        Err(ServiceError::DeadlineExceeded)
+    );
+    // An explicit per-request deadline overrides the policy default.
+    let t = handle.submit_with_deadline(Request::HashInsert { key: 9 }, WEDGE);
+    assert_eq!(t.wait_timeout(WEDGE), Some(Ok(Reply::Inserted(true))));
+    let (state, stats) = server.shutdown();
+    assert_eq!(stats.deadline_shed, 1);
+    assert_eq!(state.digest().hash_keys, vec![9]);
+}
+
+#[test]
+fn wait_timeout_expires_while_the_batch_lingers_then_delivers() {
+    // The batch lingers far longer than the client's patience: the first
+    // wait times out, the ticket stays live, and a later wait delivers the
+    // real response once the batch closes.
+    let server = spawn(BatchPolicy::with_max_batch(100).linger(Duration::from_millis(200)));
+    let handle = server.handle();
+    let ticket = handle.submit(Request::CounterAdd {
+        counter: 0,
+        delta: 5,
+    });
+    assert_eq!(ticket.wait_timeout(Duration::from_millis(10)), None);
+    assert_eq!(ticket.wait_timeout(WEDGE), Some(Ok(Reply::Counter(0))));
+    let (state, _) = server.shutdown();
+    assert_eq!(state.digest().counters[0], 5);
+}
+
+#[test]
+fn recovery_keeps_serving_after_repeated_poisonings() {
+    // Several poisoned batches in sequence: each is rolled back, bisected,
+    // and the server keeps answering with correct state throughout.
+    let server = spawn(BatchPolicy::with_max_batch(4).linger(Duration::from_millis(10)));
+    let handle = server.handle();
+    let mut expected_keys = Vec::new();
+    for round in 0..3u64 {
+        let key = 100 + round;
+        let a = handle.submit(Request::HashInsert { key });
+        let p = handle.submit(Request::Fault(Fault::Panic));
+        assert_eq!(a.wait(), Ok(Reply::Inserted(true)));
+        assert_eq!(p.wait(), Err(ServiceError::RequestPanicked));
+        expected_keys.push(key);
+    }
+    let (state, stats) = server.shutdown();
+    assert_eq!(stats.isolated_panics, 3);
+    assert!(stats.panicked_batches >= 3);
+    assert!(stats.snapshots >= stats.batches);
+    assert_eq!(state.digest().hash_keys, expected_keys);
+}

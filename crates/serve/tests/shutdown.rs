@@ -58,7 +58,7 @@ fn an_injected_error_fails_only_its_own_request() {
 }
 
 #[test]
-fn a_poisoned_batch_fails_whole_but_the_server_keeps_serving() {
+fn a_poisoned_batch_fails_only_the_poison_and_the_server_keeps_serving() {
     let server = spawn(8, Duration::from_millis(20));
     let handle = server.handle();
     let a = handle.submit(Request::HashInsert { key: 5 });
@@ -67,10 +67,11 @@ fn a_poisoned_batch_fails_whole_but_the_server_keeps_serving() {
         counter: 0,
         delta: 1,
     });
-    // The whole batch is answered with the explicit panic error...
-    assert_eq!(a.wait(), Err(ServiceError::BatchPanicked));
-    assert_eq!(b.wait(), Err(ServiceError::BatchPanicked));
-    assert_eq!(c.wait(), Err(ServiceError::BatchPanicked));
+    // The batch is rolled back and re-applied by bisection: only the
+    // poison fails, its batch-mates get their real answers...
+    assert_eq!(a.wait(), Ok(Reply::Inserted(true)));
+    assert_eq!(b.wait(), Err(ServiceError::RequestPanicked));
+    assert_eq!(c.wait(), Ok(Reply::Counter(0)));
     // ...and the batcher is alive and consistent afterwards.
     assert_eq!(
         handle.call(Request::HashInsert { key: 7 }),
@@ -78,11 +79,11 @@ fn a_poisoned_batch_fails_whole_but_the_server_keeps_serving() {
     );
     let (state, stats) = server.shutdown();
     assert_eq!(stats.panicked_batches, 1);
+    assert_eq!(stats.isolated_panics, 1);
     let digest = state.digest();
-    // The panic fired during decode, before any machine mutation: key 5
-    // never reached the table, and the counter was never touched.
-    assert_eq!(digest.hash_keys, vec![7]);
-    assert_eq!(digest.counters[0], qrqw_sim::EMPTY);
+    // The innocents' effects survive; the panicked request's do not.
+    assert_eq!(digest.hash_keys, vec![5, 7]);
+    assert_eq!(digest.counters[0], 1);
 }
 
 #[test]
@@ -124,26 +125,23 @@ fn a_panic_during_the_drain_does_not_stop_the_drain() {
     for key in 5..10u64 {
         tickets.push(handle.submit(Request::HashInsert { key }));
     }
-    let (_, stats) = server.shutdown();
+    let (state, stats) = server.shutdown();
     let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
     // Every ticket resolved: the drain survived the poisoned batch.
     assert_eq!(responses.len(), 11);
     assert!(stats.panicked_batches >= 1);
+    assert_eq!(stats.isolated_panics, 1);
     let ok = responses
         .iter()
         .filter(|r| **r == Ok(Reply::Inserted(true)))
         .count();
     let poisoned = responses
         .iter()
-        .filter(|r| **r == Err(ServiceError::BatchPanicked))
+        .filter(|r| **r == Err(ServiceError::RequestPanicked))
         .count();
-    assert_eq!(
-        ok + poisoned,
-        11,
-        "unexpected response kinds: {responses:?}"
-    );
-    assert!(poisoned >= 1, "the poison batch must have failed");
-    // The poisoned batch holds at most 3 requests, one of them the fault
-    // itself, so at most 2 of the 10 inserts can have been lost to it.
-    assert!(ok >= 8, "too many inserts failed: {responses:?}");
+    // Bisection replay isolates the fault exactly: all 10 inserts succeed,
+    // only the poison itself fails.
+    assert_eq!(ok, 10, "an innocent insert was lost: {responses:?}");
+    assert_eq!(poisoned, 1, "only the poison may fail: {responses:?}");
+    assert_eq!(state.digest().hash_keys, (0..10).collect::<Vec<u64>>());
 }
