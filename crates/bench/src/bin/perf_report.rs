@@ -14,7 +14,7 @@
 //! cargo run -p qrqw-bench --release --bin perf_report -- \
 //!     [--backend sim,native,native-steal,bsp|all] [--schedule chunked,stealing|all] \
 //!     [--sizes 65536,1048576] [--algos all|name,name] [--seed 1] [--threads N] \
-//!     [--sim-cap N] [--bsp-cap N] [--out BENCH_native.json] [--append]
+//!     [--sim-cap N] [--bsp-cap N] [--fuse-compare] [--out BENCH_native.json] [--append]
 //! ```
 //!
 //! * `--backend` (alias `--backends`) selects which backends run
@@ -36,6 +36,20 @@
 //!   old and new).  That is what makes a huge-n sweep affordable on a
 //!   small box — the expensive sizes are added column by column across
 //!   invocations, and the committed artifact stays one file;
+//! * `--fuse-compare` additionally times each native column with fused
+//!   multi-pass dispatch disabled (`StepPool::with_fused(false)`), pinning
+//!   the main columns to the fused path regardless of `QRQW_FUSE`; the row
+//!   and the JSON then carry `native_unfused_wall_ms` /
+//!   `native_steal_unfused_wall_ms` and the `fused_speedup_*` ratios
+//!   (> 1 ⇒ fusion won).  Every A/B arm is timed best-of-3 with the arms
+//!   interleaved — the runs are bit-identical, so the minimum wall
+//!   isolates dispatch cost from host scheduler jitter, and interleaving
+//!   keeps slow host drift from biasing one arm;
+//! * whenever the simulator and a native column both ran, the **step-drift
+//!   guard** requires the native machine's executed step count and
+//!   contention total to equal the simulator's charge exactly — any drift
+//!   marks the run invalid (non-zero exit), because it means the native
+//!   hot path stopped executing the charged QRQW trajectory;
 //! * the exit code is non-zero if **any** run fails its validator — for
 //!   BSP runs that includes the Theorem 1.1 conformance check
 //!   `measured_cost ≤ the simulator's independently traced QRQW time`,
@@ -74,6 +88,7 @@ struct Config {
     threads: Option<usize>,
     sim_cap: usize,
     bsp_cap: usize,
+    fuse_compare: bool,
     out: String,
     append: bool,
 }
@@ -84,7 +99,7 @@ fn usage(msg: &str) -> ! {
         "usage: perf_report [--backend sim,native,native-steal,bsp|all] \
          [--schedule chunked,stealing|all] [--sizes N,N] \
          [--algos all|name,name] [--seed S] [--threads T] [--sim-cap N] \
-         [--bsp-cap N] [--json-out PATH] [--append]"
+         [--bsp-cap N] [--fuse-compare] [--json-out PATH] [--append]"
     );
     std::process::exit(2);
 }
@@ -137,6 +152,7 @@ fn parse_args() -> Config {
         threads: None,
         sim_cap: usize::MAX,
         bsp_cap: 1 << 17,
+        fuse_compare: false,
         out: "BENCH_native.json".to_string(),
         append: false,
     };
@@ -185,6 +201,7 @@ fn parse_args() -> Config {
             }
             "--sim-cap" => cfg.sim_cap = value().parse().unwrap_or_else(|_| usage("bad --sim-cap")),
             "--bsp-cap" => cfg.bsp_cap = value().parse().unwrap_or_else(|_| usage("bad --bsp-cap")),
+            "--fuse-compare" => cfg.fuse_compare = true,
             "--out" | "--json-out" => cfg.out = value(),
             "--append" => cfg.append = true,
             other => usage(&format!("unknown flag {other:?}")),
@@ -365,10 +382,64 @@ fn main() {
             // when QRQW_SCHEDULE=stealing is set in the environment (the
             // env-following run_native would then run stolen chunks in the
             // "native" column too).
-            let native = wants(Backend::Native)
-                .then(|| algo.run_native_with(n, cfg.seed, cfg.threads, Schedule::Chunked));
-            let steal = wants(Backend::NativeSteal)
-                .then(|| algo.run_native_steal(n, cfg.seed, cfg.threads));
+            // Under --fuse-compare the pool is built explicitly so both
+            // arms are pinned (fused vs. unfused) no matter what QRQW_FUSE
+            // says; otherwise the env-following constructors decide.
+            let pinned_pool = |schedule: Schedule, fused: bool| {
+                match cfg.threads {
+                    Some(t) => qrqw_exec::StepPool::with_threads(t),
+                    None => qrqw_exec::StepPool::from_env(),
+                }
+                .with_schedule(schedule)
+                .with_fused(fused)
+            };
+            // Each A/B arm is measured best-of-3 with the arms interleaved
+            // (F U F U F U): the runs are bit-identical (outputs, steps,
+            // contention), so the minimum wall is the cleanest estimate of
+            // the dispatch cost — scheduler jitter on a shared host only
+            // ever adds time — and interleaving makes host drift (CPU
+            // frequency, cache and allocator state after the long sim run
+            // just above) bias both minima equally, where back-to-back
+            // blocks would hand whichever arm runs second a warmed process.
+            let ab_best = |schedule: Schedule| {
+                let mut best: [Option<BackendRun>; 2] = [None, None];
+                for _ in 0..3 {
+                    for (slot, fused) in [(0, true), (1, false)] {
+                        let r = algo.run_native_pool(n, cfg.seed, pinned_pool(schedule, fused));
+                        if best[slot].as_ref().is_none_or(|b| r.elapsed < b.elapsed) {
+                            best[slot] = Some(r);
+                        }
+                    }
+                }
+                let [fused, unfused] = best;
+                (
+                    fused.expect("ab_best ran the fused arm"),
+                    unfused.expect("ab_best ran the unfused arm"),
+                )
+            };
+            let (native, native_unfused) = if wants(Backend::Native) {
+                if cfg.fuse_compare {
+                    let (f, u) = ab_best(Schedule::Chunked);
+                    (Some(f), Some(u))
+                } else {
+                    (
+                        Some(algo.run_native_with(n, cfg.seed, cfg.threads, Schedule::Chunked)),
+                        None,
+                    )
+                }
+            } else {
+                (None, None)
+            };
+            let (steal, steal_unfused) = if wants(Backend::NativeSteal) {
+                if cfg.fuse_compare {
+                    let (f, u) = ab_best(Schedule::Stealing);
+                    (Some(f), Some(u))
+                } else {
+                    (Some(algo.run_native_steal(n, cfg.seed, cfg.threads)), None)
+                }
+            } else {
+                (None, None)
+            };
             let bsp = (wants(Backend::Bsp) && n <= cfg.bsp_cap)
                 .then(|| algo.run_bsp(n, cfg.seed, cfg.threads));
             if wants(Backend::Bsp) && n > cfg.bsp_cap {
@@ -403,11 +474,41 @@ fn main() {
                 }
                 _ => true,
             };
+            // Step-drift guard: a native machine executes the exact charged
+            // step sequence of the simulator's trajectory, so whenever both
+            // ran, any difference in executed steps or contention totals
+            // means the native hot path has drifted off the QRQW charge —
+            // fail the run, don't average it into a green report.
+            let no_drift = |column: &str, run: &Option<BackendRun>| match (&sim, run) {
+                (Some(s), Some(r)) => {
+                    let ok = r.report.steps == s.report.steps
+                        && r.report.contended_claims == s.report.contended_claims;
+                    if !ok {
+                        eprintln!(
+                            "perf_report: {} n={n}: {column} executed (steps {}, contention {}) \
+                             but the simulator charged (steps {}, contention {})",
+                            algo.name(),
+                            r.report.steps,
+                            r.report.contended_claims,
+                            s.report.steps,
+                            s.report.contended_claims,
+                        );
+                    }
+                    ok
+                }
+                _ => true,
+            };
             let sim_ok = sim.as_ref().is_none_or(|r| r.valid);
-            let native_ok = native.as_ref().is_none_or(|r| r.valid);
-            let steal_ok = steal.as_ref().is_none_or(|r| r.valid);
+            let native_ok = native.as_ref().is_none_or(|r| r.valid) && no_drift("native", &native);
+            let steal_ok =
+                steal.as_ref().is_none_or(|r| r.valid) && no_drift("native-steal", &steal);
+            let native_unfused_ok = native_unfused.as_ref().is_none_or(|r| r.valid)
+                && no_drift("native (unfused)", &native_unfused);
+            let steal_unfused_ok = steal_unfused.as_ref().is_none_or(|r| r.valid)
+                && no_drift("native-steal (unfused)", &steal_unfused);
             let bsp_ok = bsp.as_ref().is_none_or(|r| r.valid) && cross_ok;
-            all_valid &= sim_ok && native_ok && steal_ok && bsp_ok;
+            all_valid &=
+                sim_ok && native_ok && steal_ok && native_unfused_ok && steal_unfused_ok && bsp_ok;
             let ratio = match (&sim, &native) {
                 (Some(s), Some(nat)) => {
                     Some(s.elapsed.as_secs_f64() / nat.elapsed.as_secs_f64().max(f64::EPSILON))
@@ -437,9 +538,30 @@ fn main() {
                 }
                 None => "-".to_string(),
             };
-            let valid = sim_ok && native_ok && steal_ok && bsp_ok;
+            // Unfused wall over fused wall: > 1 means fusion won.
+            let fuse_speedup =
+                |fused: &Option<BackendRun>, unfused: &Option<BackendRun>| match (fused, unfused) {
+                    (Some(f), Some(u)) => {
+                        Some(u.elapsed.as_secs_f64() / f.elapsed.as_secs_f64().max(f64::EPSILON))
+                    }
+                    _ => None,
+                };
+            let native_speedup = fuse_speedup(&native, &native_unfused);
+            let steal_speedup = fuse_speedup(&steal, &steal_unfused);
+            let fuse_str = if cfg.fuse_compare {
+                let fmt = |s: Option<f64>| s.map_or("-".to_string(), |r| format!("{r:.2}x"));
+                format!(
+                    "  fuse speedup native {} steal {}",
+                    fmt(native_speedup),
+                    fmt(steal_speedup)
+                )
+            } else {
+                String::new()
+            };
+            let valid =
+                sim_ok && native_ok && steal_ok && native_unfused_ok && steal_unfused_ok && bsp_ok;
             println!(
-                "{:<26} n={:<8} native {} ms  steal {} ms  chunked/steal {}  sim {} ms  sim/native {}  bsp {}  valid={}",
+                "{:<26} n={:<8} native {} ms  steal {} ms  chunked/steal {}  sim {} ms  sim/native {}  bsp {}  valid={}{}",
                 algo.name(),
                 n,
                 ms(&native),
@@ -449,11 +571,12 @@ fn main() {
                 ratio_str,
                 bsp_str,
                 valid,
+                fuse_str,
             );
             let opt_json = |r: &Option<BackendRun>, ok: bool| {
                 r.as_ref().map_or(Json::Null, |r| json_run(r, ok))
             };
-            entries.push(Json::obj(vec![
+            let mut fields = vec![
                 ("algorithm", Json::str(algo.name())),
                 ("n", Json::Int(n as u64)),
                 ("native", opt_json(&native, native_ok)),
@@ -468,7 +591,24 @@ fn main() {
                     "chunked_over_stealing",
                     sched_ratio.map_or(Json::Null, |r| Json::float(r, 3)),
                 ),
-            ]));
+            ];
+            if cfg.fuse_compare {
+                let wall = |r: &Option<BackendRun>| match r {
+                    Some(r) => Json::float(r.elapsed.as_secs_f64() * 1e3, 3),
+                    None => Json::Null,
+                };
+                fields.push(("native_unfused_wall_ms", wall(&native_unfused)));
+                fields.push(("native_steal_unfused_wall_ms", wall(&steal_unfused)));
+                fields.push((
+                    "fused_speedup_native",
+                    native_speedup.map_or(Json::Null, |r| Json::float(r, 3)),
+                ));
+                fields.push((
+                    "fused_speedup_steal",
+                    steal_speedup.map_or(Json::Null, |r| Json::float(r, 3)),
+                ));
+            }
+            entries.push(Json::obj(fields));
         }
     }
 

@@ -232,8 +232,15 @@ impl ChaosSummary {
             ("mean_recovery_us", us(self.stats.mean_recovery())),
             ("goodput_per_s", Json::float(self.goodput_per_s(), 1)),
             (
+                // None (no completed request recorded a latency) renders
+                // as JSON null via the non-finite float rule.
                 "p99_us",
-                Json::float(self.latency.value_at_quantile(0.99) as f64 / 1e3, 3),
+                Json::float(
+                    self.latency
+                        .value_at_quantile(0.99)
+                        .map_or(f64::NAN, |v| v as f64 / 1e3),
+                    3,
+                ),
             ),
             ("wall_ms", Json::float(self.wall.as_secs_f64() * 1e3, 3)),
             ("valid", Json::Bool(self.valid())),

@@ -324,7 +324,16 @@ impl RunSummary {
 
     /// The run as one `BENCH_service.json` entry.
     pub fn to_json(&self) -> Json {
-        let us = |q: f64| Json::float(self.latency.value_at_quantile(q) as f64 / 1e3, 3);
+        // None (an empty run recorded no latencies) renders as JSON null
+        // via the non-finite float rule, never as a fabricated 0.
+        let us = |q: f64| {
+            Json::float(
+                self.latency
+                    .value_at_quantile(q)
+                    .map_or(f64::NAN, |v| v as f64 / 1e3),
+                3,
+            )
+        };
         Json::obj(vec![
             ("workload", Json::str(self.workload)),
             ("key_dist", Json::str(self.key_dist)),
@@ -365,9 +374,15 @@ impl RunSummary {
             self.key_dist,
             self.batch_max,
             self.req_per_s(),
-            self.latency.value_at_quantile(0.50) as f64 / 1e3,
-            self.latency.value_at_quantile(0.99) as f64 / 1e3,
-            self.latency.value_at_quantile(0.999) as f64 / 1e3,
+            self.latency
+                .value_at_quantile(0.50)
+                .map_or(f64::NAN, |v| v as f64 / 1e3),
+            self.latency
+                .value_at_quantile(0.99)
+                .map_or(f64::NAN, |v| v as f64 / 1e3),
+            self.latency
+                .value_at_quantile(0.999)
+                .map_or(f64::NAN, |v| v as f64 / 1e3),
             self.stats.mean_batch(),
             self.stats.contention_per_batch(),
             self.valid(),

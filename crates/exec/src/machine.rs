@@ -534,23 +534,26 @@ impl Machine for NativeMachine {
             }
         };
         // Two-pass parallel prefix: per-block totals into reused scratch, an
-        // exclusive scan of those totals on the host, then a parallel fill.
-        // Chunks are SCAN_BLOCK-aligned, so each block has one writer.
-        self.pool.dispatch(len, SCAN_BLOCK, |lo, hi| {
+        // exclusive scan of those totals, then a parallel fill.  Chunks are
+        // SCAN_BLOCK-aligned, so each block has one writer.
+        let sum_blocks = |lo: usize, hi: usize| {
             let mut i = lo;
             while i < hi {
                 let end = (i + SCAN_BLOCK).min(hi);
                 offsets[i / SCAN_BLOCK].store((i..end).map(val).sum(), Ordering::Relaxed);
                 i = end;
             }
-        });
-        let mut acc = 0u64;
-        for block in &offsets[..nblocks] {
-            let total = block.load(Ordering::Relaxed);
-            block.store(acc, Ordering::Relaxed);
-            acc += total;
-        }
-        self.pool.dispatch(len, SCAN_BLOCK, |lo, hi| {
+        };
+        let scan_blocks = || {
+            let mut acc = 0u64;
+            for block in &offsets[..nblocks] {
+                let total = block.load(Ordering::Relaxed);
+                block.store(acc, Ordering::Relaxed);
+                acc += total;
+            }
+            acc
+        };
+        let fill = |lo: usize, hi: usize| {
             let mut i = lo;
             while i < hi {
                 let end = (i + SCAN_BLOCK).min(hi);
@@ -561,7 +564,33 @@ impl Machine for NativeMachine {
                 }
                 i = end;
             }
-        });
+        };
+        let acc = if self.pool.fused() {
+            // One fused dispatch: block sums, then the serial exclusive
+            // scan of the block totals run by whichever participant owns
+            // the first chunk of the middle pass (the other chunks of that
+            // pass are no-ops — the barrier still separates it from the
+            // fill), then the fill.
+            let total = AtomicU64::new(0);
+            self.pool
+                .dispatch_fused(len, SCAN_BLOCK, 3, |pass, lo, hi| match pass {
+                    0 => sum_blocks(lo, hi),
+                    1 => {
+                        if lo == 0 {
+                            total.store(scan_blocks(), Ordering::Relaxed);
+                        }
+                    }
+                    _ => fill(lo, hi),
+                });
+            total.load(Ordering::Relaxed)
+        } else {
+            // Unfused baseline: two dispatches with the host scanning the
+            // block totals in between.
+            self.pool.dispatch(len, SCAN_BLOCK, sum_blocks);
+            let acc = scan_blocks();
+            self.pool.dispatch(len, SCAN_BLOCK, fill);
+            acc
+        };
         self.steps_executed += 1;
         acc
     }
@@ -608,6 +637,63 @@ impl Machine for NativeMachine {
         // later RNG coordinates in cross-backend lockstep.
         let nblocks = len.div_ceil(SCAN_BLOCK);
         ensure_words(&mut self.scratch.offsets, nblocks);
+        if self.pool.fused() && dst + len <= self.arena.len() {
+            // Fused route: the destination already fits (`count <= len`, so
+            // `dst + count` cannot outgrow the arena mid-group) — run
+            // flag-count, the serial block scan, and the gather as ONE
+            // fused dispatch.  `ensure_memory(dst + count)` would have been
+            // a pure no-op here: no growth, and `heap_top` is rolled back
+            // to `heap_mark` below exactly like the unfused route.
+            let arena = &self.arena;
+            let offsets = &self.scratch.offsets[..];
+            let count = AtomicU64::new(0);
+            self.pool
+                .dispatch_fused(len, SCAN_BLOCK, 3, |pass, lo, hi| match pass {
+                    0 => {
+                        let mut i = lo;
+                        while i < hi {
+                            let end = (i + SCAN_BLOCK).min(hi);
+                            let survivors = (i..end)
+                                .filter(|&j| arena.cell(src + j).load(Ordering::Relaxed) != EMPTY)
+                                .count() as u64;
+                            offsets[i / SCAN_BLOCK].store(survivors, Ordering::Relaxed);
+                            i = end;
+                        }
+                    }
+                    1 => {
+                        if lo == 0 {
+                            let mut acc = 0u64;
+                            for block in &offsets[..nblocks] {
+                                let total = block.load(Ordering::Relaxed);
+                                block.store(acc, Ordering::Relaxed);
+                                acc += total;
+                            }
+                            count.store(acc, Ordering::Relaxed);
+                        }
+                    }
+                    _ => {
+                        let mut i = lo;
+                        while i < hi {
+                            let end = (i + SCAN_BLOCK).min(hi);
+                            let mut rank = offsets[i / SCAN_BLOCK].load(Ordering::Relaxed) as usize;
+                            for j in i..end {
+                                let v = arena.cell(src + j).load(Ordering::Relaxed);
+                                if v != EMPTY {
+                                    // Global ranks are disjoint across blocks,
+                                    // so every destination cell has exactly one
+                                    // writer.
+                                    arena.cell(dst + rank).store(v, Ordering::Relaxed);
+                                    rank += 1;
+                                }
+                            }
+                            i = end;
+                        }
+                    }
+                });
+            self.heap_top = heap_mark;
+            self.steps_executed += 3;
+            return count.load(Ordering::Relaxed);
+        }
         {
             let arena = &self.arena;
             let offsets = &self.scratch.offsets[..];
@@ -685,8 +771,11 @@ impl Machine for NativeMachine {
 
         // Probe pass: all probes complete (barrier) before any CAS, so a
         // pre-occupied cell rejects every claim, matching the simulator's
-        // snapshot-read S1.
-        pool.dispatch(k, 64, |lo, hi| {
+        // snapshot-read S1.  The protocol's passes run as ONE fused pool
+        // dispatch: the inter-pass barrier inside `dispatch_fused` gives
+        // the same complete-before-next-pass guarantee as the separate
+        // dispatches did, at one worker wakeup for the whole protocol.
+        let probe = |lo: usize, hi: usize| {
             let mut i = lo;
             while i < hi {
                 let end = (i + 64).min(hi);
@@ -702,16 +791,20 @@ impl Machine for NativeMachine {
                 live[i / 64].store(bits, Ordering::Relaxed);
                 i = end;
             }
-        });
+        };
 
         match mode {
             ClaimMode::Occupy => {
-                // CAS pass, fused with success output and per-chunk
-                // contention bookkeeping: live claimants race for their
-                // cells, the CAS winner keeps the cell.
-                pool.dispatch(k, 64, |lo, hi| {
-                    let mut attempted = 0u64;
-                    let mut failed = 0u64;
+                // Second pass: deterministic arbitration.  Every live
+                // claimant `fetch_min`s its *claimant index* into the cell
+                // (EMPTY is `u64::MAX`, so the cell ends at the lowest live
+                // index) — the same winner the simulator's
+                // lowest-processor-id write arbitration picks.  A raw
+                // first-CAS-wins race here would make the winner depend on
+                // chunk execution order, which is exactly the
+                // schedule-dependent drift the perf_report step guard
+                // caught on the stealing dispatcher.
+                let bid = |lo: usize, hi: usize| {
                     let mut i = lo;
                     while i < hi {
                         let end = (i + 64).min(hi);
@@ -720,40 +813,84 @@ impl Machine for NativeMachine {
                             if j + PREFETCH_DIST < hi {
                                 arena.prefetch(attempts[j + PREFETCH_DIST].1);
                             }
-                            let mut won = false;
                             if lw & (1u64 << (j - i)) != 0 {
-                                won = arena
+                                arena
                                     .cell(attempts[j].1)
-                                    .compare_exchange(
-                                        EMPTY,
-                                        attempts[j].0,
-                                        Ordering::AcqRel,
-                                        Ordering::Acquire,
-                                    )
-                                    .is_ok();
-                                attempted += 1;
-                                failed += !won as u64;
+                                    .fetch_min(j as u64, Ordering::AcqRel);
                             }
-                            unsafe { slots.0.add(j).write(won) };
                         }
                         i = end;
                     }
+                };
+                // Third pass: read-only winner resolution, fused with
+                // success output and per-chunk contention bookkeeping.
+                // This must not write tags yet: a tag numerically equal to
+                // another claimant's index would make that claimant's
+                // win-check race against the write.
+                let resolve = |lo: usize, hi: usize| {
+                    let mut attempted = 0u64;
+                    let mut failed = 0u64;
+                    let mut i = lo;
+                    while i < hi {
+                        let end = (i + 64).min(hi);
+                        let lw = live[i / 64].load(Ordering::Relaxed);
+                        let mut bits = 0u64;
+                        for j in i..end {
+                            if j + PREFETCH_DIST < hi {
+                                arena.prefetch(attempts[j + PREFETCH_DIST].1);
+                            }
+                            let mut won = false;
+                            if lw & (1u64 << (j - i)) != 0 {
+                                won = arena.cell(attempts[j].1).load(Ordering::Acquire) == j as u64;
+                                attempted += 1;
+                                failed += !won as u64;
+                            }
+                            if won {
+                                bits |= 1u64 << (j - i);
+                            }
+                            unsafe { slots.0.add(j).write(won) };
+                        }
+                        cas_won[i / 64].store(bits, Ordering::Relaxed);
+                        i = end;
+                    }
                     counter.add(attempted, failed);
+                };
+                // Fourth pass: each winner — the unique writer of its cell
+                // — replaces its bid with its tag, restoring the "cell
+                // keeps the winning tag" contract.
+                let settle = |lo: usize, hi: usize| {
+                    let mut i = lo;
+                    while i < hi {
+                        let end = (i + 64).min(hi);
+                        let ww = cas_won[i / 64].load(Ordering::Relaxed);
+                        for (off, &(tag, addr)) in attempts[i..end].iter().enumerate() {
+                            if ww & (1u64 << off) != 0 {
+                                arena.cell(addr).store(tag, Ordering::Release);
+                            }
+                        }
+                        i = end;
+                    }
+                };
+                pool.dispatch_fused(k, 64, 4, |pass, lo, hi| match pass {
+                    0 => probe(lo, hi),
+                    1 => bid(lo, hi),
+                    2 => resolve(lo, hi),
+                    _ => settle(lo, hi),
                 });
                 self.steps_executed += 3;
             }
             ClaimMode::Exclusive => {
-                // Fused CAS + poison pass: live claimants race, and a loser
-                // poisons its cell *immediately* — the probe barrier already
-                // filtered every claim on a pre-occupied cell, so a failed
-                // CAS can only mean the cell holds a same-step rival's tag
-                // (or POISON from an earlier loser), and marking it
-                // contested is what the separate poison pass would have
-                // done.  One random-access sweep instead of two; the
+                // Second pass: CAS + poison — live claimants race, and a
+                // loser poisons its cell *immediately*.  The probe barrier
+                // already filtered every claim on a pre-occupied cell, so a
+                // failed CAS can only mean the cell holds a same-step
+                // rival's tag (or POISON from an earlier loser), and
+                // marking it contested is what a separate poison pass would
+                // have done.  One random-access sweep instead of two; the
                 // deterministic outcome (success iff unique live claimant)
                 // is unchanged because the verify pass still runs after a
                 // full barrier, when every loser has poisoned.
-                pool.dispatch(k, 64, |lo, hi| {
+                let cas_poison = |lo: usize, hi: usize| {
                     let mut i = lo;
                     while i < hi {
                         let end = (i + 64).min(hi);
@@ -781,12 +918,12 @@ impl Machine for NativeMachine {
                         cas_won[i / 64].store(bits, Ordering::Relaxed);
                         i = end;
                     }
-                });
-                // Verify-and-restore pass, fused with success output and
-                // per-chunk contention bookkeeping: a CAS winner whose tag
-                // survived was the unique claimant; a poisoned cell is
+                };
+                // Third pass: verify-and-restore, fused with success output
+                // and per-chunk contention bookkeeping — a CAS winner whose
+                // tag survived was the unique claimant; a poisoned cell is
                 // released.
-                pool.dispatch(k, 64, |lo, hi| {
+                let verify = |lo: usize, hi: usize| {
                     let mut attempted = 0u64;
                     let mut succeeded = 0u64;
                     let mut i = lo;
@@ -815,6 +952,11 @@ impl Machine for NativeMachine {
                         i = end;
                     }
                     counter.add(attempted, attempted - succeeded);
+                };
+                pool.dispatch_fused(k, 64, 3, |pass, lo, hi| match pass {
+                    0 => probe(lo, hi),
+                    1 => cas_poison(lo, hi),
+                    _ => verify(lo, hi),
                 });
                 self.steps_executed += 6;
             }

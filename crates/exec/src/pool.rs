@@ -14,14 +14,31 @@
 //! neither choice: chunk boundaries are a pure function of the dispatch
 //! shape under both schedules, and boundaries only decide which thread
 //! computes an index, never what is computed for it.
+//!
+//! Multi-pass steps (the claim protocol, scan, compact) go through
+//! [`StepPool::dispatch_fused`]: all passes share one pool dispatch with a
+//! lightweight barrier between them, toggleable via `QRQW_FUSE` for A/B
+//! measurement.  Environment overrides are validated loudly — a set-but-
+//! invalid `QRQW_THREADS`, `QRQW_SCHEDULE`, or `QRQW_FUSE` panics at pool
+//! construction instead of silently running a different configuration.
 
 /// Environment variable overriding the native backend's thread count.
+/// Must be a positive integer when set; anything else (including `0`)
+/// makes pool construction panic — a mistyped override must never
+/// silently benchmark the wrong configuration.
 pub const THREADS_ENV: &str = "QRQW_THREADS";
 
 /// Environment variable selecting the native backend's default
-/// [`Schedule`] (`chunked` or `stealing`; anything else falls back to
-/// chunked).
+/// [`Schedule`] (`chunked` or `stealing`).  Any other value makes pool
+/// construction panic rather than silently falling back to chunked.
 pub const SCHEDULE_ENV: &str = "QRQW_SCHEDULE";
+
+/// Environment variable toggling fused multi-pass dispatch (`1`/`true`/`on`
+/// to enable — the default — `0`/`false`/`off` to disable).  Any other
+/// value makes pool construction panic.  Fusion never changes results,
+/// chunk boundaries, step counts, or contention totals; the knob exists
+/// for A/B measurement of the dispatch overhead it removes.
+pub const FUSE_ENV: &str = "QRQW_FUSE";
 
 /// Below this many items a step runs inline: pool dispatch costs more than
 /// it saves on tiny steps.
@@ -78,14 +95,66 @@ impl Schedule {
         Schedule::ALL.into_iter().find(|c| c.name() == s)
     }
 
-    /// The schedule `QRQW_SCHEDULE` selects, defaulting to
-    /// [`Schedule::Chunked`] when unset or unparseable.
-    pub fn from_env() -> Schedule {
-        std::env::var(SCHEDULE_ENV)
-            .ok()
-            .and_then(|v| Schedule::parse(v.trim()))
-            .unwrap_or_default()
+    /// The schedule a raw `QRQW_SCHEDULE` value selects: the default
+    /// ([`Schedule::Chunked`]) when unset, an error when set but not a
+    /// valid schedule name.  Value-level for unit testing; the same policy
+    /// `BatchPolicy::from_env` established — a mistyped override must fail
+    /// loudly, not silently benchmark the wrong configuration.
+    pub fn from_env_value(raw: Option<&str>) -> Result<Schedule, String> {
+        match raw {
+            None => Ok(Schedule::default()),
+            Some(v) => Schedule::parse(v.trim()).ok_or_else(|| {
+                format!("invalid {SCHEDULE_ENV}={v:?}: expected \"chunked\" or \"stealing\"")
+            }),
+        }
     }
+
+    /// The schedule `QRQW_SCHEDULE` selects, defaulting to
+    /// [`Schedule::Chunked`] when unset.
+    ///
+    /// # Panics
+    ///
+    /// If `QRQW_SCHEDULE` is set to anything other than a valid schedule
+    /// name.
+    pub fn from_env() -> Schedule {
+        let raw = std::env::var(SCHEDULE_ENV).ok();
+        Schedule::from_env_value(raw.as_deref()).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// The thread count a raw `QRQW_THREADS` value selects: `None` when unset
+/// (callers fall back to host parallelism), an error when set but not a
+/// positive integer.
+fn threads_from_env_value(raw: Option<&str>) -> Result<Option<usize>, String> {
+    match raw {
+        None => Ok(None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(t) if t > 0 => Ok(Some(t)),
+            _ => Err(format!(
+                "invalid {THREADS_ENV}={v:?}: expected a positive integer"
+            )),
+        },
+    }
+}
+
+/// The fusion toggle a raw `QRQW_FUSE` value selects: enabled when unset.
+fn fused_from_env_value(raw: Option<&str>) -> Result<bool, String> {
+    match raw {
+        None => Ok(true),
+        Some(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" | "yes" => Ok(true),
+            "0" | "false" | "off" | "no" => Ok(false),
+            _ => Err(format!(
+                "invalid {FUSE_ENV}={v:?}: expected 1/true/on or 0/false/off"
+            )),
+        },
+    }
+}
+
+/// Reads `QRQW_FUSE`, panicking on an invalid value.
+fn fused_from_env() -> bool {
+    let raw = std::env::var(FUSE_ENV).ok();
+    fused_from_env_value(raw.as_deref()).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Per-machine dispatch policy over the process-wide worker pool.
@@ -93,28 +162,34 @@ impl Schedule {
 pub struct StepPool {
     threads: usize,
     schedule: Schedule,
+    fused: bool,
 }
 
 impl StepPool {
     /// Policy with an explicit thread count (clamped to at least 1; the
     /// process-wide pool additionally clamps to
     /// [`rayon::pool::MAX_POOL_THREADS`]).  The schedule defaults to the
-    /// `QRQW_SCHEDULE` environment selection.
+    /// `QRQW_SCHEDULE` environment selection and the fusion toggle to
+    /// `QRQW_FUSE` (both panic on invalid values).
     pub fn with_threads(threads: usize) -> Self {
         StepPool {
             threads: threads.clamp(1, rayon::pool::MAX_POOL_THREADS),
             schedule: Schedule::from_env(),
+            fused: fused_from_env(),
         }
     }
 
-    /// Default policy: `QRQW_THREADS` if set and parseable as a positive
-    /// integer, otherwise the host's available parallelism; schedule from
-    /// `QRQW_SCHEDULE`.
+    /// Default policy: thread count from `QRQW_THREADS` (host parallelism
+    /// when unset), schedule from `QRQW_SCHEDULE`, fusion from `QRQW_FUSE`.
+    ///
+    /// # Panics
+    ///
+    /// If any of those variables is set to an invalid value — a mistyped
+    /// override must never silently benchmark the wrong configuration.
     pub fn from_env() -> Self {
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&t| t > 0)
+        let raw = std::env::var(THREADS_ENV).ok();
+        let threads = threads_from_env_value(raw.as_deref())
+            .unwrap_or_else(|e| panic!("{e}"))
             .unwrap_or_else(rayon::current_num_threads);
         StepPool::with_threads(threads)
     }
@@ -126,6 +201,13 @@ impl StepPool {
         self
     }
 
+    /// This policy with fused multi-pass dispatch explicitly enabled or
+    /// disabled, overriding the `QRQW_FUSE` environment selection.
+    pub fn with_fused(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
+
     /// Number of threads (including the caller) a dispatched step uses.
     pub fn threads(&self) -> usize {
         self.threads
@@ -134,6 +216,11 @@ impl StepPool {
     /// The chunk→thread assignment discipline this policy dispatches with.
     pub fn schedule(&self) -> Schedule {
         self.schedule
+    }
+
+    /// Whether multi-pass steps fuse their passes into one pool dispatch.
+    pub fn fused(&self) -> bool {
+        self.fused
     }
 
     /// Runs `f(lo, hi)` over `[0, len)` in contiguous chunks whose
@@ -159,6 +246,48 @@ impl StepPool {
         match self.schedule {
             Schedule::Chunked => rayon::pool::run(len, chunk, self.threads, f),
             Schedule::Stealing => rayon::pool::run_stealing(len, chunk, self.threads, f),
+        }
+    }
+
+    /// Runs a fused group of `passes` passes over `[0, len)`: pass `p`
+    /// calls `f(p, lo, hi)` for every chunk.  The inline cutoff and the
+    /// chunk boundaries are decided **once per group**, with exactly the
+    /// same rules as [`StepPool::dispatch`], so every pass sees the
+    /// boundaries `passes` separate `dispatch` calls would have seen —
+    /// fusion is observably equivalent, it only removes the per-pass pool
+    /// wakeup (see `rayon::pool::run_fused`).
+    ///
+    /// With fusion disabled (`QRQW_FUSE=0` or [`StepPool::with_fused`]),
+    /// each pass is its own `dispatch` — the honest unfused baseline for
+    /// A/B measurement.
+    pub fn dispatch_fused<F>(&self, len: usize, align: usize, passes: usize, f: F)
+    where
+        F: Fn(usize, usize, usize) + Sync,
+    {
+        if len == 0 || passes == 0 {
+            return;
+        }
+        if !self.fused {
+            for pass in 0..passes {
+                self.dispatch(len, align, |lo, hi| f(pass, lo, hi));
+            }
+            return;
+        }
+        if self.threads <= 1 || len <= INLINE_CUTOFF.max(align) {
+            for pass in 0..passes {
+                f(pass, 0, len);
+            }
+            return;
+        }
+        let raw = len
+            .div_ceil(self.threads * CHUNKS_PER_THREAD)
+            .max(MIN_CHUNK);
+        let chunk = raw.div_ceil(align) * align;
+        match self.schedule {
+            Schedule::Chunked => rayon::pool::run_fused(len, chunk, self.threads, passes, f),
+            Schedule::Stealing => {
+                rayon::pool::run_fused_stealing(len, chunk, self.threads, passes, f)
+            }
         }
     }
 }
@@ -238,5 +367,80 @@ mod tests {
         }
         assert_eq!(Schedule::parse("fifo"), None);
         assert_eq!(Schedule::default(), Schedule::Chunked);
+    }
+
+    #[test]
+    fn unset_env_values_select_the_defaults() {
+        assert_eq!(Schedule::from_env_value(None), Ok(Schedule::Chunked));
+        assert_eq!(threads_from_env_value(None), Ok(None));
+        assert_eq!(fused_from_env_value(None), Ok(true));
+    }
+
+    #[test]
+    fn valid_env_values_are_accepted() {
+        assert_eq!(
+            Schedule::from_env_value(Some(" stealing ")),
+            Ok(Schedule::Stealing)
+        );
+        assert_eq!(threads_from_env_value(Some(" 8 ")), Ok(Some(8)));
+        assert_eq!(fused_from_env_value(Some("0")), Ok(false));
+        assert_eq!(fused_from_env_value(Some("ON")), Ok(true));
+        assert_eq!(fused_from_env_value(Some("off")), Ok(false));
+    }
+
+    #[test]
+    fn invalid_env_values_are_rejected_loudly_with_the_variable_name() {
+        let schedule = Schedule::from_env_value(Some("fifo")).unwrap_err();
+        assert!(schedule.contains(SCHEDULE_ENV), "{schedule}");
+        for bad in ["zero", "-1", "", "1.5"] {
+            let threads = threads_from_env_value(Some(bad)).unwrap_err();
+            assert!(threads.contains(THREADS_ENV), "{threads}");
+        }
+        let zero = threads_from_env_value(Some("0")).unwrap_err();
+        assert!(zero.contains(THREADS_ENV), "{zero}");
+        let fuse = fused_from_env_value(Some("maybe")).unwrap_err();
+        assert!(fuse.contains(FUSE_ENV), "{fuse}");
+    }
+
+    #[test]
+    fn fused_dispatch_covers_every_pass_with_identical_boundaries() {
+        for schedule in Schedule::ALL {
+            for fused in [true, false] {
+                let pool = StepPool::with_threads(4)
+                    .with_schedule(schedule)
+                    .with_fused(fused);
+                let unfused_ranges = {
+                    let seen = Mutex::new(Vec::new());
+                    pool.dispatch(100_000, 64, |lo, hi| seen.lock().unwrap().push((lo, hi)));
+                    let mut r = seen.into_inner().unwrap();
+                    r.sort_unstable();
+                    r
+                };
+                let seen = Mutex::new(vec![Vec::new(); 3]);
+                pool.dispatch_fused(100_000, 64, 3, |pass, lo, hi| {
+                    seen.lock().unwrap()[pass].push((lo, hi));
+                });
+                for (pass, mut ranges) in seen.into_inner().unwrap().into_iter().enumerate() {
+                    ranges.sort_unstable();
+                    assert_eq!(
+                        ranges, unfused_ranges,
+                        "{schedule:?} fused={fused} pass={pass}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_fused_dispatch_runs_inline_in_pass_order() {
+        let pool = StepPool::with_threads(8).with_fused(true);
+        let trace = Mutex::new(Vec::new());
+        pool.dispatch_fused(100, 1, 3, |pass, lo, hi| {
+            trace.lock().unwrap().push((pass, lo, hi));
+        });
+        assert_eq!(
+            *trace.lock().unwrap(),
+            vec![(0, 0, 100), (1, 0, 100), (2, 0, 100)]
+        );
     }
 }

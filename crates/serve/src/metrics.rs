@@ -122,21 +122,23 @@ impl Histogram {
     /// The value at quantile `q ∈ [0, 1]`: the smallest bucket such that at
     /// least `⌈q · count⌉` samples are ≤ its upper bound.  Exact for values
     /// below [`Histogram::PRECISE`]; otherwise an upper bound within the
-    /// bucket's `2/PRECISE` relative width.  Returns 0 on an empty
-    /// histogram.
-    pub fn value_at_quantile(&self, q: f64) -> u64 {
+    /// bucket's `2/PRECISE` relative width.  Returns `None` on an empty
+    /// histogram — like [`Histogram::min`]/[`Histogram::max`], a fabricated
+    /// `0` would be indistinguishable from a real zero-latency sample, so
+    /// emptiness is explicit.
+    pub fn value_at_quantile(&self, q: f64) -> Option<u64> {
         if self.total == 0 {
-            return 0;
+            return None;
         }
         let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Self::value_of(i).min(self.max);
+                return Some(Self::value_of(i).min(self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
     /// Folds another histogram into this one.
@@ -257,11 +259,11 @@ mod tests {
         assert_eq!(h.count(), 1000);
         assert_eq!(h.min(), Some(1));
         assert_eq!(h.max(), Some(1000));
-        assert_eq!(h.value_at_quantile(0.50), 500);
-        assert_eq!(h.value_at_quantile(0.99), 990);
-        assert_eq!(h.value_at_quantile(0.999), 999);
-        assert_eq!(h.value_at_quantile(1.0), 1000);
-        assert_eq!(h.value_at_quantile(0.0), 1);
+        assert_eq!(h.value_at_quantile(0.50), Some(500));
+        assert_eq!(h.value_at_quantile(0.99), Some(990));
+        assert_eq!(h.value_at_quantile(0.999), Some(999));
+        assert_eq!(h.value_at_quantile(1.0), Some(1000));
+        assert_eq!(h.value_at_quantile(0.0), Some(1));
         assert!((h.mean() - 500.5).abs() < 1e-9);
     }
 
@@ -270,7 +272,7 @@ mod tests {
         let mut h = Histogram::new();
         for &v in &[1_000_000u64, 5_000_000, 123_456_789, u64::MAX / 2] {
             h.record(v);
-            let got = h.value_at_quantile(1.0);
+            let got = h.value_at_quantile(1.0).expect("non-empty histogram");
             assert!(got >= v, "reported percentile must be an upper bound");
             assert!(
                 (got - v) as f64 <= v as f64 * (2.0 / Histogram::PRECISE as f64),
@@ -320,14 +322,15 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_reports_zero_percentiles_and_no_extremes() {
+    fn empty_histogram_reports_no_percentiles_and_no_extremes() {
         // The empty-snapshot satellite: before any sample, min is
-        // internally u64::MAX — none of that may leak.  Percentiles and
-        // the mean are defined as 0, min/max as None.
+        // internally u64::MAX — none of that may leak, and a percentile
+        // must not fabricate a `0` sample either.  The mean stays defined
+        // as 0; min/max and every quantile are None.
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
         for q in [0.0, 0.5, 0.99, 1.0] {
-            assert_eq!(h.value_at_quantile(q), 0);
+            assert_eq!(h.value_at_quantile(q), None);
         }
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
@@ -337,11 +340,12 @@ mod tests {
         a.merge(&h);
         assert_eq!(a.min(), None);
         assert_eq!(a.max(), None);
+        assert_eq!(a.value_at_quantile(0.5), None);
         // One sample flips all three in lockstep.
         a.record(42);
         assert_eq!(
             (a.min(), a.max(), a.value_at_quantile(1.0)),
-            (Some(42), Some(42), 42)
+            (Some(42), Some(42), Some(42))
         );
     }
 

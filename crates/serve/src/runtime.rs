@@ -173,6 +173,11 @@ impl Ticket {
 pub(crate) struct Envelope {
     pub(crate) request: Request,
     slot: Arc<ResponseSlot>,
+    /// When the request entered the submission queue.  The batcher's
+    /// linger window opens here, not when the batcher dequeues the
+    /// request — a request that waited in the queue has already spent
+    /// its linger budget.
+    enqueued: Instant,
     deadline: Option<Instant>,
     depth: Option<Arc<AtomicUsize>>,
 }
@@ -183,6 +188,7 @@ impl Envelope {
         Envelope {
             request,
             slot,
+            enqueued: Instant::now(),
             deadline: None,
             depth: None,
         }
@@ -197,12 +203,21 @@ impl Envelope {
         Envelope {
             request,
             slot,
+            enqueued: Instant::now(),
             deadline,
             depth: Some(depth),
         }
     }
 
-    pub(crate) fn complete(&self, response: Response) {
+    /// Answers the request and releases its admission slot.  The release
+    /// happens *before* the slot completion: a client that has its reply
+    /// in hand must never observe its own request still counted as
+    /// outstanding (the reply delivery synchronizes through the slot's
+    /// mutex, so the decrement is visible to the woken client).
+    pub(crate) fn complete(mut self, response: Response) {
+        if let Some(depth) = self.depth.take() {
+            depth.fetch_sub(1, Ordering::AcqRel);
+        }
         self.slot.complete(response);
     }
 
@@ -213,10 +228,10 @@ impl Envelope {
 
 impl Drop for Envelope {
     fn drop(&mut self) {
-        self.slot.complete(Err(ServiceError::ServerGone));
-        if let Some(depth) = &self.depth {
+        if let Some(depth) = self.depth.take() {
             depth.fetch_sub(1, Ordering::AcqRel);
         }
+        self.slot.complete(Err(ServiceError::ServerGone));
     }
 }
 
@@ -246,11 +261,28 @@ pub(crate) fn run_batcher(
             Ok(Msg::Submit(env)) => env,
             Ok(Msg::Shutdown) | Err(_) => break 'serve,
         };
+        // The linger window opens when the batch's first request was
+        // *enqueued*, not here: a request that already sat in the queue
+        // (behind a long batch, or before the batcher woke) has spent its
+        // linger budget and must not wait a second full window.
+        let deadline = first.enqueued + policy.linger;
         let mut batch = vec![first];
-        let deadline = Instant::now() + policy.linger;
         // Fill until the policy closes the batch.
         let mut shutting_down = false;
         while batch.len() < policy.max_batch {
+            // Already-queued requests ride along without blocking, even
+            // when the linger window has expired.
+            match rx.try_recv() {
+                Ok(Msg::Submit(env)) => {
+                    batch.push(env);
+                    continue;
+                }
+                Ok(Msg::Shutdown) | Err(TryRecvError::Disconnected) => {
+                    shutting_down = true;
+                    break;
+                }
+                Err(TryRecvError::Empty) => {}
+            }
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 break;
@@ -342,7 +374,7 @@ fn apply_and_complete(
         Ok((responses, cost)) => {
             stats.record_batch(live.len(), cost);
             debug_assert_eq!(responses.len(), live.len());
-            for (env, resp) in live.iter().zip(responses) {
+            for (env, resp) in live.into_iter().zip(responses) {
                 env.complete(resp);
             }
         }
@@ -356,7 +388,7 @@ fn apply_and_complete(
             debug_assert_eq!(responses.len(), live.len());
             stats.record_batch(live.len(), cost);
             stats.recovery_wall += recovery_start.elapsed();
-            for (env, resp) in live.iter().zip(responses) {
+            for (env, resp) in live.into_iter().zip(responses) {
                 env.complete(resp);
             }
         }
@@ -477,16 +509,35 @@ mod tests {
         let slot = Arc::new(ResponseSlot::default());
         let ticket = Ticket::new(Arc::clone(&slot));
         let env = Envelope::new(Request::TaskSteal, Arc::clone(&slot));
+        // `complete` consumes the envelope, so the exit guard fires right
+        // behind the real answer: the completed latch must block it from
+        // overwriting the slot with ServerGone.
         env.complete(Ok(crate::request::Reply::TaskStolen(None)));
-        // The client consumed the response *before* the envelope drops:
-        // the completed latch (not the value's presence) must block the
-        // guard from writing ServerGone into the empty slot.
         assert_eq!(
             ticket.try_wait(),
             Some(Ok(crate::request::Reply::TaskStolen(None)))
         );
-        drop(env);
+        // A late guard-style completion on the consumed slot is also inert.
+        slot.complete(Err(ServiceError::ServerGone));
         assert_eq!(ticket.try_wait(), None);
+    }
+
+    #[test]
+    fn envelope_completion_releases_its_admission_slot_before_replying() {
+        let depth = Arc::new(AtomicUsize::new(1));
+        let slot = Arc::new(ResponseSlot::default());
+        let ticket = Ticket::new(Arc::clone(&slot));
+        let env = Envelope::with_admission(
+            Request::TaskSteal,
+            Arc::clone(&slot),
+            None,
+            Arc::clone(&depth),
+        );
+        env.complete(Err(ServiceError::Injected));
+        // The client holds the reply; its request must no longer count as
+        // outstanding.
+        assert_eq!(ticket.wait(), Err(ServiceError::Injected));
+        assert_eq!(depth.load(Ordering::Acquire), 0);
     }
 
     #[test]
@@ -499,8 +550,56 @@ mod tests {
             None,
             Arc::clone(&depth),
         );
-        env.complete(Err(ServiceError::Injected));
         drop(env);
         assert_eq!(depth.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn linger_window_opens_at_enqueue_not_at_batch_loop_entry() {
+        use crate::policy::BatchPolicy;
+        use crate::state::{ServiceConfig, ServiceState};
+        use qrqw_exec::StepPool;
+        use std::sync::mpsc::channel;
+
+        let linger = Duration::from_millis(200);
+        let policy = BatchPolicy::with_max_batch(8).linger(linger);
+        let state = ServiceState::with_pool(
+            ServiceConfig {
+                num_counters: 4,
+                task_procs: 4,
+                hash_capacity: 64,
+                seed: 7,
+            },
+            StepPool::with_threads(1),
+        );
+        let (tx, rx) = channel();
+        let slot = Arc::new(ResponseSlot::default());
+        let ticket = Ticket::new(Arc::clone(&slot));
+        tx.send(Msg::Submit(Envelope::new(
+            Request::CounterAdd {
+                counter: 0,
+                delta: 1,
+            },
+            slot,
+        )))
+        .unwrap();
+        // Let the request outlive its whole linger window *in the queue*
+        // before the batcher even starts.
+        std::thread::sleep(linger + Duration::from_millis(50));
+        let handle = std::thread::spawn(move || run_batcher(state, policy, rx));
+        let start = Instant::now();
+        let resp = ticket.wait();
+        let waited = start.elapsed();
+        assert!(resp.is_ok(), "expected a real reply, got {resp:?}");
+        // The buggy clock (window re-opened at batch-loop entry) would
+        // hold the reply for a second full linger window.
+        assert!(
+            waited < linger / 2,
+            "reply took {waited:?}; the linger window must not re-open"
+        );
+        drop(tx);
+        let (_state, stats) = handle.join().unwrap();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.requests, 1);
     }
 }

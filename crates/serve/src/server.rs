@@ -201,6 +201,29 @@ mod tests {
     }
 
     #[test]
+    fn idle_batcher_blocks_and_performs_zero_snapshots() {
+        use std::time::Duration;
+        let linger = Duration::from_millis(5);
+        let server = Server::spawn_with_pool(
+            ServiceConfig {
+                num_counters: 4,
+                task_procs: 4,
+                hash_capacity: 64,
+                seed: 7,
+            },
+            BatchPolicy::with_max_batch(4).linger(linger),
+            StepPool::with_threads(1),
+        );
+        // Many linger windows pass with no traffic; an idle batcher must
+        // sit in `recv`, not spin through empty batches and checkpoints.
+        std::thread::sleep(linger * 10);
+        let (_state, stats) = server.shutdown();
+        assert_eq!(stats.snapshots, 0);
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.requests, 0);
+    }
+
+    #[test]
     fn round_trip_through_the_live_server() {
         let server = tiny();
         let h = server.handle();

@@ -50,10 +50,14 @@
 //! 4. **Claim semantics.**  [`ClaimMode::Exclusive`] is fully deterministic:
 //!    an attempt succeeds iff it is the only live claim on its cell, so
 //!    algorithms built on exclusive claims (e.g. random permutation) produce
-//!    bit-identical output on every backend.  [`ClaimMode::Occupy`] promises
-//!    only that exactly one live claimant per cell wins; the simulator picks
-//!    the lowest processor id, a native backend whichever thread wins the
-//!    CAS — like the "arbitrary" write rule of the paper's model.
+//!    bit-identical output on every backend.  [`ClaimMode::Occupy`] hands
+//!    each contested cell to exactly one live claimant — the **lowest
+//!    claimant index**, on every backend: the simulator through its
+//!    lowest-processor-id write arbitration, the native machines through a
+//!    `fetch_min` bidding pass.  (The paper's model only requires an
+//!    *arbitrary* winner; pinning the arbitration is what keeps retry
+//!    trajectories, step counts and contention totals bit-identical across
+//!    backends, schedules and thread counts.)
 
 use std::time::Duration;
 
@@ -70,8 +74,8 @@ pub enum ClaimMode {
     /// backend.
     Exclusive,
     /// Exactly one of the simultaneous claimants succeeds and the cell keeps
-    /// its tag (the flavour used by multiple compaction and hashing).  Which
-    /// claimant wins is backend-defined.
+    /// its tag (the flavour used by multiple compaction and hashing).  The
+    /// lowest claimant index wins, on every backend.
     Occupy,
 }
 

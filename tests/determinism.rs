@@ -24,9 +24,9 @@ use qrqw_suite::algos::{
     sample_sort_qrqw, sort_uniform_keys,
 };
 use qrqw_suite::bsp::BspMachine;
-use qrqw_suite::exec::{NativeMachine, Schedule, StealingMachine};
+use qrqw_suite::exec::{NativeMachine, Schedule, StealingMachine, StepPool};
 use qrqw_suite::prims::{list_rank, pack, radix_sort_packed, unpack_key};
-use qrqw_suite::sim::{CostModel, Machine, Pram, EMPTY};
+use qrqw_suite::sim::{ClaimMode, CostModel, Machine, Pram, EMPTY};
 
 /// The thread counts every invariance test sweeps: sequential, the
 /// smallest genuinely chunked count, an odd oversubscribed count, and the
@@ -428,24 +428,41 @@ fn stealing_contention_totals_match_chunked_and_the_simulator() {
 
 /// Probe used by [`qrqw_threads_env_var_controls_the_default_thread_count`]:
 /// when re-executed in a child process with `QRQW_THREADS` set, it checks
-/// that machine construction honours (or safely ignores) the variable.
-/// Without the variable it trivially passes, so a normal run is unaffected.
+/// that machine construction honours a valid value and **panics loudly** on
+/// an invalid one — a mistyped override must never silently benchmark the
+/// wrong configuration.  Without the variable it trivially passes, so a
+/// normal run is unaffected.
 #[test]
 fn helper_qrqw_threads_env_probe() {
     let Ok(spec) = std::env::var("QRQW_THREADS") else {
         return;
     };
-    let threads = NativeMachine::with_seed(16, 0).threads();
     match spec.trim().parse::<usize>() {
-        Ok(want) if want > 0 => assert_eq!(
-            threads, want,
-            "QRQW_THREADS={spec} must set the thread count"
-        ),
-        _ => assert!(
-            threads >= 1,
-            "unparseable QRQW_THREADS={spec} must fall back to host parallelism"
-        ),
+        Ok(want) if want > 0 => {
+            assert_eq!(
+                NativeMachine::with_seed(16, 0).threads(),
+                want,
+                "QRQW_THREADS={spec} must set the thread count"
+            );
+        }
+        _ => {
+            let result = std::panic::catch_unwind(|| NativeMachine::with_seed(16, 0).threads());
+            let payload = result.expect_err(&format!(
+                "invalid QRQW_THREADS={spec} must make construction panic"
+            ));
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(
+                msg.contains("QRQW_THREADS"),
+                "the panic must name the offending variable, got: {msg}"
+            );
+        }
     }
+    // The explicit-thread-count builder never consults QRQW_THREADS, so it
+    // works even when the variable holds garbage.
     assert_eq!(
         NativeMachine::with_threads(16, 0, 7).threads(),
         7,
@@ -477,16 +494,18 @@ fn qrqw_threads_env_var_controls_the_default_thread_count() {
 
 /// Probe used by [`qrqw_schedule_env_var_controls_the_default_schedule`]:
 /// when re-executed in a child process with `QRQW_SCHEDULE` set, it checks
-/// that machine construction honours (or safely ignores) the variable.
-/// Without the variable it trivially passes, so a normal run is unaffected.
+/// that machine construction honours a valid value and **panics loudly** on
+/// an invalid one (the same policy as `QRQW_THREADS` — no silent fallback
+/// to chunked).  Without the variable it trivially passes, so a normal run
+/// is unaffected.
 #[test]
 fn helper_qrqw_schedule_env_probe() {
     let Ok(spec) = std::env::var("QRQW_SCHEDULE") else {
         return;
     };
-    let m = NativeMachine::with_seed(16, 0);
     match Schedule::parse(spec.trim()) {
         Some(want) => {
+            let m = NativeMachine::with_seed(16, 0);
             assert_eq!(
                 m.schedule(),
                 want,
@@ -497,24 +516,46 @@ fn helper_qrqw_schedule_env_probe() {
                 Schedule::Stealing => "native-steal",
             };
             assert_eq!(m.backend(), expect_backend);
+            // The builder must override the environment in both directions.
+            assert_eq!(
+                NativeMachine::with_schedule(16, 0, Schedule::Stealing).schedule(),
+                Schedule::Stealing
+            );
+            assert_eq!(
+                NativeMachine::with_schedule(16, 0, Schedule::Chunked).schedule(),
+                Schedule::Chunked
+            );
+            assert_eq!(StealingMachine::with_seed(16, 0).backend(), "native-steal");
         }
-        None => assert_eq!(
-            m.schedule(),
-            Schedule::Chunked,
-            "unparseable QRQW_SCHEDULE={spec} must fall back to chunked"
-        ),
+        None => {
+            // Loud rejection: every env-consulting construction — including
+            // the builders, which still read the variable for the pool's
+            // defaults — must panic and name the variable.
+            fn build_default() {
+                let _ = NativeMachine::with_seed(16, 0);
+            }
+            fn build_with_schedule() {
+                let _ = NativeMachine::with_schedule(16, 0, Schedule::Stealing);
+            }
+            fn build_stealing() {
+                let _ = StealingMachine::with_seed(16, 0);
+            }
+            for build in [build_default as fn(), build_with_schedule, build_stealing] {
+                let payload = std::panic::catch_unwind(build).expect_err(&format!(
+                    "invalid QRQW_SCHEDULE={spec} must make construction panic"
+                ));
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_default();
+                assert!(
+                    msg.contains("QRQW_SCHEDULE"),
+                    "the panic must name the offending variable, got: {msg}"
+                );
+            }
+        }
     }
-    // The builder must override the environment in both directions.
-    assert_eq!(
-        NativeMachine::with_schedule(16, 0, Schedule::Stealing).schedule(),
-        Schedule::Stealing
-    );
-    assert_eq!(
-        NativeMachine::with_schedule(16, 0, Schedule::Chunked).schedule(),
-        Schedule::Chunked
-    );
-    // And the pinned stealing backend ignores the variable entirely.
-    assert_eq!(StealingMachine::with_seed(16, 0).backend(), "native-steal");
 }
 
 #[test]
@@ -535,4 +576,187 @@ fn qrqw_schedule_env_var_controls_the_default_schedule() {
             String::from_utf8_lossy(&output.stderr),
         );
     }
+}
+
+/// Probe used by [`qrqw_fuse_env_var_controls_fused_dispatch`]: with
+/// `QRQW_FUSE` set, checks that pool construction honours a valid toggle
+/// and panics loudly on garbage.
+#[test]
+fn helper_qrqw_fuse_env_probe() {
+    let Ok(spec) = std::env::var("QRQW_FUSE") else {
+        return;
+    };
+    match spec.trim() {
+        "1" | "on" => assert!(StepPool::from_env().fused()),
+        "0" | "off" => assert!(!StepPool::from_env().fused()),
+        _ => {
+            let payload = std::panic::catch_unwind(|| StepPool::from_env().fused())
+                .expect_err(&format!("invalid QRQW_FUSE={spec} must panic"));
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(
+                msg.contains("QRQW_FUSE"),
+                "the panic must name the offending variable, got: {msg}"
+            );
+        }
+    }
+}
+
+#[test]
+fn qrqw_fuse_env_var_controls_fused_dispatch() {
+    let exe = std::env::current_exe().expect("test binary path");
+    for spec in ["1", "0", "on", "off", "sometimes"] {
+        let output = std::process::Command::new(&exe)
+            .args(["--exact", "helper_qrqw_fuse_env_probe"])
+            .env("QRQW_FUSE", spec)
+            .output()
+            .expect("re-exec test binary");
+        assert!(
+            output.status.success(),
+            "env probe failed for QRQW_FUSE={spec}:\n{}\n{}",
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}
+
+/// Builds a native machine with every (threads, schedule, fused)
+/// combination the fusion sweep exercises.
+fn fused_sweep_machine(
+    seed: u64,
+    threads: usize,
+    schedule: Schedule,
+    fused: bool,
+) -> NativeMachine {
+    NativeMachine::with_pool(
+        16,
+        seed,
+        StepPool::with_threads(threads)
+            .with_schedule(schedule)
+            .with_fused(fused),
+    )
+}
+
+#[test]
+fn fused_and_unfused_dispatch_agree_with_the_simulator_on_claim_heavy_work() {
+    // The tentpole's contract: fusing the claim protocol's passes into one
+    // pool dispatch changes nothing observable — outputs, CostReport step
+    // counts, and contention totals stay bit-identical to the simulator's
+    // charge across threads × schedules × fusion.
+    let n = 8192usize;
+    let seed = 11u64;
+    let mut sim = Pram::with_seed(16, seed);
+    let sim_order = random_permutation_qrqw(&mut sim, n).order;
+    let rs = sim.cost_report();
+    for threads in [1usize, 2, 5] {
+        for schedule in [Schedule::Chunked, Schedule::Stealing] {
+            for fused in [true, false] {
+                let label = format!("threads={threads} {schedule:?} fused={fused}");
+                let mut m = fused_sweep_machine(seed, threads, schedule, fused);
+                let order = random_permutation_qrqw(&mut m, n).order;
+                assert_eq!(order, sim_order, "{label}: outputs diverged");
+                let report = m.cost_report();
+                assert_eq!(report.steps, rs.steps, "{label}: step counts diverged");
+                assert_eq!(
+                    (report.claim_attempts, report.contended_claims),
+                    (rs.claim_attempts, rs.contended_claims),
+                    "{label}: contention totals diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn occupy_claims_pick_the_lowest_claimant_on_every_schedule_and_thread_count() {
+    // Occupy arbitration is pinned, not "whichever thread wins the CAS":
+    // the lowest live claimant index takes the cell on every backend.  A
+    // race-decided winner changes retry trajectories — and therefore step
+    // counts and contention totals — between schedules, which is exactly
+    // the stealing-vs-sim drift this test regresses.
+    //
+    // 6000 claimants over 97 cells: heavy multi-way contention, well past
+    // the inline cutoff so the parallel claim path actually runs.
+    let attempts: Vec<(u64, usize)> = (0..6000usize)
+        .map(|j| (j as u64 + 7, (j * 31) % 97))
+        .collect();
+    let mut sim = Pram::with_seed(16, 3);
+    let sim_won = sim.claim(&attempts, ClaimMode::Occupy);
+    let sim_report = sim.cost_report();
+    // On a fresh machine every claimant is live, so the winner of each
+    // cell is exactly its first claimant in index order.
+    let mut seen = std::collections::HashSet::new();
+    for (j, &(_, addr)) in attempts.iter().enumerate() {
+        assert_eq!(sim_won[j], seen.insert(addr), "sim winner at claimant {j}");
+    }
+    for threads in [1usize, 2, 5] {
+        for schedule in [Schedule::Chunked, Schedule::Stealing] {
+            for fused in [true, false] {
+                let label = format!("threads={threads} {schedule:?} fused={fused}");
+                let mut m = fused_sweep_machine(3, threads, schedule, fused);
+                let won = m.claim(&attempts, ClaimMode::Occupy);
+                assert_eq!(won, sim_won, "{label}: occupy winners diverged");
+                let report = m.cost_report();
+                assert_eq!(
+                    (report.steps, report.claim_attempts, report.contended_claims),
+                    (
+                        sim_report.steps,
+                        sim_report.claim_attempts,
+                        sim_report.contended_claims
+                    ),
+                    "{label}: claim accounting diverged"
+                );
+                // Each contested cell keeps the winning claimant's tag.
+                for (j, &(tag, addr)) in attempts.iter().enumerate() {
+                    if won[j] {
+                        assert_eq!(m.peek(addr), tag, "{label}: cell {addr}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_and_unfused_dispatch_agree_on_scan_and_compact() {
+    // scan_step and compact_step take the fused 3-pass route; both must be
+    // bit-identical to the unfused two-dispatch route and charge the same
+    // step counts, including the raw-destination compact case that falls
+    // back to the unfused route when the destination would need growth.
+    let n = 60_000usize;
+    let vals: Vec<u64> = (0..n as u64).map(|i| (i * 31) % 13).collect();
+    let sparse: Vec<u64> = (0..n as u64)
+        .map(|i| if i % 3 == 0 { i + 1 } else { EMPTY })
+        .collect();
+    // (scan total, scanned cells, kept count, compacted cells, steps).
+    type ScanCompactTrace = (u64, Vec<u64>, u64, Vec<u64>, u64);
+    let mut reference: Option<ScanCompactTrace> = None;
+    for threads in [1usize, 2, 5] {
+        for schedule in [Schedule::Chunked, Schedule::Stealing] {
+            for fused in [true, false] {
+                let label = format!("threads={threads} {schedule:?} fused={fused}");
+                let mut m = fused_sweep_machine(0, threads, schedule, fused);
+                let base = m.alloc(n);
+                let dst = m.alloc(n);
+                m.load(base, &vals);
+                let total = m.scan_step(base, n);
+                let scanned = m.dump(base, n);
+                m.load(base, &sparse);
+                let kept = m.compact_step(base, n, dst);
+                let compacted = m.dump(dst, kept as usize);
+                let out = (total, scanned, kept, compacted, m.steps_executed());
+                match &reference {
+                    None => reference = Some(out),
+                    Some(r) => assert_eq!(&out, r, "{label}: scan/compact diverged"),
+                }
+            }
+        }
+    }
+    let (total, _, kept, compacted, _) = reference.unwrap();
+    assert_eq!(total, vals.iter().sum::<u64>());
+    assert_eq!(kept as usize, n.div_ceil(3));
+    assert!(compacted.iter().zip(0..).all(|(&v, i)| v == 3 * i + 1));
 }

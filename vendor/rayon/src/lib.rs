@@ -23,6 +23,9 @@
 //! [`pool::run`] (shared-counter chunk claiming) and [`pool::run_stealing`]
 //! (pre-partitioned per-worker ranges with work-assisting steal-half
 //! splits; identical chunk boundaries, different chunk→thread assignment).
+//! [`pool::run_fused`] / [`pool::run_fused_stealing`] run several short
+//! passes in one dispatch with a chunk-counting barrier between them, so a
+//! multi-pass machine step pays the worker wakeup once.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;

@@ -29,6 +29,18 @@
 //! disciplines; only the chunk→thread assignment differs.  Any computation
 //! whose writes are keyed by index is therefore bit-identical under either.
 //!
+//! [`run_fused`] / [`run_fused_stealing`] extend both disciplines to
+//! **fused multi-pass jobs**: one dispatch runs `passes` short passes over
+//! the same index space with a lightweight chunk-counting barrier between
+//! them, so a k-pass machine step pays the parked-condvar wakeup once
+//! instead of k times.  Chunk boundaries are computed once per fused group
+//! and are identical in every pass (and identical to what k separate
+//! dispatches would use); pass `p + 1` starts only after every chunk of
+//! pass `p` completed, with release/acquire edges making pass-p writes
+//! visible; and a panic in any pass poisons the group — remaining chunk
+//! bodies are skipped while the group drains, then the payload is
+//! re-thrown by the caller.
+//!
 //! Safety model: a dispatch publishes a lifetime-erased pointer to a
 //! stack-allocated job record.  The pointer is only handed to workers under
 //! the pool mutex while the job is published, and the dispatch does not
@@ -40,7 +52,7 @@
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread;
 
@@ -49,6 +61,13 @@ use std::thread;
 /// and the tests only need "more threads than cores" to exercise chunked
 /// dispatch on small hosts).
 pub const MAX_POOL_THREADS: usize = 64;
+
+/// Upper bound on the passes of one fused dispatch ([`run_fused`]).  The
+/// per-pass claim state (shared counters, stealing ranges) is preallocated
+/// on the dispatching caller's stack, so this bound fixes that footprint;
+/// the deepest fused machine step in the workspace (the exclusive-claim
+/// protocol) uses 3.
+pub const MAX_FUSED_PASSES: usize = 6;
 
 /// Shares a raw pointer with pool chunks that access disjoint index
 /// ranges.  The user must guarantee that concurrent accesses through it
@@ -105,6 +124,123 @@ enum Queue {
         /// this bounds the victim scan to slots that can hold work.
         n_slots: usize,
     },
+    /// [`Queue::Shared`] for a fused job: one claim counter **per pass**.
+    /// Counters are never reset — a laggard's stale `fetch_add` on an
+    /// already-finished pass just over-claims past `n_chunks` and no-ops —
+    /// so no reset can race with a late claimant.
+    FusedShared {
+        /// Next unclaimed chunk index, one counter per pass.
+        next: [AtomicUsize; MAX_FUSED_PASSES],
+        /// Total number of chunks (the same in every pass).
+        n_chunks: usize,
+        /// Number of passes in the fused group.
+        passes: usize,
+        /// The inter-pass barrier.
+        barrier: FusedBarrier,
+    },
+    /// [`Queue::Stealing`] for a fused job: one full set of per-slot split
+    /// ranges **per pass**, each pre-partitioned identically.  Per-pass
+    /// state (instead of resetting one set between passes) makes stale CAS
+    /// attempts by laggard thieves harmless: a thief only ever touches its
+    /// own pass's ranges, which drain monotonically and are never reused.
+    FusedStealing {
+        /// Per-pass, per-slot split indexes.
+        ranges: [[AtomicU64; STEAL_SLOTS]; MAX_FUSED_PASSES],
+        /// Next unassigned participant slot, one counter per pass.
+        slots: [AtomicUsize; MAX_FUSED_PASSES],
+        /// Slots the initial partition populated (the same in every pass).
+        n_slots: usize,
+        /// Total number of chunks (the same in every pass).
+        n_chunks: usize,
+        /// Number of passes in the fused group.
+        passes: usize,
+        /// The inter-pass barrier.
+        barrier: FusedBarrier,
+    },
+}
+
+/// The inter-pass barrier of a fused job.
+///
+/// Participant membership is dynamic (workers join a published job whenever
+/// they wake), so the barrier counts *chunks*, which are fixed: pass `p` is
+/// complete when the cumulative completion count reaches
+/// `(p + 1) · n_chunks`.  The last finisher of a pass publishes the next
+/// pass index with a release store; waiters acquire-load it, which
+/// (together with the `AcqRel` completion increments) makes every pass-p
+/// write visible before any pass-p+1 chunk body runs.  This is the
+/// sense-reversing-barrier idea with the sense generalized to a monotonic
+/// pass counter — nothing is ever reset, so a slow participant can never
+/// race a reuse.
+struct FusedBarrier {
+    /// Cumulative chunks completed, across all passes.
+    completed: AtomicU64,
+    /// The pass whose chunks may currently be claimed (`== passes` once the
+    /// job is done).
+    current_pass: AtomicU64,
+    /// Set when any chunk body panicked: remaining bodies are skipped so
+    /// the group drains quickly and the payload can be re-thrown.
+    poisoned: AtomicBool,
+}
+
+impl FusedBarrier {
+    fn new() -> Self {
+        FusedBarrier {
+            completed: AtomicU64::new(0),
+            current_pass: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Counts one completed chunk of `pass`; the last chunk of a pass
+    /// publishes the next one.
+    fn finish_chunk(&self, n_chunks: usize, pass: usize) {
+        let done = self.completed.fetch_add(1, Ordering::AcqRel) + 1;
+        if done == ((pass + 1) * n_chunks) as u64 {
+            self.current_pass.store(pass as u64 + 1, Ordering::Release);
+        }
+    }
+
+    /// Waits until the published pass advances past `pass` and returns the
+    /// new one.  Spins briefly, then yields, then backs off to short timed
+    /// sleeps: a parked-condvar handoff here would cost exactly the
+    /// per-pass wakeup that fusion exists to avoid, and passes are short by
+    /// construction — but a waiter with nothing to claim must not keep
+    /// stealing the finisher's core on an oversubscribed host (a bare
+    /// yield loop measurably slows the working thread there), so a long
+    /// wait degrades to dozing rather than busy-yielding.
+    fn wait_past(&self, pass: usize) -> usize {
+        let mut spins = 0u32;
+        let mut doze = 10u64;
+        loop {
+            let cur = self.current_pass.load(Ordering::Acquire) as usize;
+            if cur > pass {
+                return cur;
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else if spins < 256 {
+                thread::yield_now();
+            } else {
+                // Exponential doze, capped: chunk claiming is dynamic, so a
+                // dozing waiter's would-be work is picked up by whoever is
+                // awake and it cannot stall the group.
+                thread::sleep(std::time::Duration::from_micros(doze));
+                doze = (doze * 2).min(320);
+            }
+        }
+    }
+}
+
+/// The chunk body of a job: plain jobs call `f(lo, hi)` once per chunk,
+/// fused jobs call `f(pass, lo, hi)` once per (pass, chunk).  Lifetime-
+/// erased; validity is guaranteed by the completion protocol.
+#[derive(Clone, Copy)]
+enum Task {
+    /// Single-pass body.
+    Plain(*const (dyn Fn(usize, usize) + Sync)),
+    /// Multi-pass body.
+    Fused(*const (dyn Fn(usize, usize, usize) + Sync)),
 }
 
 /// One published job: a lifetime-erased chunk runner plus claim/completion
@@ -117,9 +253,8 @@ struct JobCore {
     chunk_len: usize,
     /// Total number of items.
     len: usize,
-    /// The chunk body, called as `task(lo, hi)` for each claimed chunk.
-    /// Lifetime-erased; validity is guaranteed by the completion protocol.
-    task: *const (dyn Fn(usize, usize) + Sync),
+    /// The chunk body (see [`Task`]).
+    task: Task,
     /// First panic payload caught in a worker chunk, re-thrown by the caller.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
@@ -183,7 +318,10 @@ thread_local! {
 /// Runs chunk `c` of `job`.  Panics from the chunk body are caught and
 /// stashed in the job record.
 fn run_chunk(job: &JobCore, c: usize) {
-    let task = unsafe { &*job.task };
+    let Task::Plain(task) = job.task else {
+        unreachable!("plain drain on a fused job");
+    };
+    let task = unsafe { &*task };
     let lo = c * job.chunk_len;
     let hi = ((c + 1) * job.chunk_len).min(job.len);
     if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| task(lo, hi))) {
@@ -194,8 +332,31 @@ fn run_chunk(job: &JobCore, c: usize) {
     }
 }
 
+/// Runs chunk `c` of pass `pass` of a fused `job`.  A panic is caught,
+/// stashed, and poisons the group: later chunk bodies are skipped (their
+/// chunks still *count* as complete, so the barrier keeps advancing and
+/// the dispatch drains instead of deadlocking).
+fn run_fused_chunk(job: &JobCore, barrier: &FusedBarrier, pass: usize, c: usize) {
+    if barrier.poisoned.load(Ordering::Relaxed) {
+        return;
+    }
+    let Task::Fused(task) = job.task else {
+        unreachable!("fused drain on a plain job");
+    };
+    let task = unsafe { &*task };
+    let lo = c * job.chunk_len;
+    let hi = ((c + 1) * job.chunk_len).min(job.len);
+    if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| task(pass, lo, hi))) {
+        barrier.poisoned.store(true, Ordering::Relaxed);
+        let mut slot = job.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
 /// Claims and runs chunks of `job` until this participant finds none left
-/// to claim.
+/// to claim (for fused jobs: until every pass has completed).
 fn drain_chunks(job: &JobCore) {
     match &job.queue {
         Queue::Shared { next, n_chunks } => loop {
@@ -209,7 +370,46 @@ fn drain_chunks(job: &JobCore) {
             ranges,
             slots,
             n_slots,
-        } => drain_stealing(job, ranges, slots, *n_slots),
+        } => drain_stealing(ranges, slots, *n_slots, |c| run_chunk(job, c)),
+        Queue::FusedShared {
+            next,
+            n_chunks,
+            passes,
+            barrier,
+        } => {
+            // A participant may join late (workers wake at their own pace):
+            // it starts at whatever pass is current, which is exactly the
+            // set of chunks still claimable.
+            let mut pass = barrier.current_pass.load(Ordering::Acquire) as usize;
+            while pass < *passes {
+                loop {
+                    let c = next[pass].fetch_add(1, Ordering::Relaxed);
+                    if c >= *n_chunks {
+                        break;
+                    }
+                    run_fused_chunk(job, barrier, pass, c);
+                    barrier.finish_chunk(*n_chunks, pass);
+                }
+                pass = barrier.wait_past(pass);
+            }
+        }
+        Queue::FusedStealing {
+            ranges,
+            slots,
+            n_slots,
+            n_chunks,
+            passes,
+            barrier,
+        } => {
+            let mut pass = barrier.current_pass.load(Ordering::Acquire) as usize;
+            while pass < *passes {
+                drain_stealing(&ranges[pass], &slots[pass], *n_slots, |c| {
+                    run_fused_chunk(job, barrier, pass, c);
+                    barrier.finish_chunk(*n_chunks, pass);
+                });
+                pass = barrier.wait_past(pass);
+            }
+        }
     }
 }
 
@@ -259,11 +459,13 @@ fn steal_half(ranges: &[AtomicU64; STEAL_SLOTS], me: usize, live: usize) -> Opti
 /// own range; when it drains, steal half of a victim's remainder, publish
 /// it as the own range (so further thieves can split it again), and keep
 /// popping.  Retires when a full victim scan finds nothing stealable.
+/// `run` receives each claimed chunk index (plain jobs run the chunk body
+/// directly; fused jobs also count it towards the pass barrier).
 fn drain_stealing(
-    job: &JobCore,
     ranges: &[AtomicU64; STEAL_SLOTS],
     slots: &AtomicUsize,
     n_slots: usize,
+    run: impl Fn(usize),
 ) {
     let slot = slots.fetch_add(1, Ordering::Relaxed);
     // Slots that may hold work: the initial partition plus every claimed
@@ -281,7 +483,7 @@ fn drain_stealing(
         // pure thief, draining each stolen range privately.
         while let Some((lo, hi)) = steal_half(ranges, STEAL_SLOTS, live(slots)) {
             for c in lo..hi {
-                run_chunk(job, c as usize);
+                run(c as usize);
             }
         }
         return;
@@ -308,7 +510,7 @@ fn drain_stealing(
             }
         };
         match claimed {
-            Some(c) => run_chunk(job, c as usize),
+            Some(c) => run(c as usize),
             None => match steal_half(ranges, slot, live(slots)) {
                 // Publish the stolen range before draining it, so other
                 // idle participants can assist on it in turn.
@@ -400,6 +602,62 @@ where
     dispatch(len, chunk_len, max_threads, true, f)
 }
 
+/// Runs a **fused group** of `passes` passes over `[0, len)`: pass `p`
+/// calls `f(p, lo, hi)` for every chunk, all passes share one pool
+/// dispatch (one parked-condvar wakeup), and a chunk-counting barrier
+/// separates the passes — pass `p + 1` starts only after every chunk of
+/// pass `p` has completed, with the writes of pass `p` visible.  Chunk
+/// boundaries are the same pure function of `(len, chunk_len)` as [`run`]'s
+/// and are identical in every pass, so a fused group is observably
+/// equivalent to `passes` consecutive [`run`] calls minus the per-pass
+/// dispatch overhead.
+///
+/// A panic in any chunk body poisons the group — the remaining chunk
+/// bodies are skipped while the group drains — and the first payload is
+/// re-thrown here.  Runs all passes inline (in order) when parallelism
+/// cannot help (one thread, one chunk) or when called from inside another
+/// pool job.
+///
+/// # Panics
+///
+/// If `passes` exceeds [`MAX_FUSED_PASSES`].
+pub fn run_fused<F>(len: usize, chunk_len: usize, max_threads: usize, passes: usize, f: F)
+where
+    F: Fn(usize, usize, usize) + Sync,
+{
+    dispatch_fused(len, chunk_len, max_threads, passes, false, f)
+}
+
+/// [`run_fused`] with the work-stealing chunk discipline of
+/// [`run_stealing`]: every pass gets its own pre-partitioned per-slot
+/// ranges (allocated up front for the whole group, so a laggard thief can
+/// never race a range reuse), separated by the same inter-pass barrier.
+///
+/// # Panics
+///
+/// If `passes` exceeds [`MAX_FUSED_PASSES`].
+pub fn run_fused_stealing<F>(len: usize, chunk_len: usize, max_threads: usize, passes: usize, f: F)
+where
+    F: Fn(usize, usize, usize) + Sync,
+{
+    dispatch_fused(len, chunk_len, max_threads, passes, true, f)
+}
+
+/// Initial stealing partition: `threads` contiguous chunk ranges of (near)
+/// equal size; the remaining slots start empty and are populated by steals.
+fn partition(n_chunks: usize, threads: usize) -> [AtomicU64; STEAL_SLOTS] {
+    let per = n_chunks.div_ceil(threads);
+    std::array::from_fn(|s| {
+        let lo = (s * per).min(n_chunks);
+        let hi = ((s + 1) * per).min(n_chunks);
+        AtomicU64::new(if s < threads {
+            pack(lo as u32, hi as u32)
+        } else {
+            0
+        })
+    })
+}
+
 fn dispatch<F>(len: usize, chunk_len: usize, max_threads: usize, stealing: bool, f: F)
 where
     F: Fn(usize, usize) + Sync,
@@ -419,21 +677,9 @@ where
     // past that (> 4 G chunks) falls back to the shared counter, which
     // handles any usize — correctness over the scheduling nicety.
     let queue = if stealing && n_chunks <= u32::MAX as usize {
-        // Initial partition: `threads` contiguous chunk ranges of (near)
-        // equal size; the remaining slots start empty and are populated by
-        // steals.  The whole scheduler state lives in this stack array.
-        let per = n_chunks.div_ceil(threads);
-        let ranges = std::array::from_fn(|s| {
-            let lo = (s * per).min(n_chunks);
-            let hi = ((s + 1) * per).min(n_chunks);
-            AtomicU64::new(if s < threads {
-                pack(lo as u32, hi as u32)
-            } else {
-                0
-            })
-        });
+        // The whole scheduler state lives in this stack array.
         Queue::Stealing {
-            ranges,
+            ranges: partition(n_chunks, threads),
             slots: AtomicUsize::new(0),
             n_slots: threads,
         }
@@ -444,22 +690,93 @@ where
         }
     };
 
-    let shared = shared();
     let job = JobCore {
         queue,
         chunk_len,
         len,
-        // Lifetime erasure: the completion guard below keeps `f` (and this
-        // record) alive until no worker can reach them.
-        task: unsafe {
+        // Lifetime erasure: the completion guard inside `execute` keeps `f`
+        // (and this record) alive until no worker can reach them.
+        task: Task::Plain(unsafe {
             std::mem::transmute::<
                 &(dyn Fn(usize, usize) + Sync),
                 *const (dyn Fn(usize, usize) + Sync),
             >(&f)
-        },
+        }),
         panic: Mutex::new(None),
     };
+    execute(&job, threads);
+}
 
+fn dispatch_fused<F>(
+    len: usize,
+    chunk_len: usize,
+    max_threads: usize,
+    passes: usize,
+    stealing: bool,
+    f: F,
+) where
+    F: Fn(usize, usize, usize) + Sync,
+{
+    assert!(
+        passes <= MAX_FUSED_PASSES,
+        "fused dispatch of {passes} passes exceeds MAX_FUSED_PASSES ({MAX_FUSED_PASSES})"
+    );
+    if len == 0 || passes == 0 {
+        return;
+    }
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = len.div_ceil(chunk_len);
+    let threads = max_threads.min(MAX_POOL_THREADS).min(n_chunks);
+    if threads <= 1 || IN_POOL.with(|g| g.get()) {
+        // Inline: program order is the barrier.  A panic skips the
+        // remaining passes and unwinds, like the pooled poisoned path.
+        for pass in 0..passes {
+            f(pass, 0, len);
+        }
+        return;
+    }
+
+    // Same u32-packing fallback as the plain dispatch.
+    let queue = if stealing && n_chunks <= u32::MAX as usize {
+        Queue::FusedStealing {
+            ranges: std::array::from_fn(|_| partition(n_chunks, threads)),
+            slots: std::array::from_fn(|_| AtomicUsize::new(0)),
+            n_slots: threads,
+            n_chunks,
+            passes,
+            barrier: FusedBarrier::new(),
+        }
+    } else {
+        Queue::FusedShared {
+            next: std::array::from_fn(|_| AtomicUsize::new(0)),
+            n_chunks,
+            passes,
+            barrier: FusedBarrier::new(),
+        }
+    };
+
+    let job = JobCore {
+        queue,
+        chunk_len,
+        len,
+        task: Task::Fused(unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(usize, usize, usize) + Sync),
+                *const (dyn Fn(usize, usize, usize) + Sync),
+            >(&f)
+        }),
+        panic: Mutex::new(None),
+    };
+    execute(&job, threads);
+}
+
+/// Publishes `job`, participates in draining it, waits out the workers,
+/// and re-throws any chunk panic — the shared tail of every pooled
+/// dispatch.  For fused jobs the drain loop inside [`drain_chunks`] only
+/// returns once every pass has completed, so the completion protocol is
+/// identical for both job kinds.
+fn execute(job: &JobCore, threads: usize) {
+    let shared = shared();
     {
         let mut guard = shared.state.lock().unwrap();
         // Serialize dispatches: wait for the slot.
@@ -476,7 +793,7 @@ where
         }
         guard.epoch += 1;
         guard.job = Some(JobRef {
-            job: &job,
+            job,
             epoch: guard.epoch,
         });
         shared.work_cv.notify_all();
@@ -486,7 +803,7 @@ where
     {
         let _flag = FlagGuard;
         IN_POOL.with(|g| g.set(true));
-        drain_chunks(&job);
+        drain_chunks(job);
     }
     drop(completion);
 
@@ -740,6 +1057,189 @@ mod tests {
         // must always cover the initial partition (drain_stealing clamps).
         ranges[3].store(pack(0, 4), Ordering::Relaxed);
         assert_eq!(steal_half(&ranges, 1, 4), Some((2, 4)));
+    }
+
+    #[test]
+    fn fused_passes_cover_every_index_once_per_pass() {
+        let n = 60_000;
+        let passes = 3;
+        let hits: Vec<AtomicUsize> = (0..n * passes).map(|_| AtomicUsize::new(0)).collect();
+        run_fused(n, 512, 4, passes, |pass, lo, hi| {
+            for h in &hits[pass * n + lo..pass * n + hi] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn fused_stealing_passes_cover_every_index_once_per_pass() {
+        let n = 60_000;
+        let passes = 3;
+        let hits: Vec<AtomicUsize> = (0..n * passes).map(|_| AtomicUsize::new(0)).collect();
+        run_fused_stealing(n, 512, 4, passes, |pass, lo, hi| {
+            for h in &hits[pass * n + lo..pass * n + hi] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn fused_barrier_makes_earlier_pass_writes_visible() {
+        // Pass 1 sums what pass 0 wrote with relaxed stores; the inter-pass
+        // barrier must make every element visible, under both disciplines.
+        let n = 100_000;
+        let cells: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let sum = AtomicU64::new(0);
+        for steal in [false, true] {
+            sum.store(0, Ordering::Relaxed);
+            cells.iter().for_each(|c| c.store(0, Ordering::Relaxed));
+            let body = |pass: usize, lo: usize, hi: usize| {
+                if pass == 0 {
+                    for c in &cells[lo..hi] {
+                        c.store(1, Ordering::Relaxed);
+                    }
+                } else {
+                    let local: u64 = cells[lo..hi]
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .sum();
+                    sum.fetch_add(local, Ordering::Relaxed);
+                }
+            };
+            if steal {
+                run_fused_stealing(n, 256, 8, 2, body);
+            } else {
+                run_fused(n, 256, 8, 2, body);
+            }
+            assert_eq!(sum.load(Ordering::Relaxed), n as u64, "steal={steal}");
+        }
+    }
+
+    #[test]
+    fn fused_chunk_boundaries_match_the_unfused_dispatch_in_every_pass() {
+        // The determinism contract extended to fusion: every pass of a
+        // fused group sees exactly the boundaries a plain dispatch of the
+        // same (len, chunk_len) would produce.
+        let unfused = {
+            let seen = Mutex::new(Vec::new());
+            run(100_000, 1 << 9, 5, |lo, hi| {
+                seen.lock().unwrap().push((lo, hi));
+            });
+            let mut ranges = seen.into_inner().unwrap();
+            ranges.sort_unstable();
+            ranges
+        };
+        for steal in [false, true] {
+            let seen = Mutex::new(vec![Vec::new(); 3]);
+            let body = |pass: usize, lo: usize, hi: usize| {
+                seen.lock().unwrap()[pass].push((lo, hi));
+            };
+            if steal {
+                run_fused_stealing(100_000, 1 << 9, 5, 3, body);
+            } else {
+                run_fused(100_000, 1 << 9, 5, 3, body);
+            }
+            for (pass, mut ranges) in seen.into_inner().unwrap().into_iter().enumerate() {
+                ranges.sort_unstable();
+                assert_eq!(ranges, unfused, "steal={steal} pass={pass}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_panic_poisons_the_group_and_propagates() {
+        // A panic in the middle pass: the final pass's bodies are skipped
+        // (the poison flag is published by the same release/acquire edge
+        // that orders the passes), the group drains without deadlocking,
+        // and the payload reaches the caller.
+        let ran_after = AtomicUsize::new(0);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_fused(50_000, 128, 4, 3, |pass, lo, _hi| match pass {
+                1 if lo == 0 => panic!("fused boom"),
+                2 => {
+                    ran_after.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            });
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().unwrap();
+        assert!(msg.contains("fused boom"), "unexpected payload: {msg}");
+        assert_eq!(
+            ran_after.load(Ordering::Relaxed),
+            0,
+            "pass bodies after the poison must be skipped"
+        );
+    }
+
+    #[test]
+    fn fused_stealing_panic_propagates() {
+        let caught = panic::catch_unwind(|| {
+            run_fused_stealing(50_000, 128, 4, 2, |pass, lo, _hi| {
+                if pass == 1 && lo >= 25_000 {
+                    panic!("fused steal boom at {lo}");
+                }
+            });
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.starts_with("fused steal boom"), "unexpected: {msg}");
+    }
+
+    #[test]
+    fn fused_nested_inside_a_pool_job_degrades_to_inline() {
+        let outer = AtomicUsize::new(0);
+        let inner = AtomicUsize::new(0);
+        run(8192, 1024, 4, |lo, hi| {
+            outer.fetch_add(hi - lo, Ordering::Relaxed);
+            run_fused(10, 1, 4, 2, |_pass, l, h| {
+                inner.fetch_add(h - l, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 8192);
+        assert_eq!(inner.load(Ordering::Relaxed), 2 * 80);
+    }
+
+    #[test]
+    fn fused_with_zero_passes_or_zero_len_is_a_no_op() {
+        let hits = AtomicUsize::new(0);
+        run_fused(10_000, 64, 4, 0, |_, _, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        run_fused(0, 64, 4, 3, |_, _, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_FUSED_PASSES")]
+    fn fused_with_too_many_passes_is_rejected() {
+        run_fused(10_000, 64, 2, MAX_FUSED_PASSES + 1, |_, _, _| {});
+    }
+
+    #[test]
+    fn back_to_back_fused_groups_stay_correct() {
+        for steal in [false, true] {
+            for round in 0..50 {
+                let sum = AtomicU64::new(0);
+                let body = |pass: usize, lo: usize, hi: usize| {
+                    sum.fetch_add(((hi - lo) * (pass + 1)) as u64, Ordering::Relaxed);
+                };
+                if steal {
+                    run_fused_stealing(8192, 256, 4, 3, body);
+                } else {
+                    run_fused(8192, 256, 4, 3, body);
+                }
+                assert_eq!(
+                    sum.load(Ordering::Relaxed),
+                    8192 * 6,
+                    "steal={steal} round={round}"
+                );
+            }
+        }
     }
 
     #[test]
