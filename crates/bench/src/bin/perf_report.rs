@@ -15,10 +15,23 @@
 //!     [--backend sim,native,native-steal,bsp|all] [--schedule chunked,stealing|all] \
 //!     [--sizes 65536,1048576] [--algos all|name,name] [--seed 1] [--threads N] \
 //!     [--sim-cap N] [--bsp-cap N] [--fuse-compare] [--out BENCH_native.json] [--append]
+//! cargo run -p qrqw-bench --release --bin perf_report -- \
+//!     --scenario all [--backend …] [--sizes 4096] [--out BENCH_workloads.json]
 //! ```
 //!
 //! * `--backend` (alias `--backends`) selects which backends run
 //!   (default: all);
+//! * `--scenario` (alias `--scenarios`) switches the sweep axis from
+//!   algorithms to churn **scenarios** (`qrqw_bench::scenario`): each cell
+//!   runs the multi-epoch churn driver (hash table with deletes, fetch&add,
+//!   load balancing, live state carried across epochs) for one scenario on
+//!   one backend, recording contention vs. skew.  Accepts registry names,
+//!   `all`, or inline `<dist>/<i>:<d>:<l>/<epochs>` specs.  The simulator
+//!   reference runs for every (scenario, n) regardless of `--backend` and
+//!   the step-drift guard is armed on **every** native/BSP cell (steps,
+//!   contention totals, per-epoch contention, end-state digest).  Defaults
+//!   change to `--sizes 4096` and `--out BENCH_workloads.json`;
+//!   `--algos`, `--append` and `--fuse-compare` are usage errors here;
 //! * `--schedule` (alias `--schedules`) selects which *native* schedules
 //!   run, mirroring `--backend`: `chunked` keeps only the `native` column,
 //!   `stealing` only `native-steal`, `chunked,stealing` / `all` both —
@@ -77,6 +90,7 @@
 //! faster on that run.
 
 use qrqw_bench::report::{write_json_file, Json};
+use qrqw_bench::scenario::{scenario_row_json, workloads_report_json, Scenario, ScenarioRun};
 use qrqw_bench::{Algorithm, Backend, BackendRun};
 use qrqw_exec::Schedule;
 
@@ -84,6 +98,7 @@ struct Config {
     backends: Vec<Backend>,
     sizes: Vec<usize>,
     algos: Vec<Algorithm>,
+    scenarios: Vec<Scenario>,
     seed: u64,
     threads: Option<usize>,
     sim_cap: usize,
@@ -98,7 +113,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: perf_report [--backend sim,native,native-steal,bsp|all] \
          [--schedule chunked,stealing|all] [--sizes N,N] \
-         [--algos all|name,name] [--seed S] [--threads T] [--sim-cap N] \
+         [--algos all|name,name] [--scenario all|name,name|<dist>/<i>:<d>:<l>/<epochs>] \
+         [--seed S] [--threads T] [--sim-cap N] \
          [--bsp-cap N] [--fuse-compare] [--json-out PATH] [--append]"
     );
     std::process::exit(2);
@@ -148,6 +164,7 @@ fn parse_args() -> Config {
         backends: Backend::ALL.to_vec(),
         sizes: vec![1 << 16, 1 << 20],
         algos: Algorithm::ALL.to_vec(),
+        scenarios: Vec::new(),
         seed: 1,
         threads: None,
         sim_cap: usize::MAX,
@@ -157,6 +174,9 @@ fn parse_args() -> Config {
         append: false,
     };
     let mut schedule_spec: Option<String> = None;
+    let mut sizes_explicit = false;
+    let mut out_explicit = false;
+    let mut algos_explicit = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -173,7 +193,12 @@ fn parse_args() -> Config {
             // parsed — so `--schedule stealing --backend sim,native` and
             // the reverse order mean the same thing.
             "--schedule" | "--schedules" => schedule_spec = Some(value()),
+            "--scenario" | "--scenarios" => {
+                let spec = value();
+                cfg.scenarios = Scenario::parse_set(&spec).unwrap_or_else(|e| usage(&e));
+            }
             "--sizes" => {
+                sizes_explicit = true;
                 cfg.sizes = value()
                     .split(',')
                     .map(|s| {
@@ -185,6 +210,7 @@ fn parse_args() -> Config {
             }
             "--algos" => {
                 let spec = value();
+                algos_explicit = true;
                 if spec != "all" {
                     cfg.algos = spec
                         .split(',')
@@ -202,7 +228,10 @@ fn parse_args() -> Config {
             "--sim-cap" => cfg.sim_cap = value().parse().unwrap_or_else(|_| usage("bad --sim-cap")),
             "--bsp-cap" => cfg.bsp_cap = value().parse().unwrap_or_else(|_| usage("bad --bsp-cap")),
             "--fuse-compare" => cfg.fuse_compare = true,
-            "--out" | "--json-out" => cfg.out = value(),
+            "--out" | "--json-out" => {
+                out_explicit = true;
+                cfg.out = value();
+            }
             "--append" => cfg.append = true,
             other => usage(&format!("unknown flag {other:?}")),
         }
@@ -210,6 +239,24 @@ fn parse_args() -> Config {
     if let Some(spec) = schedule_spec {
         apply_schedule_spec(&mut cfg.backends, &spec)
             .unwrap_or_else(|()| usage(&format!("bad schedule set {spec:?}")));
+    }
+    if !cfg.scenarios.is_empty() {
+        // Scenario mode sweeps scenario × backend, not algorithm × backend:
+        // the algorithm axis, --append merging and the fuse A/B are
+        // per-algorithm machinery, so combining them is a usage error, not
+        // something to ignore silently.
+        if algos_explicit {
+            usage("--scenario sweeps scenarios, not algorithms; drop --algos");
+        }
+        if cfg.append || cfg.fuse_compare {
+            usage("--scenario does not support --append or --fuse-compare");
+        }
+        if !sizes_explicit {
+            cfg.sizes = vec![4096];
+        }
+        if !out_explicit {
+            cfg.out = "BENCH_workloads.json".to_string();
+        }
     }
     if cfg.sizes.is_empty() || cfg.algos.is_empty() {
         usage("need at least one size and one algorithm");
@@ -334,6 +381,112 @@ fn merge_previous(
     (runs, backends, merged_sizes, old_valid)
 }
 
+/// The `--scenario` sweep: scenario × size × backend, with the sim
+/// reference run unconditionally per (scenario, n) — it is both the row's
+/// contention-vs-skew record and the arm of the drift guard, which is
+/// required on **every** native/BSP cell (a cell without a verdict would
+/// read as coverage the artifact doesn't have).  Writes the
+/// `BENCH_workloads.json` document and exits.
+fn scenario_sweep(cfg: &Config, threads_used: usize) -> ! {
+    let backend_names: Vec<&str> = cfg.backends.iter().map(|b| b.name()).collect();
+    println!(
+        "perf_report --scenario: {} scenarios, backends {:?}, sizes {:?}, seed {}, threads {} (host cores {})",
+        cfg.scenarios.len(),
+        backend_names,
+        cfg.sizes,
+        cfg.seed,
+        threads_used,
+        rayon::current_num_threads(),
+    );
+    let wants = |b: Backend| cfg.backends.contains(&b);
+    let mut rows: Vec<Json> = Vec::new();
+    let mut all_valid = true;
+    for &n in &cfg.sizes {
+        if n > cfg.sim_cap {
+            // No reference, no drift guard, no row metadata — refuse
+            // rather than emit unguarded cells.
+            usage(&format!(
+                "--scenario needs the sim reference at every size, but n={n} > --sim-cap {}",
+                cfg.sim_cap
+            ));
+        }
+        for scenario in &cfg.scenarios {
+            let reference = scenario.run(Backend::Sim, n, cfg.seed);
+            println!("{}", reference.format());
+            let mut row_valid = reference.valid;
+            let mut cells: Vec<(&'static str, Json)> = Vec::new();
+            if wants(Backend::Sim) {
+                cells.push((Backend::Sim.name(), reference.cell_json(true)));
+            }
+            // Drift guard, armed on every non-sim cell: the native/BSP run
+            // must replay the exact charged trajectory — same steps, same
+            // contention totals (global and per-epoch), same end-state
+            // digest.  Any drift fails the cell, the row, and the report.
+            let mut guarded = |run: ScenarioRun| {
+                let drift_free = run.report.steps == reference.report.steps
+                    && run.report.contended_claims == reference.report.contended_claims
+                    && run.outcome.epoch_contention == reference.outcome.epoch_contention
+                    && run.outcome.digest == reference.outcome.digest;
+                if !drift_free {
+                    eprintln!(
+                        "perf_report: {} n={n}: {} drifted from the simulator's charge \
+                         (steps {} vs {}, contention {} vs {})",
+                        scenario.name,
+                        run.backend,
+                        run.report.steps,
+                        reference.report.steps,
+                        run.report.contended_claims,
+                        reference.report.contended_claims,
+                    );
+                }
+                println!(
+                    "{}{}",
+                    run.format(),
+                    if drift_free { "" } else { "  DRIFT" }
+                );
+                row_valid &= run.valid && drift_free;
+                cells.push((run.backend, run.cell_json(drift_free)));
+            };
+            if wants(Backend::Native) {
+                guarded(scenario.run_native_with(n, cfg.seed, cfg.threads, Schedule::Chunked));
+            }
+            if wants(Backend::NativeSteal) {
+                guarded(scenario.run_native_with(n, cfg.seed, cfg.threads, Schedule::Stealing));
+            }
+            if wants(Backend::Bsp) {
+                if n <= cfg.bsp_cap {
+                    guarded(scenario.run_bsp(n, cfg.seed, cfg.threads));
+                } else {
+                    eprintln!(
+                        "perf_report: note: skipping bsp at n={n} (> --bsp-cap {}); \
+                         raise --bsp-cap to include it",
+                        cfg.bsp_cap
+                    );
+                }
+            }
+            all_valid &= row_valid;
+            rows.push(scenario_row_json(scenario, &reference, cells, row_valid));
+        }
+    }
+    let doc = workloads_report_json(
+        "perf_report --scenario",
+        cfg.seed,
+        threads_used,
+        &cfg.scenarios,
+        &cfg.backends,
+        &cfg.sizes,
+        all_valid,
+        rows,
+    );
+    write_json_file(&cfg.out, &doc);
+    println!("wrote {}", cfg.out);
+    if !all_valid {
+        eprintln!("perf_report: at least one scenario cell failed validation or drifted");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn ms(run: &Option<BackendRun>) -> String {
     match run {
         Some(r) => format!("{:>9.3}", r.elapsed.as_secs_f64() * 1e3),
@@ -346,6 +499,9 @@ fn main() {
     let threads_used = cfg.threads.unwrap_or_else(|| {
         qrqw_exec::StepPool::from_env().threads() // same resolution the machines use
     });
+    if !cfg.scenarios.is_empty() {
+        scenario_sweep(&cfg, threads_used);
+    }
     let backend_names: Vec<&str> = cfg.backends.iter().map(|b| b.name()).collect();
     println!(
         "perf_report: backends {:?}, sizes {:?}, {} algorithms, seed {}, threads {} (host cores {}), sim cap {}, bsp cap {}",

@@ -13,7 +13,7 @@
 //! cargo run -p qrqw-bench --release --bin service_bench -- \
 //!     [--clients N] [--requests N]   # per client \
 //!     [--window W] [--rate R]        # pipelining / target aggregate req/s \
-//!     [--workload hash|counter|task|mix] [--key-dist uniform|zipf] \
+//!     [--workload hash|counter|task|churn|mix] [--key-dist uniform|zipf:<s>|power-law|all-same|adversarial] \
 //!     [--keyspace N] [--batch-max B] [--linger-us L] \
 //!     [--threads T] [--seed S] [--json-out PATH] [--smoke]
 //! ```
@@ -45,7 +45,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: service_bench [--clients N] [--requests N] [--window W] [--rate R] \
-         [--workload hash|counter|task|mix] [--key-dist uniform|zipf] [--keyspace N] \
+         [--workload hash|counter|task|churn|mix] [--key-dist uniform|zipf:<s>|power-law|all-same|adversarial] [--keyspace N] \
          [--batch-max B] [--linger-us L] [--threads T] [--seed S] [--json-out PATH] [--smoke]"
     );
     std::process::exit(2);
@@ -93,8 +93,7 @@ fn parse_args() -> Cli {
             }
             "--key-dist" => {
                 let spec = value();
-                cli.spec.key_dist = KeyDist::parse(&spec)
-                    .unwrap_or_else(|| usage(&format!("unknown key distribution {spec:?}")));
+                cli.spec.key_dist = KeyDist::parse(&spec).unwrap_or_else(|e| usage(&e));
             }
             "--keyspace" => {
                 cli.spec.keyspace = value().parse().unwrap_or_else(|_| usage("bad --keyspace"))

@@ -19,7 +19,7 @@
 //! cargo run -p qrqw-bench --release --bin service_report            # full sweep
 //! cargo run -p qrqw-bench --release --bin service_report -- \
 //!     [--clients N] [--requests N] [--batch-sizes 1,64,1024,8192] \
-//!     [--workloads hash,counter,task] [--key-dist uniform|zipf] \
+//!     [--workloads hash,counter,task,churn] [--key-dist uniform|zipf:<s>|power-law|all-same|adversarial] \
 //!     [--threads T] [--seed S] [--quick] [--json-out BENCH_service.json]
 //! ```
 //!
@@ -50,7 +50,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: service_report [--clients N] [--requests N] [--batch-sizes N,N] \
-         [--workloads hash,counter,task] [--key-dist uniform|zipf] [--threads T] \
+         [--workloads hash,counter,task,churn] [--key-dist uniform|zipf:<s>|power-law|all-same|adversarial] [--threads T] \
          [--seed S] [--quick] [--json-out PATH]"
     );
     std::process::exit(2);
@@ -100,8 +100,7 @@ fn parse_args() -> Cli {
             }
             "--key-dist" => {
                 let spec = value();
-                cli.key_dist = KeyDist::parse(&spec)
-                    .unwrap_or_else(|| usage(&format!("unknown key distribution {spec:?}")));
+                cli.key_dist = KeyDist::parse(&spec).unwrap_or_else(|e| usage(&e));
             }
             "--threads" => {
                 cli.threads = Some(value().parse().unwrap_or_else(|_| usage("bad --threads")))

@@ -313,7 +313,7 @@ pub fn run_chaos(
 ) -> ChaosSummary {
     let server = Server::spawn_with_pool(config, policy, StepPool::with_threads(threads));
     let handle = server.handle();
-    let sampler = KeySampler::new(KeyDist::Zipf, spec.keyspace);
+    let sampler = KeySampler::new(KeyDist::Zipf(1.0), spec.keyspace);
     let mut workload_rng = SmallRng::seed_from_u64(spec.seed);
     let mut fault_rng = SmallRng::seed_from_u64(plan.seed);
     let window = spec.window.max(1);

@@ -40,7 +40,9 @@ use qrqw_sim::{CostModel, CostReport, Machine, Pram, TraceSummary, EMPTY};
 
 pub mod chaos;
 pub mod report;
+pub mod scenario;
 pub mod service;
+pub mod workload;
 
 /// Which [`Machine`] backend a harness run executes on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

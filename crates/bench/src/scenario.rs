@@ -1,0 +1,635 @@
+//! The scenario subsystem: parameterized multi-epoch churn workloads.
+//!
+//! A [`Scenario`] is a workload parameter block — key distribution
+//! ([`KeyDist`]), an insert:delete:lookup churn ratio, and an epoch count —
+//! and [`Scenario::run_churn`] is the multi-epoch driver that executes it
+//! on any [`Machine`] backend: every epoch applies a mixed batch of hash
+//! operations against a live [`OpenTable`] (deletes tombstone cells,
+//! growth rebuilds purge them), one emulated Fetch&Add step over a
+//! counter bank, and one §3 QRQW load-balancing pass over the epoch's
+//! key-traffic histogram — with **machine state carried between epochs**,
+//! unlike the one-shot registry algorithms.
+//!
+//! The driver is deterministic by construction: the operation trace
+//! depends only on `(scenario, n, seed)`, machine operations are issued
+//! in host trace order (occupy-claim winners are the lowest claimant
+//! index on every backend), and rebuild triggers depend only on host-side
+//! counters.  One churn trace therefore produces **bit-identical**
+//! digests, step counts, and per-epoch contention totals on sim, native,
+//! native-steal, and BSP machines at any thread count — which is what
+//! `tests/scenarios.rs` pins and what arms `perf_report`'s sim-vs-native
+//! drift guard on every `--scenario` cell.
+//!
+//! Alongside the digest, the driver measures the *skew* the distribution
+//! actually produced ([`ChurnOutcome::hot_fraction`]) so the committed
+//! `BENCH_workloads.json` can record contention as a function of skew —
+//! the axis the paper's uniform-input Table II never opened.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use qrqw_bsp::BspMachine;
+use qrqw_core::{emulate_fetch_add_step, load_balance_qrqw, OpenTable};
+use qrqw_exec::NativeMachine;
+use qrqw_sim::{CostReport, Machine, Pram};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::Json;
+use crate::workload::{KeyDist, KeySampler};
+use crate::Backend;
+
+/// One scenario: a named workload parameter block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Registry name, or the spec string a custom scenario parsed from.
+    pub name: String,
+    /// Key distribution the trace draws from.
+    pub dist: KeyDist,
+    /// Relative insert : delete : lookup weights of the hash traffic.
+    pub churn: [u32; 3],
+    /// Epochs the driver runs (state carries across them).
+    pub epochs: usize,
+}
+
+impl Scenario {
+    /// The registered sweep set: one scenario per distribution family,
+    /// covering the whole skew axis from uniform to the crafted adversary.
+    pub fn registry() -> Vec<Scenario> {
+        vec![
+            Scenario {
+                name: "uniform-churn".into(),
+                dist: KeyDist::Uniform,
+                churn: [2, 1, 2],
+                epochs: 6,
+            },
+            Scenario {
+                name: "zipf-hot".into(),
+                dist: KeyDist::Zipf(1.2),
+                churn: [3, 1, 4],
+                epochs: 6,
+            },
+            Scenario {
+                name: "power-law-churn".into(),
+                dist: KeyDist::PowerLaw,
+                churn: [2, 1, 2],
+                epochs: 6,
+            },
+            Scenario {
+                name: "all-same-key".into(),
+                dist: KeyDist::AllSame,
+                churn: [1, 1, 2],
+                epochs: 4,
+            },
+            Scenario {
+                name: "adversarial-collide".into(),
+                dist: KeyDist::Adversarial,
+                churn: [3, 1, 2],
+                epochs: 6,
+            },
+        ]
+    }
+
+    /// Parses one scenario: a registry name, or a custom spec
+    /// `<dist>/<ins>:<del>:<look>/<epochs>` (e.g. `zipf:1.5/3:1:4/8`).
+    /// Unknown names are an error carrying the vocabulary — never a
+    /// silent default (the `QRQW_SCHEDULE` contract).
+    pub fn parse(spec: &str) -> Result<Scenario, String> {
+        if let Some(s) = Self::registry().into_iter().find(|s| s.name == spec) {
+            return Ok(s);
+        }
+        let parts: Vec<&str> = spec.split('/').collect();
+        if parts.len() != 3 {
+            let names: Vec<String> = Self::registry().into_iter().map(|s| s.name).collect();
+            return Err(format!(
+                "unknown scenario {spec:?} (valid: {}, or <dist>/<ins>:<del>:<look>/<epochs>)",
+                names.join(", ")
+            ));
+        }
+        let dist = KeyDist::parse(parts[0])?;
+        let ratio: Vec<&str> = parts[1].split(':').collect();
+        if ratio.len() != 3 {
+            return Err(format!(
+                "bad churn ratio {:?} (want <ins>:<del>:<look>)",
+                parts[1]
+            ));
+        }
+        let mut churn = [0u32; 3];
+        for (slot, r) in churn.iter_mut().zip(&ratio) {
+            *slot = r
+                .parse()
+                .map_err(|_| format!("bad churn weight {r:?} in {spec:?}"))?;
+        }
+        if churn.iter().all(|&w| w == 0) {
+            return Err(format!(
+                "churn ratio in {spec:?} must have a nonzero weight"
+            ));
+        }
+        let epochs: usize = parts[2]
+            .parse()
+            .map_err(|_| format!("bad epoch count {:?} in {spec:?}", parts[2]))?;
+        if epochs == 0 {
+            return Err(format!("epoch count in {spec:?} must be >= 1"));
+        }
+        Ok(Scenario {
+            name: spec.to_string(),
+            dist,
+            churn,
+            epochs,
+        })
+    }
+
+    /// Parses a comma-separated scenario set; `"all"` selects the whole
+    /// registry.
+    pub fn parse_set(spec: &str) -> Result<Vec<Scenario>, String> {
+        if spec == "all" {
+            return Ok(Self::registry());
+        }
+        spec.split(',').map(|s| Self::parse(s.trim())).collect()
+    }
+
+    /// The churn ratio as its spec form (`"2:1:2"`).
+    pub fn churn_label(&self) -> String {
+        format!("{}:{}:{}", self.churn[0], self.churn[1], self.churn[2])
+    }
+
+    /// Runs the multi-epoch churn driver on `m` (see the module docs) and
+    /// returns the outcome.  `seed` feeds the trace generator — callers
+    /// must pass the same seed the machine was built with to make
+    /// cross-backend runs comparable.
+    pub fn run_churn<M: Machine>(&self, m: &mut M, n: usize, seed: u64) -> ChurnOutcome {
+        let ops_per_epoch = n.max(16);
+        let keyspace = n.max(16);
+        let num_counters = (n / 4).max(4);
+        let balance_procs = (n / 16).max(4);
+        let sampler = KeySampler::new(self.dist, keyspace);
+        let counter_base = m.alloc(num_counters);
+        // Start the table small relative to the epoch volume so growth
+        // rebuilds (and their tombstone purges) actually fire mid-run.
+        let mut table = OpenTable::new(m, (ops_per_epoch / 4).max(1));
+
+        let mut valid = true;
+        let mut model: HashSet<u64> = HashSet::new();
+        let mut counter_model: Vec<u64> = vec![0; num_counters];
+        let mut key_traffic: HashMap<u64, u64> = HashMap::new();
+        let mut hash_ops = 0u64;
+        let mut total_ops = 0u64;
+        let mut epoch_contention = Vec::with_capacity(self.epochs);
+        let weights = self.churn;
+        let total_weight = u64::from(weights[0] + weights[1] + weights[2]);
+
+        for epoch in 0..self.epochs {
+            let contended_before = m.cost_report().contended_claims;
+            let mut rng =
+                SmallRng::seed_from_u64(seed ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9));
+
+            // ---- Decode walk (host-side, strictly in trace order): the
+            // same overlay scheme as a qrqw-serve batch, so insert-delete
+            // pairs net away and machine ops derive from first-touch order.
+            let mut overlay: HashMap<u64, bool> = HashMap::new();
+            let mut touched: Vec<u64> = Vec::new();
+            let mut lookups: Vec<(u64, bool)> = Vec::new(); // (key, pre-epoch presence)
+            for _ in 0..ops_per_epoch {
+                let key = sampler.sample(&mut rng);
+                *key_traffic.entry(key).or_default() += 1;
+                hash_ops += 1;
+                let roll = rng.gen_range(0..total_weight) as u32;
+                let present = overlay
+                    .get(&key)
+                    .copied()
+                    .unwrap_or_else(|| model.contains(&key));
+                if roll < weights[0] {
+                    // insert
+                    if !present {
+                        if !overlay.contains_key(&key) {
+                            touched.push(key);
+                        }
+                        overlay.insert(key, true);
+                    }
+                } else if roll < weights[0] + weights[1] {
+                    // delete
+                    if present {
+                        if !overlay.contains_key(&key) {
+                            touched.push(key);
+                        }
+                        overlay.insert(key, false);
+                    }
+                } else {
+                    // lookup: answered against the pre-epoch table below
+                    lookups.push((key, model.contains(&key)));
+                }
+            }
+            let mut new_keys = Vec::new();
+            let mut dead_keys = Vec::new();
+            for &key in &touched {
+                let fin = overlay[&key];
+                let was = model.contains(&key);
+                if fin && !was {
+                    new_keys.push(key);
+                } else if !fin && was {
+                    dead_keys.push(key);
+                }
+            }
+
+            // ---- Machine stage: lookups against the pre-epoch table,
+            // then deletes, then inserts.
+            if !lookups.is_empty() {
+                let keys: Vec<u64> = lookups.iter().map(|&(k, _)| k).collect();
+                let found = table.lookup(m, &keys);
+                valid &= found
+                    .iter()
+                    .zip(&lookups)
+                    .all(|(&got, &(_, want))| got == want);
+            }
+            table.remove_present(m, &dead_keys);
+            table.insert_new(m, &new_keys);
+            for &key in &dead_keys {
+                model.remove(&key);
+            }
+            model.extend(new_keys.iter().copied());
+
+            // ---- One Fetch&Add step over the counter bank (Lemma 7.5),
+            // keys drawn from the same skewed distribution.
+            let fadd_reqs: Vec<(usize, u64)> = (0..num_counters.max(4))
+                .map(|_| {
+                    let c = (sampler.sample(&mut rng) % num_counters as u64) as usize;
+                    (counter_base + c, rng.gen_range(1..4u64))
+                })
+                .collect();
+            total_ops += fadd_reqs.len() as u64;
+            let olds = emulate_fetch_add_step(m, &fadd_reqs);
+            for (&(addr, delta), &old) in fadd_reqs.iter().zip(&olds) {
+                let c = addr - counter_base;
+                valid &= old == counter_model[c];
+                counter_model[c] += delta;
+            }
+
+            // ---- Rebalance the epoch's key traffic across virtual
+            // processors with the §3 QRQW load balancer.
+            let mut loads = vec![0u64; balance_procs];
+            for (&key, &count) in &key_traffic {
+                loads[(key % balance_procs as u64) as usize] += count;
+            }
+            let res = load_balance_qrqw(m, &loads);
+            valid &= res.covers_exactly(&loads);
+
+            epoch_contention.push(m.cost_report().contended_claims - contended_before);
+        }
+        total_ops += hash_ops;
+
+        // ---- Digest + final cross-check against the host model.
+        let mut keys = table.live_keys(m);
+        keys.sort_unstable();
+        let mut want: Vec<u64> = model.iter().copied().collect();
+        want.sort_unstable();
+        valid &= keys == want;
+        let digest = ChurnDigest {
+            keys,
+            counters: m.dump(counter_base, num_counters),
+            len: table.len(),
+        };
+        let hot = key_traffic.values().copied().max().unwrap_or(0);
+        ChurnOutcome {
+            valid,
+            digest,
+            ops: total_ops,
+            hot_fraction: hot as f64 / (hash_ops as f64).max(1.0),
+            epoch_contention,
+        }
+    }
+
+    /// Creates a fresh machine of the requested backend, runs the churn
+    /// driver on it, and packages the result (the scenario analogue of
+    /// `Algorithm::run`).
+    pub fn run(&self, backend: Backend, n: usize, seed: u64) -> ScenarioRun {
+        match backend {
+            Backend::Sim => {
+                let mut m = Pram::with_seed(16, seed);
+                let started = Instant::now();
+                let outcome = self.run_churn(&mut m, n, seed);
+                self.package(
+                    backend,
+                    n,
+                    seed,
+                    started.elapsed(),
+                    m.cost_report(),
+                    outcome,
+                )
+            }
+            Backend::Native => self.run_native_pool(n, seed, qrqw_exec::StepPool::from_env()),
+            Backend::NativeSteal => {
+                self.run_native_with(n, seed, None, qrqw_exec::Schedule::Stealing)
+            }
+            Backend::Bsp => self.run_bsp(n, seed, None),
+        }
+    }
+
+    /// Runs the driver on a fresh native machine with an explicit chunk
+    /// schedule (ignoring `QRQW_SCHEDULE`), optionally pinning threads.
+    pub fn run_native_with(
+        &self,
+        n: usize,
+        seed: u64,
+        threads: Option<usize>,
+        schedule: qrqw_exec::Schedule,
+    ) -> ScenarioRun {
+        let pool = match threads {
+            Some(t) => qrqw_exec::StepPool::with_threads(t),
+            None => qrqw_exec::StepPool::from_env(),
+        }
+        .with_schedule(schedule);
+        self.run_native_pool(n, seed, pool)
+    }
+
+    /// Runs the driver on a fresh native machine built around an explicit,
+    /// fully-configured [`qrqw_exec::StepPool`].
+    pub fn run_native_pool(&self, n: usize, seed: u64, pool: qrqw_exec::StepPool) -> ScenarioRun {
+        let mut m = NativeMachine::with_pool(16, seed, pool);
+        let started = Instant::now();
+        let outcome = self.run_churn(&mut m, n, seed);
+        let backend = Backend::parse(m.backend())
+            .expect("every native backend name is registered in Backend::ALL");
+        self.package(
+            backend,
+            n,
+            seed,
+            started.elapsed(),
+            m.cost_report(),
+            outcome,
+        )
+    }
+
+    /// Runs the driver on a fresh BSP machine, optionally pinning the
+    /// compute-phase thread count.
+    pub fn run_bsp(&self, n: usize, seed: u64, threads: Option<usize>) -> ScenarioRun {
+        let mut m = match threads {
+            Some(t) => BspMachine::with_threads(16, seed, t),
+            None => BspMachine::with_seed(16, seed),
+        };
+        let started = Instant::now();
+        let outcome = self.run_churn(&mut m, n, seed);
+        self.package(
+            Backend::Bsp,
+            n,
+            seed,
+            started.elapsed(),
+            m.cost_report(),
+            outcome,
+        )
+    }
+
+    fn package(
+        &self,
+        backend: Backend,
+        n: usize,
+        seed: u64,
+        elapsed: Duration,
+        report: CostReport,
+        outcome: ChurnOutcome,
+    ) -> ScenarioRun {
+        ScenarioRun {
+            scenario: self.name.clone(),
+            backend: backend.name(),
+            n,
+            seed,
+            valid: outcome.valid,
+            elapsed,
+            report,
+            outcome,
+        }
+    }
+}
+
+/// Canonical observable end state of a churn run, for cross-backend
+/// parity: sorted live keys (placement is canonicalized away — occupy
+/// winners are backend-deterministic but the *digest* shouldn't depend on
+/// that), the raw counter region, and the live count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnDigest {
+    /// Sorted keys present in the table at the end of the run.
+    pub keys: Vec<u64>,
+    /// Raw dump of the counter region.
+    pub counters: Vec<u64>,
+    /// Live key count (cross-checks `keys.len()` against the table's
+    /// occupancy counter).
+    pub len: usize,
+}
+
+/// Everything one churn run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnOutcome {
+    /// All in-run validations passed (lookup answers, Fetch&Add
+    /// serialization, balance coverage, final model cross-check).
+    pub valid: bool,
+    /// Canonical end state.
+    pub digest: ChurnDigest,
+    /// Total requests driven through the machine (hash + Fetch&Add).
+    pub ops: u64,
+    /// Fraction of hash traffic that hit the single hottest key — the
+    /// measured skew the report plots contention against.
+    pub hot_fraction: f64,
+    /// Contended claims accrued in each epoch (bit-identical across
+    /// backends; the drift guard compares the whole vector).
+    pub epoch_contention: Vec<u64>,
+}
+
+/// One scenario execution on one backend.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// [`Scenario::name`] of the run.
+    pub scenario: String,
+    /// [`Backend::name`] of the run.
+    pub backend: &'static str,
+    /// Scale parameter (ops per epoch and keyspace).
+    pub n: usize,
+    /// Machine + trace seed.
+    pub seed: u64,
+    /// Whether every in-run validation passed.
+    pub valid: bool,
+    /// Wall-clock time of the driver.
+    pub elapsed: Duration,
+    /// The backend's cost report after the run.
+    pub report: CostReport,
+    /// The driver's outcome (digest, skew, per-epoch contention).
+    pub outcome: ChurnOutcome,
+}
+
+impl ScenarioRun {
+    /// Formats the run as one harness row.
+    pub fn format(&self) -> String {
+        format!(
+            "{:<20} {:<12} n={:<6} {:>9.3} ms  hot={:.3} contended={} valid={}",
+            self.scenario,
+            self.backend,
+            self.n,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.outcome.hot_fraction,
+            self.report.contended_claims,
+            self.valid,
+        )
+    }
+
+    /// This run as one per-backend cell of a `BENCH_workloads.json` row.
+    /// `drift_free` records the armed sim-vs-native guard's verdict for
+    /// this cell (trivially true for the sim reference itself).
+    pub fn cell_json(&self, drift_free: bool) -> Json {
+        Json::obj(vec![
+            ("wall_ms", Json::float(self.elapsed.as_secs_f64() * 1e3, 3)),
+            ("steps", Json::Int(self.report.steps)),
+            ("claim_attempts", Json::Int(self.report.claim_attempts)),
+            ("contended_claims", Json::Int(self.report.contended_claims)),
+            (
+                "contention_per_op",
+                Json::float(
+                    self.report.contended_claims as f64 / (self.outcome.ops as f64).max(1.0),
+                    4,
+                ),
+            ),
+            ("valid", Json::Bool(self.valid)),
+            ("drift_free", Json::Bool(drift_free)),
+        ])
+    }
+}
+
+/// Assembles one `BENCH_workloads.json` row from a scenario's sweep cells
+/// (`reference` is the sim run the drift guard compared everything
+/// against).  Shared by `perf_report --scenario` and the schema test.
+pub fn scenario_row_json(
+    scenario: &Scenario,
+    reference: &ScenarioRun,
+    cells: Vec<(&'static str, Json)>,
+    row_valid: bool,
+) -> Json {
+    Json::obj(vec![
+        ("scenario", Json::str(&scenario.name)),
+        ("dist", Json::Str(scenario.dist.label())),
+        ("churn", Json::Str(scenario.churn_label())),
+        ("epochs", Json::Int(scenario.epochs as u64)),
+        ("n", Json::Int(reference.n as u64)),
+        ("seed", Json::Int(reference.seed)),
+        ("ops", Json::Int(reference.outcome.ops)),
+        (
+            "hot_fraction",
+            Json::float(reference.outcome.hot_fraction, 4),
+        ),
+        (
+            "epoch_contention",
+            Json::Arr(
+                reference
+                    .outcome
+                    .epoch_contention
+                    .iter()
+                    .map(|&c| Json::Int(c))
+                    .collect(),
+            ),
+        ),
+        (
+            "backends",
+            Json::Obj(
+                cells
+                    .into_iter()
+                    .map(|(name, cell)| (name.to_string(), cell))
+                    .collect(),
+            ),
+        ),
+        ("valid", Json::Bool(row_valid)),
+    ])
+}
+
+/// Assembles the top-level `BENCH_workloads.json` document (shared by
+/// `perf_report --scenario` and the committed-artifact schema test).
+/// One parameter per top-level header field, by design — collapsing them
+/// into a struct would just move the field list one call site away.
+#[allow(clippy::too_many_arguments)]
+pub fn workloads_report_json(
+    generated_by: &str,
+    seed: u64,
+    threads: usize,
+    scenarios: &[Scenario],
+    backends: &[Backend],
+    sizes: &[usize],
+    all_valid: bool,
+    rows: Vec<Json>,
+) -> Json {
+    Json::obj(vec![
+        ("generated_by", Json::str(generated_by)),
+        ("seed", Json::Int(seed)),
+        ("threads", Json::Int(threads as u64)),
+        ("host_cores", Json::Int(rayon::current_num_threads() as u64)),
+        (
+            "scenarios",
+            Json::Arr(scenarios.iter().map(|s| Json::str(&s.name)).collect()),
+        ),
+        (
+            "backends",
+            Json::Arr(backends.iter().map(|b| Json::str(b.name())).collect()),
+        ),
+        (
+            "sizes",
+            Json::Arr(sizes.iter().map(|&n| Json::Int(n as u64)).collect()),
+        ),
+        ("all_valid", Json::Bool(all_valid)),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_parse_back_to_themselves() {
+        for s in Scenario::registry() {
+            assert_eq!(Scenario::parse(&s.name), Ok(s.clone()), "{}", s.name);
+        }
+        assert_eq!(Scenario::parse_set("all").unwrap(), Scenario::registry());
+    }
+
+    #[test]
+    fn custom_specs_parse_and_bad_ones_reject_loudly() {
+        let s = Scenario::parse("zipf:1.5/3:1:4/8").unwrap();
+        assert_eq!(s.dist, KeyDist::Zipf(1.5));
+        assert_eq!(s.churn, [3, 1, 4]);
+        assert_eq!(s.epochs, 8);
+        for bad in [
+            "nope",
+            "uniform/1:1/4",
+            "uniform/1:1:x/4",
+            "uniform/0:0:0/4",
+            "uniform/1:1:1/0",
+            "zipfian/1:1:1/4",
+        ] {
+            let err = Scenario::parse(bad).expect_err(bad);
+            assert!(!err.is_empty());
+        }
+    }
+
+    #[test]
+    fn churn_driver_validates_on_the_simulator() {
+        for scenario in Scenario::registry() {
+            let mut m = Pram::with_seed(16, 7);
+            let outcome = scenario.run_churn(&mut m, 64, 7);
+            assert!(outcome.valid, "{} invalid on sim", scenario.name);
+            assert_eq!(outcome.epoch_contention.len(), scenario.epochs);
+            assert_eq!(outcome.digest.keys.len(), outcome.digest.len);
+            assert!(outcome.hot_fraction > 0.0 && outcome.hot_fraction <= 1.0);
+        }
+    }
+
+    #[test]
+    fn skewed_scenarios_measure_more_skew_than_uniform() {
+        let run = |name: &str| {
+            let scenario = Scenario::parse(name).unwrap();
+            let mut m = Pram::with_seed(16, 3);
+            scenario.run_churn(&mut m, 256, 3).hot_fraction
+        };
+        let uniform = run("uniform-churn");
+        let zipf = run("zipf-hot");
+        let all_same = run("all-same-key");
+        assert!(
+            zipf > uniform,
+            "zipf {zipf} must out-skew uniform {uniform}"
+        );
+        assert!((all_same - 1.0).abs() < 1e-9, "all-same is total skew");
+    }
+}

@@ -16,9 +16,10 @@
 //! so the validator checks exactly the properties that hold for *every*
 //! interleaving (the service's trace-determinism makes them exact):
 //!
-//! * the machine hash table holds exactly the keys whose insert was
-//!   answered `Inserted(true)` — those answers are unique per key by
-//!   trace-determinism, so the multiset union is a set;
+//! * the machine hash table holds exactly the keys whose acknowledged
+//!   `Inserted(true)` replies outnumber their acknowledged `Removed(true)`
+//!   replies — by trace-determinism those acks strictly alternate per key,
+//!   so the counts differ by 0 (absent) or 1 (present);
 //! * the counter region sums to the total of acknowledged deltas;
 //! * `next_seq` equals the number of acknowledged submits, and the
 //!   pending-task count equals submits minus successful steals.
@@ -46,7 +47,12 @@ pub enum ServiceWorkload {
     Counter,
     /// Task-pool traffic: 55% submit, 45% steal.
     Task,
-    /// Uniform mix of the three above.
+    /// Hash churn: 40% insert, 20% delete, 40% lookup over the same
+    /// keyspace — sustained presence turnover, exercising tombstones and
+    /// growth-time purges.  Not part of [`ServiceWorkload::ALL`], so the
+    /// committed `BENCH_service.json` sweep's shape is unchanged.
+    Churn,
+    /// Uniform mix of hash/counter/task.
     Mix,
 }
 
@@ -65,6 +71,7 @@ impl ServiceWorkload {
             ServiceWorkload::Hash => "hash",
             ServiceWorkload::Counter => "counter",
             ServiceWorkload::Task => "task",
+            ServiceWorkload::Churn => "churn",
             ServiceWorkload::Mix => "mix",
         }
     }
@@ -75,80 +82,14 @@ impl ServiceWorkload {
             "hash" => Some(ServiceWorkload::Hash),
             "counter" => Some(ServiceWorkload::Counter),
             "task" => Some(ServiceWorkload::Task),
+            "churn" => Some(ServiceWorkload::Churn),
             "mix" => Some(ServiceWorkload::Mix),
             _ => None,
         }
     }
 }
 
-/// Key distribution of the generated traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum KeyDist {
-    /// Uniform over the keyspace.
-    Uniform,
-    /// Zipf(s = 1) over the keyspace: rank-`i` key has weight `1/(i+1)`,
-    /// so a few hot keys absorb most of the traffic — the high-contention
-    /// regime the QRQW model charges for.
-    Zipf,
-}
-
-impl KeyDist {
-    /// Parses a distribution name.
-    pub fn parse(s: &str) -> Option<KeyDist> {
-        match s {
-            "uniform" => Some(KeyDist::Uniform),
-            "zipf" => Some(KeyDist::Zipf),
-            _ => None,
-        }
-    }
-
-    /// Short name.
-    pub fn name(self) -> &'static str {
-        match self {
-            KeyDist::Uniform => "uniform",
-            KeyDist::Zipf => "zipf",
-        }
-    }
-}
-
-/// Precomputed sampler over `[0, n)` for a [`KeyDist`].
-pub(crate) struct KeySampler {
-    /// Zipf CDF; empty for the uniform distribution.
-    cdf: Vec<f64>,
-    n: u64,
-}
-
-impl KeySampler {
-    pub(crate) fn new(dist: KeyDist, n: usize) -> Self {
-        let n = n.max(1);
-        let cdf = match dist {
-            KeyDist::Uniform => Vec::new(),
-            KeyDist::Zipf => {
-                let mut cdf = Vec::with_capacity(n);
-                let mut acc = 0.0;
-                for i in 0..n {
-                    acc += 1.0 / (i + 1) as f64;
-                    cdf.push(acc);
-                }
-                let total = acc;
-                for v in &mut cdf {
-                    *v /= total;
-                }
-                cdf
-            }
-        };
-        KeySampler { cdf, n: n as u64 }
-    }
-
-    pub(crate) fn sample(&self, rng: &mut SmallRng) -> u64 {
-        if self.cdf.is_empty() {
-            rng.gen_range(0..self.n)
-        } else {
-            let u: f64 = rng.gen();
-            self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1) as u64
-        }
-    }
-}
+pub use crate::workload::{KeyDist, KeySampler};
 
 /// One load-generation run's shape.
 #[derive(Debug, Clone, Copy)]
@@ -177,6 +118,7 @@ pub struct LoadSpec {
 #[derive(Debug, Default)]
 struct ClientOutcome {
     inserted: Vec<u64>,
+    removed: Vec<u64>,
     delta_sum: u64,
     submits: u64,
     steals: u64,
@@ -191,6 +133,7 @@ struct ClientOutcome {
 impl ClientOutcome {
     fn absorb(&mut self, other: ClientOutcome) {
         self.inserted.extend(other.inserted);
+        self.removed.extend(other.removed);
         self.delta_sum += other.delta_sum;
         self.submits += other.submits;
         self.steals += other.steals;
@@ -222,6 +165,7 @@ impl ClientOutcome {
         }
         match (request, response) {
             (Request::HashInsert { key }, Ok(Reply::Inserted(true))) => self.inserted.push(key),
+            (Request::HashDelete { key }, Ok(Reply::Removed(true))) => self.removed.push(key),
             (Request::CounterAdd { delta, .. }, Ok(Reply::Counter(_))) => {
                 self.delta_sum += delta;
             }
@@ -252,6 +196,14 @@ pub(crate) fn generate(
                 0..=3 => Request::HashInsert { key },
                 4..=7 => Request::HashLookup { key },
                 _ => Request::HashContains { key },
+            }
+        }
+        ServiceWorkload::Churn => {
+            let key = sampler.sample(rng);
+            match rng.gen_range(0..10u64) {
+                0..=3 => Request::HashInsert { key },
+                4..=5 => Request::HashDelete { key },
+                _ => Request::HashLookup { key },
             }
         }
         ServiceWorkload::Counter => {
@@ -394,21 +346,35 @@ impl RunSummary {
 /// module docs for why exactly these properties are interleaving-proof).
 fn validate_digest(digest: &StateDigest, agg: &ClientOutcome) -> Vec<String> {
     let mut errors = Vec::new();
-    let mut acked: Vec<u64> = agg.inserted.clone();
-    acked.sort_unstable();
-    let deduped = {
-        let mut v = acked.clone();
-        v.dedup();
-        v
-    };
-    if deduped.len() != acked.len() {
-        errors.push("two clients were both told Inserted(true) for one key".to_string());
+    // Per-key presence accounting.  Trace-determinism makes acknowledged
+    // `Inserted(true)` / `Removed(true)` replies for one key strictly
+    // alternate (starting with an insert), so for every key the acked
+    // insert count either equals the acked remove count (key absent) or
+    // exceeds it by exactly one (key present) — under *any* client
+    // interleaving.  With no deletes in the trace this degenerates to the
+    // old uniqueness check: at most one `Inserted(true)` per key.
+    let mut flips: std::collections::BTreeMap<u64, (u64, u64)> = std::collections::BTreeMap::new();
+    for &k in &agg.inserted {
+        flips.entry(k).or_default().0 += 1;
     }
-    if digest.hash_keys != deduped {
+    for &k in &agg.removed {
+        flips.entry(k).or_default().1 += 1;
+    }
+    let mut expect_present: Vec<u64> = Vec::new();
+    for (&k, &(ins, rem)) in &flips {
+        if rem > ins || ins > rem + 1 {
+            errors.push(format!(
+                "key {k}: {ins} acked inserts vs {rem} acked removes cannot alternate"
+            ));
+        } else if ins == rem + 1 {
+            expect_present.push(k);
+        }
+    }
+    if digest.hash_keys != expect_present {
         errors.push(format!(
-            "hash table holds {} keys but {} inserts were acknowledged",
+            "hash table holds {} keys but acked insert/remove flips leave {}",
             digest.hash_keys.len(),
-            deduped.len()
+            expect_present.len()
         ));
     }
     let counter_sum: u64 = digest.counters.iter().filter(|&&v| v != EMPTY).sum();

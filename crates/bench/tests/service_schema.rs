@@ -67,7 +67,7 @@ fn micro_sweep() -> Json {
                 window: 4,
                 rate: 0.0,
                 workload,
-                key_dist: KeyDist::Zipf,
+                key_dist: KeyDist::Zipf(1.0),
                 keyspace: 128,
                 seed: 5,
             },

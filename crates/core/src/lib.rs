@@ -39,6 +39,7 @@ pub mod hashing;
 pub mod integer_sort;
 pub mod load_balancing;
 pub mod multiple_compaction;
+pub mod open_table;
 pub mod permutation;
 pub mod sample_sort;
 pub mod spawning;
@@ -56,6 +57,7 @@ pub use load_balancing::{load_balance_erew, load_balance_qrqw, LoadBalanceResult
 pub use multiple_compaction::{
     heavy_multiple_compaction, light_multiple_compaction, multiple_compaction, McLayout, McResult,
 };
+pub use open_table::{OpenTable, TableGeometry, TOMBSTONE};
 pub use permutation::{
     is_permutation, random_permutation_dart_scan, random_permutation_qrqw,
     random_permutation_sorting_erew, PermutationOutcome,

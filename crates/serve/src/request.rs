@@ -42,6 +42,15 @@ pub enum Request {
         /// The key to test; must be `< MAX_KEY`.
         key: u64,
     },
+    /// Remove `key` from the hash set.  Replies [`Reply::Removed`] with
+    /// `true` iff the key was present at this point of the trace (i.e. some
+    /// earlier insert is not yet cancelled by an earlier delete).  The
+    /// machine-resident table tombstones the key's cell and purges
+    /// tombstones on growth (see `qrqw_core::open_table`).
+    HashDelete {
+        /// The key to remove; must be `< MAX_KEY`.
+        key: u64,
+    },
     /// Atomically add `delta` to counter `counter`.  Replies
     /// [`Reply::Counter`] with the value the counter held just before this
     /// request's addition (Fetch&Add semantics).
@@ -100,7 +109,8 @@ impl Request {
         match self {
             Request::HashInsert { .. }
             | Request::HashLookup { .. }
-            | Request::HashContains { .. } => "hash",
+            | Request::HashContains { .. }
+            | Request::HashDelete { .. } => "hash",
             Request::CounterAdd { .. } | Request::CounterRead { .. } => "counter",
             Request::TaskSubmit { .. } | Request::TaskSteal => "task",
             Request::Fault(_) => "fault",
@@ -113,6 +123,8 @@ impl Request {
 pub enum Reply {
     /// Hash insert: `true` iff the key was newly inserted.
     Inserted(bool),
+    /// Hash delete: `true` iff the key was present and is now removed.
+    Removed(bool),
     /// Hash lookup / contains verdict.
     Found(bool),
     /// Counter value observed just before this request's (possibly zero)
@@ -184,6 +196,7 @@ mod tests {
     fn workload_labels_cover_every_variant() {
         assert_eq!(Request::HashInsert { key: 1 }.workload(), "hash");
         assert_eq!(Request::HashContains { key: 1 }.workload(), "hash");
+        assert_eq!(Request::HashDelete { key: 1 }.workload(), "hash");
         assert_eq!(
             Request::CounterAdd {
                 counter: 0,

@@ -3,9 +3,11 @@
 //! [`ServiceState`] owns a persistent native machine plus the three
 //! workload states living in (or mirrored against) its shared memory:
 //!
-//! * a machine-resident **hash set** (open addressing, double-hash probe
-//!   sequences; inserts are occupy-mode [`Machine::claim`]s, so a batch of
-//!   inserts is exactly the paper's low-contention cell-claiming step);
+//! * a machine-resident **hash set** ([`qrqw_core::OpenTable`]: open
+//!   addressing, double-hash probe sequences; inserts are occupy-mode
+//!   `Machine::claim`s, so a batch of inserts is exactly the paper's
+//!   low-contention cell-claiming step; deletes tombstone their cell, and
+//!   growth rebuilds purge the tombstones);
 //! * a machine-resident **counter bank** (a batch of adds/reads is one
 //!   emulated Fetch&Add step, Lemma 7.5);
 //! * a **task pool** (host-side FIFO index; every batch with task traffic
@@ -24,8 +26,13 @@
 //! requests that precede it in submission order, regardless of where batch
 //! boundaries fall.  Concretely, within a batch:
 //!
-//! * a hash lookup answers `true` iff the key was inserted by an earlier
-//!   request (earlier batch, or earlier position in this batch);
+//! * a hash lookup answers `true` iff the key is present *at its trace
+//!   position*: some earlier request inserted it and no later-but-earlier
+//!   request deleted it (earlier batch, or earlier position in this batch);
+//! * a hash delete answers `true` iff the key was present at its trace
+//!   position; insert-then-delete inside one batch nets to **no machine
+//!   operation at all**, so machine work depends only on each batch's net
+//!   key diff — which is what keeps partitions unobservable;
 //! * a counter add/read observes the sum of all earlier deltas on its
 //!   counter (the Fetch&Add serialization order within a batch is the
 //!   batch order, because the emulation's radix sort is stable);
@@ -39,11 +46,11 @@
 //! while the counter region is compared raw (bit-identical) and the task
 //! pool by exact `(seq, payload)` content.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
-use qrqw_core::{emulate_fetch_add_step, load_balance_qrqw};
-use qrqw_exec::{BatchCost, MachineSnapshot, NativeMachine, PersistentMachine, StepPool};
-use qrqw_sim::{ClaimMode, Machine, EMPTY};
+use qrqw_core::{emulate_fetch_add_step, load_balance_qrqw, OpenTable, TableGeometry};
+use qrqw_exec::{BatchCost, MachineSnapshot, PersistentMachine, StepPool};
+use qrqw_sim::Machine;
 
 use crate::request::{Fault, Reply, Request, Response, ServiceError, MAX_KEY};
 
@@ -78,7 +85,8 @@ impl Default for ServiceConfig {
 pub struct StateDigest {
     /// Sorted keys present in the machine-resident hash set.
     pub hash_keys: Vec<u64>,
-    /// Raw dump of the counter region (untouched counters stay [`EMPTY`]).
+    /// Raw dump of the counter region (untouched counters stay
+    /// [`qrqw_sim::EMPTY`]).
     pub counters: Vec<u64>,
     /// Pending tasks, oldest first.
     pub pending_tasks: Vec<(u64, u64)>,
@@ -86,135 +94,15 @@ pub struct StateDigest {
     pub next_seq: u64,
 }
 
-/// Machine-resident open-addressing hash set.
+/// The machine-resident hash set plus its host mirror.
 #[derive(Debug)]
 struct HashSetState {
-    base: usize,
-    cap: usize,
-    len: usize,
+    /// The table itself ([`OpenTable`]: double-hash probes, occupy-claim
+    /// insert rounds, tombstone deletes, growth-time tombstone purge).
+    table: OpenTable,
     /// Host mirror of the present keys (bookkeeping only; the machine
     /// region is the measured artifact and the digest's source of truth).
     mirror: HashSet<u64>,
-}
-
-/// First probe cell of `key` in a table of `cap` (power-of-two) cells.
-fn probe_home(key: u64, cap: usize) -> u64 {
-    key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - cap.trailing_zeros())
-}
-
-/// Odd probe stride of `key` (coprime to the power-of-two capacity, so the
-/// probe sequence visits every cell).
-fn probe_stride(key: u64) -> u64 {
-    (key.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 33) | 1
-}
-
-/// The `r`-th probe cell of `key`.
-fn probe_cell(key: u64, r: u64, cap: usize) -> usize {
-    (probe_home(key, cap).wrapping_add(r.wrapping_mul(probe_stride(key))) & (cap as u64 - 1))
-        as usize
-}
-
-impl HashSetState {
-    fn new(m: &mut NativeMachine, capacity: usize) -> Self {
-        let cap = capacity.next_power_of_two().max(64);
-        HashSetState {
-            base: m.alloc(cap),
-            cap,
-            len: 0,
-            mirror: HashSet::new(),
-        }
-    }
-
-    /// One parallel probe step answering membership for `keys` against the
-    /// current table (pre-batch state).
-    fn lookup(&self, m: &mut NativeMachine, keys: &[u64]) -> Vec<bool> {
-        let (base, cap) = (self.base, self.cap);
-        m.par_map(keys.len(), |i, ctx| {
-            let key = keys[i];
-            for r in 0..cap as u64 {
-                let v = ctx.read(base + probe_cell(key, r, cap));
-                if v == EMPTY {
-                    return false;
-                }
-                if v == key + 1 {
-                    return true;
-                }
-            }
-            false
-        })
-    }
-
-    /// Inserts `keys` (distinct, and absent from the table) by rounds of
-    /// occupy-mode claims: every still-unplaced key claims the next cell of
-    /// its probe sequence; losers and keys probing occupied cells advance.
-    /// A key placed at probe index `r` saw every earlier probe cell
-    /// occupied, and nothing is ever deleted, so lookups walking the same
-    /// sequence terminate correctly wherever the claims landed.
-    fn insert_new(&mut self, m: &mut NativeMachine, keys: &[u64]) {
-        if keys.is_empty() {
-            return;
-        }
-        self.reserve(m, keys.len());
-        self.insert_rounds(m, keys);
-        self.len += keys.len();
-        self.mirror.extend(keys.iter().copied());
-    }
-
-    fn insert_rounds(&self, m: &mut NativeMachine, keys: &[u64]) {
-        let (base, cap) = (self.base, self.cap);
-        // (key, current probe index) of every still-unplaced key.
-        let mut pending: Vec<(u64, u64)> = keys.iter().map(|&k| (k, 0)).collect();
-        let mut rounds = 0usize;
-        while !pending.is_empty() {
-            rounds += 1;
-            assert!(
-                rounds <= 2 * cap,
-                "hash insert failed to place {} keys in {rounds} rounds (cap {cap})",
-                pending.len()
-            );
-            let attempts: Vec<(u64, usize)> = pending
-                .iter()
-                .map(|&(k, r)| (k + 1, base + probe_cell(k, r, cap)))
-                .collect();
-            let won = m.claim(&attempts, ClaimMode::Occupy);
-            let mut still = Vec::new();
-            for (i, &(k, r)) in pending.iter().enumerate() {
-                if !won[i] {
-                    // Cell occupied (earlier key, or a same-round rival that
-                    // won the claim): advance the probe sequence.
-                    still.push((k, r + 1));
-                }
-            }
-            pending = still;
-        }
-    }
-
-    /// Grows the table (doubling) until `additional` more keys fit at ≤ ½
-    /// load, re-inserting the existing keys into a fresh region.  The old
-    /// region is abandoned — the machine allocator is a stack, so a live
-    /// long-running region cannot be released from the middle.
-    fn reserve(&mut self, m: &mut NativeMachine, additional: usize) {
-        if 2 * (self.len + additional) <= self.cap {
-            return;
-        }
-        let mut new_cap = self.cap;
-        while 2 * (self.len + additional) > new_cap {
-            new_cap *= 2;
-        }
-        let existing = self.machine_keys(m);
-        self.base = m.alloc(new_cap);
-        self.cap = new_cap;
-        self.insert_rounds(m, &existing);
-    }
-
-    /// The keys present in the machine region (unsorted).
-    fn machine_keys(&self, m: &NativeMachine) -> Vec<u64> {
-        m.dump(self.base, self.cap)
-            .into_iter()
-            .filter(|&v| v != EMPTY)
-            .map(|v| v - 1)
-            .collect()
-    }
 }
 
 /// Host-side FIFO index of the task pool.
@@ -236,9 +124,7 @@ struct TaskPool {
 #[derive(Debug, Default)]
 pub struct ServiceCheckpoint {
     machine: MachineSnapshot,
-    hash_base: usize,
-    hash_cap: usize,
-    hash_len: usize,
+    hash_geo: TableGeometry,
     hash_mirror: HashSet<u64>,
     pending: BTreeMap<u64, u64>,
     next_seq: u64,
@@ -258,12 +144,15 @@ pub struct ServiceState {
 enum Routed {
     /// Response fully determined at decode time.
     Done(Response),
-    /// Hash lookup: answer is `pre_batch_present || earlier_in_batch`.
+    /// Hash lookup: answered from the in-batch overlay when an earlier
+    /// request in this batch changed the key's presence, else from the
+    /// machine's pre-batch probe step.
     Lookup {
         /// Index into the batch's lookup-key vector.
         idx: usize,
-        /// Key inserted earlier in this same batch.
-        earlier: bool,
+        /// Presence as of this trace position, if an earlier request in
+        /// this batch inserted or deleted the key.
+        in_batch: Option<bool>,
         /// Expected pre-batch presence (host mirror), cross-checked against
         /// the machine's probe step.
         pre_present: bool,
@@ -283,7 +172,10 @@ impl ServiceState {
     pub fn with_pool(config: ServiceConfig, pool: StepPool) -> Self {
         let mut pm = PersistentMachine::with_pool(16, config.seed, pool);
         let counter_base = pm.machine().alloc(config.num_counters.max(1));
-        let hash = HashSetState::new(pm.machine(), config.hash_capacity);
+        let hash = HashSetState {
+            table: OpenTable::new(pm.machine(), config.hash_capacity),
+            mirror: HashSet::new(),
+        };
         ServiceState {
             pm,
             config,
@@ -300,7 +192,18 @@ impl ServiceState {
 
     /// Number of keys in the hash set.
     pub fn hash_len(&self) -> usize {
-        self.hash.len
+        self.hash.table.len()
+    }
+
+    /// Tombstoned cells currently in the hash table (deleted keys whose
+    /// cells have not yet been purged by a rebuild).
+    pub fn hash_tombstones(&self) -> usize {
+        self.hash.table.tombstones()
+    }
+
+    /// Current hash-table capacity in cells.
+    pub fn hash_capacity(&self) -> usize {
+        self.hash.table.capacity()
     }
 
     /// Number of pending tasks.
@@ -317,8 +220,14 @@ impl ServiceState {
         // ---- Decode walk (host-side, strictly in batch order). ----
         let mut routed: Vec<Routed> = Vec::with_capacity(batch.len());
         let mut lookup_keys: Vec<u64> = Vec::new();
-        let mut new_keys: Vec<u64> = Vec::new();
-        let mut batch_inserted: HashSet<u64> = HashSet::new();
+        // Presence-as-of-trace-position for every key whose presence an
+        // earlier request in this batch *changed*, plus the first-touch
+        // order.  Machine operations are derived from `touched` (a Vec, in
+        // batch order) — never from map iteration — because occupy-claim
+        // winners are the lowest claimant *index*: the attempts vector must
+        // be ordered identically on every backend and thread count.
+        let mut overlay: HashMap<u64, bool> = HashMap::new();
+        let mut touched: Vec<u64> = Vec::new();
         let mut fadd_reqs: Vec<(usize, u64)> = Vec::new();
         let mut task_ops = 0usize;
         for req in batch {
@@ -327,11 +236,34 @@ impl ServiceState {
                     if key >= MAX_KEY {
                         Routed::Done(Err(ServiceError::KeyOutOfRange(key)))
                     } else {
-                        let newly = !self.hash.mirror.contains(&key) && batch_inserted.insert(key);
-                        if newly {
-                            new_keys.push(key);
+                        let was = overlay
+                            .get(&key)
+                            .copied()
+                            .unwrap_or_else(|| self.hash.mirror.contains(&key));
+                        if !was {
+                            if !overlay.contains_key(&key) {
+                                touched.push(key);
+                            }
+                            overlay.insert(key, true);
                         }
-                        Routed::Done(Ok(Reply::Inserted(newly)))
+                        Routed::Done(Ok(Reply::Inserted(!was)))
+                    }
+                }
+                Request::HashDelete { key } => {
+                    if key >= MAX_KEY {
+                        Routed::Done(Err(ServiceError::KeyOutOfRange(key)))
+                    } else {
+                        let was = overlay
+                            .get(&key)
+                            .copied()
+                            .unwrap_or_else(|| self.hash.mirror.contains(&key));
+                        if was {
+                            if !overlay.contains_key(&key) {
+                                touched.push(key);
+                            }
+                            overlay.insert(key, false);
+                        }
+                        Routed::Done(Ok(Reply::Removed(was)))
                     }
                 }
                 Request::HashLookup { key } | Request::HashContains { key } => {
@@ -341,7 +273,7 @@ impl ServiceState {
                         lookup_keys.push(key);
                         Routed::Lookup {
                             idx: lookup_keys.len() - 1,
-                            earlier: batch_inserted.contains(&key),
+                            in_batch: overlay.get(&key).copied(),
                             pre_present: self.hash.mirror.contains(&key),
                         }
                     }
@@ -390,8 +322,26 @@ impl ServiceState {
             routed.push(r);
         }
 
+        // The batch's *net* key diff, in first-touch order: a key whose
+        // presence ends where it started (insert-then-delete, or
+        // delete-then-reinsert) needs no machine operation at all, which is
+        // what keeps machine work a function of the trace rather than of
+        // the batch partition.
+        let mut new_keys: Vec<u64> = Vec::new();
+        let mut dead_keys: Vec<u64> = Vec::new();
+        for &key in &touched {
+            let fin = overlay[&key];
+            let was = self.hash.mirror.contains(&key);
+            if fin && !was {
+                new_keys.push(key);
+            } else if !fin && was {
+                dead_keys.push(key);
+            }
+        }
+
         // ---- Machine stage (fixed order: lookups against the pre-batch
-        // table, then inserts, then the Fetch&Add step, then rebalancing).
+        // table, then deletes, then inserts, then the Fetch&Add step, then
+        // rebalancing).
         let task_procs = self.config.task_procs.max(1);
         let ServiceState {
             pm, hash, tasks, ..
@@ -401,9 +351,10 @@ impl ServiceState {
             let found = if lookup_keys.is_empty() {
                 Vec::new()
             } else {
-                hash.lookup(m, &lookup_keys)
+                hash.table.lookup(m, &lookup_keys)
             };
-            hash.insert_new(m, &new_keys);
+            hash.table.remove_present(m, &dead_keys);
+            hash.table.insert_new(m, &new_keys);
             let olds = if fadd_reqs.is_empty() {
                 Vec::new()
             } else {
@@ -423,6 +374,12 @@ impl ServiceState {
             (found, olds)
         });
 
+        // Commit the batch's net key diff to the host mirror.
+        for &key in &dead_keys {
+            hash.mirror.remove(&key);
+        }
+        hash.mirror.extend(new_keys.iter().copied());
+
         // ---- Assemble responses in batch order. ----
         let responses: Vec<Response> = routed
             .into_iter()
@@ -430,14 +387,14 @@ impl ServiceState {
                 Routed::Done(resp) => resp,
                 Routed::Lookup {
                     idx,
-                    earlier,
+                    in_batch,
                     pre_present,
                 } => {
                     debug_assert_eq!(
                         lookup_found[idx], pre_present,
                         "machine probe diverged from the host mirror"
                     );
-                    Ok(Reply::Found(lookup_found[idx] || earlier))
+                    Ok(Reply::Found(in_batch.unwrap_or(lookup_found[idx])))
                 }
                 Routed::Counter(idx) => Ok(Reply::Counter(olds[idx])),
             })
@@ -449,9 +406,9 @@ impl ServiceState {
     /// compared bit-exactly vs. canonically).
     pub fn digest(&self) -> StateDigest {
         let m = self.pm.machine_ref();
-        let mut hash_keys = self.hash.machine_keys(m);
+        let mut hash_keys = self.hash.table.live_keys(m);
         hash_keys.sort_unstable();
-        debug_assert_eq!(hash_keys.len(), self.hash.len);
+        debug_assert_eq!(hash_keys.len(), self.hash.table.len());
         StateDigest {
             hash_keys,
             counters: m.dump(self.counter_base, self.config.num_counters.max(1)),
@@ -464,9 +421,7 @@ impl ServiceState {
     /// allocation-light path the batcher uses before every batch.
     pub fn checkpoint_into(&self, ck: &mut ServiceCheckpoint) {
         self.pm.snapshot_into(&mut ck.machine);
-        ck.hash_base = self.hash.base;
-        ck.hash_cap = self.hash.cap;
-        ck.hash_len = self.hash.len;
+        ck.hash_geo = self.hash.table.geometry();
         ck.hash_mirror.clone_from(&self.hash.mirror);
         ck.pending.clone_from(&self.tasks.pending);
         ck.next_seq = self.tasks.next_seq;
@@ -487,9 +442,7 @@ impl ServiceState {
     /// shapes disagree).
     pub fn restore(&mut self, ck: &ServiceCheckpoint) {
         self.pm.restore(&ck.machine);
-        self.hash.base = ck.hash_base;
-        self.hash.cap = ck.hash_cap;
-        self.hash.len = ck.hash_len;
+        self.hash.table.restore_geometry(ck.hash_geo);
         self.hash.mirror.clone_from(&ck.hash_mirror);
         self.tasks.pending.clone_from(&ck.pending);
         self.tasks.next_seq = ck.next_seq;
@@ -512,6 +465,7 @@ impl ServiceState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qrqw_sim::EMPTY;
 
     fn state() -> ServiceState {
         ServiceState::with_pool(
@@ -545,6 +499,104 @@ mod tests {
         let (resp, _) = s.apply_batch(&[Request::HashContains { key: 10 }]);
         assert_eq!(resp[0], Ok(Reply::Found(true)));
         assert_eq!(s.digest().hash_keys, vec![10]);
+    }
+
+    #[test]
+    fn hash_delete_is_trace_deterministic_within_a_batch() {
+        let mut s = state();
+        let (resp, _) = s.apply_batch(&[
+            Request::HashDelete { key: 10 },
+            Request::HashInsert { key: 10 },
+            Request::HashDelete { key: 10 },
+            Request::HashLookup { key: 10 },
+            Request::HashDelete { key: 10 },
+            Request::HashInsert { key: 10 },
+            Request::HashLookup { key: 10 },
+        ]);
+        assert_eq!(resp[0], Ok(Reply::Removed(false)), "delete before insert");
+        assert_eq!(resp[1], Ok(Reply::Inserted(true)));
+        assert_eq!(resp[2], Ok(Reply::Removed(true)));
+        assert_eq!(resp[3], Ok(Reply::Found(false)), "lookup after delete");
+        assert_eq!(resp[4], Ok(Reply::Removed(false)), "double delete");
+        assert_eq!(resp[5], Ok(Reply::Inserted(true)), "reinsert after delete");
+        assert_eq!(resp[6], Ok(Reply::Found(true)));
+        assert_eq!(s.digest().hash_keys, vec![10]);
+        // A later batch observes the delete of a key from an earlier batch.
+        let (resp, _) = s.apply_batch(&[
+            Request::HashDelete { key: 10 },
+            Request::HashContains { key: 10 },
+        ]);
+        assert_eq!(resp[0], Ok(Reply::Removed(true)));
+        assert_eq!(resp[1], Ok(Reply::Found(false)));
+        assert!(s.digest().hash_keys.is_empty());
+    }
+
+    #[test]
+    fn growth_purges_tombstones_and_reinserts_stay_findable() {
+        let mut s = state(); // cap 64
+        let inserts: Vec<Request> = (0..30).map(|k| Request::HashInsert { key: k }).collect();
+        let _ = s.apply_batch(&inserts);
+        let deletes: Vec<Request> = (0..10).map(|k| Request::HashDelete { key: k }).collect();
+        let _ = s.apply_batch(&deletes);
+        assert!(s.hash_tombstones() > 0, "deletes must leave tombstones");
+        // Push past half full: the growth rebuild must purge every
+        // tombstone while keeping all live keys findable.
+        let more: Vec<Request> = (100..160).map(|k| Request::HashInsert { key: k }).collect();
+        let _ = s.apply_batch(&more);
+        assert_eq!(s.hash_tombstones(), 0, "growth must purge tombstones");
+        assert_eq!(s.hash_len(), 80);
+        let probes: Vec<Request> = (0..30)
+            .chain(100..160)
+            .map(|k| Request::HashLookup { key: k })
+            .collect();
+        let (resp, _) = s.apply_batch(&probes);
+        for (i, r) in resp.iter().enumerate() {
+            let expect = i >= 10; // keys 0..10 were deleted
+            assert_eq!(*r, Ok(Reply::Found(expect)), "probe {i}");
+        }
+    }
+
+    #[test]
+    fn delete_heavy_churn_digest_is_batch_partition_invariant() {
+        // The pinned delete-reinsert regression: a churn trace applied as
+        // one batch and in small chunks must be digest-identical, even
+        // though the chunked run issues real tombstone writes that the
+        // one-shot run nets away entirely.
+        let trace: Vec<Request> = (0..120)
+            .flat_map(|k| {
+                [
+                    Request::HashInsert { key: k % 40 },
+                    Request::HashDelete { key: (k + 7) % 40 },
+                    Request::HashLookup { key: k % 13 },
+                ]
+            })
+            .collect();
+        let mut oneshot = state();
+        let (oneshot_resp, _) = oneshot.apply_batch(&trace);
+        let mut chunked = state();
+        let mut chunked_resp = Vec::new();
+        for chunk in trace.chunks(11) {
+            chunked_resp.extend(chunked.apply_batch(chunk).0);
+        }
+        assert_eq!(oneshot_resp, chunked_resp);
+        assert_eq!(oneshot.digest(), chunked.digest());
+    }
+
+    #[test]
+    fn checkpoint_restore_rewinds_deletes_and_tombstones() {
+        let mut s = state();
+        let inserts: Vec<Request> = (0..20).map(|k| Request::HashInsert { key: k }).collect();
+        let _ = s.apply_batch(&inserts);
+        let before = s.digest();
+        let ck = s.checkpoint();
+        let deletes: Vec<Request> = (0..15).map(|k| Request::HashDelete { key: k }).collect();
+        let _ = s.apply_batch(&deletes);
+        assert_ne!(s.digest(), before);
+        s.restore(&ck);
+        assert_eq!(s.digest(), before);
+        assert_eq!(s.hash_tombstones(), 0, "tombstone count rewinds");
+        let (resp, _) = s.apply_batch(&[Request::HashLookup { key: 0 }]);
+        assert_eq!(resp[0], Ok(Reply::Found(true)));
     }
 
     #[test]

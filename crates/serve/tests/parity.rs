@@ -31,13 +31,13 @@ fn config() -> ServiceConfig {
     }
 }
 
-/// A deterministic mixed trace: duplicate-heavy hash traffic, hot
-/// counters, submit/steal churn, invalid requests and injected (non-panic)
-/// faults.
+/// A deterministic mixed trace: duplicate-heavy hash churn (inserts,
+/// deletes, lookups over a small hot keyspace), hot counters, submit/steal
+/// churn, invalid requests and injected (non-panic) faults.
 fn trace(len: usize, seed: u64) -> Vec<Request> {
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..len)
-        .map(|_| match rng.gen_range(0..12u64) {
+        .map(|_| match rng.gen_range(0..13u64) {
             0..=2 => Request::HashInsert {
                 key: rng.gen_range(0..300u64),
             },
@@ -45,6 +45,9 @@ fn trace(len: usize, seed: u64) -> Vec<Request> {
                 key: rng.gen_range(0..300u64),
             },
             5 => Request::HashContains {
+                key: rng.gen_range(0..300u64),
+            },
+            12 => Request::HashDelete {
                 key: rng.gen_range(0..300u64),
             },
             6..=7 => Request::CounterAdd {
@@ -212,4 +215,64 @@ fn counter_region_is_bit_identical_including_untouched_cells() {
     assert_eq!(got.counters[0], 7);
     assert_eq!(got.counters[2], 0, "a read materializes its cell");
     assert_eq!(got.counters[1], qrqw_sim::EMPTY);
+}
+
+#[test]
+fn delete_reinsert_churn_is_digest_identical_across_batch_boundaries() {
+    // The tombstone regression pin: a delete-heavy cyclic churn trace
+    // (every key is inserted, deleted, and reinserted repeatedly) must be
+    // partition-invariant even though different batch cuts materialize
+    // completely different tombstone histories on the machine — batch_max=1
+    // writes a real tombstone for every delete, while one big batch nets
+    // insert-delete pairs away into no machine op at all.
+    let mut requests = Vec::new();
+    for round in 0..6u64 {
+        for key in 0..40u64 {
+            requests.push(Request::HashInsert { key });
+            if (key + round) % 3 != 0 {
+                requests.push(Request::HashDelete { key });
+            }
+            requests.push(Request::HashLookup { key });
+        }
+    }
+    let (want_resp, want_digest) = oneshot(&requests, 2);
+    for batch_max in [1usize, 7, 64, requests.len()] {
+        let (resp, digest) = served(&requests, batch_max, 2);
+        assert_eq!(resp, want_resp, "replies diverged at batch_max={batch_max}");
+        assert_eq!(
+            digest, want_digest,
+            "digest diverged at batch_max={batch_max}"
+        );
+    }
+}
+
+#[test]
+fn sustained_deletes_purge_tombstones_via_growth() {
+    // Long-running churn must not accumulate tombstones without bound: the
+    // table's growth/purge rebuilds keep them bounded by a quarter of the
+    // capacity (see `qrqw_core::open_table`).
+    let mut state = ServiceState::with_pool(config(), StepPool::with_threads(2));
+    for round in 0..20u64 {
+        let batch: Vec<Request> = (0..50u64)
+            .flat_map(|k| {
+                let key = round * 50 + k;
+                [Request::HashInsert { key }, Request::HashDelete { key }]
+            })
+            .chain((0..5u64).map(|k| Request::HashInsert {
+                key: 10_000 + round * 5 + k,
+            }))
+            .collect();
+        // Apply insert/delete pairs in separate batches so the deletes
+        // issue real machine tombstone writes rather than netting away.
+        for chunk in batch.chunks(50) {
+            let _ = state.apply_batch(chunk);
+        }
+        assert!(
+            4 * state.hash_tombstones() <= state.hash_capacity(),
+            "tombstone load invariant broken at round {round}: {} tombstones, cap {}",
+            state.hash_tombstones(),
+            state.hash_capacity()
+        );
+    }
+    assert_eq!(state.hash_len(), 100);
 }

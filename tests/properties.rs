@@ -5,6 +5,7 @@
 //! these use seeded `SmallRng` case generation: every property is exercised
 //! over a couple dozen random inputs per run, deterministically per seed.
 
+use qrqw_bench::workload::{KeyDist, KeySampler};
 use qrqw_suite::algos::{
     cycle_representation, integer_sort_crqw, is_cyclic, is_permutation, multiple_compaction,
     random_cyclic_permutation_fast, random_permutation_qrqw, sample_sort_crqw, sample_sort_qrqw,
@@ -308,6 +309,132 @@ fn hash_table_answers_membership_exactly() {
         let answers = table.lookup_batch(&mut pram, &probes);
         for (q, a) in probes.iter().zip(answers) {
             assert_eq!(a, set.contains(q));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Key-sampler properties (qrqw_bench::workload)
+// ---------------------------------------------------------------------------
+
+/// Edge keyspaces: singleton, pair, one-below and exactly a power of two.
+const EDGE_KEYSPACES: [usize; 4] = [1, 2, 63, 64];
+
+fn skewed_dists() -> [KeyDist; 4] {
+    [
+        KeyDist::Zipf(0.5),
+        KeyDist::Zipf(1.0),
+        KeyDist::Zipf(1.5),
+        KeyDist::PowerLaw,
+    ]
+}
+
+#[test]
+fn sampler_cdfs_are_monotone_and_reach_one() {
+    for n in EDGE_KEYSPACES.into_iter().chain([1000]) {
+        for dist in skewed_dists() {
+            let s = KeySampler::new(dist, n);
+            let cdf = s.cdf();
+            assert_eq!(cdf.len(), n, "{dist:?} n={n}: one CDF entry per rank");
+            assert!(cdf[0] > 0.0, "{dist:?} n={n}: head weight must be positive");
+            for (i, w) in cdf.windows(2).enumerate() {
+                assert!(
+                    w[1] >= w[0],
+                    "{dist:?} n={n}: CDF decreases at rank {i}: {} -> {}",
+                    w[0],
+                    w[1]
+                );
+            }
+            assert!(
+                (cdf[n - 1] - 1.0).abs() < 1e-9,
+                "{dist:?} n={n}: CDF must end at 1, got {}",
+                cdf[n - 1]
+            );
+        }
+    }
+}
+
+#[test]
+fn empirical_hot_key_mass_matches_the_analytic_weight() {
+    // The hottest key's empirical frequency over many draws must sit within
+    // a few standard errors of its analytic CDF weight.  200k draws put the
+    // standard error under 1e-3 for every tested head weight, so a 0.01
+    // absolute tolerance is ~10 sigma.
+    const DRAWS: usize = 200_000;
+    let n = 256;
+    for dist in skewed_dists() {
+        let s = KeySampler::new(dist, n);
+        let analytic = s.cdf()[0];
+        let mut rng = SmallRng::seed_from_u64(77);
+        let hits = (0..DRAWS).filter(|_| s.sample(&mut rng) == 0).count();
+        let empirical = hits as f64 / DRAWS as f64;
+        assert!(
+            (empirical - analytic).abs() < 0.01,
+            "{dist:?}: hot-key mass {empirical} vs analytic {analytic}"
+        );
+    }
+    // The power-law head weight is documented in closed form.
+    let s = KeySampler::new(KeyDist::PowerLaw, n);
+    let closed_form = (1.0 / n as f64).powf(0.25);
+    assert!(
+        (s.cdf()[0] - closed_form).abs() < 1e-12,
+        "power-law cdf[0] {} must equal (1/n)^(1/4) = {closed_form}",
+        s.cdf()[0]
+    );
+}
+
+#[test]
+fn samplers_are_deterministic_per_seed() {
+    let dists = [
+        KeyDist::Uniform,
+        KeyDist::Zipf(1.2),
+        KeyDist::PowerLaw,
+        KeyDist::AllSame,
+        KeyDist::Adversarial,
+    ];
+    for dist in dists {
+        let s1 = KeySampler::new(dist, 512);
+        let s2 = KeySampler::new(dist, 512);
+        let mut r1 = SmallRng::seed_from_u64(41);
+        let mut r2 = SmallRng::seed_from_u64(41);
+        let a: Vec<u64> = (0..512).map(|_| s1.sample(&mut r1)).collect();
+        let b: Vec<u64> = (0..512).map(|_| s2.sample(&mut r2)).collect();
+        assert_eq!(a, b, "{dist:?}: same seed must replay the same stream");
+        if dist != KeyDist::AllSame {
+            let mut r3 = SmallRng::seed_from_u64(42);
+            let c: Vec<u64> = (0..512).map(|_| s1.sample(&mut r3)).collect();
+            assert_ne!(a, c, "{dist:?}: different seeds must diverge");
+        }
+    }
+}
+
+#[test]
+fn samplers_respect_edge_keyspaces() {
+    for n in EDGE_KEYSPACES {
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::Zipf(1.0),
+            KeyDist::PowerLaw,
+            KeyDist::AllSame,
+        ] {
+            let s = KeySampler::new(dist, n);
+            let mut rng = SmallRng::seed_from_u64(n as u64 ^ 0xD1);
+            for _ in 0..256 {
+                let k = s.sample(&mut rng);
+                assert!(k < n as u64, "{dist:?} n={n}: drew out-of-range key {k}");
+                if n == 1 || dist == KeyDist::AllSame {
+                    assert_eq!(k, 0, "{dist:?} n={n}: singleton keyspace must draw 0");
+                }
+            }
+        }
+        // The adversary draws from its sieved pool, not [0, n): the pool
+        // shrinks with the keyspace and every draw stays inside it.
+        let s = KeySampler::new(KeyDist::Adversarial, n);
+        assert_eq!(s.pool().len(), n.min(16));
+        let pool: HashSet<u64> = s.pool().iter().copied().collect();
+        let mut rng = SmallRng::seed_from_u64(n as u64 ^ 0xD2);
+        for _ in 0..256 {
+            assert!(pool.contains(&s.sample(&mut rng)));
         }
     }
 }

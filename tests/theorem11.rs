@@ -132,3 +132,49 @@ fn the_additive_claim_shows_up_in_the_profile_of_a_contended_step() {
     );
     assert_eq!(cost.supersteps, 1);
 }
+
+#[test]
+fn skewed_churn_scenarios_stay_measured_below_charged() {
+    // Theorem 1.1 conformance must not be a uniform-input artifact: the
+    // skewed and adversarial churn scenarios concentrate claims on shared
+    // probe chains, which is exactly where a router bug would let a
+    // realized queue outrun the charged contention.  Same contract as the
+    // registry variants, step for step, plus digest parity between the
+    // two machines.
+    for spec in ["zipf-hot", "power-law-churn", "adversarial-collide"] {
+        let scenario = qrqw_bench::scenario::Scenario::parse(spec).expect(spec);
+        let mut sim = Pram::with_seed(16, 31);
+        let want = scenario.run_churn(&mut sim, 96, 31);
+        assert!(want.valid, "{spec} invalid on sim");
+        let mut bsp = BspMachine::with_seed(16, 31);
+        let got = scenario.run_churn(&mut bsp, 96, 31);
+        assert!(got.valid, "{spec} invalid on bsp");
+        assert_eq!(got.digest, want.digest, "{spec}: digest diverged");
+
+        let charged = sim.trace().contention_profile();
+        let measured = bsp.queue_profile();
+        assert_eq!(
+            measured.len(),
+            charged.len(),
+            "{spec}: step counts diverged"
+        );
+        for (i, (&q, &k)) in measured.iter().zip(&charged).enumerate() {
+            assert!(
+                q <= k,
+                "{spec}: step {i} realized queue {q} > charged contention {k}"
+            );
+        }
+        let t_qrqw = sim.trace().time(CostModel::Qrqw);
+        let cost = bsp.cost_report().bsp.expect("bsp cost section");
+        assert_eq!(
+            cost.measured_cost, t_qrqw,
+            "{spec}: measured emulation cost diverged from the charged QRQW time"
+        );
+        assert!(
+            cost.measured_cost <= cost.predicted_cost,
+            "{spec}: measured {} exceeded the predicted bound {}",
+            cost.measured_cost,
+            cost.predicted_cost
+        );
+    }
+}
